@@ -1,0 +1,223 @@
+// Package cards is the public face of the CaRDS reproduction: a
+// far-memory runtime with per-data-structure remoting and prefetching
+// policies, plus remote container types for direct library use.
+//
+// Two usage models mirror the paper:
+//
+//   - Library model (this package): construct a Runtime, create remote
+//     Arrays/Lists/Maps with access-pattern hints, and use them like
+//     local containers while the runtime manages placement, caching,
+//     prefetching and eviction — the AIFM-style interface.
+//   - Compiler model (internal/core + cmd/cardsc): write a program in
+//     the project IR, let the CaRDS passes discover the data structures
+//     and inject the policies automatically, and execute it on the same
+//     runtime. The paper's evaluation (cmd/cardsbench) uses this path.
+//
+// The network tier is simulated by default (deterministic virtual time
+// calibrated to the paper's Table 1); pass RemoteAddr to back far memory
+// with a real cardsd server over TCP.
+package cards
+
+import (
+	"fmt"
+	"io"
+
+	"cards/internal/farmem"
+	"cards/internal/netsim"
+	"cards/internal/prefetch"
+	"cards/internal/remote"
+)
+
+// Pattern is the access-pattern hint for a data structure; it selects
+// the dedicated prefetcher (paper §4.2).
+type Pattern int
+
+// Access-pattern hints.
+const (
+	// Unknown disables prefetching for the structure.
+	Unknown Pattern = iota
+	// Strided structures get the majority-stride prefetcher.
+	Strided
+	// PointerChase structures get the jump-pointer prefetcher (or the
+	// greedy recursive prefetcher when elements carry several pointers).
+	PointerChase
+	// Indirect (gather-style) structures are not prefetched; their
+	// index arrays are.
+	Indirect
+)
+
+func (p Pattern) farmem() farmem.Pattern {
+	switch p {
+	case Strided:
+		return farmem.PatternStrided
+	case PointerChase:
+		return farmem.PatternPointerChase
+	case Indirect:
+		return farmem.PatternIndirect
+	}
+	return farmem.PatternUnknown
+}
+
+// Placement is the remoting decision for a structure.
+type Placement int
+
+// Placement choices (§4.2 "Remoting policy selection").
+const (
+	// Linear defers to the runtime: pinned while pinned memory lasts.
+	Linear Placement = iota
+	// Pinned requests non-remotable local memory (the runtime may still
+	// spill if the structure does not fit).
+	Pinned
+	// Remotable marks the structure eligible for far memory.
+	Remotable
+)
+
+func (p Placement) farmem() farmem.Placement {
+	switch p {
+	case Pinned:
+		return farmem.PlacePinned
+	case Remotable:
+		return farmem.PlaceRemotable
+	}
+	return farmem.PlaceLinear
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// PinnedMemory is the local memory reserved for non-remotable
+	// structures, in bytes.
+	PinnedMemory uint64
+	// RemotableMemory is the local cache over the far tier, in bytes.
+	RemotableMemory uint64
+	// RemoteAddr, when non-empty, backs far memory with a cardsd server
+	// at that TCP address instead of the in-process store.
+	RemoteAddr string
+}
+
+// Runtime is a far-memory runtime instance.
+type Runtime struct {
+	rt     *farmem.Runtime
+	client *remote.Client
+	nextID int
+}
+
+// New creates a runtime. With Config{} all memory budgets are zero, so
+// pass real budgets for anything beyond toy use.
+func New(cfg Config) (*Runtime, error) {
+	fc := farmem.Config{
+		PinnedBudget:    cfg.PinnedMemory,
+		RemotableBudget: cfg.RemotableMemory,
+	}
+	var client *remote.Client
+	if cfg.RemoteAddr != "" {
+		c, err := remote.Dial(cfg.RemoteAddr)
+		if err != nil {
+			return nil, fmt.Errorf("cards: connecting far tier: %w", err)
+		}
+		if err := c.Ping(); err != nil {
+			return nil, fmt.Errorf("cards: far tier not responding: %w", err)
+		}
+		fc.Store = c
+		client = c
+	}
+	return &Runtime{rt: farmem.New(fc), client: client}, nil
+}
+
+// Close releases the far-tier connection, if any.
+func (r *Runtime) Close() error {
+	if r.client != nil {
+		return r.client.Close()
+	}
+	return nil
+}
+
+// Stats is a snapshot of runtime activity.
+type Stats struct {
+	GuardChecks   uint64
+	RemoteFetches uint64
+	Evictions     uint64
+	// VirtualSeconds is elapsed simulated time at the paper's 2.4 GHz.
+	VirtualSeconds float64
+}
+
+// Stats returns current global counters.
+func (r *Runtime) Stats() Stats {
+	s := r.rt.Stats()
+	return Stats{
+		GuardChecks:    s.GuardChecks,
+		RemoteFetches:  s.RemoteFetches,
+		Evictions:      s.Evictions,
+		VirtualSeconds: netsim.Seconds(r.rt.Clock().Now(), netsim.DefaultHz),
+	}
+}
+
+// DSStats is a per-structure counter snapshot.
+type DSStats struct {
+	Hits, Misses, Evictions      uint64
+	PrefetchIssued, PrefetchHits uint64
+}
+
+// dsHandle is the shared plumbing of the container types.
+type dsHandle struct {
+	r  *Runtime
+	d  *farmem.DS
+	id int
+}
+
+// Stats returns the structure's counters.
+func (h *dsHandle) Stats() DSStats {
+	s := h.d.Stats()
+	return DSStats{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		PrefetchIssued: s.PrefetchIssued, PrefetchHits: s.PrefetchHits,
+	}
+}
+
+// Local reports whether the structure has never been remoted.
+func (h *dsHandle) Local() bool { return h.d.Local() }
+
+// register creates a DS with the given hints and placement.
+func (r *Runtime) register(name string, pattern Pattern, placement Placement,
+	objSize, elemSize int, ptrOffs []int, recursive bool) (*dsHandle, error) {
+	id := r.nextID
+	meta := farmem.DSMeta{
+		Name:       name,
+		ObjSize:    objSize,
+		ElemSize:   elemSize,
+		Pattern:    pattern.farmem(),
+		Recursive:  recursive,
+		PtrOffsets: ptrOffs,
+	}
+	d, err := r.rt.RegisterDS(id, meta)
+	if err != nil {
+		return nil, err
+	}
+	r.nextID++
+	if err := r.rt.SetPlacement(id, placement.farmem()); err != nil {
+		return nil, err
+	}
+	if pf := prefetch.Select(prefetch.Hints{
+		Pattern:    meta.Pattern,
+		Recursive:  recursive,
+		ElemSize:   elemSize,
+		PtrOffsets: ptrOffs,
+		ObjSize:    meta.ObjSize,
+	}); pf != nil {
+		if err := r.rt.SetPrefetcher(id, pf); err != nil {
+			return nil, err
+		}
+	}
+	return &dsHandle{r: r, d: d, id: id}, nil
+}
+
+// Trace streams every far-memory event (fetches, evictions, prefetches,
+// spills) of this runtime to w, one line per event. Pass nil to stop
+// tracing. Useful when deciding placements: the trace shows exactly
+// which structure thrashes.
+func (r *Runtime) Trace(w io.Writer) {
+	if w == nil {
+		r.rt.SetEventHook(nil)
+		return
+	}
+	r.rt.SetEventHook(farmem.TraceWriter(w))
+}

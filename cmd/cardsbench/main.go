@@ -1,0 +1,81 @@
+// Command cardsbench regenerates the paper's evaluation tables and
+// figures (Table 1, Figures 4–9) on the reproduction stack.
+//
+// Usage:
+//
+//	cardsbench [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9]
+//	           [-scale quick|default] [-markdown] [-seed N]
+//
+// Absolute numbers come from the deterministic virtual-time model
+// calibrated to the paper's testbed (see DESIGN.md); the comparisons —
+// which policy wins, by what factor, where the crossovers sit — are the
+// reproduction targets recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cards/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, table1, fig4..fig9)")
+	scale := flag.String("scale", "quick", "workload scale: quick or default")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	jsonOut := flag.Bool("json", false, "emit JSON")
+	seed := flag.Int64("seed", 0, "override the experiment seed (0 = keep)")
+	flag.Parse()
+
+	var cfg bench.Config
+	switch *scale {
+	case "quick":
+		cfg = bench.Quick()
+	case "default":
+		cfg = bench.Default()
+	default:
+		fmt.Fprintf(os.Stderr, "cardsbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	emit := func(t *bench.Table) {
+		switch {
+		case *jsonOut:
+			if err := t.JSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "cardsbench: %v\n", err)
+				os.Exit(1)
+			}
+		case *markdown:
+			t.Markdown(os.Stdout)
+		default:
+			t.Fprint(os.Stdout)
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			t, err := e.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cardsbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			emit(t)
+		}
+		return
+	}
+	e, ok := bench.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cardsbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	t, err := e.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cardsbench: %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	emit(t)
+}

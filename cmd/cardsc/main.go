@@ -1,0 +1,174 @@
+// Command cardsc is the CaRDS compiler driver: it runs the full pass
+// pipeline (DSA → pool allocation → prefetch analysis → guards/code
+// versioning) over one of the built-in benchmark programs and reports
+// what the compiler discovered — the data structure inventory with
+// patterns and policy scores, the pool-allocation rewrites, and the
+// instrumentation statistics. With -dump-ir it also prints the
+// transformed program.
+//
+// Usage:
+//
+//	cardsc -prog listing1|analytics|ftfdapml|bfs|sum_array|sum_vector|
+//	             sum_list|sum_map|sum_tree
+//	       [-scale N] [-dump-ir] [-run]
+//	cardsc -in program.ir [-dump-ir] [-run]
+//
+// With -in, the program is read in the textual IR syntax (see
+// internal/ir.Parse and examples/quickstart.ir). With -run, the compiled
+// program is also executed on a default runtime and its result printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cards/internal/core"
+	"cards/internal/farmem"
+	"cards/internal/interp"
+	"cards/internal/ir"
+	"cards/internal/netsim"
+	"cards/internal/policy"
+	"cards/internal/workloads"
+)
+
+func buildProgram(name string, scale int64) (*ir.Module, error) {
+	switch name {
+	case "listing1":
+		return ir.BuildListing1(scale*512, 8), nil
+	case "analytics":
+		return workloads.BuildTaxi(workloads.TaxiConfig{
+			Trips: scale * 512, HotPasses: 4, Seed: 2014}).Module, nil
+	case "ftfdapml":
+		return workloads.BuildFDTD(workloads.FDTDConfig{N: 4 + scale*2, Steps: 2}).Module, nil
+	case "bfs":
+		return workloads.BuildBFS(workloads.BFSConfig{
+			Vertices: scale * 256, Degree: 8, Trials: 2, Seed: 27}).Module, nil
+	}
+	if strings.HasPrefix(name, "sum_") {
+		w, err := workloads.BuildChase(strings.TrimPrefix(name, "sum_"),
+			workloads.ChaseConfig{N: scale * 256, Seed: 9})
+		if err != nil {
+			return nil, err
+		}
+		return w.Module, nil
+	}
+	return nil, fmt.Errorf("unknown program %q", name)
+}
+
+func main() {
+	prog := flag.String("prog", "listing1", "built-in program to compile")
+	in := flag.String("in", "", "read a program in textual IR from this file")
+	scale := flag.Int64("scale", 2, "workload scale factor")
+	dumpIR := flag.Bool("dump-ir", false, "print the transformed IR")
+	dumpDSA := flag.Bool("dump-dsa", false, "print the data structure analysis graphs (Figure 2 view)")
+	traceRun := flag.Bool("trace", false, "with -run: stream far-memory events to stderr")
+	report := flag.Bool("report", false, "with -run: print the per-structure runtime report")
+	optimize := flag.Bool("O", false, "run the scalar optimizer before the CaRDS passes")
+	run := flag.Bool("run", false, "execute the compiled program (linear policy)")
+	pinnedKiB := flag.Uint64("pinned", 4096, "pinned local memory for -run, KiB")
+	cacheKiB := flag.Uint64("cache", 512, "remotable local memory for -run, KiB")
+	flag.Parse()
+
+	var m *ir.Module
+	var err error
+	if *in != "" {
+		src, rerr := os.ReadFile(*in)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "cardsc: %v\n", rerr)
+			os.Exit(2)
+		}
+		m, err = ir.Parse(string(src))
+	} else {
+		m, err = buildProgram(*prog, *scale)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cardsc: %v\n", err)
+		os.Exit(2)
+	}
+
+	c, err := core.Compile(m, core.CompileOptions{Optimize: *optimize})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cardsc: compile: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("program: %s (%d functions)\n", m.Name, len(m.Funcs))
+	fmt.Printf("pool allocation: %d static handles, %d dynamic handles\n",
+		c.Pool.StaticHandles, c.Pool.DynamicHandles)
+	fmt.Printf("guards: %d inserted, %d elided (redundant), %d loops versioned\n\n",
+		c.Guards.GuardsInserted, c.Guards.GuardsElided, c.Guards.LoopsVersioned)
+
+	fmt.Printf("%-4s %-34s %-14s %8s %6s %6s %8s\n",
+		"id", "data structure", "pattern", "objsize", "use", "reach", "recursive")
+	for _, info := range c.Analysis.Infos {
+		fmt.Printf("%-4d %-34s %-14s %8d %6d %6d %8v\n",
+			info.DS.ID, info.DS.Name(), info.Pattern, info.ObjSize,
+			info.UseScore, info.ReachScore, info.DS.Recursive)
+	}
+
+	if *dumpDSA {
+		fmt.Println()
+		c.DSA.Dump(os.Stdout)
+	}
+
+	if *dumpIR {
+		fmt.Println()
+		fmt.Print(m.String())
+	}
+
+	if *run {
+		rc := core.RunConfig{
+			Policy:          policy.Linear,
+			K:               100,
+			PinnedBudget:    *pinnedKiB << 10,
+			RemotableBudget: *cacheKiB << 10,
+		}
+		var res *core.RunResult
+		if *traceRun || *report {
+			res, err = runInstrumented(c, rc, *traceRun, *report)
+		} else {
+			res, err = c.Run(rc)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cardsc: run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrun: %.4f virtual s, main returned %d (%#x)\n",
+			res.Seconds, int64(res.MainResult), res.MainResult)
+		fmt.Printf("     guards=%d remote fetches=%d evictions=%d\n",
+			res.Runtime.GuardChecks, res.Runtime.RemoteFetches, res.Runtime.Evictions)
+	}
+}
+
+// runInstrumented executes the compiled program on a runtime with
+// optional event tracing (to stderr) and a final per-structure report
+// (to stdout).
+func runInstrumented(c *core.Compiled, rc core.RunConfig, trace, report bool) (*core.RunResult, error) {
+	rt, _, err := c.NewRuntime(rc)
+	if err != nil {
+		return nil, err
+	}
+	if trace {
+		rt.SetEventHook(farmem.TraceWriter(os.Stderr))
+	}
+	mach, err := interp.New(c.Module, rt, interp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	mainRes, err := mach.Run()
+	if err != nil {
+		return nil, err
+	}
+	if report {
+		fmt.Println()
+		rt.Report(os.Stdout)
+	}
+	return &core.RunResult{
+		Cycles:     rt.Clock().Now(),
+		Seconds:    netsim.Seconds(rt.Clock().Now(), netsim.DefaultHz),
+		Runtime:    rt.Stats(),
+		MainResult: mainRes,
+	}, nil
+}

@@ -1,0 +1,53 @@
+// Command cardsd is the remote memory node: it owns the far tier of
+// objects and serves the CaRDS wire protocol (READ/WRITE verbs over
+// length-prefixed TCP frames). Point a runtime at it with
+// cards.Config{RemoteAddr: ...} or run examples/cluster against it —
+// this is the "memory server machine" of the paper's two-node CloudLab
+// setup.
+//
+// Usage:
+//
+//	cardsd [-listen 127.0.0.1:7770] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cards/internal/remote"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7770", "address to serve on")
+	verbose := flag.Bool("v", false, "log periodic statistics")
+	flag.Parse()
+
+	srv := remote.NewServer()
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cardsd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("cardsd: serving far memory on %s", addr)
+
+	if *verbose {
+		go func() {
+			for range time.Tick(5 * time.Second) {
+				r, w := srv.Counts()
+				log.Printf("cardsd: %d objects resident, %d reads, %d writes",
+					srv.Store.Len(), r, w)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("cardsd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,403 @@
+package cards
+
+import (
+	"fmt"
+	"math"
+
+	"cards/internal/farmem"
+)
+
+// Scalar is the element constraint of the remote containers: 64-bit
+// words, matching the runtime's cell size.
+type Scalar interface {
+	int64 | uint64 | float64
+}
+
+func toBits[T Scalar](v T) uint64 {
+	switch x := any(v).(type) {
+	case int64:
+		return uint64(x)
+	case uint64:
+		return x
+	case float64:
+		return math.Float64bits(x)
+	}
+	panic("unreachable")
+}
+
+func fromBits[T Scalar](b uint64) T {
+	var zero T
+	switch any(zero).(type) {
+	case int64:
+		return any(int64(b)).(T)
+	case uint64:
+		return any(b).(T)
+	case float64:
+		return any(math.Float64frombits(b)).(T)
+	}
+	panic("unreachable")
+}
+
+// Array is a fixed-length remote array of scalars. Sequential scans are
+// covered by the majority-stride prefetcher.
+type Array[T Scalar] struct {
+	h    *dsHandle
+	base uint64
+	n    int
+}
+
+// NewArray allocates a remote array of n elements under the given
+// placement.
+func NewArray[T Scalar](r *Runtime, name string, n int, placement Placement) (*Array[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cards: array %q: length %d", name, n)
+	}
+	h, err := r.register(name, Strided, placement, 4096, 8, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	base, err := r.rt.DSAlloc(h.id, int64(n)*8)
+	if err != nil {
+		return nil, err
+	}
+	return &Array[T]{h: h, base: base, n: n}, nil
+}
+
+// Len returns the element count.
+func (a *Array[T]) Len() int { return a.n }
+
+// Stats returns the array's runtime counters.
+func (a *Array[T]) Stats() DSStats { return a.h.Stats() }
+
+// Local reports whether the array has never been remoted.
+func (a *Array[T]) Local() bool { return a.h.Local() }
+
+func (a *Array[T]) addr(i int) (uint64, error) {
+	if i < 0 || i >= a.n {
+		return 0, fmt.Errorf("cards: array index %d out of range [0,%d)", i, a.n)
+	}
+	return a.base + uint64(i)*8, nil
+}
+
+// Get reads element i (localizing its object if remote).
+func (a *Array[T]) Get(i int) (T, error) {
+	var zero T
+	addr, err := a.addr(i)
+	if err != nil {
+		return zero, err
+	}
+	p, err := a.h.r.rt.Guard(addr, false)
+	if err != nil {
+		return zero, err
+	}
+	bits, err := a.h.r.rt.ReadWord(p)
+	if err != nil {
+		return zero, err
+	}
+	return fromBits[T](bits), nil
+}
+
+// Set writes element i.
+func (a *Array[T]) Set(i int, v T) error {
+	addr, err := a.addr(i)
+	if err != nil {
+		return err
+	}
+	p, err := a.h.r.rt.Guard(addr, true)
+	if err != nil {
+		return err
+	}
+	return a.h.r.rt.WriteWord(p, toBits(v))
+}
+
+// List is a singly linked remote list. Nodes are packed into compact
+// objects in append order, so forward iteration is covered by the
+// jump-pointer prefetcher.
+type List[T Scalar] struct {
+	h          *dsHandle
+	head, tail uint64
+	n          int
+}
+
+// listNodeBytes is the node layout: value word + next pointer word.
+const listNodeBytes = 16
+
+// NewList creates an empty remote list.
+func NewList[T Scalar](r *Runtime, name string, placement Placement) (*List[T], error) {
+	h, err := r.register(name, PointerChase, placement, 1024, listNodeBytes, []int{8}, true)
+	if err != nil {
+		return nil, err
+	}
+	return &List[T]{h: h}, nil
+}
+
+// Len returns the element count.
+func (l *List[T]) Len() int { return l.n }
+
+// Stats returns the list's runtime counters.
+func (l *List[T]) Stats() DSStats { return l.h.Stats() }
+
+// PushBack appends a value.
+func (l *List[T]) PushBack(v T) error {
+	rt := l.h.r.rt
+	node, err := rt.DSAlloc(l.h.id, listNodeBytes)
+	if err != nil {
+		return err
+	}
+	p, err := rt.Guard(node, true)
+	if err != nil {
+		return err
+	}
+	if err := rt.WriteWord(p, toBits(v)); err != nil {
+		return err
+	}
+	pn, err := rt.Guard(node+8, true)
+	if err != nil {
+		return err
+	}
+	if err := rt.WriteWord(pn, 0); err != nil {
+		return err
+	}
+	if l.tail == 0 {
+		l.head, l.tail = node, node
+	} else {
+		pt, err := rt.Guard(l.tail+8, true)
+		if err != nil {
+			return err
+		}
+		if err := rt.WriteWord(pt, node); err != nil {
+			return err
+		}
+		l.tail = node
+	}
+	l.n++
+	return nil
+}
+
+// Each walks the list in order, stopping early if fn returns false.
+func (l *List[T]) Each(fn func(v T) bool) error {
+	rt := l.h.r.rt
+	cur := l.head
+	for cur != 0 {
+		p, err := rt.Guard(cur, false)
+		if err != nil {
+			return err
+		}
+		bits, err := rt.ReadWord(p)
+		if err != nil {
+			return err
+		}
+		if !fn(fromBits[T](bits)) {
+			return nil
+		}
+		pn, err := rt.Guard(cur+8, false)
+		if err != nil {
+			return err
+		}
+		cur, err = rt.ReadWord(pn)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map is a remote hash map from int64 keys to scalar values (chained
+// buckets, load factor <= 1 at the configured capacity).
+type Map[T Scalar] struct {
+	buckets *dsHandle
+	nodes   *dsHandle
+	base    uint64 // bucket array base address
+	nBkt    uint64
+	n       int
+}
+
+// mapNodeBytes is the node layout: key, value, next.
+const mapNodeBytes = 24
+
+// NewMap creates a remote map sized for about capacity entries.
+func NewMap[T Scalar](r *Runtime, name string, capacity int, placement Placement) (*Map[T], error) {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	nBkt := uint64(1)
+	for nBkt < uint64(capacity) {
+		nBkt <<= 1
+	}
+	bh, err := r.register(name+".buckets", Indirect, placement, 4096, 8, []int{0}, false)
+	if err != nil {
+		return nil, err
+	}
+	nh, err := r.register(name+".nodes", PointerChase, placement, 1024, mapNodeBytes, []int{16}, true)
+	if err != nil {
+		return nil, err
+	}
+	base, err := r.rt.DSAlloc(bh.id, int64(nBkt)*8)
+	if err != nil {
+		return nil, err
+	}
+	return &Map[T]{buckets: bh, nodes: nh, base: base, nBkt: nBkt}, nil
+}
+
+// Len returns the entry count.
+func (m *Map[T]) Len() int { return m.n }
+
+// BucketStats and NodeStats expose the two underlying structures.
+func (m *Map[T]) BucketStats() DSStats { return m.buckets.Stats() }
+
+// NodeStats returns the chain-node structure's counters.
+func (m *Map[T]) NodeStats() DSStats { return m.nodes.Stats() }
+
+func (m *Map[T]) slot(k int64) uint64 {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return m.base + ((h>>17)&(m.nBkt-1))*8
+}
+
+// Put inserts or overwrites a key.
+func (m *Map[T]) Put(k int64, v T) error {
+	rt := m.buckets.r.rt
+	slot := m.slot(k)
+	// Search the chain for an existing key.
+	ps, err := rt.Guard(slot, false)
+	if err != nil {
+		return err
+	}
+	cur, err := rt.ReadWord(ps)
+	if err != nil {
+		return err
+	}
+	head := cur
+	for cur != 0 {
+		pk, err := rt.Guard(cur, false)
+		if err != nil {
+			return err
+		}
+		key, err := rt.ReadWord(pk)
+		if err != nil {
+			return err
+		}
+		if int64(key) == k {
+			pv, err := rt.Guard(cur+8, true)
+			if err != nil {
+				return err
+			}
+			return rt.WriteWord(pv, toBits(v))
+		}
+		pn, err := rt.Guard(cur+16, false)
+		if err != nil {
+			return err
+		}
+		cur, err = rt.ReadWord(pn)
+		if err != nil {
+			return err
+		}
+	}
+	// Prepend a fresh node.
+	node, err := rt.DSAlloc(m.nodes.id, mapNodeBytes)
+	if err != nil {
+		return err
+	}
+	for _, w := range []struct {
+		off  uint64
+		bits uint64
+	}{{0, uint64(k)}, {8, toBits(v)}, {16, head}} {
+		p, err := rt.Guard(node+w.off, true)
+		if err != nil {
+			return err
+		}
+		if err := rt.WriteWord(p, w.bits); err != nil {
+			return err
+		}
+	}
+	pw, err := rt.Guard(slot, true)
+	if err != nil {
+		return err
+	}
+	if err := rt.WriteWord(pw, node); err != nil {
+		return err
+	}
+	m.n++
+	return nil
+}
+
+// Get looks a key up; ok is false when absent.
+func (m *Map[T]) Get(k int64) (v T, ok bool, err error) {
+	rt := m.buckets.r.rt
+	ps, err := rt.Guard(m.slot(k), false)
+	if err != nil {
+		return v, false, err
+	}
+	cur, err := rt.ReadWord(ps)
+	if err != nil {
+		return v, false, err
+	}
+	for cur != 0 {
+		pk, err := rt.Guard(cur, false)
+		if err != nil {
+			return v, false, err
+		}
+		key, err := rt.ReadWord(pk)
+		if err != nil {
+			return v, false, err
+		}
+		if int64(key) == k {
+			pv, err := rt.Guard(cur+8, false)
+			if err != nil {
+				return v, false, err
+			}
+			bits, err := rt.ReadWord(pv)
+			if err != nil {
+				return v, false, err
+			}
+			return fromBits[T](bits), true, nil
+		}
+		pn, err := rt.Guard(cur+16, false)
+		if err != nil {
+			return v, false, err
+		}
+		cur, err = rt.ReadWord(pn)
+		if err != nil {
+			return v, false, err
+		}
+	}
+	return v, false, nil
+}
+
+var _ = farmem.PatternStrided // keep the import grounded for doc links
+
+// Fill sets every element to fn(i) in one forward pass — the
+// prefetch-friendly way to initialize a remote array.
+func (a *Array[T]) Fill(fn func(i int) T) error {
+	for i := 0; i < a.n; i++ {
+		if err := a.Set(i, fn(i)); err != nil {
+			return fmt.Errorf("cards: fill at %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Scan visits every element in order, stopping early if fn returns
+// false. Sequential scans are exactly what the stride prefetcher covers,
+// so Scan over a remote array overlaps fetches with the visit function.
+func (a *Array[T]) Scan(fn func(i int, v T) bool) error {
+	for i := 0; i < a.n; i++ {
+		v, err := a.Get(i)
+		if err != nil {
+			return fmt.Errorf("cards: scan at %d: %w", i, err)
+		}
+		if !fn(i, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Reduce folds the array left to right.
+func Reduce[T Scalar, A any](a *Array[T], init A, fn func(acc A, v T) A) (A, error) {
+	acc := init
+	err := a.Scan(func(_ int, v T) bool {
+		acc = fn(acc, v)
+		return true
+	})
+	return acc, err
+}

@@ -1,0 +1,3 @@
+module cards
+
+go 1.22

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"cards/internal/cfg"
+	"cards/internal/ir"
+)
+
+// SingleHeap builds the program view a compiler WITHOUT data structure
+// analysis has: every heap allocation belongs to one undifferentiated
+// "heap" structure (ID 0), every load/store may touch it, and no
+// per-structure pattern information exists. This is the TrackFM baseline
+// model (paper §1: "in TrackFM, all objects are assumed to be remotable,
+// since the compiler is unable to predict locality of access
+// statically").
+//
+// Induction variables ARE computed — TrackFM's guard optimizations and
+// prefetching work on induction variables — but pattern classification
+// degrades to a single strided hint for the merged heap (its only
+// prefetcher), and the object granularity is a fixed 4 KiB block.
+func SingleHeap(m *ir.Module) *Result {
+	res := &Result{
+		IVs:     make(map[string]map[*ir.Reg]*IVInfo),
+		InstrDS: make(map[*ir.Instr][]int),
+		LoopDS:  make(map[*ir.Block][]int),
+		CFGs:    make(map[string]*cfg.Info),
+	}
+	for _, f := range m.Funcs {
+		res.CFGs[f.Name] = cfg.Analyze(f)
+		res.IVs[f.Name] = findInductionVars(f, res.CFGs[f.Name])
+	}
+	heap := []int{0}
+	for _, f := range m.Funcs {
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore:
+				res.InstrDS[in] = heap
+			case ir.OpAlloc:
+				// Bind every allocation to the merged heap.
+				in.DS = 0
+				in.DSHandle = ir.CI(0)
+			}
+			return true
+		})
+		for _, loop := range res.CFGs[f.Name].Loops() {
+			res.LoopDS[loop.Header] = heap
+		}
+	}
+	res.Infos = []*DSInfo{{
+		DS:      nil, // no dsa identity: synthetic merged heap
+		Pattern: PatternStrided,
+		Stride:  8,
+		ObjSize: DefaultArrayObjSize,
+	}}
+	return res
+}

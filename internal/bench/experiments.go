@@ -1,0 +1,399 @@
+package bench
+
+import (
+	"fmt"
+
+	"cards/internal/core"
+	"cards/internal/farmem"
+	"cards/internal/ir"
+	"cards/internal/mira"
+	"cards/internal/netsim"
+	"cards/internal/policy"
+	"cards/internal/stats"
+	"cards/internal/trackfm"
+	"cards/internal/workloads"
+)
+
+// Workload builders (fresh module per call: compilation mutates IR).
+
+func (cfg Config) taxi() *workloads.Workload {
+	return workloads.BuildTaxi(workloads.TaxiConfig{
+		Trips: cfg.TaxiTrips, HotPasses: cfg.HotPasses, Seed: cfg.Seed,
+	})
+}
+
+func (cfg Config) fdtd() *workloads.Workload {
+	return workloads.BuildFDTD(workloads.FDTDConfig{N: cfg.FDTDSize, Steps: cfg.FDTDSteps})
+}
+
+func (cfg Config) bfs() *workloads.Workload {
+	return workloads.BuildBFS(workloads.BFSConfig{
+		Vertices: cfg.BFSVertices, Degree: cfg.BFSDegree,
+		Trials: cfg.BFSTrials, Seed: cfg.Seed,
+	})
+}
+
+// reserveFor scales the paper's remotable-memory reserves: 1 GB of the
+// 31 GB analytics working set, 1 GB of ftfdapml's 8 GB, 256 MB of BFS's
+// 1.2 GB (§5.1), with a floor of 24 objects so the cache can function.
+// measured prefers the region-of-interest time when the workload
+// declares one (GAP's BFS trials), falling back to whole-program time.
+func measured(total, roi float64) float64 {
+	if roi > 0 {
+		return roi
+	}
+	return total
+}
+
+func reserveFor(name string, ws uint64) uint64 {
+	var r uint64
+	switch name {
+	case "analytics":
+		r = ws / 32
+	case "ftfdapml":
+		r = ws / 8
+	case "bfs":
+		r = ws / 5
+	default:
+		r = ws / 16
+	}
+	if floor := uint64(24 * 4096); r < floor {
+		r = floor
+	}
+	return r
+}
+
+// runPolicy compiles a fresh copy of the workload and runs it under one
+// policy. AllRemotable uses pinned+reserve as pure cache (the
+// conservative baseline has no pinned region).
+func runPolicy(build func() *workloads.Workload, pol policy.Kind, k float64,
+	pinned, reserve uint64, seed int64) (*core.RunResult, error) {
+	w := build()
+	c, err := core.Compile(w.Module, core.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	rc := core.RunConfig{
+		Policy: pol, K: k, Seed: seed,
+		PinnedBudget: pinned, RemotableBudget: reserve,
+	}
+	if pol == policy.AllRemotable {
+		rc.PinnedBudget = 0
+		rc.RemotableBudget = pinned + reserve
+	}
+	return c.Run(rc)
+}
+
+// Table1 measures the primitive overheads of Table 1: the cost of a
+// guard/fault on a local object and on a remote object, for the CaRDS
+// and TrackFM runtimes, as median virtual cycles over 100 trials.
+func Table1(cfg Config) (*Table, error) {
+	const trials = 100
+	const obj = 4096
+
+	measure := func(trackFMFlavour, write, remote bool) (float64, error) {
+		nObjs := trials + 8
+		budget := uint64(nObjs+8) * obj
+		if remote {
+			budget = uint64(16) * obj // force misses
+		}
+		rt := farmem.New(farmem.Config{
+			PinnedBudget:    1 << 20,
+			RemotableBudget: budget,
+			TrackFMGuards:   trackFMFlavour,
+		})
+		if _, err := rt.RegisterDS(0, farmem.DSMeta{Name: "probe", ObjSize: obj}); err != nil {
+			return 0, err
+		}
+		rt.SetPlacement(0, farmem.PlaceRemotable)
+		addr, err := rt.DSAlloc(0, int64(nObjs*obj))
+		if err != nil {
+			return 0, err
+		}
+		// Materialize every object once.
+		for i := 0; i < nObjs; i++ {
+			if _, err := rt.Guard(addr+uint64(i*obj), true); err != nil {
+				return 0, err
+			}
+		}
+		var s stats.Sample
+		if remote {
+			// Small cache: object i was evicted long before trial i
+			// touches it again; each guard is a remote fault.
+			for i := 0; i < trials; i++ {
+				before := rt.Clock().Now()
+				if _, err := rt.Guard(addr+uint64(i*obj), write); err != nil {
+					return 0, err
+				}
+				s.Observe(float64(rt.Clock().Now() - before))
+			}
+		} else {
+			// Large cache: object 0 stays resident; every guard is the
+			// local fast path.
+			for i := 0; i < trials; i++ {
+				before := rt.Clock().Now()
+				if _, err := rt.Guard(addr, write); err != nil {
+					return 0, err
+				}
+				s.Observe(float64(rt.Clock().Now() - before))
+			}
+		}
+		return s.Median(), nil
+	}
+
+	t := &Table{
+		ID:     "table1",
+		Title:  "Primitive overheads, median cycles over 100 trials (paper Table 1)",
+		Header: []string{"Runtime Event", "Local Cost", "Remote Cost", "Paper Local", "Paper Remote"},
+		Notes: []string{
+			"local = object resident (CaRDS: custody check + deref); remote = object fetched over the simulated 25 Gb/s link",
+		},
+	}
+	rows := []struct {
+		name    string
+		trackFM bool
+		write   bool
+		pLocal  string
+		pRemote string
+	}{
+		{"CaRDS read fault", false, false, "378", "59K"},
+		{"CaRDS write fault", false, true, "384", "59K"},
+		{"TrackFM read guard", true, false, "462", "46K"},
+		{"TrackFM write guard", true, true, "579", "47K"},
+	}
+	for _, r := range rows {
+		local, err := measure(r.trackFM, r.write, false)
+		if err != nil {
+			return nil, err
+		}
+		remote, err := measure(r.trackFM, r.write, true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			r.name, fmt.Sprintf("%.0f", local), fmt.Sprintf("%.0fK", remote/1000),
+			r.pLocal, r.pRemote,
+		})
+	}
+	return t, nil
+}
+
+// Fig4 compares the remoting policies on Listing 1 with k=50% and local
+// memory sized for exactly one of the two structures.
+func Fig4(cfg Config) (*Table, error) {
+	arraySize := cfg.TaxiTrips * 4
+	nTimes := cfg.HotPasses
+	build := func() *workloads.Workload {
+		return &workloads.Workload{
+			Name:            "listing1",
+			Module:          ir.BuildListing1(arraySize, nTimes),
+			WorkingSetBytes: uint64(2 * arraySize * 8),
+		}
+	}
+	ws := build().WorkingSetBytes
+	pinned := ws / 2 // one of the two structures fits
+	reserve := reserveFor("listing1", ws)
+
+	base, err := runPolicy(build, policy.AllRemotable, 50, pinned, reserve, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Remoting policies on Listing 1, k=50%, local memory = 1 structure (paper Fig. 4)",
+		Header: []string{"Policy", "Runtime (s)", "vs all-remotable", "Pinned DS"},
+		Notes: []string{
+			"paper: the refined (Max Use) policy localizes ds2 and outperforms a naive choice; random may pick wrong",
+		},
+	}
+	for _, pol := range policy.All() {
+		res := base
+		if pol != policy.AllRemotable {
+			res, err = runPolicy(build, pol, 50, pinned, reserve, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			pol.String(), secs(res.Seconds),
+			ratio(float64(base.Cycles) / float64(res.Cycles)),
+			fmt.Sprintf("%v", res.PinnedIDs),
+		})
+	}
+	return t, nil
+}
+
+// policySweep implements Figures 5-7: policies × k for one workload.
+// Every configuration gets the same total local memory — half the
+// working set: the CaRDS policies split it into pinned + the workload's
+// remotable reserve, while the all-remotable baseline uses all of it as
+// cache.
+func policySweep(id, title string, build func() *workloads.Workload, seed int64) (*Table, error) {
+	w := build()
+	ws := w.WorkingSetBytes
+	local := ws / 2
+	reserve := reserveFor(w.Name, ws)
+	if reserve > local*3/4 {
+		reserve = local * 3 / 4
+	}
+	pinned := local - reserve
+	ks := []float64{25, 50, 75, 100}
+
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Policy", "k=25%", "k=50%", "k=75%", "k=100%"},
+		Notes: []string{
+			fmt.Sprintf("runtime in virtual seconds; working set %d KiB, pinned budget %d KiB, remotable reserve %d KiB",
+				ws/1024, pinned/1024, reserve/1024),
+		},
+	}
+	for _, pol := range policy.All() {
+		row := []string{pol.String()}
+		for _, k := range ks {
+			res, err := runPolicy(build, pol, k, pinned, reserve, seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s k=%v: %w", pol, k, err)
+			}
+			row = append(row, secs(measured(res.Seconds, res.ROISeconds)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig5 sweeps the remoting policies on BFS.
+func Fig5(cfg Config) (*Table, error) {
+	return policySweep("fig5",
+		"Remoting policies × k, BFS (paper Fig. 5; 19 structures)",
+		func() *workloads.Workload { return cfg.bfs() }, cfg.Seed)
+}
+
+// Fig6 sweeps the remoting policies on the analytics workload.
+func Fig6(cfg Config) (*Table, error) {
+	return policySweep("fig6",
+		"Remoting policies × k, analytics (paper Fig. 6; 22 structures)",
+		func() *workloads.Workload { return cfg.taxi() }, cfg.Seed)
+}
+
+// Fig7 sweeps the remoting policies on ftfdapml.
+func Fig7(cfg Config) (*Table, error) {
+	return policySweep("fig7",
+		"Remoting policies × k, ftfdapml (paper Fig. 7; 15 structures)",
+		func() *workloads.Workload { return cfg.fdtd() }, cfg.Seed)
+}
+
+// Fig8 compares CaRDS against TrackFM and Mira on the analytics workload
+// across local memory fractions.
+func Fig8(cfg Config) (*Table, error) {
+	build := func() *workloads.Workload { return cfg.taxi() }
+	ws := build().WorkingSetBytes
+	reserve := reserveFor("analytics", ws)
+
+	t := &Table{
+		ID:    "fig8",
+		Title: "CaRDS vs prior far-memory compilers, analytics (paper Fig. 8)",
+		Header: []string{"Local mem", "CaRDS (s)", "TrackFM (s)", "Mira (s)",
+			"CaRDS vs TrackFM", "CaRDS vs Mira"},
+		Notes: []string{
+			"CaRDS = max-use policy at k=50 (the strongest policy in Fig. 6 for analytics)",
+			"paper: CaRDS up to ~2x over TrackFM; within ~20-25% of Mira at low memory; Mira wins as memory grows",
+		},
+	}
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		pinned := uint64(float64(ws) * frac)
+
+		cds, err := runPolicy(build, policy.MaxUse, 50, pinned, reserve, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+
+		tw := build()
+		tc, err := trackfm.Compile(tw.Module)
+		if err != nil {
+			return nil, err
+		}
+		tres, err := tc.Run(trackfm.RunConfig{LocalMemory: pinned + reserve})
+		if err != nil {
+			return nil, err
+		}
+
+		compileFresh := func() *core.Compiled {
+			c, cerr := core.Compile(build().Module, core.CompileOptions{})
+			if cerr != nil {
+				panic(cerr)
+			}
+			return c
+		}
+		mres, _, err := mira.Run(compileFresh(), compileFresh(), core.RunConfig{
+			PinnedBudget: pinned, RemotableBudget: reserve,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", frac*100),
+			secs(cds.Seconds), secs(tres.Seconds), secs(mres.Seconds),
+			ratio(float64(tres.Cycles) / float64(cds.Cycles)),
+			ratio(float64(mres.Cycles) / float64(cds.Cycles)),
+		})
+	}
+	return t, nil
+}
+
+// Fig9 measures the per-structure prefetch speedup over TrackFM on the
+// c[i] = a[i] + b[i] micro-suite.
+func Fig9(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "CaRDS speedup over TrackFM, pointer-chasing sum suite (paper Fig. 9)",
+		Header: []string{"Structure", "TrackFM (s)", "CaRDS (s)", "Speedup", "CaRDS prefetcher hits"},
+		Notes: []string{
+			"both systems all-remotable with 25% local memory: the delta is per-structure prefetching + guard cost",
+			"paper: arrays run comparably; vectors/maps and other pointer chasers favour CaRDS consistently",
+		},
+	}
+	for _, kind := range workloads.ChaseKinds {
+		build := func() *workloads.Workload {
+			w, err := workloads.BuildChase(kind, workloads.ChaseConfig{N: cfg.ChaseN, Seed: cfg.Seed})
+			if err != nil {
+				panic(err)
+			}
+			return w
+		}
+		ws := build().WorkingSetBytes
+		local := ws / 4
+		if floor := uint64(8 * 4096); local < floor {
+			local = floor
+		}
+
+		cds, err := runPolicy(build, policy.AllRemotable, 0, local, 0, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s cards: %w", kind, err)
+		}
+
+		tw := build()
+		tc, err := trackfm.Compile(tw.Module)
+		if err != nil {
+			return nil, err
+		}
+		tres, err := tc.Run(trackfm.RunConfig{LocalMemory: local})
+		if err != nil {
+			return nil, fmt.Errorf("%s trackfm: %w", kind, err)
+		}
+		if cds.MainResult != tres.MainResult {
+			return nil, fmt.Errorf("%s: checksum mismatch CaRDS=%#x TrackFM=%#x",
+				kind, cds.MainResult, tres.MainResult)
+		}
+
+		t.Rows = append(t.Rows, []string{
+			kind, secs(tres.Seconds), secs(cds.Seconds),
+			ratio(float64(tres.Cycles) / float64(cds.Cycles)),
+			fmt.Sprintf("%d", cds.TotalPrefetchHits()),
+		})
+	}
+	return t, nil
+}
+
+var _ = netsim.DefaultHz

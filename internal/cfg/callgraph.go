@@ -1,0 +1,183 @@
+package cfg
+
+import (
+	"sort"
+
+	"cards/internal/ir"
+)
+
+// CGNode is one function in the call graph.
+type CGNode struct {
+	Fn      *ir.Function
+	Callees []*CGNode
+	Callers []*CGNode
+
+	// SCC is the index of the strongly connected component the node
+	// belongs to, in reverse topological order (callee SCCs first),
+	// assigned by Tarjan's algorithm.
+	SCC int
+}
+
+// CallGraph is the static call graph of a module.
+type CallGraph struct {
+	Module *ir.Module
+	Nodes  map[string]*CGNode
+	// order lists nodes in module function order for determinism.
+	order []*CGNode
+	nSCC  int
+}
+
+// BuildCallGraph constructs the call graph and runs SCC condensation.
+// Our IR has only direct calls, so the graph is exact.
+func BuildCallGraph(m *ir.Module) *CallGraph {
+	cg := &CallGraph{Module: m, Nodes: make(map[string]*CGNode)}
+	for _, f := range m.Funcs {
+		n := &CGNode{Fn: f}
+		cg.Nodes[f.Name] = n
+		cg.order = append(cg.order, n)
+	}
+	for _, f := range m.Funcs {
+		caller := cg.Nodes[f.Name]
+		seen := make(map[string]bool)
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			if in.Op == ir.OpCall && !seen[in.Callee] {
+				seen[in.Callee] = true
+				if callee := cg.Nodes[in.Callee]; callee != nil {
+					caller.Callees = append(caller.Callees, callee)
+					callee.Callers = append(callee.Callers, caller)
+				}
+			}
+			return true
+		})
+	}
+	cg.tarjan()
+	return cg
+}
+
+// tarjan assigns SCC indices in reverse topological order.
+func (cg *CallGraph) tarjan() {
+	index := make(map[*CGNode]int)
+	low := make(map[*CGNode]int)
+	onStack := make(map[*CGNode]bool)
+	var stack []*CGNode
+	next := 0
+
+	var strongconnect func(v *CGNode)
+	strongconnect = func(v *CGNode) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range v.Callees {
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				w.SCC = cg.nSCC
+				if w == v {
+					break
+				}
+			}
+			cg.nSCC++
+		}
+	}
+	for _, v := range cg.order {
+		if _, visited := index[v]; !visited {
+			strongconnect(v)
+		}
+	}
+}
+
+// NumSCCs returns the number of strongly connected components.
+func (cg *CallGraph) NumSCCs() int { return cg.nSCC }
+
+// ChainDepth returns, per function, the length of the longest caller →
+// callee chain passing through it: depth(f) = longestPathFromRoot(f) +
+// longestPathToLeaf(f) - 1, computed over the SCC condensation (each SCC
+// counts once). The Maximum Reach policy (paper §4.2) localizes data
+// structures used in the top-k functions by this metric.
+func (cg *CallGraph) ChainDepth() map[string]int {
+	// SCC condensation edges. Tarjan assigned SCC ids in reverse
+	// topological order: callees have smaller ids than callers (for the
+	// acyclic part), so iterating ids ascending visits callees first.
+	sccCallees := make(map[int]map[int]bool)
+	sccMembers := make(map[int][]*CGNode)
+	for _, n := range cg.order {
+		sccMembers[n.SCC] = append(sccMembers[n.SCC], n)
+		for _, c := range n.Callees {
+			if c.SCC != n.SCC {
+				if sccCallees[n.SCC] == nil {
+					sccCallees[n.SCC] = make(map[int]bool)
+				}
+				sccCallees[n.SCC][c.SCC] = true
+			}
+		}
+	}
+	// down[s]: longest chain from SCC s down to a leaf (in SCCs, s
+	// inclusive). Ascending id order = callees before callers.
+	down := make([]int, cg.nSCC)
+	for s := 0; s < cg.nSCC; s++ {
+		best := 0
+		for c := range sccCallees[s] {
+			if down[c] > best {
+				best = down[c]
+			}
+		}
+		down[s] = best + 1
+	}
+	// up[s]: longest chain from a root down to s (s inclusive).
+	// Descending id order = callers before callees.
+	up := make([]int, cg.nSCC)
+	for s := cg.nSCC - 1; s >= 0; s-- {
+		if up[s] == 0 {
+			up[s] = 1
+		}
+		for c := range sccCallees[s] {
+			if up[s]+1 > up[c] {
+				up[c] = up[s] + 1
+			}
+		}
+	}
+	out := make(map[string]int, len(cg.order))
+	for s := 0; s < cg.nSCC; s++ {
+		d := up[s] + down[s] - 1
+		for _, n := range sccMembers[s] {
+			out[n.Fn.Name] = d
+		}
+	}
+	return out
+}
+
+// FunctionsByChainDepth returns function names sorted by descending chain
+// depth, ties broken by name for determinism.
+func (cg *CallGraph) FunctionsByChainDepth() []string {
+	depth := cg.ChainDepth()
+	names := make([]string, 0, len(depth))
+	for n := range depth {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if depth[names[i]] != depth[names[j]] {
+			return depth[names[i]] > depth[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// InSameSCC reports whether two functions are mutually recursive.
+func (cg *CallGraph) InSameSCC(a, b string) bool {
+	na, nb := cg.Nodes[a], cg.Nodes[b]
+	return na != nil && nb != nil && na.SCC == nb.SCC
+}

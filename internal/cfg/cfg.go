@@ -1,0 +1,278 @@
+// Package cfg computes control-flow and call-graph structure over the IR:
+// reverse postorder, dominator trees, natural loops with nesting depth,
+// and a call graph with Tarjan SCCs and caller/callee chain depths.
+//
+// These are the NOELLE-style "program-wide abstractions" (paper §4.1) the
+// CaRDS passes consume: the prefetch analysis needs loops and induction
+// variables; the Maximum Reach policy needs the SCC call graph and
+// caller/callee chain lengths; guard placement needs loop membership.
+package cfg
+
+import (
+	"cards/internal/ir"
+)
+
+// Info holds per-function control-flow analyses. Build it with Analyze.
+type Info struct {
+	Fn    *ir.Function
+	RPO   []*ir.Block // reverse postorder, entry first
+	Preds map[*ir.Block][]*ir.Block
+	idom  map[*ir.Block]*ir.Block
+	rpoIx map[*ir.Block]int
+	loops []*Loop
+	depth map[*ir.Block]int // loop nesting depth per block
+}
+
+// Analyze computes CFG structure for f.
+func Analyze(f *ir.Function) *Info {
+	info := &Info{
+		Fn:    f,
+		Preds: make(map[*ir.Block][]*ir.Block),
+		idom:  make(map[*ir.Block]*ir.Block),
+		rpoIx: make(map[*ir.Block]int),
+		depth: make(map[*ir.Block]int),
+	}
+	info.computeRPO()
+	info.computeDominators()
+	info.computeLoops()
+	return info
+}
+
+func (info *Info) computeRPO() {
+	seen := make(map[*ir.Block]bool)
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			info.Preds[s] = append(info.Preds[s], b)
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	entry := info.Fn.Entry()
+	if entry == nil {
+		return
+	}
+	dfs(entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		info.rpoIx[post[i]] = len(info.RPO)
+		info.RPO = append(info.RPO, post[i])
+	}
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm.
+func (info *Info) computeDominators() {
+	if len(info.RPO) == 0 {
+		return
+	}
+	entry := info.RPO[0]
+	info.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range info.RPO[1:] {
+			var newIdom *ir.Block
+			for _, p := range info.Preds[b] {
+				if _, ok := info.idom[p]; !ok {
+					continue // unprocessed predecessor
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = info.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && info.idom[b] != newIdom {
+				info.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (info *Info) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for info.rpoIx[a] > info.rpoIx[b] {
+			a = info.idom[a]
+		}
+		for info.rpoIx[b] > info.rpoIx[a] {
+			b = info.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (entry's idom is itself).
+func (info *Info) Idom(b *ir.Block) *ir.Block { return info.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (info *Info) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		id, ok := info.idom[b]
+		if !ok || id == b {
+			return false
+		}
+		b = id
+	}
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (info *Info) Reachable(b *ir.Block) bool {
+	_, ok := info.rpoIx[b]
+	return ok
+}
+
+// Loop is a natural loop: a header and the set of blocks in the loop
+// body (header included). Loops with shared headers are merged.
+type Loop struct {
+	Header   *ir.Block
+	Blocks   map[*ir.Block]bool
+	Parent   *Loop
+	Children []*Loop
+	// Depth is the nesting depth: 1 for outermost loops.
+	Depth int
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// Latches returns the in-loop predecessors of the header (back edges).
+func (l *Loop) Latches(info *Info) []*ir.Block {
+	var latches []*ir.Block
+	for _, p := range info.Preds[l.Header] {
+		if l.Blocks[p] {
+			latches = append(latches, p)
+		}
+	}
+	return latches
+}
+
+// Preheader returns the unique out-of-loop predecessor of the header, or
+// nil when there are multiple (guard versioning requires one; our builder
+// always produces one).
+func (l *Loop) Preheader(info *Info) *ir.Block {
+	var ph *ir.Block
+	for _, p := range info.Preds[l.Header] {
+		if !l.Blocks[p] {
+			if ph != nil {
+				return nil
+			}
+			ph = p
+		}
+	}
+	return ph
+}
+
+// Exits returns blocks outside the loop that are targeted from inside.
+func (l *Loop) Exits() []*ir.Block {
+	seen := make(map[*ir.Block]bool)
+	var exits []*ir.Block
+	for b := range l.Blocks {
+		for _, s := range b.Succs() {
+			if !l.Blocks[s] && !seen[s] {
+				seen[s] = true
+				exits = append(exits, s)
+			}
+		}
+	}
+	return exits
+}
+
+func (info *Info) computeLoops() {
+	byHeader := make(map[*ir.Block]*Loop)
+	for _, b := range info.RPO {
+		for _, s := range b.Succs() {
+			if info.Dominates(s, b) {
+				// Back edge b -> s; s is a loop header.
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+					byHeader[s] = l
+				}
+				info.collectLoopBody(l, b)
+			}
+		}
+	}
+	// Order loops deterministically by header RPO index.
+	for _, b := range info.RPO {
+		if l, ok := byHeader[b]; ok {
+			info.loops = append(info.loops, l)
+		}
+	}
+	// Nesting: loop A is a child of the smallest loop B != A whose body
+	// contains A's header.
+	for _, a := range info.loops {
+		var best *Loop
+		for _, b := range info.loops {
+			if a == b || !b.Blocks[a.Header] {
+				continue
+			}
+			if best == nil || len(b.Blocks) < len(best.Blocks) {
+				best = b
+			}
+		}
+		if best != nil {
+			a.Parent = best
+			best.Children = append(best.Children, a)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, l := range info.loops {
+		if l.Parent == nil {
+			setDepth(l, 1)
+		}
+	}
+	for _, l := range info.loops {
+		for b := range l.Blocks {
+			if l.Depth > info.depth[b] {
+				info.depth[b] = l.Depth
+			}
+		}
+	}
+}
+
+// collectLoopBody adds to l every block that reaches latch without going
+// through the header (the classic natural-loop construction).
+func (info *Info) collectLoopBody(l *Loop, latch *ir.Block) {
+	stack := []*ir.Block{latch}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if l.Blocks[b] {
+			continue
+		}
+		l.Blocks[b] = true
+		for _, p := range info.Preds[b] {
+			stack = append(stack, p)
+		}
+	}
+}
+
+// Loops returns all natural loops, outermost headers in RPO order.
+func (info *Info) Loops() []*Loop { return info.loops }
+
+// LoopDepth returns the nesting depth of b (0 = not in any loop).
+func (info *Info) LoopDepth(b *ir.Block) int { return info.depth[b] }
+
+// InnermostLoop returns the innermost loop containing b, or nil.
+func (info *Info) InnermostLoop(b *ir.Block) *Loop {
+	var best *Loop
+	for _, l := range info.loops {
+		if l.Blocks[b] && (best == nil || l.Depth > best.Depth) {
+			best = l
+		}
+	}
+	return best
+}

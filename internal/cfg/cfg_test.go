@@ -1,0 +1,395 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cards/internal/ir"
+)
+
+// diamond builds: entry -> (left|right) -> merge -> ret.
+func diamond(t *testing.T) (*ir.Module, *ir.Function) {
+	t.Helper()
+	m := ir.NewModule("diamond")
+	f := m.NewFunc("f", ir.Void(), ir.P("c", ir.I64()))
+	b := ir.NewBuilder(f)
+	left := b.NewBlock("left")
+	right := b.NewBlock("right")
+	merge := b.NewBlock("merge")
+	b.Br(f.Params[0], left, right)
+	b.SetBlock(left)
+	b.Jmp(merge)
+	b.SetBlock(right)
+	b.Jmp(merge)
+	b.SetBlock(merge)
+	b.Ret(nil)
+	ir.MustVerify(m)
+	return m, f
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	_, f := diamond(t)
+	info := Analyze(f)
+	entry := f.BlockByName("entry")
+	left := f.BlockByName("left")
+	right := f.BlockByName("right")
+	merge := f.BlockByName("merge")
+
+	if info.Idom(merge) != entry {
+		t.Errorf("idom(merge) = %v, want entry", info.Idom(merge).Name)
+	}
+	if info.Idom(left) != entry || info.Idom(right) != entry {
+		t.Error("idom of branches should be entry")
+	}
+	if !info.Dominates(entry, merge) {
+		t.Error("entry should dominate merge")
+	}
+	if info.Dominates(left, merge) {
+		t.Error("left should NOT dominate merge")
+	}
+	if !info.Dominates(merge, merge) {
+		t.Error("dominance should be reflexive")
+	}
+	if len(info.RPO) != 4 || info.RPO[0] != entry {
+		t.Errorf("RPO = %v", blockNames(info.RPO))
+	}
+}
+
+func blockNames(bs []*ir.Block) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+func TestSingleLoopDetection(t *testing.T) {
+	m := ir.NewModule("loop")
+	f := m.NewFunc("f", ir.Void(), ir.P("n", ir.I64()))
+	b := ir.NewBuilder(f)
+	li := b.CountedLoop("i", ir.CI(0), f.Params[0], ir.CI(1))
+	b.ConstI(1)
+	b.CloseLoop(li)
+	b.Ret(nil)
+	ir.MustVerify(m)
+
+	info := Analyze(f)
+	loops := info.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != li.Header {
+		t.Errorf("header = %s, want %s", l.Header.Name, li.Header.Name)
+	}
+	if !l.Contains(li.Body) || !l.Contains(li.Latch) || !l.Contains(li.Header) {
+		t.Error("loop body incomplete")
+	}
+	if l.Contains(li.Exit) {
+		t.Error("exit should not be in loop")
+	}
+	if l.Depth != 1 {
+		t.Errorf("depth = %d, want 1", l.Depth)
+	}
+	if ph := l.Preheader(info); ph == nil || ph.Name != "entry" {
+		t.Errorf("preheader = %v", ph)
+	}
+	latches := l.Latches(info)
+	if len(latches) != 1 || latches[0] != li.Latch {
+		t.Errorf("latches = %v", blockNames(latches))
+	}
+	exits := l.Exits()
+	if len(exits) != 1 || exits[0] != li.Exit {
+		t.Errorf("exits = %v", blockNames(exits))
+	}
+	if d := info.LoopDepth(li.Body); d != 1 {
+		t.Errorf("LoopDepth(body) = %d, want 1", d)
+	}
+	if d := info.LoopDepth(li.Exit); d != 0 {
+		t.Errorf("LoopDepth(exit) = %d, want 0", d)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	m := ir.NewModule("nest")
+	f := m.NewFunc("f", ir.Void(), ir.P("n", ir.I64()))
+	b := ir.NewBuilder(f)
+	outer := b.CountedLoop("i", ir.CI(0), f.Params[0], ir.CI(1))
+	inner := b.CountedLoop("j", ir.CI(0), f.Params[0], ir.CI(1))
+	b.ConstI(0)
+	b.CloseLoop(inner)
+	b.CloseLoop(outer)
+	b.Ret(nil)
+	ir.MustVerify(m)
+
+	info := Analyze(f)
+	loops := info.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	var outerL, innerL *Loop
+	for _, l := range loops {
+		if l.Header == outer.Header {
+			outerL = l
+		}
+		if l.Header == inner.Header {
+			innerL = l
+		}
+	}
+	if outerL == nil || innerL == nil {
+		t.Fatal("did not find both loops")
+	}
+	if innerL.Parent != outerL {
+		t.Error("inner loop should nest in outer")
+	}
+	if outerL.Depth != 1 || innerL.Depth != 2 {
+		t.Errorf("depths = %d/%d, want 1/2", outerL.Depth, innerL.Depth)
+	}
+	if got := info.LoopDepth(inner.Body); got != 2 {
+		t.Errorf("LoopDepth(inner body) = %d, want 2", got)
+	}
+	if il := info.InnermostLoop(inner.Body); il != innerL {
+		t.Error("InnermostLoop(inner body) wrong")
+	}
+	if il := info.InnermostLoop(outer.Body); il != outerL {
+		t.Error("InnermostLoop(outer body) wrong")
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	m := ir.NewModule("unreach")
+	f := m.NewFunc("f", ir.Void())
+	b := ir.NewBuilder(f)
+	dead := b.NewBlock("dead")
+	b.Ret(nil)
+	b.SetBlock(dead)
+	b.Ret(nil)
+	ir.MustVerify(m)
+	info := Analyze(f)
+	if info.Reachable(dead) {
+		t.Error("dead block should be unreachable")
+	}
+	if !info.Reachable(f.Entry()) {
+		t.Error("entry should be reachable")
+	}
+}
+
+// callChain builds main -> a -> b -> c plus mutual recursion between e,f.
+func callChain(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("calls")
+	c := m.NewFunc("c", ir.Void())
+	ir.NewBuilder(c).Ret(nil)
+	bf := m.NewFunc("b", ir.Void())
+	bb := ir.NewBuilder(bf)
+	bb.Call(c)
+	bb.Ret(nil)
+	af := m.NewFunc("a", ir.Void())
+	ab := ir.NewBuilder(af)
+	ab.Call(bf)
+	ab.Ret(nil)
+
+	// Mutually recursive pair, conditionally terminating.
+	ef := m.NewFunc("e", ir.Void(), ir.P("n", ir.I64()))
+	ff := m.NewFunc("f", ir.Void(), ir.P("n", ir.I64()))
+	eb := ir.NewBuilder(ef)
+	stop := eb.NewBlock("stop")
+	rec := eb.NewBlock("rec")
+	eb.Br(eb.LE(ef.Params[0], ir.CI(0)), stop, rec)
+	eb.SetBlock(stop)
+	eb.Ret(nil)
+	eb.SetBlock(rec)
+	eb.Call(ff, eb.Sub(ef.Params[0], ir.CI(1)))
+	eb.Ret(nil)
+	fb := ir.NewBuilder(ff)
+	fb.Call(ef, ff.Params[0])
+	fb.Ret(nil)
+
+	mf := m.NewFunc("main", ir.Void())
+	mb := ir.NewBuilder(mf)
+	mb.Call(af)
+	mb.Call(ef, ir.CI(3))
+	mb.Ret(nil)
+	ir.MustVerify(m)
+	return m
+}
+
+func TestCallGraphSCC(t *testing.T) {
+	m := callChain(t)
+	cg := BuildCallGraph(m)
+	if !cg.InSameSCC("e", "f") {
+		t.Error("e and f are mutually recursive, should share an SCC")
+	}
+	if cg.InSameSCC("a", "b") {
+		t.Error("a and b should be in different SCCs")
+	}
+	if cg.InSameSCC("a", "nonexistent") {
+		t.Error("unknown function should not match")
+	}
+	// 6 functions, e+f collapse: 5 SCCs.
+	if got := cg.NumSCCs(); got != 5 {
+		t.Errorf("NumSCCs = %d, want 5", got)
+	}
+}
+
+func TestChainDepth(t *testing.T) {
+	m := callChain(t)
+	cg := BuildCallGraph(m)
+	d := cg.ChainDepth()
+	// main -> a -> b -> c: every function on that chain has depth 4.
+	for _, fn := range []string{"main", "a", "b", "c"} {
+		if d[fn] != 4 {
+			t.Errorf("ChainDepth[%s] = %d, want 4", fn, d[fn])
+		}
+	}
+	// main -> {e,f}: SCC chain of length 2; e and f share depth 2.
+	if d["e"] != 2 || d["f"] != 2 {
+		t.Errorf("ChainDepth[e,f] = %d,%d, want 2,2", d["e"], d["f"])
+	}
+	order := cg.FunctionsByChainDepth()
+	if len(order) != 6 {
+		t.Fatalf("order len = %d", len(order))
+	}
+	// The deepest-chain functions come first.
+	if d[order[0]] < d[order[len(order)-1]] {
+		t.Error("FunctionsByChainDepth not descending")
+	}
+	for i := 1; i < len(order); i++ {
+		if d[order[i]] > d[order[i-1]] {
+			t.Errorf("order violated at %d: %v", i, order)
+		}
+	}
+}
+
+func TestChainDepthListing1(t *testing.T) {
+	m := ir.BuildListing1(64, 2)
+	cg := BuildCallGraph(m)
+	d := cg.ChainDepth()
+	// main -> Set and main -> alloc: both chains length 2.
+	if d["main"] != 2 {
+		t.Errorf("ChainDepth[main] = %d, want 2", d["main"])
+	}
+	if d["Set"] != 2 || d["alloc"] != 2 {
+		t.Errorf("ChainDepth[Set/alloc] = %d/%d, want 2/2", d["Set"], d["alloc"])
+	}
+}
+
+func TestLoopDetectionListing1(t *testing.T) {
+	m := ir.BuildListing1(64, 2)
+	set := m.FuncByName("Set")
+	info := Analyze(set)
+	if len(info.Loops()) != 1 {
+		t.Fatalf("Set should have 1 loop, got %d", len(info.Loops()))
+	}
+	mainInfo := Analyze(m.Main())
+	if len(mainInfo.Loops()) != 1 {
+		t.Fatalf("main should have 1 loop, got %d", len(mainInfo.Loops()))
+	}
+}
+
+// randomCFG builds a random (but reducible-or-not) CFG with n blocks:
+// each block ends in a conditional branch or jump to random targets.
+func randomCFG(t *testing.T, seed int64, nBlocks int) *ir.Function {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := ir.NewModule("rand")
+	f := m.NewFunc("f", ir.Void(), ir.P("c", ir.I64()))
+	blocks := make([]*ir.Block, nBlocks)
+	for i := range blocks {
+		blocks[i] = f.NewBlock(fmt.Sprintf("b%d", i))
+	}
+	for i, b := range blocks {
+		bb := ir.NewBuilder(f)
+		bb.SetBlock(b)
+		switch rng.Intn(3) {
+		case 0:
+			bb.Ret(nil)
+		case 1:
+			bb.Jmp(blocks[rng.Intn(nBlocks)])
+		default:
+			bb.Br(f.Params[0], blocks[rng.Intn(nBlocks)], blocks[rng.Intn(nBlocks)])
+		}
+		_ = i
+	}
+	// Ensure the entry is blocks[0] (NewFunc created no entry; first
+	// created block is entry).
+	if f.Entry() != blocks[0] {
+		t.Fatal("entry mismatch")
+	}
+	ir.MustVerify(m)
+	return f
+}
+
+// bruteDominates computes dominance by definition: a dominates b iff
+// every path from entry to b passes through a (checked by deleting a
+// and testing reachability).
+func bruteDominates(f *ir.Function, a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	// BFS from entry avoiding a.
+	seen := map[*ir.Block]bool{a: true}
+	stack := []*ir.Block{}
+	if f.Entry() != a {
+		stack = append(stack, f.Entry())
+		seen[f.Entry()] = true
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == b {
+			return false // reached b without a
+		}
+		for _, s := range cur.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+// TestDominatorsMatchBruteForce validates the CHK dominator algorithm
+// against the definition on random CFGs.
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		f := randomCFG(t, seed, 8)
+		info := Analyze(f)
+		for _, a := range f.Blocks {
+			for _, b := range f.Blocks {
+				if !info.Reachable(a) || !info.Reachable(b) {
+					continue
+				}
+				got := info.Dominates(a, b)
+				want := bruteDominates(f, a, b)
+				if got != want {
+					t.Fatalf("seed %d: Dominates(%s, %s) = %v, brute force %v",
+						seed, a.Name, b.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLoopBodiesContainHeaderPath checks the natural-loop invariant on
+// random CFGs: every block in a loop can reach the loop's latch without
+// leaving the loop, and the header dominates every member.
+func TestLoopInvariantsOnRandomCFGs(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		f := randomCFG(t, seed, 10)
+		info := Analyze(f)
+		for _, l := range info.Loops() {
+			for b := range l.Blocks {
+				if !info.Dominates(l.Header, b) {
+					t.Fatalf("seed %d: header %s does not dominate member %s",
+						seed, l.Header.Name, b.Name)
+				}
+			}
+			if len(l.Latches(info)) == 0 {
+				t.Fatalf("seed %d: loop %s has no latch", seed, l.Header.Name)
+			}
+		}
+	}
+}

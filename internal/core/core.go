@@ -1,0 +1,266 @@
+// Package core orchestrates the CaRDS pipeline — the paper's primary
+// contribution: compile-time data structure identification feeding
+// runtime policy decisions, per data structure, without profiling.
+//
+// Compile runs the pass pipeline of §4.1 over an IR program:
+//
+//	DSA (SeaDSA-style, context-sensitive)
+//	→ pool allocation (Algorithm 1; handles into the runtime)
+//	→ prefetching analysis + policy scoring (eq. 1, reach)
+//	→ guard insertion, redundant guard elimination, code versioning
+//
+// Run then executes the compiled program on a fresh far-memory runtime
+// configured with a remoting policy (Linear / Random / MaxReach /
+// MaxUse / AllRemotable), the tunable k, and per-data-structure
+// prefetchers selected from the compiler hints — reproducing the system
+// measured in Figures 4–9.
+package core
+
+import (
+	"fmt"
+
+	"cards/internal/analysis"
+	"cards/internal/dsa"
+	"cards/internal/farmem"
+	"cards/internal/guards"
+	"cards/internal/interp"
+	"cards/internal/ir"
+	"cards/internal/netsim"
+	"cards/internal/opt"
+	"cards/internal/policy"
+	"cards/internal/poolalloc"
+	"cards/internal/prefetch"
+)
+
+// Compiled is a program that has been through the CaRDS pass pipeline.
+type Compiled struct {
+	Module   *ir.Module
+	DSA      *dsa.Result
+	Pool     *poolalloc.Result
+	Analysis *analysis.Result
+	Guards   *guards.Result
+}
+
+// CompileOptions tunes the pipeline.
+type CompileOptions struct {
+	// Guards configures instrumentation; zero value means full CaRDS
+	// (RGE + code versioning).
+	Guards guards.Options
+	// DSA configures the data structure analysis (ablations can disable
+	// context sensitivity).
+	DSA dsa.Options
+	// Optimize runs the scalar optimizer (constant folding, branch
+	// folding, DCE) before the CaRDS passes, as LLVM's -O pipeline would
+	// have.
+	Optimize bool
+}
+
+// Compile runs the full CaRDS pass pipeline on m (mutating it).
+func Compile(m *ir.Module, opts CompileOptions) (*Compiled, error) {
+	if opts.Guards == (guards.Options{}) {
+		opts.Guards = guards.DefaultOptions()
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("core: input program invalid: %w", err)
+	}
+	if opts.Optimize {
+		opt.Simplify(m)
+	}
+	m.AssignSites()
+	ds := dsa.AnalyzeWithOptions(m, opts.DSA)
+	pool := poolalloc.Transform(m, ds)
+	an := analysis.Analyze(m, ds)
+	g := guards.Transform(m, ds, an, opts.Guards)
+	return &Compiled{Module: m, DSA: ds, Pool: pool, Analysis: an, Guards: g}, nil
+}
+
+// Candidates converts the analysis scores into policy inputs.
+func (c *Compiled) Candidates() []policy.Candidate {
+	out := make([]policy.Candidate, len(c.Analysis.Infos))
+	for i, info := range c.Analysis.Infos {
+		out[i] = policy.Candidate{
+			ID:         info.DS.ID,
+			UseScore:   info.UseScore,
+			ReachScore: info.ReachScore,
+		}
+	}
+	return out
+}
+
+// RunConfig configures one execution of a compiled program.
+type RunConfig struct {
+	// Policy and K select the remoting policy (ignored if Placements is
+	// set explicitly, e.g. by the Mira baseline).
+	Policy policy.Kind
+	K      float64
+	Seed   int64
+
+	// Placements overrides the policy with explicit per-DS decisions.
+	Placements []farmem.Placement
+
+	// PinnedBudget and RemotableBudget split local memory in bytes.
+	PinnedBudget, RemotableBudget uint64
+
+	// Prefetch enables per-data-structure prefetchers (on by default in
+	// CaRDS; DisablePrefetch turns them off for ablations).
+	DisablePrefetch bool
+
+	// Model overrides the cost model (zero value: Table 1 defaults).
+	Model netsim.CostModel
+
+	// Store overrides the remote tier (nil: in-process store).
+	Store farmem.Store
+
+	// MaxSteps bounds interpretation (0 = interp default).
+	MaxSteps uint64
+}
+
+// RunResult captures everything one execution measured.
+type RunResult struct {
+	// Cycles is the virtual execution time; Seconds its wall-clock
+	// equivalent at the paper's 2.4 GHz.
+	Cycles  uint64
+	Seconds float64
+
+	// ROICycles/ROISeconds cover only the program's declared region of
+	// interest (zero when the program declares none).
+	ROICycles  uint64
+	ROISeconds float64
+
+	Runtime farmem.RuntimeStats
+	Interp  interp.Stats
+
+	// MainResult is the value returned by the program's main (workloads
+	// return checksums, so identical inputs must yield identical values
+	// under every policy).
+	MainResult uint64
+
+	// PerDS is a snapshot of each data structure's counters.
+	PerDS []farmem.DSStats
+
+	// Placements records the effective placement per DS.
+	Placements []farmem.Placement
+
+	// PinnedIDs lists the statically pinned structure IDs.
+	PinnedIDs []int
+}
+
+// TotalMisses sums remote misses across structures.
+func (r *RunResult) TotalMisses() uint64 {
+	var n uint64
+	for _, d := range r.PerDS {
+		n += d.Misses
+	}
+	return n
+}
+
+// TotalPrefetchHits sums prefetch hits across structures.
+func (r *RunResult) TotalPrefetchHits() uint64 {
+	var n uint64
+	for _, d := range r.PerDS {
+		n += d.PrefetchHits
+	}
+	return n
+}
+
+// NewRuntime builds and configures a runtime for the compiled program
+// without running it (used by benches that drive execution themselves).
+func (c *Compiled) NewRuntime(cfg RunConfig) (*farmem.Runtime, []farmem.Placement, error) {
+	rt := farmem.New(farmem.Config{
+		Model:           cfg.Model,
+		PinnedBudget:    cfg.PinnedBudget,
+		RemotableBudget: cfg.RemotableBudget,
+		Store:           cfg.Store,
+	})
+
+	placements := cfg.Placements
+	if placements == nil {
+		placements = policy.Assign(cfg.Policy, c.Candidates(), cfg.K, cfg.Seed)
+	}
+	if len(placements) != len(c.Analysis.Infos) {
+		return nil, nil, fmt.Errorf("core: %d placements for %d structures",
+			len(placements), len(c.Analysis.Infos))
+	}
+
+	for i, info := range c.Analysis.Infos {
+		meta := farmem.DSMeta{
+			Name:       info.DS.Name(),
+			ObjSize:    info.ObjSize,
+			Stride:     info.Stride,
+			Pattern:    mapPattern(info.Pattern),
+			Recursive:  info.DS.Recursive,
+			UseScore:   info.UseScore,
+			ReachScore: info.ReachScore,
+		}
+		if info.DS.Elem != nil {
+			meta.ElemSize = info.DS.Elem.Size()
+			meta.PtrOffsets = ir.PointerFieldOffsets(info.DS.Elem)
+		}
+		if _, err := rt.RegisterDS(info.DS.ID, meta); err != nil {
+			return nil, nil, err
+		}
+		if err := rt.SetPlacement(info.DS.ID, placements[i]); err != nil {
+			return nil, nil, err
+		}
+		if !cfg.DisablePrefetch {
+			pf := prefetch.Select(prefetch.Hints{
+				Pattern:    meta.Pattern,
+				Recursive:  meta.Recursive,
+				ElemSize:   meta.ElemSize,
+				PtrOffsets: meta.PtrOffsets,
+				Stride:     meta.Stride,
+				ObjSize:    meta.ObjSize,
+			})
+			if pf != nil {
+				if err := rt.SetPrefetcher(info.DS.ID, pf); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return rt, placements, nil
+}
+
+// Run executes the compiled program once under the given configuration.
+func (c *Compiled) Run(cfg RunConfig) (*RunResult, error) {
+	rt, placements, err := c.NewRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := interp.New(c.Module, rt, interp.Options{MaxSteps: cfg.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	mainRes, err := mach.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{
+		Cycles:     rt.Clock().Now(),
+		Seconds:    netsim.Seconds(rt.Clock().Now(), netsim.DefaultHz),
+		ROICycles:  mach.Stats().ROICycles,
+		ROISeconds: netsim.Seconds(mach.Stats().ROICycles, netsim.DefaultHz),
+		Runtime:    rt.Stats(),
+		Interp:     mach.Stats(),
+		MainResult: mainRes,
+		Placements: placements,
+		PinnedIDs:  policy.PinnedIDs(c.Candidates(), placements),
+	}
+	for i := 0; i < rt.NumDS(); i++ {
+		res.PerDS = append(res.PerDS, rt.DSByID(i).Stats())
+	}
+	return res, nil
+}
+
+func mapPattern(p analysis.Pattern) farmem.Pattern {
+	switch p {
+	case analysis.PatternStrided:
+		return farmem.PatternStrided
+	case analysis.PatternPointerChase:
+		return farmem.PatternPointerChase
+	case analysis.PatternIndirect:
+		return farmem.PatternIndirect
+	}
+	return farmem.PatternUnknown
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"cards/internal/guards"
+	"cards/internal/policy"
+	"cards/internal/trackfm"
+	"cards/internal/workloads"
+)
+
+// TestDifferentialRandomPrograms is the pipeline's differential test:
+// for each random program, the checksum must be identical across
+//
+//	(1) plain CaRDS compile + ample memory (reference),
+//	(2) full CaRDS under heavy memory pressure (evictions everywhere),
+//	(3) CaRDS with all instrumentation options flipped,
+//	(4) the TrackFM baseline pipeline,
+//
+// exercising guards, RGE, versioning, pool allocation, eviction,
+// prefetching and the interpreter on program shapes nobody hand-picked.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		ref, err := Compile(workloads.GenRandom(seed), CompileOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		refRes, err := ref.Run(RunConfig{
+			Policy: policy.Linear, K: 100,
+			PinnedBudget: 1 << 24, RemotableBudget: 1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("seed %d ref: %v", seed, err)
+		}
+		want := refRes.MainResult
+
+		// (2) Heavy pressure, everything remotable.
+		c2, err := Compile(workloads.GenRandom(seed), CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := c2.Run(RunConfig{
+			Policy:       policy.AllRemotable,
+			PinnedBudget: 0, RemotableBudget: 12 * 4096,
+		})
+		if err != nil {
+			t.Fatalf("seed %d pressure: %v", seed, err)
+		}
+		if r2.MainResult != want {
+			t.Fatalf("seed %d: pressure checksum %#x != ref %#x", seed, r2.MainResult, want)
+		}
+
+		// (3) Instrumentation variants.
+		for _, opt := range []guards.Options{
+			{ElideRedundant: false, Version: true},
+			{ElideRedundant: true, Version: false},
+			{ElideRedundant: true, InductionOnlyElision: true, Version: true},
+		} {
+			c3, err := Compile(workloads.GenRandom(seed), CompileOptions{Guards: opt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r3, err := c3.Run(RunConfig{
+				Policy: policy.Random, K: 50, Seed: seed,
+				PinnedBudget: 1 << 14, RemotableBudget: 16 * 4096,
+			})
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opt, err)
+			}
+			if r3.MainResult != want {
+				t.Fatalf("seed %d opts %+v: checksum %#x != ref %#x",
+					seed, opt, r3.MainResult, want)
+			}
+		}
+
+		// (4) TrackFM pipeline.
+		tc, err := trackfm.Compile(workloads.GenRandom(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := tc.Run(trackfm.RunConfig{LocalMemory: 16 * 4096})
+		if err != nil {
+			t.Fatalf("seed %d trackfm: %v", seed, err)
+		}
+		if tr.MainResult != want {
+			t.Fatalf("seed %d trackfm: checksum %#x != ref %#x", seed, tr.MainResult, want)
+		}
+	}
+}
+
+// TestOptimizerPreservesSemantics: the scalar optimizer must never change
+// a program's result, under memory pressure or not.
+func TestOptimizerPreservesSemantics(t *testing.T) {
+	run := func(seed int64, optimize bool) *RunResult {
+		c, err := Compile(workloads.GenRandom(seed), CompileOptions{Optimize: optimize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(RunConfig{
+			Policy:       policy.AllRemotable,
+			PinnedBudget: 0, RemotableBudget: 16 * 4096,
+		})
+		if err != nil {
+			t.Fatalf("seed %d optimize=%v: %v", seed, optimize, err)
+		}
+		return res
+	}
+	for seed := int64(200); seed < 220; seed++ {
+		ref := run(seed, false)
+		optRes := run(seed, true)
+		if optRes.MainResult != ref.MainResult {
+			t.Fatalf("seed %d: optimizer changed result %#x -> %#x",
+				seed, ref.MainResult, optRes.MainResult)
+		}
+		// Same configuration, same semantics: the optimizer must not
+		// execute MORE instructions.
+		if optRes.Interp.Instructions > ref.Interp.Instructions {
+			t.Errorf("seed %d: optimized runs more instructions (%d > %d)",
+				seed, optRes.Interp.Instructions, ref.Interp.Instructions)
+		}
+	}
+}

@@ -1,0 +1,530 @@
+package dsa
+
+import (
+	"fmt"
+	"sort"
+
+	"cards/internal/cfg"
+	"cards/internal/ir"
+)
+
+// DataStructure is one disjoint data structure instance identified by the
+// analysis. This is the unit at which CaRDS assigns remoting and
+// prefetching policies.
+type DataStructure struct {
+	// ID is the dense data structure handle (the value appended to the
+	// non-canonical pointer bits at runtime).
+	ID int
+
+	// Node is the defining canonical node: in the root graph for
+	// escaping structures, in the owning function's graph otherwise.
+	Node *Node
+
+	// Fn is the owning function for function-local (non-escaping)
+	// structures; empty for root (program-wide) structures.
+	Fn string
+
+	// Sites lists the allocation sites that feed this structure.
+	Sites []AllocSite
+
+	// Elem is the element type allocated into the structure.
+	Elem ir.Type
+
+	// Recursive marks linked structures (node reaches itself).
+	Recursive bool
+
+	// CountConst is the static allocation count if known, else -1.
+	CountConst int64
+}
+
+// Name renders a stable human-readable name for reports.
+func (d *DataStructure) Name() string {
+	site := "?"
+	if len(d.Sites) > 0 {
+		site = d.Sites[0].String()
+	}
+	if d.Fn != "" {
+		return fmt.Sprintf("ds%d(local:%s@%s)", d.ID, site, d.Fn)
+	}
+	return fmt.Sprintf("ds%d(%s)", d.ID, site)
+}
+
+// Result is the full output of the DSA pass.
+type Result struct {
+	Module *ir.Module
+
+	// Graphs maps each function name to its DS graph (functions in one
+	// SCC share a graph).
+	Graphs map[string]*Graph
+
+	// CloneMaps records, per call instruction, the mapping from callee
+	// canonical nodes to the caller-graph nodes they were cloned to.
+	// Intra-SCC calls map to nil (identity: caller and callee share the
+	// graph).
+	CloneMaps map[*ir.Instr]map[*Node]*Node
+
+	// Root is the graph of main.
+	Root *Graph
+
+	// DS lists all data structure instances, indexed by ID.
+	DS []*DataStructure
+
+	// nodeDS maps canonical defining nodes to their DS.
+	nodeDS map[*Node]*DataStructure
+
+	// fnDS maps (function, canonical node) to possible root DS IDs,
+	// computed by the top-down phase. A node in a shared helper maps to
+	// different DS along different call paths (ds1 vs ds2 in Listing 1).
+	fnDS map[string]map[*Node][]int
+
+	opts Options
+	cg   *cfg.CallGraph
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// ContextInsensitive disables per-call-site cloning: callee graphs
+	// are unified directly with callers, so the two alloc() calls of
+	// Listing 1 collapse into ONE data structure. This reproduces the
+	// weaker analysis of the original pool-allocation work and exists
+	// for the ablation study — it is what CaRDS's SeaDSA-based analysis
+	// improves on (paper §4.1).
+	ContextInsensitive bool
+}
+
+// Analyze runs the full DSA pipeline on m: local graphs, bottom-up
+// inlining with per-call-site cloning, escape analysis, data structure
+// enumeration, and the top-down context propagation.
+func Analyze(m *ir.Module) *Result { return AnalyzeWithOptions(m, Options{}) }
+
+// AnalyzeWithOptions runs the pipeline with explicit options.
+func AnalyzeWithOptions(m *ir.Module, opts Options) *Result {
+	res := &Result{
+		Module:    m,
+		opts:      opts,
+		Graphs:    make(map[string]*Graph),
+		CloneMaps: make(map[*ir.Instr]map[*Node]*Node),
+		nodeDS:    make(map[*Node]*DataStructure),
+		fnDS:      make(map[string]map[*Node][]int),
+	}
+	res.cg = cfg.BuildCallGraph(m)
+
+	// Group functions by SCC.
+	bySCC := make(map[int][]*ir.Function)
+	for _, f := range m.Funcs {
+		n := res.cg.Nodes[f.Name]
+		bySCC[n.SCC] = append(bySCC[n.SCC], f)
+	}
+
+	// Bottom-up: Tarjan assigned callee SCCs smaller ids, so ascending
+	// order visits callees before callers.
+	for scc := 0; scc < res.cg.NumSCCs(); scc++ {
+		fns := bySCC[scc]
+		if len(fns) == 0 {
+			continue
+		}
+		g := NewGraph(fns...)
+		for _, f := range fns {
+			res.Graphs[f.Name] = g
+		}
+		for _, f := range fns {
+			res.localPass(g, f)
+		}
+		res.resolveCalls(g)
+	}
+
+	if main := m.Main(); main != nil {
+		res.Root = res.Graphs[main.Name]
+	}
+	res.enumerateDS()
+	res.topDown()
+	return res
+}
+
+// localPass builds the intraprocedural graph for f into g.
+func (res *Result) localPass(g *Graph, f *ir.Function) {
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpAlloc:
+			n := g.NewNode()
+			n.Heap = true
+			n.Sites = []AllocSite{{Fn: f.Name, Site: in.Site}}
+			n.Elem = in.Elem
+			if c, ok := in.Count.(ir.IntConst); ok {
+				n.CountConst = c.V
+			}
+			g.Unify(g.CellOf(in.Dst), Cell{N: n, Off: 0})
+
+		case ir.OpCopy:
+			if src, ok := in.Src.(*ir.Reg); ok && ir.IsPtr(src.Type) && in.Dst != nil && ir.IsPtr(in.Dst.Type) {
+				g.Unify(g.CellOf(in.Dst), g.CellOf(src))
+			}
+
+		case ir.OpGEP:
+			base, ok := in.Base.(*ir.Reg)
+			if !ok || !ir.IsPtr(base.Type) {
+				break
+			}
+			bc := g.CellOf(base)
+			if in.Index != nil {
+				bc.N.Find().Indexed = true
+			}
+			off := bc.Off + in.ConstOff
+			if bc.N.Find().Collapsed {
+				off = 0
+			}
+			g.Unify(g.CellOf(in.Dst), Cell{N: bc.N, Off: off})
+
+		case ir.OpLoad:
+			if addr, ok := in.Addr.(*ir.Reg); ok && in.Dst != nil && ir.IsPtr(in.Dst.Type) {
+				g.Unify(g.CellOf(in.Dst), g.EdgeAt(g.CellOf(addr)))
+			}
+
+		case ir.OpStore:
+			addr, aok := in.Addr.(*ir.Reg)
+			src, sok := in.Src.(*ir.Reg)
+			if aok && sok && ir.IsPtr(src.Type) {
+				g.Unify(g.EdgeAt(g.CellOf(addr)), g.CellOf(src))
+			}
+
+		case ir.OpRet:
+			if v, ok := in.Src.(*ir.Reg); ok && ir.IsPtr(v.Type) {
+				cur, have := g.Rets[f.Name]
+				if !have {
+					cur = Cell{N: g.NewNode(), Off: 0}
+					g.Rets[f.Name] = cur
+				}
+				g.Unify(cur, g.CellOf(v))
+			}
+
+		case ir.OpGuard:
+			// A guard yields a localized alias of its address operand.
+			if addr, ok := in.Addr.(*ir.Reg); ok && in.Dst != nil {
+				g.Unify(g.CellOf(in.Dst), g.CellOf(addr))
+			}
+		}
+		return true
+	})
+}
+
+// resolveCalls processes every call instruction in the graph's functions:
+// intra-SCC calls unify formals with actuals in the shared graph;
+// cross-SCC calls clone the (already complete) callee graph in.
+func (res *Result) resolveCalls(g *Graph) {
+	for _, f := range g.Fns {
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			if in.Op != ir.OpCall {
+				return true
+			}
+			callee := res.Module.FuncByName(in.Callee)
+			if callee == nil {
+				return true
+			}
+			cg := res.Graphs[callee.Name]
+			if cg == g {
+				// Mutual recursion: shared graph, identity mapping.
+				res.CloneMaps[in] = nil
+				res.bindCall(g, g, in, callee, nil)
+				return true
+			}
+			if res.opts.ContextInsensitive {
+				// Ablation mode: unify the callee's cells directly —
+				// every call site shares one abstraction of the callee,
+				// merging instances that cloning would keep apart.
+				res.CloneMaps[in] = nil
+				res.bindCall(g, cg, in, callee, nil)
+				return true
+			}
+			cloned := res.cloneInto(g, cg)
+			res.CloneMaps[in] = cloned
+			res.bindCall(g, cg, in, callee, cloned)
+			return true
+		})
+	}
+}
+
+// bindCall unifies formal parameter cells (translated through the clone
+// map) with actual argument cells, and the callee return with the call
+// destination.
+func (res *Result) bindCall(g, calleeG *Graph, call *ir.Instr, callee *ir.Function, clone map[*Node]*Node) {
+	translate := func(c Cell) Cell {
+		c = c.Find()
+		if c.IsNil() || clone == nil {
+			return c
+		}
+		if n, ok := clone[c.N]; ok {
+			return Cell{N: n.Find(), Off: c.Off}
+		}
+		return Cell{} // not cloned (non-escaping in callee)
+	}
+	for i, p := range callee.Params {
+		if i >= len(call.Args) || !ir.IsPtr(p.Type) {
+			continue
+		}
+		arg, ok := call.Args[i].(*ir.Reg)
+		if !ok || !ir.IsPtr(arg.Type) {
+			continue
+		}
+		fc := translate(calleeG.CellOf(p))
+		if !fc.IsNil() {
+			g.Unify(fc, g.CellOf(arg))
+		}
+	}
+	if call.Dst != nil && ir.IsPtr(call.Dst.Type) {
+		if rc, ok := calleeG.Rets[callee.Name]; ok {
+			tc := translate(rc)
+			if !tc.IsNil() {
+				g.Unify(tc, g.CellOf(call.Dst))
+			}
+		}
+	}
+}
+
+// cloneInto copies the escaping subgraph of src into dst and returns the
+// node mapping. Only escaping nodes flow to callers: non-escaping heap
+// nodes stay function-local (they get their own local DS, mirroring
+// Algorithm 1's DS_INIT path).
+func (res *Result) cloneInto(dst, src *Graph) map[*Node]*Node {
+	escaping := src.EscapingNodes()
+	// Deterministic order: by node id.
+	nodes := make([]*Node, 0, len(escaping))
+	for n := range escaping {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+
+	clone := make(map[*Node]*Node, len(nodes))
+	for _, n := range nodes {
+		c := dst.NewNode()
+		c.Heap = n.Heap
+		c.Indexed = n.Indexed
+		c.Collapsed = n.Collapsed
+		c.Sites = append([]AllocSite(nil), n.Sites...)
+		c.Elem = n.Elem
+		c.CountConst = n.CountConst
+		clone[n] = c
+	}
+	for _, n := range nodes {
+		c := clone[n]
+		for off, tgt := range n.Edges {
+			t := tgt.Find()
+			if t.IsNil() {
+				continue
+			}
+			if ct, ok := clone[t.N]; ok {
+				c.Edges[off] = Cell{N: ct, Off: t.Off}
+			}
+		}
+	}
+	return clone
+}
+
+// enumerateDS assigns dense IDs to all disjoint data structures:
+// heap nodes of the root graph first, then non-escaping heap nodes of
+// every other graph, in deterministic order.
+func (res *Result) enumerateDS() {
+	addDS := func(n *Node, fn string) {
+		n = n.Find()
+		if _, dup := res.nodeDS[n]; dup {
+			return
+		}
+		d := &DataStructure{
+			ID:         len(res.DS),
+			Node:       n,
+			Fn:         fn,
+			Sites:      n.Sites,
+			Elem:       n.Elem,
+			Recursive:  IsRecursive(n),
+			CountConst: n.CountConst,
+		}
+		res.DS = append(res.DS, d)
+		res.nodeDS[n] = d
+	}
+
+	if res.Root != nil {
+		for _, n := range res.Root.HeapNodes() {
+			addDS(n, "")
+		}
+	}
+	// Function-local structures, in module function order.
+	seenGraph := map[*Graph]bool{res.Root: true}
+	for _, f := range res.Module.Funcs {
+		g := res.Graphs[f.Name]
+		if g == nil || seenGraph[g] {
+			continue
+		}
+		seenGraph[g] = true
+		escaping := g.EscapingNodes()
+		for _, n := range g.HeapNodes() {
+			if !escaping[n] {
+				addDS(n, g.Fns[0].Name)
+			}
+		}
+	}
+}
+
+// topDown propagates root identity down the call graph: for every
+// function it computes which root data structures each of its graph
+// nodes may represent, across all call paths from main.
+func (res *Result) topDown() {
+	if res.Root == nil {
+		return
+	}
+	type mapping map[*Node]*Node // fn-graph node -> root-graph node
+
+	// Per graph, the set of distinct mappings discovered (deduped by
+	// fingerprint to terminate on recursion).
+	maps := make(map[*Graph][]mapping)
+	fingerprints := make(map[*Graph]map[string]bool)
+
+	addMapping := func(g *Graph, m mapping) bool {
+		fp := fingerprint(m)
+		if fingerprints[g] == nil {
+			fingerprints[g] = make(map[string]bool)
+		}
+		if fingerprints[g][fp] {
+			return false
+		}
+		fingerprints[g][fp] = true
+		maps[g] = append(maps[g], m)
+		return true
+	}
+
+	// Root graph: identity over its own canonical nodes.
+	ident := make(mapping)
+	for _, n := range res.Root.Nodes() {
+		ident[n] = n
+	}
+	addMapping(res.Root, ident)
+
+	// Worklist of graphs whose mappings changed.
+	work := []*Graph{res.Root}
+	for len(work) > 0 {
+		g := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, f := range g.Fns {
+			f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+				if in.Op != ir.OpCall {
+					return true
+				}
+				callee := res.Module.FuncByName(in.Callee)
+				if callee == nil {
+					return true
+				}
+				cgraph := res.Graphs[callee.Name]
+				clone := res.CloneMaps[in]
+				for _, m := range maps[g] {
+					nm := make(mapping)
+					if clone == nil {
+						// Shared graph (recursion): same mapping.
+						for k, v := range m {
+							nm[k] = v
+						}
+					} else {
+						for calleeN, callerN := range clone {
+							if root, ok := m[callerN.Find()]; ok {
+								nm[calleeN.Find()] = root
+							}
+						}
+					}
+					if addMapping(cgraph, nm) {
+						work = append(work, cgraph)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Flatten: per function, per node, the set of root DS ids.
+	for fname, g := range res.Graphs {
+		out := make(map[*Node][]int)
+		for _, m := range maps[g] {
+			for n, root := range m {
+				if d, ok := res.nodeDS[root.Find()]; ok {
+					out[n.Find()] = appendUnique(out[n.Find()], d.ID)
+				}
+			}
+		}
+		// Function-local DS map to themselves.
+		for n, d := range res.nodeDS {
+			if d.Fn == fname {
+				out[n] = appendUnique(out[n], d.ID)
+			}
+		}
+		for _, ids := range out {
+			sort.Ints(ids)
+		}
+		res.fnDS[fname] = out
+	}
+}
+
+func appendUnique(xs []int, v int) []int {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}
+
+func fingerprint(m map[*Node]*Node) string {
+	type pair struct{ a, b int }
+	ps := make([]pair, 0, len(m))
+	for k, v := range m {
+		ps = append(ps, pair{k.Find().id, v.Find().id})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].a != ps[j].a {
+			return ps[i].a < ps[j].a
+		}
+		return ps[i].b < ps[j].b
+	})
+	return fmt.Sprint(ps)
+}
+
+// DSForNode returns the possible root data structure IDs a node of fn's
+// graph may represent across call contexts.
+func (res *Result) DSForNode(fn string, n *Node) []int {
+	if n == nil {
+		return nil
+	}
+	return res.fnDS[fn][n.Find()]
+}
+
+// DSForValue resolves a pointer operand inside fn to its possible data
+// structure IDs.
+func (res *Result) DSForValue(fn string, v ir.Value) []int {
+	r, ok := v.(*ir.Reg)
+	if !ok || !ir.IsPtr(r.Type) {
+		return nil
+	}
+	g := res.Graphs[fn]
+	if g == nil {
+		return nil
+	}
+	c, ok := g.Cells[r]
+	if !ok {
+		return nil
+	}
+	return res.DSForNode(fn, c.Find().N)
+}
+
+// ByID returns the data structure with the given ID, or nil.
+func (res *Result) ByID(id int) *DataStructure {
+	if id < 0 || id >= len(res.DS) {
+		return nil
+	}
+	return res.DS[id]
+}
+
+// DSOfNode returns the DataStructure whose defining node is n, or nil.
+func (res *Result) DSOfNode(n *Node) *DataStructure {
+	if n == nil {
+		return nil
+	}
+	return res.nodeDS[n.Find()]
+}
+
+// CallGraph exposes the call graph computed during analysis.
+func (res *Result) CallGraph() *cfg.CallGraph { return res.cg }

@@ -1,0 +1,336 @@
+package dsa
+
+import (
+	"strings"
+	"testing"
+
+	"cards/internal/ir"
+)
+
+func TestListing1TwoInstances(t *testing.T) {
+	m := ir.BuildListing1(256, 4)
+	res := Analyze(m)
+
+	// Figure 2: context-sensitive DSA identifies TWO disjoint heap data
+	// structures even though both come from the same alloc() call site.
+	if len(res.DS) != 2 {
+		for _, d := range res.DS {
+			t.Logf("ds: %s", d.Name())
+		}
+		t.Fatalf("DS count = %d, want 2", len(res.DS))
+	}
+	for _, d := range res.DS {
+		if d.Fn != "" {
+			t.Errorf("%s should be a root (escaping) structure", d.Name())
+		}
+		if len(d.Sites) != 1 || d.Sites[0].Fn != "alloc" {
+			t.Errorf("%s: sites = %v, want single site in alloc", d.Name(), d.Sites)
+		}
+		if d.Recursive {
+			t.Errorf("%s: flat array marked recursive", d.Name())
+		}
+		if d.CountConst != 256 {
+			t.Errorf("%s: CountConst = %d, want 256", d.Name(), d.CountConst)
+		}
+	}
+
+	// Set's parameter may alias either structure depending on call path.
+	set := m.FuncByName("Set")
+	ids := res.DSForValue("Set", set.Params[0])
+	if len(ids) != 2 {
+		t.Fatalf("Set param DS = %v, want both", ids)
+	}
+
+	// main's ds1/ds2 registers resolve to distinct single structures.
+	var mainDSIDs [][]int
+	m.Main().Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpCall && in.Callee == "alloc" && in.Dst != nil {
+			mainDSIDs = append(mainDSIDs, res.DSForValue("main", in.Dst))
+		}
+		return true
+	})
+	if len(mainDSIDs) != 2 {
+		t.Fatalf("expected 2 alloc call results, got %d", len(mainDSIDs))
+	}
+	if len(mainDSIDs[0]) != 1 || len(mainDSIDs[1]) != 1 {
+		t.Fatalf("each alloc result should map to exactly one DS: %v", mainDSIDs)
+	}
+	if mainDSIDs[0][0] == mainDSIDs[1][0] {
+		t.Fatalf("ds1 and ds2 merged: %v — analysis lost context sensitivity", mainDSIDs)
+	}
+}
+
+// buildListBuilder constructs a program that builds a linked list:
+//
+//	node { val i64, next *node }
+//	func build(n) *node { head=null-ish loop: p=alloc(node); p.next=head; head=p } ret head
+//	func main() { l = build(100); ... }
+func buildListProgram() *ir.Module {
+	m := ir.NewModule("list")
+	node := ir.NewStruct("node", ir.F("val", ir.I64()), ir.F("next", ir.Ptr(ir.I64())))
+
+	build := m.NewFunc("build", ir.Ptr(node), ir.P("n", ir.I64()))
+	b := ir.NewBuilder(build)
+	head := build.NewReg("head", ir.Ptr(node))
+	first := b.Alloc(node, ir.CI(1))
+	b.Assign(head, first)
+	loop := b.CountedLoop("i", ir.CI(0), build.Params[0], ir.CI(1))
+	p := b.Alloc(node, ir.CI(1))
+	b.Store(ir.Ptr(node), head, b.FieldAddr(p, node, "next"))
+	b.Store(ir.I64(), loop.IV, b.FieldAddr(p, node, "val"))
+	b.Assign(head, p)
+	b.CloseLoop(loop)
+	b.Ret(head)
+
+	mainF := m.NewFunc("main", ir.Void())
+	mb := ir.NewBuilder(mainF)
+	lst := mb.Call(build, ir.CI(100))
+	// Walk the list: v = lst.val
+	mb.Load(ir.I64(), mb.FieldAddr(lst, node, "val"))
+	mb.Ret(nil)
+
+	m.AssignSites()
+	ir.MustVerify(m)
+	return m
+}
+
+func TestRecursiveStructureDetected(t *testing.T) {
+	m := buildListProgram()
+	res := Analyze(m)
+	if len(res.DS) != 1 {
+		for _, d := range res.DS {
+			t.Logf("ds: %s sites=%v", d.Name(), d.Sites)
+		}
+		t.Fatalf("DS count = %d, want 1 (all list nodes unify)", len(res.DS))
+	}
+	d := res.DS[0]
+	if !d.Recursive {
+		t.Error("linked list should be marked Recursive")
+	}
+	if len(d.Sites) != 2 {
+		t.Errorf("sites = %v, want the two allocs in build", d.Sites)
+	}
+}
+
+func TestLocalNonEscapingDS(t *testing.T) {
+	// A function that allocates a scratch buffer it never leaks.
+	m := ir.NewModule("scratch")
+	f := m.NewFunc("work", ir.I64())
+	b := ir.NewBuilder(f)
+	buf := b.Alloc(ir.I64(), ir.CI(64))
+	b.Store(ir.I64(), ir.CI(7), b.Idx(buf, ir.CI(0)))
+	v := b.Load(ir.I64(), b.Idx(buf, ir.CI(0)))
+	b.Ret(v)
+
+	mainF := m.NewFunc("main", ir.Void())
+	mb := ir.NewBuilder(mainF)
+	mb.Call(f)
+	mb.Ret(nil)
+	m.AssignSites()
+	ir.MustVerify(m)
+
+	res := Analyze(m)
+	if len(res.DS) != 1 {
+		t.Fatalf("DS count = %d, want 1", len(res.DS))
+	}
+	if res.DS[0].Fn != "work" {
+		t.Errorf("scratch buffer should be local to work, got %q", res.DS[0].Fn)
+	}
+	ids := res.DSForValue("work", buf)
+	if len(ids) != 1 || ids[0] != res.DS[0].ID {
+		t.Errorf("DSForValue = %v", ids)
+	}
+}
+
+func TestEscapeViaOutParam(t *testing.T) {
+	// fill(pp **i64) { *pp = alloc(...) } — allocation escapes through a
+	// pointer parameter, not the return value.
+	m := ir.NewModule("outparam")
+	pp := ir.Ptr(ir.Ptr(ir.I64()))
+	fill := m.NewFunc("fill", ir.Void(), ir.P("pp", pp))
+	fb := ir.NewBuilder(fill)
+	buf := fb.Alloc(ir.I64(), ir.CI(32))
+	fb.Store(ir.Ptr(ir.I64()), buf, fill.Params[0])
+	fb.Ret(nil)
+
+	mainF := m.NewFunc("main", ir.Void())
+	mb := ir.NewBuilder(mainF)
+	slot := mb.Alloc(ir.Ptr(ir.I64()), ir.CI(1))
+	mb.Call(fill, slot)
+	p := mb.Load(ir.Ptr(ir.I64()), slot)
+	mb.Load(ir.I64(), p)
+	mb.Ret(nil)
+	m.AssignSites()
+	ir.MustVerify(m)
+
+	res := Analyze(m)
+	// Two DS: the slot cell and the escaped buffer.
+	if len(res.DS) != 2 {
+		for _, d := range res.DS {
+			t.Logf("ds: %s", d.Name())
+		}
+		t.Fatalf("DS count = %d, want 2", len(res.DS))
+	}
+	for _, d := range res.DS {
+		if d.Fn != "" {
+			t.Errorf("%s should be root-visible (escaped)", d.Name())
+		}
+	}
+	// The loaded pointer in main must resolve to the buffer DS.
+	ids := res.DSForValue("main", p)
+	if len(ids) != 1 {
+		t.Fatalf("loaded ptr DS = %v, want exactly one", ids)
+	}
+}
+
+func TestCollapseOnConflictingOffsets(t *testing.T) {
+	// Store the same pointer at mismatched offsets to force a collapse.
+	m := ir.NewModule("collapse")
+	f := m.NewFunc("main", ir.Void())
+	b := ir.NewBuilder(f)
+	a := b.Alloc(ir.I64(), ir.CI(8))
+	p1 := b.GEP(a, nil, 0, 8)
+	// Unify a+0 with a+8 by copying through the same register chain.
+	c := b.Copy(a)
+	b.Assign(c, p1)
+	b.Load(ir.I64(), c)
+	b.Ret(nil)
+	m.AssignSites()
+	ir.MustVerify(m)
+
+	res := Analyze(m)
+	if len(res.DS) != 1 {
+		t.Fatalf("DS count = %d, want 1", len(res.DS))
+	}
+	if !res.DS[0].Node.Find().Collapsed {
+		t.Error("node should be collapsed after conflicting-offset unify")
+	}
+}
+
+func TestRecursionTerminates(t *testing.T) {
+	// Mutually recursive list walkers must not hang the analysis.
+	m := ir.NewModule("recur")
+	node := ir.NewStruct("node", ir.F("val", ir.I64()), ir.F("next", ir.Ptr(ir.I64())))
+
+	var walkA, walkB *ir.Function
+	walkA = m.NewFunc("walkA", ir.Void(), ir.P("p", ir.Ptr(node)), ir.P("d", ir.I64()))
+	walkB = m.NewFunc("walkB", ir.Void(), ir.P("p", ir.Ptr(node)), ir.P("d", ir.I64()))
+
+	buildWalker := func(f *ir.Function, other *ir.Function) {
+		b := ir.NewBuilder(f)
+		stop := b.NewBlock("stop")
+		rec := b.NewBlock("rec")
+		b.Br(b.LE(f.Params[1], ir.CI(0)), stop, rec)
+		b.SetBlock(stop)
+		b.Ret(nil)
+		b.SetBlock(rec)
+		b.Load(ir.I64(), b.FieldAddr(f.Params[0], node, "val"))
+		next := b.Load(ir.Ptr(node), b.FieldAddr(f.Params[0], node, "next"))
+		b.Call(other, next, b.Sub(f.Params[1], ir.CI(1)))
+		b.Ret(nil)
+	}
+	buildWalker(walkA, walkB)
+	buildWalker(walkB, walkA)
+
+	mainF := m.NewFunc("main", ir.Void())
+	mb := ir.NewBuilder(mainF)
+	head := mb.Alloc(node, ir.CI(1))
+	mb.Store(ir.Ptr(node), head, mb.FieldAddr(head, node, "next")) // self-loop
+	mb.Call(walkA, head, ir.CI(10))
+	mb.Ret(nil)
+	m.AssignSites()
+	ir.MustVerify(m)
+
+	res := Analyze(m)
+	if len(res.DS) != 1 {
+		t.Fatalf("DS count = %d, want 1", len(res.DS))
+	}
+	if !res.DS[0].Recursive {
+		t.Error("self-linked node should be Recursive")
+	}
+	// Both walkers see the same root DS.
+	for _, fn := range []string{"walkA", "walkB"} {
+		f := m.FuncByName(fn)
+		ids := res.DSForValue(fn, f.Params[0])
+		if len(ids) != 1 || ids[0] != res.DS[0].ID {
+			t.Errorf("%s param DS = %v, want [%d]", fn, ids, res.DS[0].ID)
+		}
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	sig := func() []string {
+		res := Analyze(ir.BuildListing1(64, 2))
+		out := make([]string, len(res.DS))
+		for i, d := range res.DS {
+			out[i] = d.Name()
+		}
+		return out
+	}
+	a, b := sig(), sig()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("DS %d differs across runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestIndexedFlag(t *testing.T) {
+	m := ir.BuildListing1(64, 2)
+	res := Analyze(m)
+	for _, d := range res.DS {
+		if !d.Node.Find().Indexed {
+			t.Errorf("%s: array accessed via loop index should be Indexed", d.Name())
+		}
+	}
+}
+
+func TestByIDBounds(t *testing.T) {
+	res := Analyze(ir.BuildListing1(16, 1))
+	if res.ByID(-1) != nil || res.ByID(len(res.DS)) != nil {
+		t.Error("ByID out of range should return nil")
+	}
+	if res.ByID(0) == nil {
+		t.Error("ByID(0) should exist")
+	}
+	if res.DSOfNode(nil) != nil {
+		t.Error("DSOfNode(nil) should be nil")
+	}
+}
+
+func TestDSForValueNonPointer(t *testing.T) {
+	m := ir.BuildListing1(16, 1)
+	res := Analyze(m)
+	if ids := res.DSForValue("main", ir.CI(3)); ids != nil {
+		t.Errorf("constant operand DS = %v, want nil", ids)
+	}
+	set := m.FuncByName("Set")
+	if ids := res.DSForValue("Set", set.Params[1]); ids != nil {
+		t.Errorf("integer param DS = %v, want nil", ids)
+	}
+}
+
+func TestDumpRendersGraphs(t *testing.T) {
+	m := ir.BuildListing1(64, 2)
+	res := Analyze(m)
+	var buf strings.Builder
+	res.Dump(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"2 disjoint structures", "ds0", "ds1", "alloc#0",
+		"graph @main", "graph @alloc", "heap", "escapes", "=> ds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump missing %q:\n%s", want, text)
+		}
+	}
+	// Determinism.
+	var buf2 strings.Builder
+	Analyze(ir.BuildListing1(64, 2)).Dump(&buf2)
+	if buf.String() != buf2.String() {
+		t.Error("dump is nondeterministic")
+	}
+}

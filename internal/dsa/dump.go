@@ -1,0 +1,117 @@
+package dsa
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Dump renders the analysis result in a human-readable form — the
+// textual equivalent of the paper's Figure 2: per function, the graph
+// nodes with their flags, allocation sites, and points-to edges, plus
+// the global inventory of disjoint data structure instances.
+func (res *Result) Dump(w io.Writer) {
+	fmt.Fprintf(w, "data structure analysis: %d disjoint structures\n", len(res.DS))
+	for _, d := range res.DS {
+		rec := ""
+		if d.Recursive {
+			rec = " recursive"
+		}
+		scope := "program"
+		if d.Fn != "" {
+			scope = "local:" + d.Fn
+		}
+		elem := "?"
+		if d.Elem != nil {
+			elem = d.Elem.String()
+		}
+		fmt.Fprintf(w, "  ds%-3d %-28s elem=%-10s scope=%-16s%s\n",
+			d.ID, siteList(d.Sites), elem, scope, rec)
+	}
+
+	// Per-graph view, deduplicated (SCC members share graphs).
+	seen := make(map[*Graph]bool)
+	names := make([]string, 0, len(res.Graphs))
+	for name := range res.Graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := res.Graphs[name]
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		fns := make([]string, len(g.Fns))
+		for i, f := range g.Fns {
+			fns[i] = "@" + f.Name
+		}
+		fmt.Fprintf(w, "\ngraph %s:\n", strings.Join(fns, ", "))
+		escaping := g.EscapingNodes()
+		for _, n := range g.Nodes() {
+			flags := nodeFlags(n, escaping[n])
+			ds := ""
+			if ids := res.DSForNode(g.Fns[0].Name, n); len(ids) > 0 {
+				ds = fmt.Sprintf(" => ds%v", ids)
+			}
+			fmt.Fprintf(w, "  %s%s%s\n", nodeLabel(n), flags, ds)
+			// Edges sorted by offset for determinism.
+			offs := make([]int, 0, len(n.Edges))
+			for off := range n.Edges {
+				offs = append(offs, off)
+			}
+			sort.Ints(offs)
+			for _, off := range offs {
+				tgt := n.Edges[off].Find()
+				if tgt.IsNil() {
+					continue
+				}
+				fmt.Fprintf(w, "    +%d -> %s\n", off, nodeLabel(tgt.N))
+			}
+		}
+	}
+}
+
+func nodeLabel(n *Node) string {
+	n = n.Find()
+	if len(n.Sites) > 0 {
+		return fmt.Sprintf("n%d(%s)", n.id, siteList(n.Sites))
+	}
+	return fmt.Sprintf("n%d", n.id)
+}
+
+func nodeFlags(n *Node, escapes bool) string {
+	n = n.Find()
+	var parts []string
+	if n.Heap {
+		parts = append(parts, "heap")
+	}
+	if n.Indexed {
+		parts = append(parts, "array")
+	}
+	if n.Collapsed {
+		parts = append(parts, "collapsed")
+	}
+	if IsRecursive(n) {
+		parts = append(parts, "recursive")
+	}
+	if escapes {
+		parts = append(parts, "escapes")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, ",") + "]"
+}
+
+func siteList(sites []AllocSite) string {
+	if len(sites) == 0 {
+		return "<no-site>"
+	}
+	parts := make([]string, len(sites))
+	for i, s := range sites {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "+")
+}

@@ -1,0 +1,383 @@
+// Package dsa implements the data structure analysis (DSA) pass of CaRDS.
+//
+// DSA recovers data-structure identity that the IR's type system lost
+// (paper §3, first challenge): it computes, per function, a points-to
+// graph whose nodes represent disjoint memory objects, then composes the
+// graphs bottom-up over the call graph, cloning callee graphs at each
+// call site. The cloning is what makes the analysis context-sensitive —
+// the two calls to alloc() in the paper's Listing 1 yield two distinct
+// heap nodes in main's graph, so ds1 and ds2 become separate data
+// structure instances (paper Figure 2) even though they share an
+// allocation site.
+//
+// The final product is the set of disjoint DataStructure instances: one
+// per heap node in the root (main) graph, plus one per non-escaping heap
+// node of every other function. Pool allocation (internal/poolalloc)
+// consumes the per-function graphs and per-call-site clone maps to thread
+// DS handles through the program, exactly as in Algorithm 1.
+//
+// The implementation follows Lattner & Adve's unification-based DSA as
+// refined by SeaDSA: field-sensitive points-to cells (node, offset),
+// union-find node merging, and node collapsing when conflicting offsets
+// unify.
+package dsa
+
+import (
+	"fmt"
+	"sort"
+
+	"cards/internal/ir"
+)
+
+// AllocSite identifies one heap allocation instruction.
+type AllocSite struct {
+	Fn   string // containing function
+	Site int    // ir.Instr.Site of the OpAlloc
+}
+
+func (s AllocSite) String() string { return fmt.Sprintf("%s#%d", s.Fn, s.Site) }
+
+// Node is a DS-graph node: an abstraction of one or more runtime memory
+// objects that the program cannot distinguish. Always call Find before
+// reading fields; unification links nodes union-find style.
+type Node struct {
+	id     int
+	parent *Node
+	rank   int
+
+	// Heap marks nodes introduced by an allocation instruction; only
+	// heap nodes become data structures (Figure 2 identifies only
+	// heap-allocated structures).
+	Heap bool
+
+	// Indexed marks nodes accessed through a variable array index; the
+	// prefetch analysis treats such structures as array-like.
+	Indexed bool
+
+	// Collapsed marks nodes whose field structure was lost (conflicting
+	// offsets were unified); all edges then live at offset 0.
+	Collapsed bool
+
+	// Edges maps a byte offset within the object to the cell the pointer
+	// stored at that offset targets.
+	Edges map[int]Cell
+
+	// Sites lists the allocation instructions that may create this
+	// object. Cloning preserves provenance, so a root-graph node knows
+	// its originating site(s).
+	Sites []AllocSite
+
+	// Elem is the first observed allocation element type.
+	Elem ir.Type
+
+	// CountConst is the allocation count when statically known, else -1.
+	// (Paper §3, second challenge: sizes are *often* unknown statically —
+	// CaRDS's policies must not depend on them, but when the IR does
+	// expose a constant we record it for diagnostics.)
+	CountConst int64
+}
+
+// Cell is a field within a node: the canonical points-to target.
+type Cell struct {
+	N   *Node
+	Off int
+}
+
+// IsNil reports whether the cell is absent.
+func (c Cell) IsNil() bool { return c.N == nil }
+
+// Find resolves union-find indirection and canonicalizes the offset of a
+// collapsed node to 0.
+func (c Cell) Find() Cell {
+	if c.N == nil {
+		return c
+	}
+	n := c.N.Find()
+	off := c.Off
+	if n.Collapsed {
+		off = 0
+	}
+	return Cell{N: n, Off: off}
+}
+
+// Find returns the canonical representative of the node.
+func (n *Node) Find() *Node {
+	root := n
+	for root.parent != nil {
+		root = root.parent
+	}
+	// Path compression.
+	for n.parent != nil {
+		next := n.parent
+		n.parent = root
+		n = next
+	}
+	return root
+}
+
+func (n *Node) String() string {
+	n = n.Find()
+	tag := ""
+	if n.Heap {
+		tag += "H"
+	}
+	if n.Indexed {
+		tag += "A"
+	}
+	if n.Collapsed {
+		tag += "C"
+	}
+	return fmt.Sprintf("n%d[%s]%v", n.id, tag, n.Sites)
+}
+
+// Graph is the DS graph for one function (or one SCC of mutually
+// recursive functions, which share a graph).
+type Graph struct {
+	// Fns lists the functions sharing this graph.
+	Fns []*ir.Function
+
+	// Cells maps pointer-typed registers to their points-to cell.
+	Cells map[*ir.Reg]Cell
+
+	// Rets maps each function to the cell its return value points to.
+	Rets map[string]Cell
+
+	nodes  []*Node
+	nextID int
+}
+
+// NewGraph creates an empty graph for the given functions.
+func NewGraph(fns ...*ir.Function) *Graph {
+	return &Graph{
+		Fns:   fns,
+		Cells: make(map[*ir.Reg]Cell),
+		Rets:  make(map[string]Cell),
+	}
+}
+
+// NewNode creates a fresh node in the graph.
+func (g *Graph) NewNode() *Node {
+	n := &Node{id: g.nextID, Edges: make(map[int]Cell), CountConst: -1}
+	g.nextID++
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Nodes returns the canonical (representative) nodes of the graph in
+// deterministic creation order.
+func (g *Graph) Nodes() []*Node {
+	seen := make(map[*Node]bool)
+	var out []*Node
+	for _, n := range g.nodes {
+		r := n.Find()
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HeapNodes returns the canonical heap nodes in creation order.
+func (g *Graph) HeapNodes() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if n.Heap {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// CellOf returns the canonical points-to cell for a register, creating a
+// placeholder node for pointer-typed registers seen for the first time.
+// Non-pointer registers yield the nil cell.
+func (g *Graph) CellOf(r *ir.Reg) Cell {
+	if !ir.IsPtr(r.Type) {
+		return Cell{}
+	}
+	if c, ok := g.Cells[r]; ok {
+		return c.Find()
+	}
+	c := Cell{N: g.NewNode(), Off: 0}
+	g.Cells[r] = c
+	return c
+}
+
+// unifyTask is one pending cell unification.
+type unifyTask struct{ a, b Cell }
+
+// Unify merges two cells so they refer to the same (node, offset). Uses
+// an explicit worklist: edge merging can cascade through recursive
+// structures (list nodes pointing to list nodes).
+func (g *Graph) Unify(a, b Cell) {
+	work := []unifyTask{{a, b}}
+	for len(work) > 0 {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+		ca, cb := t.a.Find(), t.b.Find()
+		if ca.IsNil() || cb.IsNil() {
+			continue
+		}
+		if ca.N == cb.N {
+			if ca.Off != cb.Off {
+				g.collapse(ca.N, &work)
+			}
+			continue
+		}
+		if ca.Off != cb.Off {
+			// Conflicting field alignment: collapse both, then retry.
+			g.collapse(ca.N, &work)
+			g.collapse(cb.N, &work)
+			work = append(work, unifyTask{Cell{ca.N, 0}, Cell{cb.N, 0}})
+			continue
+		}
+		g.mergeNodes(ca.N, cb.N, &work)
+	}
+}
+
+// mergeNodes links two canonical nodes and reconciles their payloads.
+func (g *Graph) mergeNodes(a, b *Node, work *[]unifyTask) {
+	if a.rank < b.rank {
+		a, b = b, a
+	}
+	if a.rank == b.rank {
+		a.rank++
+	}
+	b.parent = a
+
+	a.Heap = a.Heap || b.Heap
+	a.Indexed = a.Indexed || b.Indexed
+	a.Sites = mergeSites(a.Sites, b.Sites)
+	if a.Elem == nil {
+		a.Elem = b.Elem
+	}
+	if a.CountConst == -1 {
+		a.CountConst = b.CountConst
+	} else if b.CountConst != -1 && b.CountConst != a.CountConst {
+		a.CountConst = -1 // conflicting static sizes: unknown
+	}
+	if b.Collapsed && !a.Collapsed {
+		g.collapse(a, work)
+	}
+	// Merge edges: matching offsets queue target unification.
+	for off, tgt := range b.Edges {
+		if a.Collapsed {
+			off = 0
+		}
+		if cur, ok := a.Edges[off]; ok {
+			*work = append(*work, unifyTask{cur, tgt})
+		} else {
+			a.Edges[off] = tgt
+		}
+	}
+	b.Edges = nil
+}
+
+// collapse folds a node's field structure to a single offset-0 view.
+func (g *Graph) collapse(n *Node, work *[]unifyTask) {
+	n = n.Find()
+	if n.Collapsed {
+		return
+	}
+	n.Collapsed = true
+	var targets []Cell
+	for _, tgt := range n.Edges {
+		targets = append(targets, tgt)
+	}
+	n.Edges = make(map[int]Cell)
+	if len(targets) > 0 {
+		n.Edges[0] = targets[0]
+		for _, t := range targets[1:] {
+			*work = append(*work, unifyTask{n.Edges[0], t})
+		}
+	}
+}
+
+// EdgeAt returns the cell targeted by the pointer stored at cell c,
+// creating a placeholder target if none exists yet.
+func (g *Graph) EdgeAt(c Cell) Cell {
+	c = c.Find()
+	if c.IsNil() {
+		return Cell{}
+	}
+	if tgt, ok := c.N.Edges[c.Off]; ok {
+		return tgt.Find()
+	}
+	tgt := Cell{N: g.NewNode(), Off: 0}
+	c.N.Edges[c.Off] = tgt
+	return tgt
+}
+
+func mergeSites(a, b []AllocSite) []AllocSite {
+	seen := make(map[AllocSite]bool, len(a)+len(b))
+	var out []AllocSite
+	for _, s := range append(append([]AllocSite(nil), a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// Reachable returns the set of canonical nodes reachable from the given
+// roots through edges.
+func Reachable(roots []Cell) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var stack []*Node
+	for _, c := range roots {
+		c = c.Find()
+		if !c.IsNil() && !seen[c.N] {
+			seen[c.N] = true
+			stack = append(stack, c.N)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, tgt := range n.Edges {
+			t := tgt.Find()
+			if !t.IsNil() && !seen[t.N] {
+				seen[t.N] = true
+				stack = append(stack, t.N)
+			}
+		}
+	}
+	return seen
+}
+
+// EscapingNodes returns the canonical nodes of g visible to callers:
+// those reachable from formal parameters or return cells.
+func (g *Graph) EscapingNodes() map[*Node]bool {
+	var roots []Cell
+	for _, f := range g.Fns {
+		for _, p := range f.Params {
+			if ir.IsPtr(p.Type) {
+				roots = append(roots, g.CellOf(p))
+			}
+		}
+	}
+	for _, c := range g.Rets {
+		roots = append(roots, c)
+	}
+	return Reachable(roots)
+}
+
+// IsRecursive reports whether the node can reach itself through edges —
+// the signature of a linked (recursive) data structure.
+func IsRecursive(n *Node) bool {
+	n = n.Find()
+	for _, tgt := range n.Edges {
+		if Reachable([]Cell{tgt})[n] {
+			return true
+		}
+	}
+	return false
+}

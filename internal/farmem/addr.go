@@ -1,0 +1,71 @@
+// Package farmem implements the CaRDS runtime system (paper §4.2): an
+// AIFM-derived far-memory manager that tracks objects at data-structure
+// granularity, tags remotable pointers with their data structure handle
+// in the non-canonical address bits, services guard faults (Listing 4's
+// cards_deref), evicts cold objects with a CLOCK policy, and keeps
+// per-data-structure hit/miss statistics that drive dynamic policy
+// decisions.
+//
+// Local memory is split into pinned memory (never remoted; allocations
+// from non-remotable data structures) and remotable memory (a cache over
+// the remote store), mirroring the paper's "Remoting policy selection".
+// All time is charged to a virtual clock through the netsim cost model;
+// the data path (arena bytes, remote store contents) is real, so programs
+// executed on the runtime compute real results.
+package farmem
+
+import "fmt"
+
+// Address layout (Figure 3 / Listing 2): CaRDS appends the data structure
+// handle to the non-canonical bits of the pointer. Bit 63 marks a
+// CaRDS-managed (remotable) address; bits 48..62 carry the DS handle;
+// bits 0..47 are the byte offset within the data structure's virtual
+// extent. Pinned allocations return plain (untagged) arena offsets, so
+// the custody check falls through at the cost of one shift+branch.
+const (
+	// TagBit marks CaRDS-managed remotable addresses.
+	TagBit = uint64(1) << 63
+	// DSShift is the bit position of the DS handle (paper: ORT_POS).
+	DSShift = 48
+	// DSMask extracts the handle after shifting.
+	DSMask = (uint64(1) << 15) - 1
+	// OffMask extracts the intra-DS byte offset.
+	OffMask = (uint64(1) << DSShift) - 1
+	// MaxDS is the largest representable DS handle.
+	MaxDS = int(DSMask)
+)
+
+// MakeAddr builds a tagged remotable address.
+func MakeAddr(ds int, off uint64) uint64 {
+	return TagBit | (uint64(ds)&DSMask)<<DSShift | (off & OffMask)
+}
+
+// IsTagged reports whether addr is CaRDS-managed (the custody check).
+func IsTagged(addr uint64) bool { return addr&TagBit != 0 }
+
+// DSOf extracts the data structure handle from a tagged address.
+func DSOf(addr uint64) int { return int((addr >> DSShift) & DSMask) }
+
+// OffOf extracts the intra-DS byte offset from a tagged address.
+func OffOf(addr uint64) uint64 { return addr & OffMask }
+
+// ErrBadAddress reports a malformed or out-of-range address.
+type ErrBadAddress struct {
+	Addr uint64
+	Why  string
+}
+
+func (e *ErrBadAddress) Error() string {
+	return fmt.Sprintf("farmem: bad address %#x: %s", e.Addr, e.Why)
+}
+
+// ErrUnsafeAccess reports a direct access to remotable memory that did
+// not pass through a guard — exactly the class of bug guard insertion
+// exists to prevent. The interpreter surfaces it as a compiler bug.
+type ErrUnsafeAccess struct {
+	Addr uint64
+}
+
+func (e *ErrUnsafeAccess) Error() string {
+	return fmt.Sprintf("farmem: unguarded access to remotable address %#x", e.Addr)
+}

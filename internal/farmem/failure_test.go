@@ -1,0 +1,184 @@
+package farmem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failingStore injects remote-tier failures after a configurable number
+// of successful operations.
+type failingStore struct {
+	inner      Store
+	readsLeft  int
+	writesLeft int
+}
+
+var errInjected = errors.New("injected far-tier failure")
+
+func (s *failingStore) ReadObj(ds, idx int, dst []byte) error {
+	if s.readsLeft <= 0 {
+		return errInjected
+	}
+	s.readsLeft--
+	return s.inner.ReadObj(ds, idx, dst)
+}
+
+func (s *failingStore) WriteObj(ds, idx int, src []byte) error {
+	if s.writesLeft <= 0 {
+		return errInjected
+	}
+	s.writesLeft--
+	return s.inner.WriteObj(ds, idx, src)
+}
+
+func pressured(t *testing.T, store Store) (*Runtime, uint64) {
+	t.Helper()
+	obj := 4096
+	r := New(Config{
+		PinnedBudget:    1 << 20,
+		RemotableBudget: uint64(2 * obj),
+		Store:           store,
+	})
+	if _, err := r.RegisterDS(0, DSMeta{Name: "d", ObjSize: obj}); err != nil {
+		t.Fatal(err)
+	}
+	r.SetPlacement(0, PlaceRemotable)
+	addr, err := r.DSAlloc(0, int64(8*obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, addr
+}
+
+func TestRemoteReadFailurePropagates(t *testing.T) {
+	fs := &failingStore{inner: NewMapStore(), readsLeft: 0, writesLeft: 1 << 30}
+	r, addr := pressured(t, fs)
+	// Dirty two objects, then push them out by touching more.
+	for i := 0; i < 6; i++ {
+		if _, err := r.Guard(addr+uint64(i*4096), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-reading an evicted object must surface the injected error.
+	_, err := r.Guard(addr, false)
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+}
+
+func TestWriteBackFailurePropagates(t *testing.T) {
+	fs := &failingStore{inner: NewMapStore(), readsLeft: 1 << 30, writesLeft: 0}
+	r, addr := pressured(t, fs)
+	// Dirty objects until an eviction write-back is forced.
+	var err error
+	for i := 0; i < 8 && err == nil; i++ {
+		_, err = r.Guard(addr+uint64(i*4096), true)
+	}
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("err = %v, want injected write-back failure", err)
+	}
+}
+
+func TestRuntimeUsableAfterTransientFailure(t *testing.T) {
+	// One failing read, then recovery: the runtime must keep working and
+	// the data must still be intact (the failed localize did not corrupt
+	// the object table).
+	fs := &failingStore{inner: NewMapStore(), readsLeft: 0, writesLeft: 1 << 30}
+	r, addr := pressured(t, fs)
+	for i := 0; i < 6; i++ {
+		p, err := r.Guard(addr+uint64(i*4096), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.WriteWord(p, uint64(1000+i))
+	}
+	if _, err := r.Guard(addr, false); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	// Heal the store and retry.
+	fs.readsLeft = 1 << 30
+	p, err := r.Guard(addr, false)
+	if err != nil {
+		t.Fatalf("retry after heal: %v", err)
+	}
+	v, err := r.ReadWord(p)
+	if err != nil || v != 1000 {
+		t.Fatalf("data lost across failure: %d, %v", v, err)
+	}
+}
+
+func TestObjectWordBounds(t *testing.T) {
+	r := New(Config{PinnedBudget: 1 << 20, RemotableBudget: 1 << 20})
+	r.RegisterDS(0, DSMeta{ObjSize: 4096})
+	r.SetPlacement(0, PlaceRemotable)
+	addr, _ := r.DSAlloc(0, 4096)
+	d := r.DSByID(0)
+	if _, ok := r.ObjectWord(d, 0, 0); ok {
+		t.Fatal("uninitialized object should not be readable")
+	}
+	r.Guard(addr, true)
+	if _, ok := r.ObjectWord(d, 0, 0); !ok {
+		t.Fatal("resident object should be readable")
+	}
+	if _, ok := r.ObjectWord(d, 0, 4096); ok {
+		t.Fatal("offset beyond object should fail")
+	}
+	if _, ok := r.ObjectWord(d, -1, 0); ok {
+		t.Fatal("negative index should fail")
+	}
+	if _, ok := r.ObjectWord(d, 99, 0); ok {
+		t.Fatal("out-of-table index should fail")
+	}
+	if d.NumObjects() != 1 {
+		t.Fatalf("NumObjects = %d", d.NumObjects())
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlacePinned.String() != "pinned" || PlaceRemotable.String() != "remotable" ||
+		PlaceLinear.String() != "linear" {
+		t.Fatal("placement names wrong")
+	}
+}
+
+func TestPow2Helpers(t *testing.T) {
+	cases := []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {4096, 4096}, {4097, 8192}}
+	for _, c := range cases {
+		if got := nextPow2(c.in); got != c.want {
+			t.Errorf("nextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if log2(1) != 0 || log2(2) != 1 || log2(4096) != 12 {
+		t.Fatal("log2 wrong")
+	}
+}
+
+func TestInitialArenaCap(t *testing.T) {
+	if got := initialArenaCap(1 << 40); got != 1<<24 {
+		t.Fatalf("huge budget should cap eager arena: %d", got)
+	}
+	if got := initialArenaCap(1024); got != 1024+(1<<16) {
+		t.Fatalf("small budget cap = %d", got)
+	}
+}
+
+func TestDSExtentLimit(t *testing.T) {
+	r := New(Config{PinnedBudget: 0, RemotableBudget: 1 << 20})
+	r.RegisterDS(0, DSMeta{ObjSize: 4096})
+	r.SetPlacement(0, PlaceRemotable)
+	if _, err := r.DSAlloc(0, 1<<49); err == nil {
+		t.Fatal("allocation beyond the 48-bit extent must fail")
+	}
+}
+
+func TestDSAllocUnknownStructureFallsBack(t *testing.T) {
+	r := New(Config{PinnedBudget: 1 << 20, RemotableBudget: 1 << 20})
+	addr, err := r.DSAlloc(999, 64) // no such DS: plain local allocation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsTagged(addr) {
+		t.Fatal("fallback allocation should be untagged")
+	}
+}

@@ -1,0 +1,442 @@
+package farmem
+
+import "fmt"
+
+// DSAlloc services a dsalloc(size, handle) call (Listing 2): it allocates
+// n bytes belonging to data structure id and returns the address the
+// program will use. Pinned structures receive plain local addresses (so
+// the custody check falls through); remotable structures receive tagged
+// addresses in their virtual extent.
+//
+// The remoting decision follows §4.2: the static placement hint is
+// consulted first, but the runtime overrides it when the structure does
+// not fit in pinned memory (the hint-override path), and the Linear
+// placement decides purely at allocation time.
+func (r *Runtime) DSAlloc(id int, n int64) (uint64, error) {
+	if n <= 0 {
+		n = 8
+	}
+	n = int64(align8(int(n)))
+	d := r.DSByID(id)
+	if d == nil {
+		// Allocation outside any identified structure: plain local.
+		return r.AllocLocal(n)
+	}
+
+	pinned := false
+	switch d.placement {
+	case PlacePinned:
+		pinned = !d.spilled
+	case PlaceRemotable:
+		pinned = false
+	case PlaceLinear:
+		pinned = r.pinnedUsed+uint64(n) <= r.pinnedBudget
+	}
+	if d.localPromise {
+		// A cards_all_local check already steered execution onto the
+		// uninstrumented path for this structure, so later growth MUST
+		// stay local — the fast path has no guards (paper §4.2: "In
+		// cases where dynamic data structures grow during execution,
+		// the runtime tracks allocations to ensure they remain local").
+		// Overcommit is recorded rather than remoting unsafely.
+		pinned = true
+		if r.pinnedUsed+uint64(n) > r.pinnedBudget {
+			r.stats.OvercommitBytes += uint64(n)
+		}
+	} else if pinned && r.pinnedUsed+uint64(n) > r.pinnedBudget {
+		// Static hint says pinned but local memory is exhausted: the
+		// runtime overrides and remotes the structure from here on.
+		d.spilled = true
+		r.stats.SpilledDS++
+		r.emit(EvSpill, d.ID, 0, false)
+		pinned = false
+	}
+
+	if pinned {
+		r.clock.Advance(r.model.AllocLocal)
+		off := r.arena.Alloc(int(n))
+		r.pinnedUsed += uint64(n)
+		d.stats.PinnedBytes += uint64(n)
+		return off, nil
+	}
+
+	r.clock.Advance(r.model.AllocRemote)
+	d.everRemote = true
+	base := d.size
+	// A single allocation must never straddle an object boundary:
+	// redundant guard elimination assumes that two field offsets within
+	// one allocation share one object. Bump the base to the next object
+	// when the allocation would cross (for allocations larger than one
+	// object, align to the object size).
+	objSz := uint64(d.Meta.ObjSize)
+	if base%objSz != 0 && base/objSz != (base+uint64(n)-1)/objSz {
+		base = (base + objSz - 1) &^ (objSz - 1)
+	}
+	d.size = base + uint64(n)
+	if d.size > OffMask {
+		return 0, fmt.Errorf("farmem: DS %d exceeds 48-bit extent", id)
+	}
+	want := int((d.size + uint64(d.Meta.ObjSize) - 1) >> d.objShift)
+	for len(d.objs) < want {
+		d.objs = append(d.objs, FarObj{state: objUninit})
+	}
+	d.stats.RemoteBytes += uint64(n)
+	return MakeAddr(id, base), nil
+}
+
+// AllocLocal allocates plain (non-remotable, untagged) local memory, the
+// path taken by allocations outside any identified data structure.
+func (r *Runtime) AllocLocal(n int64) (uint64, error) {
+	if n <= 0 {
+		n = 8
+	}
+	r.clock.Advance(r.model.AllocLocal)
+	off := r.arena.Alloc(int(n))
+	r.pinnedUsed += uint64(n)
+	return off, nil
+}
+
+// Guard performs the inline custody check of Figure 3 and, for tagged
+// addresses, the cards_deref slow path. It returns the localized
+// (directly dereferenceable) address.
+func (r *Runtime) Guard(addr uint64, write bool) (uint64, error) {
+	r.stats.GuardChecks++
+	if r.trackFM {
+		// TrackFM's guards run the full lookup on every access —
+		// costlier locally (Table 1: 462/579 vs custody-check
+		// fall-through), modelled as a flat local charge here.
+		if write {
+			r.clock.Advance(r.model.TrackFMGuardLocalWrite)
+		} else {
+			r.clock.Advance(r.model.TrackFMGuardLocalRead)
+		}
+	} else {
+		r.clock.Advance(r.model.CustodyCheck)
+	}
+	if !IsTagged(addr) {
+		r.stats.FastPathHits++
+		return addr, nil
+	}
+	return r.Deref(addr, write)
+}
+
+// Deref is the cards_deref slow path (Listing 4): map the tagged address
+// to its data structure and object, localize the object if necessary,
+// and return the physical (arena) address.
+func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
+	r.stats.DerefCalls++
+	id := DSOf(addr)
+	d := r.DSByID(id)
+	if d == nil {
+		return 0, &ErrBadAddress{Addr: addr, Why: "unknown data structure"}
+	}
+	off := OffOf(addr)
+	if off >= d.size {
+		return 0, &ErrBadAddress{Addr: addr, Why: fmt.Sprintf("offset beyond DS extent %d", d.size)}
+	}
+	idx := int(off >> d.objShift)
+	obj := &d.objs[idx]
+	r.accessSeq++
+	obj.lastUse = r.accessSeq
+
+	// Per-deref bookkeeping cost (DS lookup + object table walk).
+	if !r.trackFM {
+		if write {
+			r.clock.Advance(r.model.DerefLocalWrite)
+		} else {
+			r.clock.Advance(r.model.DerefLocalRead)
+		}
+	}
+
+	missed := false
+	switch obj.state {
+	case objLocal:
+		d.stats.Hits++
+
+	case objInFlight:
+		// A prefetch raced ahead of us: wait out the remaining flight
+		// time instead of paying a full round trip.
+		r.link.WaitUntil(obj.readyAt)
+		obj.state = objLocal
+		d.inflight--
+		r.inflightBytes -= uint64(d.Meta.ObjSize)
+		d.stats.PrefetchHits++
+		d.stats.Hits++
+		r.emit(EvPrefetchHit, d.ID, idx, false)
+
+	case objUninit:
+		// First touch: materialize a zeroed frame locally; no network.
+		frame, err := r.allocFrame(d, idx)
+		if err != nil {
+			return 0, err
+		}
+		obj.frame = frame
+		obj.state = objLocal
+		d.stats.ColdFaults++
+		r.emit(EvMaterialize, d.ID, idx, false)
+
+	case objRemote:
+		missed = true
+		d.stats.Misses++
+		r.stats.RemoteFetches++
+		frame, err := r.allocFrame(d, idx)
+		if err != nil {
+			return 0, err
+		}
+		if err := r.store.ReadObj(d.ID, idx, r.arena.Bytes(frame, d.Meta.ObjSize)); err != nil {
+			return 0, fmt.Errorf("farmem: remote read ds%d[%d]: %w", d.ID, idx, err)
+		}
+		r.link.FetchSync(d.Meta.ObjSize)
+		obj.frame = frame
+		obj.state = objLocal
+		r.emit(EvFetch, d.ID, idx, false)
+	}
+
+	obj.ref = true
+	if write {
+		obj.dirty = true
+	}
+	d.prefetcher.OnAccess(r, d, idx, missed)
+	return obj.frame + (off & (uint64(d.Meta.ObjSize) - 1)), nil
+}
+
+// allocFrame reserves a local frame for one object of d, evicting cold
+// objects if the remotable budget is exhausted, and registers the object
+// in the CLOCK ring.
+func (r *Runtime) allocFrame(d *DS, idx int) (uint64, error) {
+	sz := uint64(d.Meta.ObjSize)
+	for r.remotableUsed+sz > r.remotableBudget {
+		if err := r.evictOne(); err != nil {
+			return 0, err
+		}
+	}
+	frame := r.arena.Alloc(d.Meta.ObjSize)
+	r.remotableUsed += sz
+	r.ring = append(r.ring, clockEntry{ds: d, idx: idx, epoch: d.objs[idx].epoch})
+	return frame, nil
+}
+
+// recentWindow is the number of most-recently derefed objects immune
+// from eviction. It plays the role of AIFM's dereference scopes: a guard
+// may hand out a localized address that later instructions in the same
+// basic block reuse (redundant guard elimination), so the frames behind
+// the last few guards must stay resident.
+const recentWindow = 8
+
+// evictOne runs CLOCK pass steps until a victim is evicted.
+func (r *Runtime) evictOne() error {
+	scanned := 0
+	// When every resident object is deref-scope protected (tiny budgets),
+	// fall back to evicting the least recently derefed protected object.
+	fallbackPos := -1
+	var fallbackUse uint64
+	for len(r.ring) > 0 && scanned <= 3*len(r.ring) {
+		if r.hand >= len(r.ring) {
+			r.hand = 0
+		}
+		e := r.ring[r.hand]
+		obj := &e.ds.objs[e.idx]
+		switch {
+		case obj.epoch != e.epoch || obj.state == objRemote || obj.state == objUninit:
+			// Stale entry: the object was evicted (and possibly
+			// re-localized under a newer epoch/entry).
+			if fallbackPos == r.hand {
+				fallbackPos = -1
+			}
+			r.removeRingEntry(r.hand)
+		case obj.state == objInFlight:
+			if obj.readyAt <= r.clock.Now() {
+				// The payload has landed but no access consumed it: an
+				// unused prefetch. Settle it to Local (evictable) so
+				// speculative frames cannot wedge the cache.
+				obj.state = objLocal
+				obj.ref = false
+				e.ds.inflight--
+				r.inflightBytes -= uint64(e.ds.Meta.ObjSize)
+				continue
+			}
+			// Payload still on the wire: never evict in-flight frames.
+			r.hand++
+			scanned++
+		case obj.ref:
+			// Second chance.
+			obj.ref = false
+			r.hand++
+			scanned++
+		case r.accessSeq-obj.lastUse < recentWindow:
+			// Deref-scope protection (AIFM DerefScope analogue).
+			if fallbackPos == -1 || obj.lastUse < fallbackUse {
+				fallbackPos, fallbackUse = r.hand, obj.lastUse
+			}
+			r.hand++
+			scanned++
+		default:
+			return r.evictObject(e.ds, e.idx, r.hand)
+		}
+	}
+	if fallbackPos >= 0 && fallbackPos < len(r.ring) {
+		e := r.ring[fallbackPos]
+		obj := &e.ds.objs[e.idx]
+		if obj.epoch == e.epoch && obj.state == objLocal {
+			return r.evictObject(e.ds, e.idx, fallbackPos)
+		}
+	}
+	return fmt.Errorf("farmem: remotable memory exhausted (%d bytes) and nothing evictable", r.remotableBudget)
+}
+
+// evictObject writes back (if dirty) and frees one resident object.
+func (r *Runtime) evictObject(d *DS, idx, ringPos int) error {
+	obj := &d.objs[idx]
+	r.emit(EvEvict, d.ID, idx, obj.dirty)
+	if obj.dirty {
+		if err := r.store.WriteObj(d.ID, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
+			return fmt.Errorf("farmem: write-back ds%d[%d]: %w", d.ID, idx, err)
+		}
+		r.link.WriteBack(d.Meta.ObjSize)
+		d.stats.WriteBacks++
+	} else {
+		r.clock.Advance(r.model.EvictObject)
+	}
+	r.arena.Free(obj.frame, d.Meta.ObjSize)
+	r.remotableUsed -= uint64(d.Meta.ObjSize)
+	obj.state = objRemote
+	obj.dirty = false
+	obj.ref = false
+	obj.epoch++
+	d.stats.Evictions++
+	r.stats.Evictions++
+	r.removeRingEntry(ringPos)
+	return nil
+}
+
+func (r *Runtime) removeRingEntry(pos int) {
+	last := len(r.ring) - 1
+	r.ring[pos] = r.ring[last]
+	r.ring = r.ring[:last]
+	if r.hand > last {
+		r.hand = 0
+	}
+}
+
+// PrefetchObj issues an asynchronous localization of object idx of d, if
+// it is remote and capacity allows. Called by prefetchers.
+func (r *Runtime) PrefetchObj(d *DS, idx int) {
+	if idx < 0 || idx >= len(d.objs) {
+		return
+	}
+	// Never let in-flight prefetches occupy more than half the remotable
+	// budget (across ALL structures — several prefetchers share the one
+	// cache): frames in flight are unevictable, and prefetchers running
+	// far ahead of a small cache would otherwise wedge the allocator.
+	lim := d.maxInflight
+	if halfBudget := int(r.remotableBudget / uint64(d.Meta.ObjSize) / 2); halfBudget < lim {
+		lim = halfBudget
+	}
+	if d.inflight >= lim {
+		return
+	}
+	if r.inflightBytes+uint64(d.Meta.ObjSize) > r.remotableBudget/2 {
+		return
+	}
+	obj := &d.objs[idx]
+	if obj.state != objRemote {
+		return
+	}
+	frame, err := r.allocFrame(d, idx)
+	if err != nil {
+		return // no capacity: drop the hint
+	}
+	if err := r.store.ReadObj(d.ID, idx, r.arena.Bytes(frame, d.Meta.ObjSize)); err != nil {
+		r.arena.Free(frame, d.Meta.ObjSize)
+		r.remotableUsed -= uint64(d.Meta.ObjSize)
+		return
+	}
+	obj.frame = frame
+	obj.readyAt = r.link.FetchAsync(d.Meta.ObjSize)
+	obj.state = objInFlight
+	obj.ref = false
+	d.inflight++
+	r.inflightBytes += uint64(d.Meta.ObjSize)
+	d.stats.PrefetchIssued++
+	r.emit(EvPrefetch, d.ID, idx, false)
+}
+
+// AllLocal answers the cards_all_local check of Listing 3: true iff every
+// listed data structure has never been remoted, enabling the
+// uninstrumented fast path.
+func (r *Runtime) AllLocal(ids []int) bool {
+	r.stats.AllLocalCalls++
+	r.clock.Advance(uint64(8 * (1 + len(ids))))
+	for _, id := range ids {
+		d := r.DSByID(id)
+		if d == nil || d.everRemote {
+			return false
+		}
+	}
+	// Committing to the unguarded path: these structures must now stay
+	// local for the rest of the run, even if they grow.
+	for _, id := range ids {
+		r.dss[id].localPromise = true
+	}
+	return true
+}
+
+// Prefetch services an explicit cards_prefetch hint on an address.
+func (r *Runtime) Prefetch(addr uint64) {
+	if !IsTagged(addr) {
+		return
+	}
+	d := r.DSByID(DSOf(addr))
+	if d == nil {
+		return
+	}
+	off := OffOf(addr)
+	if off >= d.size {
+		return
+	}
+	r.clock.Advance(r.model.PrefetchIssue)
+	r.PrefetchObj(d, int(off>>d.objShift))
+}
+
+// ReadWord performs a localized 64-bit read; the address must be a
+// physical (already-guarded or pinned) address.
+func (r *Runtime) ReadWord(paddr uint64) (uint64, error) {
+	if IsTagged(paddr) {
+		return 0, &ErrUnsafeAccess{Addr: paddr}
+	}
+	if !r.arena.InBounds(paddr, 8) {
+		return 0, &ErrBadAddress{Addr: paddr, Why: "out of local bounds"}
+	}
+	return r.arena.Read8(paddr), nil
+}
+
+// WriteWord performs a localized 64-bit write.
+func (r *Runtime) WriteWord(paddr uint64, v uint64) error {
+	if IsTagged(paddr) {
+		return &ErrUnsafeAccess{Addr: paddr}
+	}
+	if !r.arena.InBounds(paddr, 8) {
+		return &ErrBadAddress{Addr: paddr, Why: "out of local bounds"}
+	}
+	r.arena.Write8(paddr, v)
+	return nil
+}
+
+// ObjectWord reads a 64-bit word at byte offset within a *resident*
+// object of d, without charging guard costs or touching reference bits.
+// Prefetchers use it to inspect pointer fields of just-localized objects
+// (the greedy recursive prefetcher of §4.2). Returns false when the
+// object is not local or the offset is out of range.
+func (r *Runtime) ObjectWord(d *DS, idx int, byteOff int) (uint64, bool) {
+	if idx < 0 || idx >= len(d.objs) || byteOff < 0 || byteOff+8 > d.Meta.ObjSize {
+		return 0, false
+	}
+	obj := &d.objs[idx]
+	if obj.state != objLocal {
+		return 0, false
+	}
+	return r.arena.Read8(obj.frame + uint64(byteOff)), true
+}
+
+// NumObjects returns the current object-table length of d.
+func (d *DS) NumObjects() int { return len(d.objs) }

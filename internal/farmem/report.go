@@ -1,0 +1,47 @@
+package farmem
+
+import (
+	"fmt"
+	"io"
+
+	"cards/internal/stats"
+)
+
+// Report writes a per-data-structure summary table: placement, footprint,
+// hit rates, prefetch effectiveness, and evictions — the at-a-glance view
+// for deciding which structures a policy should pin.
+func (r *Runtime) Report(w io.Writer) {
+	fmt.Fprintf(w, "%-4s %-28s %-9s %10s %10s %8s %8s %8s %9s %9s\n",
+		"id", "data structure", "placement", "pinned-B", "remote-B",
+		"hits", "misses", "evict", "pf-acc", "pf-cov")
+	for _, d := range r.dss {
+		st := d.Stats()
+		placement := d.placement.String()
+		if d.spilled {
+			placement += "!"
+		}
+		fmt.Fprintf(w, "%-4d %-28s %-9s %10d %10d %8d %8d %8d %8.0f%% %8.0f%%\n",
+			d.ID, truncName(d.Meta.Name, 28), placement,
+			st.PinnedBytes, st.RemoteBytes,
+			st.Hits, st.Misses, st.Evictions,
+			100*stats.Ratio(st.PrefetchHits, st.PrefetchIssued),
+			100*stats.Ratio(st.PrefetchHits, st.PrefetchHits+st.Misses))
+	}
+	s := r.Stats()
+	fmt.Fprintf(w, "total: %d guard checks (%d fast-path), %d derefs, %d remote fetches, %d evictions",
+		s.GuardChecks, s.FastPathHits, s.DerefCalls, s.RemoteFetches, s.Evictions)
+	if s.SpilledDS > 0 {
+		fmt.Fprintf(w, ", %d spilled structures ('!' above)", s.SpilledDS)
+	}
+	if s.OvercommitBytes > 0 {
+		fmt.Fprintf(w, ", %d bytes pinned over budget", s.OvercommitBytes)
+	}
+	fmt.Fprintln(w)
+}
+
+func truncName(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

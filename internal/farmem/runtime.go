@@ -1,0 +1,390 @@
+package farmem
+
+import (
+	"fmt"
+
+	"cards/internal/netsim"
+)
+
+// Pattern mirrors the compiler's access-pattern classification. The
+// runtime keeps its own copy of the enum so it can stand alone (the
+// public library API constructs DSMeta directly, without the compiler).
+type Pattern int
+
+// Access-pattern hints delivered by the compiler at ds_init.
+const (
+	PatternUnknown Pattern = iota
+	PatternStrided
+	PatternPointerChase
+	PatternIndirect
+)
+
+// DSMeta is the compiler-provided description of one data structure,
+// delivered to the runtime at registration (the ds_init hints of §4.2).
+type DSMeta struct {
+	Name       string
+	ObjSize    int   // object granularity in bytes (power of two)
+	ElemSize   int   // element size in bytes
+	Stride     int64 // majority stride for strided structures
+	Pattern    Pattern
+	Recursive  bool
+	PtrOffsets []int // pointer-field offsets within one element
+	UseScore   int   // eq. 1 score
+	ReachScore int   // caller/callee chain score
+}
+
+// Placement is the remoting decision for a data structure.
+type Placement int
+
+// Placement modes (paper §4.2 "Remoting policy selection").
+const (
+	// PlaceLinear defers the decision to allocation time: pinned while
+	// pinned memory remains, remotable afterwards (the Linear policy).
+	PlaceLinear Placement = iota
+	// PlacePinned statically marks the structure non-remotable; the
+	// runtime may still override (spill) if it does not fit.
+	PlacePinned
+	// PlaceRemotable statically marks the structure remotable.
+	PlaceRemotable
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlacePinned:
+		return "pinned"
+	case PlaceRemotable:
+		return "remotable"
+	}
+	return "linear"
+}
+
+// objState tracks where an object's bytes currently live.
+type objState uint8
+
+const (
+	objUninit   objState = iota // allocated, never touched
+	objRemote                   // resident only in the remote store
+	objInFlight                 // prefetch issued, payload arriving
+	objLocal                    // resident in the local arena
+)
+
+// FarObj is one entry of a data structure's object table (the
+// pool_manager->ptrs_ array of Listing 4).
+type FarObj struct {
+	state   objState
+	frame   uint64 // arena offset when local
+	readyAt uint64 // arrival cycle when in flight
+	lastUse uint64 // global access sequence number at last deref
+	dirty   bool
+	ref     bool // CLOCK reference bit
+	epoch   uint32
+}
+
+// DSStats is a snapshot of one structure's runtime counters.
+type DSStats struct {
+	Hits, Misses, ColdFaults     uint64
+	Evictions, WriteBacks        uint64
+	PrefetchIssued, PrefetchHits uint64
+	PinnedBytes, RemoteBytes     uint64
+}
+
+// DS is the runtime state of one data structure instance.
+type DS struct {
+	ID   int
+	Meta DSMeta
+
+	placement Placement
+	// everRemote is set once any allocation of this structure received a
+	// tagged address; cards_all_local then answers false for it.
+	everRemote bool
+	// spilled is set when a pinned structure ran out of pinned memory
+	// and the runtime overrode the static hint.
+	spilled bool
+	// localPromise is set once a cards_all_local check has committed an
+	// unguarded code path to this structure: all later growth must stay
+	// local.
+	localPromise bool
+
+	objShift uint
+	size     uint64 // virtual extent of the tagged region
+	objs     []FarObj
+
+	prefetcher  Prefetcher
+	maxInflight int
+	inflight    int
+
+	stats DSStats
+}
+
+// Stats returns a copy of the structure's counters.
+func (d *DS) Stats() DSStats { return d.stats }
+
+// Placement returns the structure's configured placement.
+func (d *DS) Placement() Placement { return d.placement }
+
+// Spilled reports whether the runtime overrode a pinned hint.
+func (d *DS) Spilled() bool { return d.spilled }
+
+// Local reports whether the structure has never been remoted (the
+// cards_all_local predicate for a single structure).
+func (d *DS) Local() bool { return !d.everRemote }
+
+// Size returns the tagged virtual extent in bytes.
+func (d *DS) Size() uint64 { return d.size }
+
+// Prefetcher decides which objects to pull ahead of demand. The runtime
+// invokes it after every deref of its data structure; implementations
+// call Runtime.PrefetchObj for the objects they want in flight.
+type Prefetcher interface {
+	Name() string
+	OnAccess(r *Runtime, d *DS, objIdx int, miss bool)
+}
+
+// nullPrefetcher never prefetches.
+type nullPrefetcher struct{}
+
+func (nullPrefetcher) Name() string                      { return "none" }
+func (nullPrefetcher) OnAccess(*Runtime, *DS, int, bool) {}
+
+// Store is the remote memory tier: a keyed object store addressed by
+// (data structure, object index). Implementations: the in-process
+// MapStore below, and the TCP-backed client in internal/remote.
+type Store interface {
+	// ReadObj fills dst with the object's bytes (zeros if never written).
+	ReadObj(ds, idx int, dst []byte) error
+	// WriteObj persists the object's bytes.
+	WriteObj(ds, idx int, src []byte) error
+}
+
+// MapStore is the in-process remote store used by simulations and tests.
+type MapStore struct {
+	m map[[2]int][]byte
+}
+
+// NewMapStore creates an empty in-process store.
+func NewMapStore() *MapStore { return &MapStore{m: make(map[[2]int][]byte)} }
+
+// ReadObj implements Store.
+func (s *MapStore) ReadObj(ds, idx int, dst []byte) error {
+	if b, ok := s.m[[2]int{ds, idx}]; ok {
+		copy(dst, b)
+		return nil
+	}
+	clear(dst)
+	return nil
+}
+
+// WriteObj implements Store.
+func (s *MapStore) WriteObj(ds, idx int, src []byte) error {
+	b := make([]byte, len(src))
+	copy(b, src)
+	s.m[[2]int{ds, idx}] = b
+	return nil
+}
+
+// Objects returns the number of objects resident in the store.
+func (s *MapStore) Objects() int { return len(s.m) }
+
+// Config configures a Runtime.
+type Config struct {
+	// Model is the cycle cost model; zero value uses the defaults.
+	Model netsim.CostModel
+	// PinnedBudget and RemotableBudget split local memory (bytes).
+	PinnedBudget, RemotableBudget uint64
+	// Store is the remote tier; nil uses an in-process MapStore.
+	Store Store
+	// MaxInflight caps outstanding prefetches per data structure.
+	MaxInflight int
+	// TrackFMGuards switches guard/fault cost accounting to the TrackFM
+	// cost profile of Table 1 (used by the baseline).
+	TrackFMGuards bool
+}
+
+// clockEntry is one CLOCK ring slot.
+type clockEntry struct {
+	ds    *DS
+	idx   int
+	epoch uint32
+}
+
+// RuntimeStats aggregates global counters.
+type RuntimeStats struct {
+	GuardChecks   uint64 // custody checks executed
+	FastPathHits  uint64 // untagged addresses (pinned memory)
+	DerefCalls    uint64 // slow-path cards_deref invocations
+	RemoteFetches uint64
+	Evictions     uint64
+	SpilledDS     uint64
+	AllLocalCalls uint64
+	// OvercommitBytes counts pinned allocations beyond the pinned budget
+	// forced by local promises (unguarded code paths).
+	OvercommitBytes uint64
+}
+
+// Runtime is the CaRDS far-memory runtime.
+type Runtime struct {
+	model netsim.CostModel
+	clock *netsim.Clock
+	link  *netsim.Link
+	arena *Arena
+	store Store
+
+	pinnedBudget, remotableBudget uint64
+	pinnedUsed, remotableUsed     uint64
+
+	dss  []*DS
+	ring []clockEntry
+	hand int
+
+	trackFM            bool
+	defaultMaxInflight int
+	accessSeq          uint64
+	inflightBytes      uint64
+	hook               EventHook
+
+	stats RuntimeStats
+}
+
+// New creates a runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	model := cfg.Model
+	if model.Instr == 0 {
+		model = netsim.DefaultCostModel()
+	}
+	if cfg.TrackFMGuards {
+		// TrackFM's remote guard path is leaner than a CaRDS fault
+		// (Table 1: ~46K vs ~59K cycles): its fixed-block tracking skips
+		// the per-structure dispatch the AIFM-derived fault path pays.
+		// Model it as a shorter effective round trip so that
+		// guard + RTT + 4 KiB transfer lands at the measured ~46K.
+		model.RemoteRTT = (model.TrackFMGuardRemoteRead + model.TrackFMGuardRemoteWrite) / 2
+	}
+	clock := &netsim.Clock{}
+	store := cfg.Store
+	if store == nil {
+		store = NewMapStore()
+	}
+	mi := cfg.MaxInflight
+	if mi <= 0 {
+		mi = 16
+	}
+	r := &Runtime{
+		model:           model,
+		clock:           clock,
+		link:            netsim.NewLink(model, clock),
+		arena:           NewArena(initialArenaCap(cfg.PinnedBudget + cfg.RemotableBudget)),
+		store:           store,
+		pinnedBudget:    cfg.PinnedBudget,
+		remotableBudget: cfg.RemotableBudget,
+		trackFM:         cfg.TrackFMGuards,
+	}
+	r.defaultMaxInflight = mi
+	return r
+}
+
+// initialArenaCap caps the arena's eager capacity: budgets may be set
+// far larger than the memory a run actually touches (e.g. Mira's
+// unconstrained profiling pass), and the arena grows on demand anyway.
+func initialArenaCap(budget uint64) int64 {
+	const eager = 1 << 24 // 16 MiB
+	if budget+(1<<16) < eager {
+		return int64(budget + (1 << 16))
+	}
+	return eager
+}
+
+// Clock returns the runtime's virtual clock.
+func (r *Runtime) Clock() *netsim.Clock { return r.clock }
+
+// Link returns the simulated network link.
+func (r *Runtime) Link() *netsim.Link { return r.link }
+
+// Model returns the cost model in use.
+func (r *Runtime) Model() *netsim.CostModel { return &r.model }
+
+// Arena exposes the local memory slab (the interpreter reads and writes
+// through it using localized addresses).
+func (r *Runtime) Arena() *Arena { return r.arena }
+
+// Stats returns a copy of the global counters.
+func (r *Runtime) Stats() RuntimeStats { return r.stats }
+
+// DSByID returns the data structure with the given handle, or nil.
+func (r *Runtime) DSByID(id int) *DS {
+	if id < 0 || id >= len(r.dss) {
+		return nil
+	}
+	return r.dss[id]
+}
+
+// NumDS returns the number of registered data structures.
+func (r *Runtime) NumDS() int { return len(r.dss) }
+
+// PinnedUsed and RemotableUsed report current local memory consumption.
+func (r *Runtime) PinnedUsed() uint64 { return r.pinnedUsed }
+
+// RemotableUsed reports bytes of remotable local memory in use.
+func (r *Runtime) RemotableUsed() uint64 { return r.remotableUsed }
+
+// RegisterDS registers a data structure with compiler-provided metadata
+// and returns its runtime state. IDs must be registered densely from 0.
+func (r *Runtime) RegisterDS(id int, meta DSMeta) (*DS, error) {
+	if id != len(r.dss) {
+		return nil, fmt.Errorf("farmem: non-dense DS id %d (have %d)", id, len(r.dss))
+	}
+	if id > MaxDS {
+		return nil, fmt.Errorf("farmem: DS id %d exceeds handle space", id)
+	}
+	if meta.ObjSize <= 0 {
+		meta.ObjSize = 4096
+	}
+	meta.ObjSize = nextPow2(meta.ObjSize)
+	d := &DS{
+		ID:          id,
+		Meta:        meta,
+		objShift:    log2(meta.ObjSize),
+		prefetcher:  nullPrefetcher{},
+		maxInflight: r.defaultMaxInflight,
+	}
+	r.dss = append(r.dss, d)
+	return d, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func log2(n int) uint {
+	s := uint(0)
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// SetPlacement configures the remoting decision for a structure.
+func (r *Runtime) SetPlacement(id int, p Placement) error {
+	d := r.DSByID(id)
+	if d == nil {
+		return fmt.Errorf("farmem: SetPlacement: unknown DS %d", id)
+	}
+	d.placement = p
+	return nil
+}
+
+// SetPrefetcher installs a prefetcher for a structure.
+func (r *Runtime) SetPrefetcher(id int, p Prefetcher) error {
+	d := r.DSByID(id)
+	if d == nil {
+		return fmt.Errorf("farmem: SetPrefetcher: unknown DS %d", id)
+	}
+	if p == nil {
+		p = nullPrefetcher{}
+	}
+	d.prefetcher = p
+	return nil
+}

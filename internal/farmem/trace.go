@@ -1,0 +1,99 @@
+package farmem
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind classifies runtime events for tracing.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// EvFetch: a demand miss fetched an object from the far tier.
+	EvFetch EventKind = iota + 1
+	// EvPrefetch: an asynchronous prefetch was issued.
+	EvPrefetch
+	// EvPrefetchHit: a demand access consumed an in-flight prefetch.
+	EvPrefetchHit
+	// EvEvict: an object was evicted (Dirty reports a write-back).
+	EvEvict
+	// EvSpill: the runtime overrode a pinned hint (structure remoted).
+	EvSpill
+	// EvMaterialize: first touch of an uninitialized object.
+	EvMaterialize
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvFetch:
+		return "fetch"
+	case EvPrefetch:
+		return "prefetch"
+	case EvPrefetchHit:
+		return "prefetch-hit"
+	case EvEvict:
+		return "evict"
+	case EvSpill:
+		return "spill"
+	case EvMaterialize:
+		return "materialize"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one traced runtime occurrence.
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	DS    int
+	Obj   int
+	Dirty bool
+}
+
+// String renders the event in the one-line trace format.
+func (e Event) String() string {
+	s := fmt.Sprintf("%12d %-13s ds%-3d obj%-6d", e.Cycle, e.Kind, e.DS, e.Obj)
+	if e.Dirty {
+		s += " dirty"
+	}
+	return s
+}
+
+// EventHook receives trace events synchronously on the runtime's
+// single thread. Install with SetEventHook; nil disables tracing.
+// The hook must not call back into the runtime.
+type EventHook func(Event)
+
+// SetEventHook installs (or clears) the trace hook.
+func (r *Runtime) SetEventHook(h EventHook) { r.hook = h }
+
+// emit delivers an event to the hook if tracing is enabled.
+func (r *Runtime) emit(kind EventKind, ds, obj int, dirty bool) {
+	if r.hook != nil {
+		r.hook(Event{Cycle: r.clock.Now(), Kind: kind, DS: ds, Obj: obj, Dirty: dirty})
+	}
+}
+
+// TraceWriter returns an EventHook that renders each event to w, one
+// line per event — handy for piping a run's far-memory behaviour into a
+// file for inspection.
+func TraceWriter(w io.Writer) EventHook {
+	return func(e Event) { fmt.Fprintln(w, e) }
+}
+
+// EventCounter tallies events by kind; a convenient hook for tests and
+// summaries.
+type EventCounter struct {
+	Counts map[EventKind]int
+}
+
+// NewEventCounter creates an empty counter.
+func NewEventCounter() *EventCounter {
+	return &EventCounter{Counts: make(map[EventKind]int)}
+}
+
+// Hook returns the EventHook that feeds the counter.
+func (c *EventCounter) Hook() EventHook {
+	return func(e Event) { c.Counts[e.Kind]++ }
+}

@@ -1,0 +1,115 @@
+package farmem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEventTraceCoversLifecycle(t *testing.T) {
+	obj := 4096
+	r := New(Config{PinnedBudget: 1 << 12, RemotableBudget: uint64(2 * obj)})
+	r.RegisterDS(0, DSMeta{Name: "d", ObjSize: obj})
+	r.SetPlacement(0, PlacePinned) // tiny pinned budget: will spill
+
+	counter := NewEventCounter()
+	var buf bytes.Buffer
+	writer := TraceWriter(&buf)
+	r.SetEventHook(func(e Event) {
+		counter.Hook()(e)
+		writer(e)
+	})
+
+	addr1, err := r.DSAlloc(0, 1<<12) // fills pinned
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := r.DSAlloc(0, int64(6*obj)) // forces the spill
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsTagged(addr1) || !IsTagged(addr2) {
+		t.Fatal("placement expectations wrong")
+	}
+	// Touch everything (materialize + evictions), then re-read (fetch).
+	for i := 0; i < 6; i++ {
+		if _, err := r.Guard(addr2+uint64(i*obj), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Guard(addr2, false); err != nil {
+		t.Fatal(err)
+	}
+	// Prefetch a remote object, then consume it.
+	d := r.DSByID(0)
+	for i := 1; i < 6; i++ {
+		r.PrefetchObj(d, i)
+	}
+	for i := 1; i < 6; i++ {
+		if _, err := r.Guard(addr2+uint64(i*obj), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, kind := range []EventKind{EvSpill, EvMaterialize, EvEvict, EvFetch, EvPrefetch, EvPrefetchHit} {
+		if counter.Counts[kind] == 0 {
+			t.Errorf("no %s events traced; counts = %v", kind, counter.Counts)
+		}
+	}
+	text := buf.String()
+	for _, want := range []string{"spill", "materialize", "evict", "fetch", "dirty"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNilHookIsFree(t *testing.T) {
+	r := New(Config{PinnedBudget: 1 << 16, RemotableBudget: 1 << 16})
+	r.RegisterDS(0, DSMeta{ObjSize: 4096})
+	r.SetPlacement(0, PlaceRemotable)
+	addr, _ := r.DSAlloc(0, 4096)
+	if _, err := r.Guard(addr, true); err != nil {
+		t.Fatal(err)
+	}
+	r.SetEventHook(nil) // clearing must be safe
+	if _, err := r.Guard(addr, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvFetch, EvPrefetch, EvPrefetchHit, EvEvict, EvSpill, EvMaterialize}
+	for _, k := range kinds {
+		if strings.HasPrefix(k.String(), "event(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(EventKind(99).String(), "event(") {
+		t.Error("unknown kind should fall back")
+	}
+}
+
+func TestReportRendersSummary(t *testing.T) {
+	obj := 4096
+	r := New(Config{PinnedBudget: 1 << 12, RemotableBudget: uint64(2 * obj)})
+	r.RegisterDS(0, DSMeta{Name: "a-very-long-structure-name-indeed", ObjSize: obj})
+	r.RegisterDS(1, DSMeta{Name: "pinned", ObjSize: obj})
+	r.SetPlacement(0, PlaceRemotable)
+	r.SetPlacement(1, PlacePinned)
+	a0, _ := r.DSAlloc(0, int64(4*obj))
+	r.DSAlloc(1, 512)
+	for i := 0; i < 4; i++ {
+		if _, err := r.Guard(a0+uint64(i*obj), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	text := buf.String()
+	for _, want := range []string{"remotable", "pinned", "guard checks", "evict", "…"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package ir
+
+import "fmt"
+
+// Builder emits instructions into a current block of one function. It is
+// the construction API used by the workload programs and by transform
+// passes that synthesize code (guard insertion, code versioning).
+type Builder struct {
+	fn  *Function
+	cur *Block
+}
+
+// NewBuilder returns a builder positioned at a fresh entry block of fn
+// (creating one if the function has no blocks yet).
+func NewBuilder(fn *Function) *Builder {
+	b := &Builder{fn: fn}
+	if len(fn.Blocks) == 0 {
+		b.cur = fn.NewBlock("entry")
+	} else {
+		b.cur = fn.Blocks[len(fn.Blocks)-1]
+	}
+	return b
+}
+
+// Func returns the function under construction.
+func (b *Builder) Func() *Function { return b.fn }
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.cur }
+
+// SetBlock moves the insertion point to blk.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// NewBlock creates a block (without moving the insertion point).
+func (b *Builder) NewBlock(name string) *Block { return b.fn.NewBlock(name) }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if t := b.cur.Term(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %s into terminated block %s", in, b.cur.Name))
+	}
+	b.cur.Append(in)
+	return in
+}
+
+func (b *Builder) newDst(name string, t Type) *Reg { return b.fn.NewReg(name, t) }
+
+// ConstI emits an integer constant into a fresh register.
+func (b *Builder) ConstI(v int64) *Reg {
+	in := NewInstr(OpConst)
+	in.IntVal = v
+	in.Dst = b.newDst("", I64())
+	b.emit(in)
+	return in.Dst
+}
+
+// ConstF emits a float constant into a fresh register.
+func (b *Builder) ConstF(v float64) *Reg {
+	in := NewInstr(OpConst)
+	in.FloatVal = v
+	in.IsFloat = true
+	in.Dst = b.newDst("", F64())
+	b.emit(in)
+	return in.Dst
+}
+
+// Bin emits dst = x <kind> y.
+func (b *Builder) Bin(kind BinKind, x, y Value) *Reg {
+	in := NewInstr(OpBin)
+	in.Kind, in.X, in.Y = kind, x, y
+	t := I64()
+	switch kind {
+	case FAdd, FSub, FMul, FDiv, IToF:
+		t = F64()
+	}
+	in.Dst = b.newDst("", t)
+	b.emit(in)
+	return in.Dst
+}
+
+// Arithmetic and comparison shorthands.
+func (b *Builder) Add(x, y Value) *Reg  { return b.Bin(Add, x, y) }
+func (b *Builder) Sub(x, y Value) *Reg  { return b.Bin(Sub, x, y) }
+func (b *Builder) Mul(x, y Value) *Reg  { return b.Bin(Mul, x, y) }
+func (b *Builder) Div(x, y Value) *Reg  { return b.Bin(Div, x, y) }
+func (b *Builder) Rem(x, y Value) *Reg  { return b.Bin(Rem, x, y) }
+func (b *Builder) And(x, y Value) *Reg  { return b.Bin(And, x, y) }
+func (b *Builder) Xor(x, y Value) *Reg  { return b.Bin(Xor, x, y) }
+func (b *Builder) Shl(x, y Value) *Reg  { return b.Bin(Shl, x, y) }
+func (b *Builder) Shr(x, y Value) *Reg  { return b.Bin(Shr, x, y) }
+func (b *Builder) LT(x, y Value) *Reg   { return b.Bin(LT, x, y) }
+func (b *Builder) LE(x, y Value) *Reg   { return b.Bin(LE, x, y) }
+func (b *Builder) GT(x, y Value) *Reg   { return b.Bin(GT, x, y) }
+func (b *Builder) GE(x, y Value) *Reg   { return b.Bin(GE, x, y) }
+func (b *Builder) EQ(x, y Value) *Reg   { return b.Bin(EQ, x, y) }
+func (b *Builder) NE(x, y Value) *Reg   { return b.Bin(NE, x, y) }
+func (b *Builder) FAdd(x, y Value) *Reg { return b.Bin(FAdd, x, y) }
+func (b *Builder) IToF(x Value) *Reg    { return b.Bin(IToF, x, CI(0)) }
+func (b *Builder) FMul(x, y Value) *Reg { return b.Bin(FMul, x, y) }
+func (b *Builder) FSub(x, y Value) *Reg { return b.Bin(FSub, x, y) }
+func (b *Builder) FDiv(x, y Value) *Reg { return b.Bin(FDiv, x, y) }
+
+// Copy emits dst = src into a fresh register of the same type as src.
+func (b *Builder) Copy(src Value) *Reg {
+	in := NewInstr(OpCopy)
+	in.Src = src
+	in.Dst = b.newDst("", typeOf(src))
+	b.emit(in)
+	return in.Dst
+}
+
+// Assign emits an in-place move of src into the existing register dst
+// (the IR is not SSA; loop induction updates use this).
+func (b *Builder) Assign(dst *Reg, src Value) {
+	in := NewInstr(OpCopy)
+	in.Src = src
+	in.Dst = dst
+	b.emit(in)
+}
+
+// Alloc emits a heap allocation of count elements of elem type; the
+// result register is a pointer to elem. This models malloc and is the
+// instruction pool allocation later rewrites into dsalloc.
+func (b *Builder) Alloc(elem Type, count Value) *Reg {
+	in := NewInstr(OpAlloc)
+	in.Elem = elem
+	in.Count = count
+	in.Dst = b.newDst("", Ptr(elem))
+	b.emit(in)
+	return in.Dst
+}
+
+// Load emits dst = load elem, addr.
+func (b *Builder) Load(elem Type, addr Value) *Reg {
+	in := NewInstr(OpLoad)
+	in.Elem = elem
+	in.Addr = addr
+	in.Dst = b.newDst("", elem)
+	b.emit(in)
+	return in.Dst
+}
+
+// Store emits store elem, val -> addr.
+func (b *Builder) Store(elem Type, val, addr Value) {
+	in := NewInstr(OpStore)
+	in.Elem = elem
+	in.Src = val
+	in.Addr = addr
+	b.emit(in)
+}
+
+// GEP emits dst = base + index*elemSize + constOff. index may be nil for
+// pure field offsets.
+func (b *Builder) GEP(base Value, index Value, elemSize, constOff int) *Reg {
+	in := NewInstr(OpGEP)
+	in.Base = base
+	in.Index = index
+	in.ElemSize = elemSize
+	in.ConstOff = constOff
+	in.Dst = b.newDst("", typeOf(base))
+	b.emit(in)
+	return in.Dst
+}
+
+// Idx is GEP specialized for array indexing of the pointee type.
+func (b *Builder) Idx(base Value, index Value) *Reg {
+	elem := Elem(typeOf(base))
+	if elem == nil {
+		panic("ir: Idx on non-pointer base")
+	}
+	return b.GEP(base, index, elem.Size(), 0)
+}
+
+// FieldAddr is GEP specialized for struct field access.
+func (b *Builder) FieldAddr(base Value, st *StructType, field string) *Reg {
+	f, ok := st.FieldByName(field)
+	if !ok {
+		panic(fmt.Sprintf("ir: no field %q in %s", field, st))
+	}
+	g := b.GEP(base, nil, 0, f.Off)
+	g.Type = Ptr(f.Type)
+	return g
+}
+
+// Call emits dst = call callee(args...); dst is nil for void callees.
+func (b *Builder) Call(callee *Function, args ...Value) *Reg {
+	in := NewInstr(OpCall)
+	in.Callee = callee.Name
+	in.Args = append([]Value(nil), args...)
+	if _, isVoid := callee.Result.(VoidType); !isVoid {
+		in.Dst = b.newDst("", callee.Result)
+	}
+	b.emit(in)
+	return in.Dst
+}
+
+// Ret emits a return (val may be nil for void).
+func (b *Builder) Ret(val Value) {
+	in := NewInstr(OpRet)
+	in.Src = val
+	b.emit(in)
+}
+
+// Br emits a conditional branch.
+func (b *Builder) Br(cond Value, then, els *Block) {
+	in := NewInstr(OpBr)
+	in.Cond = cond
+	in.Then, in.Else = then, els
+	b.emit(in)
+}
+
+// Jmp emits an unconditional jump.
+func (b *Builder) Jmp(target *Block) {
+	in := NewInstr(OpJmp)
+	in.Target = target
+	b.emit(in)
+}
+
+// typeOf reports the static type of a value.
+func typeOf(v Value) Type {
+	switch vv := v.(type) {
+	case *Reg:
+		return vv.Type
+	case IntConst:
+		return I64()
+	case FloatConst:
+		return F64()
+	}
+	return Void()
+}
+
+// TypeOf exposes operand typing to other packages.
+func TypeOf(v Value) Type { return typeOf(v) }
+
+// LoopInfo describes the blocks of a canonical counted loop built by
+// CountedLoop, so callers can emit the body and analyses can find the
+// induction variable trivially in tests.
+type LoopInfo struct {
+	IV     *Reg // induction variable register
+	Header *Block
+	Body   *Block
+	Latch  *Block
+	Exit   *Block
+}
+
+// CountedLoop builds the skeleton of `for iv = start; iv < limit; iv +=
+// step { body }`. On return the builder is positioned at the start of the
+// body block; the caller emits the body and then calls CloseLoop, after
+// which the builder is positioned at the exit block.
+func (b *Builder) CountedLoop(name string, start, limit, step Value) *LoopInfo {
+	iv := b.fn.NewReg(name+".iv", I64())
+	header := b.NewBlock(name + ".header")
+	body := b.NewBlock(name + ".body")
+	latch := b.NewBlock(name + ".latch")
+	exit := b.NewBlock(name + ".exit")
+
+	b.Assign(iv, start)
+	b.Jmp(header)
+
+	b.SetBlock(header)
+	cond := b.LT(iv, limit)
+	b.Br(cond, body, exit)
+
+	b.SetBlock(latch)
+	b.Assign(iv, b.Add(iv, step))
+	b.Jmp(header)
+
+	b.SetBlock(body)
+	li := &LoopInfo{IV: iv, Header: header, Body: body, Latch: latch, Exit: exit}
+	// Remember step/limit so CloseLoop can finish.
+	return li
+}
+
+// CloseLoop terminates the body (jump to latch) and positions the builder
+// at the loop exit.
+func (b *Builder) CloseLoop(li *LoopInfo) {
+	if b.cur.Term() == nil {
+		b.Jmp(li.Latch)
+	}
+	b.SetBlock(li.Exit)
+}

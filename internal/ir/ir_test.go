@@ -1,0 +1,357 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarTypes(t *testing.T) {
+	if I64().Size() != 8 || F64().Size() != 8 || Void().Size() != 0 {
+		t.Fatal("scalar sizes wrong")
+	}
+	if I64().String() != "i64" || F64().String() != "f64" || Void().String() != "void" {
+		t.Fatal("scalar names wrong")
+	}
+}
+
+func TestPtrInterning(t *testing.T) {
+	if Ptr(I64()) != Ptr(I64()) {
+		t.Fatal("pointer-to-i64 should be interned")
+	}
+	if Ptr(F64()) != Ptr(F64()) {
+		t.Fatal("pointer-to-f64 should be interned")
+	}
+	if Ptr(I64()).String() != "*i64" {
+		t.Fatalf("String = %s", Ptr(I64()))
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	node := NewStruct("node", F("val", I64()), F("next", Ptr(I64())), F("w", F64()))
+	if node.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", node.Size())
+	}
+	f, ok := node.FieldByName("next")
+	if !ok || f.Off != 8 {
+		t.Fatalf("next field = %+v ok=%v", f, ok)
+	}
+	if _, ok := node.FieldByName("bogus"); ok {
+		t.Fatal("found nonexistent field")
+	}
+	if node.String() != "%node" {
+		t.Fatalf("String = %s", node)
+	}
+	anon := NewStruct("", F("a", I64()))
+	if !strings.Contains(anon.String(), "i64") {
+		t.Fatalf("anon String = %s", anon)
+	}
+}
+
+func TestArrayType(t *testing.T) {
+	a := Array(F64(), 10)
+	if a.Size() != 80 {
+		t.Fatalf("Size = %d, want 80", a.Size())
+	}
+	if a.String() != "[10 x f64]" {
+		t.Fatalf("String = %s", a)
+	}
+}
+
+func TestPointerFieldOffsets(t *testing.T) {
+	// struct { i64; *i64; struct{ *f64 }; [2 x *i64] }
+	inner := NewStruct("inner", F("p", Ptr(F64())))
+	outer := NewStruct("outer",
+		F("v", I64()),
+		F("next", Ptr(I64())),
+		F("in", inner),
+		F("arr", Array(Ptr(I64()), 2)),
+	)
+	got := PointerFieldOffsets(outer)
+	want := []int{8, 16, 24, 32}
+	if len(got) != len(want) {
+		t.Fatalf("offsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", got, want)
+		}
+	}
+	if offs := PointerFieldOffsets(Ptr(I64())); len(offs) != 1 || offs[0] != 0 {
+		t.Fatalf("scalar pointer offsets = %v", offs)
+	}
+	if offs := PointerFieldOffsets(I64()); len(offs) != 0 {
+		t.Fatalf("i64 offsets = %v", offs)
+	}
+}
+
+func TestBuildListing1Verifies(t *testing.T) {
+	m := BuildListing1(1024, 8)
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if m.Main() == nil {
+		t.Fatal("no main")
+	}
+	if got := len(m.Funcs); got != 3 {
+		t.Fatalf("funcs = %d, want 3", got)
+	}
+	text := m.String()
+	for _, want := range []string{"func @alloc", "func @Set", "func @main", "alloc i64", "store i64"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("module text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCountedLoopShape(t *testing.T) {
+	m := NewModule("loops")
+	f := m.NewFunc("sum", I64(), P("a", Ptr(I64())), P("n", I64()))
+	b := NewBuilder(f)
+	acc := f.NewReg("acc", I64())
+	b.Assign(acc, CI(0))
+	loop := b.CountedLoop("i", CI(0), f.Params[1], CI(1))
+	v := b.Load(I64(), b.Idx(f.Params[0], loop.IV))
+	b.Assign(acc, b.Add(acc, v))
+	b.CloseLoop(loop)
+	b.Ret(acc)
+	MustVerify(m)
+
+	// Header must branch to body and exit; latch must jump to header.
+	succs := loop.Header.Succs()
+	if len(succs) != 2 || succs[0] != loop.Body || succs[1] != loop.Exit {
+		t.Fatalf("header succs = %v", succs)
+	}
+	ls := loop.Latch.Succs()
+	if len(ls) != 1 || ls[0] != loop.Header {
+		t.Fatalf("latch succs = %v", ls)
+	}
+	bs := loop.Body.Succs()
+	if len(bs) != 1 || bs[0] != loop.Latch {
+		t.Fatalf("body succs = %v", bs)
+	}
+}
+
+func TestVerifyCatchesEmptyFunction(t *testing.T) {
+	m := NewModule("bad")
+	m.NewFunc("empty", Void())
+	if err := Verify(m); err == nil {
+		t.Fatal("expected error for function with no blocks")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", Void())
+	b := NewBuilder(f)
+	b.ConstI(1) // no terminator
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "missing terminator") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyCatchesMidBlockTerminator(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", Void())
+	blk := f.NewBlock("entry")
+	ret := NewInstr(OpRet)
+	blk.Append(ret)
+	c := NewInstr(OpConst)
+	c.Dst = f.NewReg("", I64())
+	blk.Append(c)
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "not last") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyCatchesForeignRegister(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", Void())
+	g := m.NewFunc("g", Void())
+	foreign := g.NewReg("x", I64())
+	gb := NewBuilder(g)
+	gb.Ret(nil)
+
+	fb := NewBuilder(f)
+	in := NewInstr(OpCopy)
+	in.Src = foreign
+	in.Dst = f.NewReg("", I64())
+	fb.Block().Append(in)
+	fb.Ret(nil)
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "foreign register") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyCatchesBadCall(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", Void())
+	fb := NewBuilder(f)
+	in := NewInstr(OpCall)
+	in.Callee = "nonexistent"
+	fb.Block().Append(in)
+	fb.Ret(nil)
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyCatchesArityMismatch(t *testing.T) {
+	m := NewModule("bad")
+	callee := m.NewFunc("callee", Void(), P("a", I64()))
+	cb := NewBuilder(callee)
+	cb.Ret(nil)
+	f := m.NewFunc("f", Void())
+	fb := NewBuilder(f)
+	in := NewInstr(OpCall)
+	in.Callee = "callee" // zero args, wants one
+	fb.Block().Append(in)
+	fb.Ret(nil)
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "want 1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyCatchesVoidRetMismatch(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", I64())
+	fb := NewBuilder(f)
+	fb.Ret(nil) // bare ret in non-void function
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "bare ret") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewModule("dup")
+	m.NewFunc("f", Void())
+	m.NewFunc("f", Void())
+}
+
+func TestEmitIntoTerminatedBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewModule("x")
+	f := m.NewFunc("f", Void())
+	b := NewBuilder(f)
+	b.Ret(nil)
+	b.ConstI(1)
+}
+
+func TestBlockNameUniquing(t *testing.T) {
+	m := NewModule("x")
+	f := m.NewFunc("f", Void())
+	b1 := f.NewBlock("loop")
+	b2 := f.NewBlock("loop")
+	b3 := f.NewBlock("loop")
+	if b1.Name == b2.Name || b2.Name == b3.Name || b1.Name == b3.Name {
+		t.Fatalf("names not unique: %s %s %s", b1.Name, b2.Name, b3.Name)
+	}
+	if f.BlockByName(b2.Name) != b2 {
+		t.Fatal("BlockByName lookup failed")
+	}
+	if f.BlockByName("nope") != nil {
+		t.Fatal("BlockByName returned ghost block")
+	}
+}
+
+func TestAssignSitesDeterministic(t *testing.T) {
+	m1 := BuildListing1(16, 2)
+	m2 := BuildListing1(16, 2)
+	var sites1, sites2 []int
+	for _, f := range m1.Funcs {
+		f.Instrs(func(_ *Block, _ int, in *Instr) bool {
+			sites1 = append(sites1, in.Site)
+			return true
+		})
+	}
+	for _, f := range m2.Funcs {
+		f.Instrs(func(_ *Block, _ int, in *Instr) bool {
+			sites2 = append(sites2, in.Site)
+			return true
+		})
+	}
+	if len(sites1) != len(sites2) {
+		t.Fatalf("site counts differ: %d vs %d", len(sites1), len(sites2))
+	}
+	for i := range sites1 {
+		if sites1[i] != sites2[i] {
+			t.Fatalf("site %d differs: %d vs %d", i, sites1[i], sites2[i])
+		}
+		if sites1[i] != i {
+			t.Fatalf("sites not sequential: sites[%d]=%d", i, sites1[i])
+		}
+	}
+}
+
+func TestInstrStringCoverage(t *testing.T) {
+	m := NewModule("strings")
+	f := m.NewFunc("f", Void(), P("p", Ptr(I64())))
+	b := NewBuilder(f)
+	done := b.NewBlock("done")
+
+	c := b.ConstI(7)
+	cf := b.ConstF(2.5)
+	sum := b.Add(c, c)
+	_ = b.FAdd(cf, cf)
+	cp := b.Copy(sum)
+	arr := b.Alloc(I64(), CI(4))
+	g := b.Idx(arr, c)
+	v := b.Load(I64(), g)
+	b.Store(I64(), v, g)
+
+	guard := NewInstr(OpGuard)
+	guard.Addr = g
+	guard.IsWrite = true
+	guard.Dst = f.NewReg("", Ptr(I64()))
+	b.Block().Append(guard)
+
+	al := NewInstr(OpAllLocal)
+	al.DSRefs = []int{0, 1}
+	al.Dst = f.NewReg("", I64())
+	b.Block().Append(al)
+
+	pf := NewInstr(OpPrefetch)
+	pf.Addr = g
+	b.Block().Append(pf)
+
+	b.Br(b.EQ(cp, c), done, done)
+
+	b.SetBlock(done)
+	b.Ret(nil)
+
+	var texts []string
+	f.Instrs(func(_ *Block, _ int, in *Instr) bool {
+		texts = append(texts, in.String())
+		return true
+	})
+	joined := strings.Join(texts, "\n")
+	for _, want := range []string{
+		"const 7", "fconst 2.5", "add", "fadd", "copy", "alloc i64",
+		"gep", "load i64", "store i64", "cards_guard.w", "cards_all_local [0 1]",
+		"cards_prefetch", "br", "ret",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("instruction text missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+// Property: round-tripping random operand values through TypeOf never
+// panics and yields consistent sizes.
+func TestTypeOfProperty(t *testing.T) {
+	f := func(iv int64, fv float64) bool {
+		return TypeOf(CI(iv)).Size() == 8 && TypeOf(CF(fv)).Size() == 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,727 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a module in the textual syntax produced by Module.String.
+// It accepts pre-transform programs (the form users write for cardsc)
+// as well as instrumented ones (guards, all_local, prefetch). The parsed
+// module is verified before being returned.
+//
+// Syntax sketch:
+//
+//	module NAME
+//	type %node = { val i64, next *i64 }
+//	func @f(%p *i64, %n i64) i64 {
+//	entry:
+//	  %acc = copy 0
+//	  jmp loop.header
+//	loop.header:
+//	  ...
+//	}
+//
+// Comments run from ';' to end of line. Registers are function-scoped
+// and mutable: every textual mention of %x inside one function denotes
+// the same register.
+func Parse(src string) (*Module, error) {
+	p := &parser{
+		lines:   strings.Split(src, "\n"),
+		structs: make(map[string]*StructType),
+	}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	inferTypes(p.mod)
+	if err := Verify(p.mod); err != nil {
+		return nil, fmt.Errorf("ir: parsed module does not verify: %w", err)
+	}
+	p.mod.AssignSites()
+	return p.mod, nil
+}
+
+// inferTypes propagates pointer types that single-line parsing cannot
+// resolve — most importantly call results (typed by the callee's
+// signature, which may be parsed later) and values flowing through
+// copies and GEPs of such registers. Execution does not depend on
+// register types, but the data structure analysis does: a pointer-typed
+// register gets a points-to cell, an integer does not.
+func inferTypes(m *Module) {
+	refine := func(r *Reg, t Type) bool {
+		if r == nil || t == nil {
+			return false
+		}
+		if _, isPtr := t.(*PtrType); !isPtr {
+			return false
+		}
+		if r.Type == Type(i64Type) {
+			r.Type = t
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			f.Instrs(func(_ *Block, _ int, in *Instr) bool {
+				switch in.Op {
+				case OpCall:
+					if callee := m.FuncByName(in.Callee); callee != nil {
+						if refine(in.Dst, callee.Result) {
+							changed = true
+						}
+						// Arguments adopt parameter pointer types.
+						for i, a := range in.Args {
+							if i < len(callee.Params) {
+								if r, ok := a.(*Reg); ok &&
+									refine(r, callee.Params[i].Type) {
+									changed = true
+								}
+							}
+						}
+					}
+				case OpCopy:
+					if src, ok := in.Src.(*Reg); ok {
+						if refine(in.Dst, src.Type) {
+							changed = true
+						}
+					}
+				case OpGEP:
+					if base, ok := in.Base.(*Reg); ok {
+						if refine(in.Dst, base.Type) {
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+type parser struct {
+	lines   []string
+	pos     int
+	mod     *Module
+	structs map[string]*StructType
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+// next returns the next non-empty line with comments stripped, or ok =
+// false at end of input.
+func (p *parser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		p.pos++
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+// peek looks at the next meaningful line without consuming it.
+func (p *parser) peek() (string, bool) {
+	save := p.pos
+	line, ok := p.next()
+	p.pos = save
+	return line, ok
+}
+
+func (p *parser) parse() error {
+	line, ok := p.next()
+	if !ok || !strings.HasPrefix(line, "module ") {
+		return p.errf("expected 'module NAME'")
+	}
+	p.mod = NewModule(strings.TrimSpace(strings.TrimPrefix(line, "module ")))
+
+	for {
+		line, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, "type "):
+			p.next()
+			if err := p.parseType(line); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "func "):
+			if err := p.parseFunc(); err != nil {
+				return err
+			}
+		default:
+			p.next()
+			return p.errf("unexpected %q at top level", line)
+		}
+	}
+	if len(p.mod.Funcs) == 0 {
+		return p.errf("module has no functions")
+	}
+	return nil
+}
+
+// parseType handles: type %name = { field type, field type }
+func (p *parser) parseType(line string) error {
+	rest := strings.TrimPrefix(line, "type ")
+	eq := strings.Index(rest, "=")
+	if eq < 0 {
+		return p.errf("type declaration missing '='")
+	}
+	name := strings.TrimSpace(rest[:eq])
+	if !strings.HasPrefix(name, "%") {
+		return p.errf("type name must start with %%")
+	}
+	name = name[1:]
+	body := strings.TrimSpace(rest[eq+1:])
+	if !strings.HasPrefix(body, "{") || !strings.HasSuffix(body, "}") {
+		return p.errf("type body must be { ... }")
+	}
+	body = strings.TrimSpace(body[1 : len(body)-1])
+	var fields []Field
+	if body != "" {
+		for _, part := range strings.Split(body, ",") {
+			toks := strings.Fields(part)
+			if len(toks) != 2 {
+				return p.errf("field %q must be 'name type'", part)
+			}
+			ft, err := p.parseTypeRef(toks[1])
+			if err != nil {
+				return err
+			}
+			fields = append(fields, F(toks[0], ft))
+		}
+	}
+	if _, dup := p.structs[name]; dup {
+		return p.errf("duplicate type %%%s", name)
+	}
+	p.structs[name] = NewStruct(name, fields...)
+	return nil
+}
+
+// parseTypeRef resolves a type token: i64, f64, void, *T, %name,
+// [N x T].
+func (p *parser) parseTypeRef(tok string) (Type, error) {
+	switch {
+	case tok == "i64":
+		return I64(), nil
+	case tok == "f64":
+		return F64(), nil
+	case tok == "void":
+		return Void(), nil
+	case strings.HasPrefix(tok, "*"):
+		elem, err := p.parseTypeRef(tok[1:])
+		if err != nil {
+			return nil, err
+		}
+		return Ptr(elem), nil
+	case strings.HasPrefix(tok, "%"):
+		st, ok := p.structs[tok[1:]]
+		if !ok {
+			return nil, p.errf("unknown type %s", tok)
+		}
+		return st, nil
+	case strings.HasPrefix(tok, "["):
+		// [N x T] arrives split by Fields in some contexts; handle the
+		// compact form [NxT] and the canonical one.
+		inner := strings.TrimSuffix(strings.TrimPrefix(tok, "["), "]")
+		parts := strings.Split(inner, "x")
+		if len(parts) != 2 {
+			return nil, p.errf("malformed array type %q", tok)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, p.errf("array length in %q: %v", tok, err)
+		}
+		elem, err := p.parseTypeRef(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, err
+		}
+		return Array(elem, n), nil
+	}
+	return nil, p.errf("unknown type %q", tok)
+}
+
+// funcState carries per-function parsing context.
+type funcState struct {
+	fn     *Function
+	regs   map[string]*Reg
+	blocks map[string]*Block
+	// pending records (instr, field, label) fixups for forward block
+	// references.
+}
+
+func (fs *funcState) reg(p *parser, name string, t Type) *Reg {
+	if r, ok := fs.regs[name]; ok {
+		if t != nil && r.Type == Type(i64Type) && t != Type(i64Type) {
+			// Refine a default-typed forward reference.
+			r.Type = t
+		}
+		return r
+	}
+	if t == nil {
+		t = I64()
+	}
+	r := fs.fn.NewReg(name, t)
+	fs.regs[name] = r
+	return r
+}
+
+func (fs *funcState) block(name string) *Block {
+	if b, ok := fs.blocks[name]; ok {
+		return b
+	}
+	b := fs.fn.NewBlock(name)
+	if b.Name != name {
+		// NewBlock uniquified: our map guarantees this cannot happen.
+		panic("ir: block name collision during parse")
+	}
+	fs.blocks[name] = b
+	return b
+}
+
+// parseFunc consumes one function definition.
+func (p *parser) parseFunc() error {
+	line, _ := p.next()
+	// func @name(params) result {
+	rest := strings.TrimPrefix(line, "func ")
+	if !strings.HasPrefix(rest, "@") {
+		return p.errf("function name must start with @")
+	}
+	open := strings.Index(rest, "(")
+	close := strings.LastIndex(rest, ")")
+	if open < 0 || close < open {
+		return p.errf("malformed function signature %q", line)
+	}
+	name := rest[1:open]
+	paramText := rest[open+1 : close]
+	tail := strings.Fields(strings.TrimSpace(rest[close+1:]))
+	if len(tail) != 2 || tail[1] != "{" {
+		return p.errf("expected 'RESULTTYPE {' after params, got %q", rest[close+1:])
+	}
+	result, err := p.parseTypeRef(tail[0])
+	if err != nil {
+		return err
+	}
+
+	var params []Param
+	if strings.TrimSpace(paramText) != "" {
+		for _, part := range strings.Split(paramText, ",") {
+			toks := strings.Fields(part)
+			if len(toks) != 2 || !strings.HasPrefix(toks[0], "%") {
+				return p.errf("parameter %q must be '%%name type'", part)
+			}
+			pt, err := p.parseTypeRef(toks[1])
+			if err != nil {
+				return err
+			}
+			params = append(params, P(toks[0][1:], pt))
+		}
+	}
+
+	if p.mod.FuncByName(name) != nil {
+		return p.errf("duplicate function @%s", name)
+	}
+	fn := p.mod.NewFunc(name, result, params...)
+	fs := &funcState{
+		fn:     fn,
+		regs:   make(map[string]*Reg),
+		blocks: make(map[string]*Block),
+	}
+	for _, r := range fn.Params {
+		fs.regs[r.Name] = r
+	}
+
+	var cur *Block
+	var defined []*Block
+	definedSet := make(map[*Block]bool)
+	for {
+		line, ok := p.next()
+		if !ok {
+			return p.errf("unterminated function @%s", name)
+		}
+		if line == "}" {
+			// Every referenced block must have been defined, and the
+			// function's block order is definition order (branch
+			// targets may have created blocks out of order).
+			for label, b := range fs.blocks {
+				if !definedSet[b] {
+					return p.errf("branch to undefined block %q in @%s", label, name)
+				}
+			}
+			fn.Blocks = defined
+			return nil
+		}
+		if strings.HasSuffix(line, ":") {
+			cur = fs.block(strings.TrimSuffix(line, ":"))
+			if definedSet[cur] {
+				return p.errf("duplicate block label %q in @%s", cur.Name, name)
+			}
+			definedSet[cur] = true
+			defined = append(defined, cur)
+			continue
+		}
+		if cur == nil {
+			return p.errf("instruction before first block label in @%s", name)
+		}
+		in, err := p.parseInstr(fs, line)
+		if err != nil {
+			return err
+		}
+		cur.Append(in)
+	}
+}
+
+// parseInstr parses one instruction line.
+func (p *parser) parseInstr(fs *funcState, line string) (*Instr, error) {
+	dstName := ""
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, p.errf("register without assignment: %q", line)
+		}
+		dstName = strings.TrimSpace(line[:eq])[1:]
+		line = strings.TrimSpace(line[eq+1:])
+	}
+	toks := strings.Fields(strings.ReplaceAll(line, ",", " , "))
+	if len(toks) == 0 {
+		return nil, p.errf("empty instruction")
+	}
+	op := toks[0]
+	args := splitOperands(toks[1:])
+
+	in := NewInstr(OpInvalid)
+	setDst := func(t Type) {
+		if dstName != "" {
+			in.Dst = fs.reg(p, dstName, t)
+			if t != nil {
+				in.Dst.Type = t
+			}
+		}
+	}
+	val := func(s string, t Type) (Value, error) { return p.operand(fs, s, t) }
+
+	switch op {
+	case "const":
+		if len(args) != 1 {
+			return nil, p.errf("const wants 1 operand")
+		}
+		n, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return nil, p.errf("const %q: %v", args[0], err)
+		}
+		in.Op = OpConst
+		in.IntVal = n
+		setDst(I64())
+
+	case "fconst":
+		if len(args) != 1 {
+			return nil, p.errf("fconst wants 1 operand")
+		}
+		fv, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return nil, p.errf("fconst %q: %v", args[0], err)
+		}
+		in.Op = OpConst
+		in.IsFloat = true
+		in.FloatVal = fv
+		setDst(F64())
+
+	case "copy":
+		if len(args) != 1 {
+			return nil, p.errf("copy wants 1 operand")
+		}
+		v, err := val(args[0], nil)
+		if err != nil {
+			return nil, err
+		}
+		in.Op = OpCopy
+		in.Src = v
+		setDst(TypeOf(v))
+
+	case "alloc":
+		if len(args) != 2 {
+			return nil, p.errf("alloc wants 'type, count'")
+		}
+		elem, err := p.parseTypeRef(args[0])
+		if err != nil {
+			return nil, err
+		}
+		count, err := val(args[1], I64())
+		if err != nil {
+			return nil, err
+		}
+		in.Op = OpAlloc
+		in.Elem = elem
+		in.Count = count
+		setDst(Ptr(elem))
+
+	case "load":
+		if len(args) != 2 {
+			return nil, p.errf("load wants 'type, addr'")
+		}
+		elem, err := p.parseTypeRef(args[0])
+		if err != nil {
+			return nil, err
+		}
+		addr, err := val(args[1], Ptr(elem))
+		if err != nil {
+			return nil, err
+		}
+		in.Op = OpLoad
+		in.Elem = elem
+		in.Addr = addr
+		setDst(elem)
+
+	case "store":
+		// store TYPE, VAL -> ADDR
+		arrow := -1
+		for i, a := range args {
+			if a == "->" {
+				arrow = i
+			}
+		}
+		if len(args) < 3 || arrow != 2 {
+			return nil, p.errf("store wants 'type, val -> addr'")
+		}
+		elem, err := p.parseTypeRef(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := val(args[1], elem)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := val(args[3], Ptr(elem))
+		if err != nil {
+			return nil, err
+		}
+		in.Op = OpStore
+		in.Elem = elem
+		in.Src = v
+		in.Addr = addr
+
+	case "gep":
+		if len(args) != 4 {
+			return nil, p.errf("gep wants 'base, index, elemsize, constoff'")
+		}
+		base, err := val(args[0], Ptr(I64()))
+		if err != nil {
+			return nil, err
+		}
+		in.Op = OpGEP
+		in.Base = base
+		if args[1] != "0" {
+			idx, err := val(args[1], I64())
+			if err != nil {
+				return nil, err
+			}
+			in.Index = idx
+		}
+		if in.ElemSize, err = strconv.Atoi(args[2]); err != nil {
+			return nil, p.errf("gep elemsize: %v", err)
+		}
+		if in.ConstOff, err = strconv.Atoi(args[3]); err != nil {
+			return nil, p.errf("gep constoff: %v", err)
+		}
+		setDst(TypeOf(base))
+
+	case "call":
+		// call @f(a, b)
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "call"))
+		if !strings.HasPrefix(rest, "@") {
+			return nil, p.errf("call wants @callee(...)")
+		}
+		open := strings.Index(rest, "(")
+		closeIdx := strings.LastIndex(rest, ")")
+		if open < 0 || closeIdx < open {
+			return nil, p.errf("malformed call %q", line)
+		}
+		in.Op = OpCall
+		in.Callee = rest[1:open]
+		argText := strings.TrimSpace(rest[open+1 : closeIdx])
+		if argText != "" {
+			for _, a := range strings.Split(argText, ",") {
+				v, err := val(strings.TrimSpace(a), nil)
+				if err != nil {
+					return nil, err
+				}
+				in.Args = append(in.Args, v)
+			}
+		}
+		if dstName != "" {
+			// Result type resolved after all functions parse; default
+			// i64 is refined by later uses.
+			setDst(nil)
+		}
+
+	case "ret":
+		in.Op = OpRet
+		if len(args) == 1 {
+			v, err := val(args[0], nil)
+			if err != nil {
+				return nil, err
+			}
+			in.Src = v
+		} else if len(args) > 1 {
+			return nil, p.errf("ret wants at most one operand")
+		}
+
+	case "br":
+		if len(args) != 3 {
+			return nil, p.errf("br wants 'cond, then, else'")
+		}
+		cond, err := val(args[0], I64())
+		if err != nil {
+			return nil, err
+		}
+		in.Op = OpBr
+		in.Cond = cond
+		in.Then = fs.block(args[1])
+		in.Else = fs.block(args[2])
+
+	case "jmp":
+		if len(args) != 1 {
+			return nil, p.errf("jmp wants a target")
+		}
+		in.Op = OpJmp
+		in.Target = fs.block(args[0])
+
+	case "cards_guard.r", "cards_guard.w":
+		if len(args) != 1 {
+			return nil, p.errf("guard wants an address")
+		}
+		addr, err := val(args[0], Ptr(I64()))
+		if err != nil {
+			return nil, err
+		}
+		in.Op = OpGuard
+		in.IsWrite = op == "cards_guard.w"
+		in.Addr = addr
+		setDst(Ptr(I64()))
+
+	case "cards_prefetch":
+		if len(args) != 1 {
+			return nil, p.errf("prefetch wants an address")
+		}
+		addr, err := val(args[0], Ptr(I64()))
+		if err != nil {
+			return nil, err
+		}
+		in.Op = OpPrefetch
+		in.Addr = addr
+
+	case "cards_all_local":
+		// cards_all_local [0 1 2]
+		in.Op = OpAllLocal
+		body := strings.TrimSpace(strings.TrimPrefix(line, "cards_all_local"))
+		body = strings.TrimSuffix(strings.TrimPrefix(body, "["), "]")
+		for _, part := range strings.Fields(body) {
+			id, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, p.errf("all_local id %q: %v", part, err)
+			}
+			in.DSRefs = append(in.DSRefs, id)
+		}
+		setDst(I64())
+
+	default:
+		// Binary operators by name.
+		for k, name := range binNames {
+			if name == op {
+				if len(args) != 2 {
+					return nil, p.errf("%s wants 2 operands", op)
+				}
+				kind := BinKind(k)
+				opType := I64()
+				switch kind {
+				case FAdd, FSub, FMul, FDiv, FLT:
+					opType = F64()
+				}
+				x, err := val(args[0], opType)
+				if err != nil {
+					return nil, err
+				}
+				y, err := val(args[1], opType)
+				if err != nil {
+					return nil, err
+				}
+				in.Op = OpBin
+				in.Kind = kind
+				in.X, in.Y = x, y
+				t := I64()
+				switch kind {
+				case FAdd, FSub, FMul, FDiv, IToF:
+					t = F64()
+				}
+				setDst(t)
+				return in, nil
+			}
+		}
+		return nil, p.errf("unknown opcode %q", op)
+	}
+	return in, nil
+}
+
+// operand resolves one operand token: %reg, integer, or float literal.
+// hint types default-typed forward references.
+func (p *parser) operand(fs *funcState, tok string, hint Type) (Value, error) {
+	tok = strings.TrimSpace(tok)
+	if strings.HasPrefix(tok, "%") {
+		return fs.reg(p, tok[1:], hint), nil
+	}
+	if _, isFloat := hint.(FloatType); isFloat {
+		fv, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, p.errf("float literal %q: %v", tok, err)
+		}
+		return CF(fv), nil
+	}
+	if strings.ContainsAny(tok, ".eE") && !strings.HasPrefix(tok, "0x") {
+		fv, err := strconv.ParseFloat(tok, 64)
+		if err == nil {
+			return CF(fv), nil
+		}
+	}
+	n, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return nil, p.errf("literal %q: %v", tok, err)
+	}
+	return CI(n), nil
+}
+
+// splitOperands groups comma-separated operand tokens back together
+// (the tokenizer split around commas).
+func splitOperands(toks []string) []string {
+	var out []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, strings.Join(cur, " "))
+			cur = nil
+		}
+	}
+	for _, t := range toks {
+		if t == "," {
+			flush()
+			continue
+		}
+		if t == "->" {
+			flush()
+			out = append(out, "->")
+			continue
+		}
+		cur = append(cur, t)
+	}
+	flush()
+	return out
+}

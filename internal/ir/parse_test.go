@@ -1,0 +1,216 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleFunction(t *testing.T) {
+	src := `
+module simple
+
+func @main() i64 {
+entry:
+  %a = const 7
+  %b = const 35
+  %s = add %a, %b
+  ret %s
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "simple" {
+		t.Fatalf("name = %s", m.Name)
+	}
+	f := m.Main()
+	if f == nil || len(f.Blocks) != 1 || len(f.Blocks[0].Instrs) != 4 {
+		t.Fatalf("unexpected structure: %s", m)
+	}
+}
+
+func TestParseControlFlowAndMemory(t *testing.T) {
+	src := `
+module loops
+
+func @sum(%arr *i64, %n i64) i64 {
+entry:
+  %acc = copy 0
+  %i = copy 0
+  jmp header
+header:
+  %c = lt %i, %n
+  br %c, body, exit
+body:
+  %addr = gep %arr, %i, 8, 0
+  %v = load i64, %addr
+  %acc = add %acc, %v
+  %i = add %i, 1
+  jmp header
+exit:
+  ret %acc
+}
+
+func @main() i64 {
+entry:
+  %a = alloc i64, 10
+  %p0 = gep %a, 0, 0, 0
+  store i64, 5 -> %p0
+  %p1 = gep %a, 0, 0, 8
+  store i64, 6 -> %p1
+  %r = call @sum(%a, 2)
+  ret %r
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Funcs); got != 2 {
+		t.Fatalf("funcs = %d", got)
+	}
+	sum := m.FuncByName("sum")
+	if len(sum.Blocks) != 4 {
+		t.Fatalf("sum blocks = %d", len(sum.Blocks))
+	}
+	// The non-SSA register %acc is one register despite two writes.
+	accCount := 0
+	for _, r := range sum.Regs() {
+		if r.Name == "acc" {
+			accCount++
+		}
+	}
+	if accCount != 1 {
+		t.Fatalf("acc registers = %d, want 1", accCount)
+	}
+}
+
+func TestParseStructTypes(t *testing.T) {
+	src := `
+module structs
+type %node = { val i64, next *i64 }
+
+func @main() i64 {
+entry:
+  %n = alloc %node, 1
+  %vp = gep %n, 0, 0, 0
+  store i64, 42 -> %vp
+  %v = load i64, %vp
+  ret %v
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elem Type
+	m.Main().Instrs(func(_ *Block, _ int, in *Instr) bool {
+		if in.Op == OpAlloc {
+			elem = in.Elem
+		}
+		return true
+	})
+	st, ok := elem.(*StructType)
+	if !ok || st.Name != "node" || st.Size() != 16 {
+		t.Fatalf("alloc elem = %v", elem)
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	src := `
+module floats
+
+func @main() f64 {
+entry:
+  %a = fconst 2.5
+  %b = fconst 4
+  %c = fmul %a, %b
+  %d = itof 3, 0
+  %e = fadd %c, %d
+  ret %e
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFMul bool
+	m.Main().Instrs(func(_ *Block, _ int, in *Instr) bool {
+		if in.Op == OpBin && in.Kind == FMul {
+			sawFMul = true
+			if _, ok := in.X.(*Reg); !ok {
+				t.Error("fmul X should be a register")
+			}
+		}
+		return true
+	})
+	if !sawFMul {
+		t.Fatal("no fmul parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no module", "func @f() void {\nentry:\n ret\n}", "expected 'module"},
+		{"no funcs", "module empty\n", "no functions"},
+		{"bad op", "module m\nfunc @main() void {\nentry:\n  frobnicate %x\n}", "unknown opcode"},
+		{"bad type", "module m\nfunc @main() zzz {\nentry:\n  ret\n}", "unknown type"},
+		{"unterminated", "module m\nfunc @main() void {\nentry:\n  ret", "unterminated"},
+		{"instr before label", "module m\nfunc @main() void {\n  ret\n}", "before first block label"},
+		{"dup func", "module m\nfunc @f() void {\nentry:\n  ret\n}\nfunc @f() void {\nentry:\n  ret\n}", "duplicate function"},
+		{"bad call", "module m\nfunc @main() void {\nentry:\n  call @nothere()\n  ret\n}", "does not verify"},
+		{"dup type", "module m\ntype %t = { a i64 }\ntype %t = { b i64 }\nfunc @main() void {\nentry:\n  ret\n}", "duplicate type"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want contains %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestPrintParseRoundTrip is the headline property: printing a module
+// and parsing it back yields a textually identical module.
+func TestPrintParseRoundTrip(t *testing.T) {
+	m1 := BuildListing1(256, 4)
+	text1 := m1.String()
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text1)
+	}
+	text2 := m2.String()
+	if text1 != text2 {
+		t.Fatalf("round trip diverged:\n--- printed ---\n%s\n--- reparsed ---\n%s", text1, text2)
+	}
+}
+
+func TestRoundTripWithStructs(t *testing.T) {
+	m := NewModule("withstructs")
+	node := NewStruct("pair", F("a", I64()), F("b", Ptr(F64())))
+	f := m.NewFunc("main", Void())
+	b := NewBuilder(f)
+	p := b.Alloc(node, CI(3))
+	b.Store(I64(), CI(9), b.FieldAddr(p, node, "a"))
+	b.Ret(nil)
+	m.AssignSites()
+	MustVerify(m)
+
+	text1 := m.String()
+	if !strings.Contains(text1, "type %pair = { a i64, b *f64 }") {
+		t.Fatalf("missing type declaration:\n%s", text1)
+	}
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text2 := m2.String(); text1 != text2 {
+		t.Fatalf("struct round trip diverged:\n%s\nvs\n%s", text1, text2)
+	}
+}

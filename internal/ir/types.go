@@ -1,0 +1,198 @@
+// Package ir defines the intermediate representation that the CaRDS
+// compiler passes operate on. It plays the role LLVM IR plays in the
+// paper: a typed, register-based, control-flow-graph program form with
+// explicit heap allocation, loads/stores, pointer arithmetic (GEP), and
+// calls.
+//
+// Design notes
+//
+//   - Registers are function-scoped and mutable (not SSA). The CaRDS
+//     passes — data structure analysis, pool allocation, guard insertion —
+//     need points-to and loop structure, not SSA def-use chains, and a
+//     mutable-register form keeps both the builder and the interpreter
+//     simple while preserving everything the analyses consume.
+//   - Like LLVM IR after lowering, the type system does not retain
+//     source-level data structure identity: a load/store sees only a
+//     pointer and an element type. Recovering structure identity is
+//     exactly the job of the DSA pass (paper §3, first challenge).
+//   - Transform passes annotate instructions in place (e.g. pool
+//     allocation attaches a data structure handle to Alloc instructions,
+//     guard insertion introduces Guard instructions) rather than
+//     rewriting to a second program form.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type describes the storage type of a register or memory cell. All
+// scalar types are 8 bytes wide, matching the 64-bit machines in the
+// paper's evaluation and keeping address arithmetic trivial.
+type Type interface {
+	// Size returns the storage footprint in bytes.
+	Size() int
+	// String renders the type in the textual IR syntax.
+	String() string
+}
+
+// IntType is a 64-bit signed integer.
+type IntType struct{}
+
+// FloatType is a 64-bit IEEE-754 float.
+type FloatType struct{}
+
+// VoidType is the result type of functions returning nothing.
+type VoidType struct{}
+
+// PtrType is a pointer to Elem.
+type PtrType struct{ Elem Type }
+
+// ArrayType is a fixed-length sequence of Elem.
+type ArrayType struct {
+	Elem Type
+	N    int
+}
+
+// Field is one member of a StructType.
+type Field struct {
+	Name string
+	Type Type
+	// Off is the byte offset of the field; computed by NewStruct.
+	Off int
+}
+
+// StructType is a named aggregate. Names matter to DSA debugging output
+// only; structural identity is by pointer equality of the *StructType.
+type StructType struct {
+	Name   string
+	Fields []Field
+	size   int
+}
+
+func (IntType) Size() int      { return 8 }
+func (IntType) String() string { return "i64" }
+
+func (FloatType) Size() int      { return 8 }
+func (FloatType) String() string { return "f64" }
+
+func (VoidType) Size() int      { return 0 }
+func (VoidType) String() string { return "void" }
+
+func (p *PtrType) Size() int      { return 8 }
+func (p *PtrType) String() string { return "*" + p.Elem.String() }
+
+func (a *ArrayType) Size() int      { return a.Elem.Size() * a.N }
+func (a *ArrayType) String() string { return fmt.Sprintf("[%d x %s]", a.N, a.Elem) }
+
+func (s *StructType) Size() int { return s.size }
+func (s *StructType) String() string {
+	if s.Name != "" {
+		return "%" + s.Name
+	}
+	parts := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		parts[i] = f.Type.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// FieldByName returns the field with the given name.
+func (s *StructType) FieldByName(name string) (Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Singleton scalar types. Pointer and aggregate types are constructed per
+// use; scalar types compare equal by these shared instances.
+var (
+	i64Type   = IntType{}
+	f64Type   = FloatType{}
+	voidType  = VoidType{}
+	i64PtrMem = &PtrType{Elem: i64Type}
+	f64PtrMem = &PtrType{Elem: f64Type}
+)
+
+// I64 returns the 64-bit integer type.
+func I64() Type { return i64Type }
+
+// F64 returns the 64-bit float type.
+func F64() Type { return f64Type }
+
+// Void returns the void type.
+func Void() Type { return voidType }
+
+// Ptr returns a pointer-to-elem type. Pointers to the scalar types are
+// interned so that ir.Ptr(ir.I64()) == ir.Ptr(ir.I64()).
+func Ptr(elem Type) *PtrType {
+	switch elem {
+	case Type(i64Type):
+		return i64PtrMem
+	case Type(f64Type):
+		return f64PtrMem
+	}
+	return &PtrType{Elem: elem}
+}
+
+// Array returns a fixed-size array type.
+func Array(elem Type, n int) *ArrayType { return &ArrayType{Elem: elem, N: n} }
+
+// NewStruct builds a struct type, assigning field offsets sequentially
+// (all our types are 8-byte aligned by construction, so no padding is
+// needed).
+func NewStruct(name string, fields ...Field) *StructType {
+	s := &StructType{Name: name, Fields: append([]Field(nil), fields...)}
+	off := 0
+	for i := range s.Fields {
+		s.Fields[i].Off = off
+		off += s.Fields[i].Type.Size()
+	}
+	s.size = off
+	return s
+}
+
+// F is a convenience constructor for a struct field.
+func F(name string, t Type) Field { return Field{Name: name, Type: t} }
+
+// IsPtr reports whether t is a pointer type.
+func IsPtr(t Type) bool {
+	_, ok := t.(*PtrType)
+	return ok
+}
+
+// Elem returns the pointee type of a pointer type, or nil.
+func Elem(t Type) Type {
+	if p, ok := t.(*PtrType); ok {
+		return p.Elem
+	}
+	return nil
+}
+
+// PointerFieldOffsets returns the byte offsets within one element of type
+// t at which pointer-typed cells live. The runtime uses this to implement
+// the greedy-recursive prefetcher (it must know where a localized object's
+// outgoing pointers are). For scalar pointer elements the offset is 0.
+func PointerFieldOffsets(t Type) []int {
+	var offs []int
+	var walk func(t Type, base int)
+	walk = func(t Type, base int) {
+		switch tt := t.(type) {
+		case *PtrType:
+			offs = append(offs, base)
+		case *StructType:
+			for _, f := range tt.Fields {
+				walk(f.Type, base+f.Off)
+			}
+		case *ArrayType:
+			for i := 0; i < tt.N; i++ {
+				walk(tt.Elem, base+i*tt.Elem.Size())
+			}
+		}
+	}
+	walk(t, 0)
+	return offs
+}

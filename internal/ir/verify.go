@@ -1,0 +1,116 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks module-level structural invariants. Transform passes run
+// it after mutating the program; the interpreter refuses unverified
+// modules. It returns a joined error describing every violation found.
+func Verify(m *Module) error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			report("func @%s: no blocks", f.Name)
+			continue
+		}
+		regSet := make(map[*Reg]bool, len(f.regs))
+		for _, r := range f.regs {
+			regSet[r] = true
+		}
+		blockSet := make(map[*Block]bool, len(f.Blocks))
+		for _, b := range f.Blocks {
+			blockSet[b] = true
+		}
+
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				report("func @%s block %s: empty block", f.Name, b.Name)
+				continue
+			}
+			for i, in := range b.Instrs {
+				last := i == len(b.Instrs)-1
+				if in.IsTerminator() != last {
+					if in.IsTerminator() {
+						report("func @%s block %s: terminator %q not last", f.Name, b.Name, in)
+					} else if last {
+						report("func @%s block %s: missing terminator", f.Name, b.Name)
+					}
+				}
+				if in.Dst != nil && !regSet[in.Dst] {
+					report("func @%s block %s: %q writes foreign register", f.Name, b.Name, in)
+				}
+				for _, op := range in.Operands() {
+					if r, ok := op.(*Reg); ok && !regSet[r] {
+						report("func @%s block %s: %q reads foreign register %s", f.Name, b.Name, in, r)
+					}
+				}
+				switch in.Op {
+				case OpBr:
+					if in.Then == nil || in.Else == nil {
+						report("func @%s block %s: br with nil target", f.Name, b.Name)
+					} else if !blockSet[in.Then] || !blockSet[in.Else] {
+						report("func @%s block %s: br to foreign block", f.Name, b.Name)
+					}
+					if in.Cond == nil {
+						report("func @%s block %s: br without condition", f.Name, b.Name)
+					}
+				case OpJmp:
+					if in.Target == nil || !blockSet[in.Target] {
+						report("func @%s block %s: jmp to nil/foreign block", f.Name, b.Name)
+					}
+				case OpCall:
+					callee := m.FuncByName(in.Callee)
+					if callee == nil {
+						report("func @%s: call to undefined @%s", f.Name, in.Callee)
+					} else if len(in.Args) != len(callee.Params) {
+						report("func @%s: call @%s with %d args, want %d",
+							f.Name, in.Callee, len(in.Args), len(callee.Params))
+					}
+				case OpLoad:
+					if in.Addr == nil || in.Elem == nil {
+						report("func @%s block %s: malformed load %q", f.Name, b.Name, in)
+					}
+				case OpStore:
+					if in.Addr == nil || in.Src == nil || in.Elem == nil {
+						report("func @%s block %s: malformed store %q", f.Name, b.Name, in)
+					}
+				case OpAlloc:
+					if in.Elem == nil || in.Count == nil {
+						report("func @%s block %s: malformed alloc %q", f.Name, b.Name, in)
+					}
+				case OpGEP:
+					if in.Base == nil {
+						report("func @%s block %s: gep without base", f.Name, b.Name)
+					}
+				case OpGuard, OpPrefetch:
+					if in.Addr == nil {
+						report("func @%s block %s: %s without address", f.Name, b.Name, in.Op)
+					}
+				case OpRet:
+					_, isVoid := f.Result.(VoidType)
+					if isVoid && in.Src != nil {
+						report("func @%s: ret with value in void function", f.Name)
+					}
+					if !isVoid && in.Src == nil {
+						report("func @%s: bare ret in non-void function", f.Name)
+					}
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// MustVerify panics on verification failure; used by workload builders
+// whose programs are constructed in code and must always be well-formed.
+func MustVerify(m *Module) {
+	if err := Verify(m); err != nil {
+		panic(fmt.Sprintf("ir: verification failed:\n%v\n%s", err, m))
+	}
+}

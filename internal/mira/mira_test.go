@@ -1,0 +1,153 @@
+package mira
+
+import (
+	"testing"
+
+	"cards/internal/core"
+	"cards/internal/farmem"
+	"cards/internal/ir"
+	"cards/internal/policy"
+)
+
+const (
+	arraySize = 16384
+	nTimes    = 8
+)
+
+func compileListing1(t *testing.T) *core.Compiled {
+	t.Helper()
+	c, err := core.Compile(ir.BuildListing1(arraySize, nTimes), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestProfileFindsHotStructure(t *testing.T) {
+	c := compileListing1(t)
+	prof, err := ProfileRun(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Sizes) != 2 {
+		t.Fatalf("profiled %d structures, want 2", len(prof.Sizes))
+	}
+	// Both structures have the same size but very different access
+	// counts (ds2 is written NTIMES+1 times).
+	if prof.Sizes[0] != prof.Sizes[1] {
+		t.Errorf("sizes = %v, want equal", prof.Sizes)
+	}
+	if prof.Sizes[0] != arraySize*8 {
+		t.Errorf("size = %d, want %d", prof.Sizes[0], arraySize*8)
+	}
+	hot, cold := 0, 1
+	if prof.Accesses[1] > prof.Accesses[0] {
+		hot, cold = 1, 0
+	}
+	if prof.Accesses[hot] < 5*prof.Accesses[cold] {
+		t.Errorf("accesses = %v: hot structure should dominate", prof.Accesses)
+	}
+	if prof.Density(hot) <= prof.Density(cold) {
+		t.Error("density ordering wrong")
+	}
+}
+
+func TestPlaceRespectsBudget(t *testing.T) {
+	prof := &Profile{
+		Sizes:    []uint64{100, 200, 300},
+		Accesses: []uint64{1000, 100, 10},
+	}
+	p := Place(prof, 250)
+	// Density order: ds0 (10/B), ds1 (0.5/B), ds2 (0.033/B).
+	// Budget 250: pin ds0 (100); ds1 (200) no longer fits (300 > 250).
+	if p[0] != farmem.PlacePinned {
+		t.Error("hottest-density structure should pin")
+	}
+	if p[1] != farmem.PlaceRemotable || p[2] != farmem.PlaceRemotable {
+		t.Errorf("placements = %v", p)
+	}
+	// Zero-budget pins nothing.
+	p0 := Place(prof, 0)
+	for i, pl := range p0 {
+		if pl != farmem.PlaceRemotable {
+			t.Errorf("zero budget pinned ds%d", i)
+		}
+	}
+	// Huge budget pins everything with accesses.
+	pAll := Place(prof, 1<<40)
+	for i, pl := range pAll {
+		if pl != farmem.PlacePinned {
+			t.Errorf("unbounded budget should pin ds%d", i)
+		}
+	}
+}
+
+func TestPlaceSkipsIdleStructures(t *testing.T) {
+	prof := &Profile{Sizes: []uint64{100, 0}, Accesses: []uint64{0, 0}}
+	p := Place(prof, 1000)
+	for i, pl := range p {
+		if pl != farmem.PlaceRemotable {
+			t.Errorf("idle ds%d should stay remotable", i)
+		}
+	}
+}
+
+func TestMiraPinsHotStructureOnListing1(t *testing.T) {
+	// With pinned budget for exactly one structure, Mira's oracle must
+	// pick the hot one — matching what CaRDS MaxUse infers statically.
+	prof, err := ProfileRun(compileListing1(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placements := Place(prof, arraySize*8)
+	pinned := -1
+	for i, p := range placements {
+		if p == farmem.PlacePinned {
+			if pinned != -1 {
+				t.Fatal("only one structure fits the budget")
+			}
+			pinned = i
+		}
+	}
+	if pinned == -1 {
+		t.Fatal("nothing pinned")
+	}
+	if prof.Accesses[pinned] < prof.Accesses[1-pinned] {
+		t.Error("Mira pinned the cold structure")
+	}
+}
+
+func TestMiraEndToEndCompetitive(t *testing.T) {
+	// Figure 8 shape on Listing 1: Mira (profile-guided) should be at
+	// least as good as CaRDS MaxUse, and CaRDS should be within ~25%.
+	budget := uint64(arraySize * 8)
+	reserve := uint64(16 * 4096)
+
+	miraRes, _, err := Run(compileListing1(t), compileListing1(t), core.RunConfig{
+		PinnedBudget:    budget,
+		RemotableBudget: reserve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cds := compileListing1(t)
+	cdsRes, err := cds.Run(core.RunConfig{
+		Policy:          policy.MaxUse,
+		K:               50,
+		PinnedBudget:    budget,
+		RemotableBudget: reserve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miraRes.Cycles == 0 || cdsRes.Cycles == 0 {
+		t.Fatal("zero cycles")
+	}
+	ratio := float64(cdsRes.Cycles) / float64(miraRes.Cycles)
+	t.Logf("CaRDS/Mira cycle ratio on Listing 1: %.3f", ratio)
+	// On this microbenchmark both pin ds2, so they should be close.
+	if ratio > 1.5 {
+		t.Errorf("CaRDS more than 1.5x slower than Mira on Listing 1 (ratio %.2f)", ratio)
+	}
+}

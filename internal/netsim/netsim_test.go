@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockBasics(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock should start at 0")
+	}
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", c.Now())
+	}
+	c.AdvanceTo(50) // past time: no-op
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo past should not rewind: Now = %d", c.Now())
+	}
+	c.AdvanceTo(200)
+	if c.Now() != 200 {
+		t.Fatalf("Now = %d, want 200", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	got := Seconds(2_400_000_000, DefaultHz)
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("Seconds = %v, want 1.0", got)
+	}
+}
+
+func TestDefaultCostModelMatchesTable1(t *testing.T) {
+	m := DefaultCostModel()
+	// Table 1 local costs, verbatim.
+	if m.DerefLocalRead != 378 || m.DerefLocalWrite != 384 {
+		t.Errorf("CaRDS local deref = %d/%d, want 378/384",
+			m.DerefLocalRead, m.DerefLocalWrite)
+	}
+	if m.TrackFMGuardLocalRead != 462 || m.TrackFMGuardLocalWrite != 579 {
+		t.Errorf("TrackFM local guard = %d/%d, want 462/579",
+			m.TrackFMGuardLocalRead, m.TrackFMGuardLocalWrite)
+	}
+	// Remote costs: RTT + 4KiB transfer should land near the paper's 59K
+	// cycles for a CaRDS fault.
+	total := m.RemoteRTT + m.TransferCycles(4096)
+	if total < 55000 || total > 63000 {
+		t.Errorf("CaRDS remote fault cost = %d cycles, want ~59K", total)
+	}
+	if m.TrackFMGuardRemoteRead+m.TransferCycles(4096) > total {
+		t.Errorf("TrackFM remote guard should be cheaper than CaRDS fault (Table 1)")
+	}
+}
+
+func TestTransferCycles(t *testing.T) {
+	m := DefaultCostModel()
+	if m.TransferCycles(0) != 0 {
+		t.Fatal("zero-size transfer should be free")
+	}
+	if m.TransferCycles(-5) != 0 {
+		t.Fatal("negative size should be free")
+	}
+	// 25Gb/s at 2.4GHz: 1 MiB should take ~805K cycles.
+	c := m.TransferCycles(1 << 20)
+	if c < 700000 || c > 900000 {
+		t.Fatalf("1MiB transfer = %d cycles, want ~805K", c)
+	}
+}
+
+func TestLinkFetchSyncAdvancesClock(t *testing.T) {
+	var clk Clock
+	l := NewLink(DefaultCostModel(), &clk)
+	l.FetchSync(4096)
+	want := l.Model().RemoteRTT + l.Model().TransferCycles(4096)
+	if clk.Now() != want {
+		t.Fatalf("clock = %d, want %d", clk.Now(), want)
+	}
+	if l.Fetches != 1 || l.BytesIn != 4096 {
+		t.Fatalf("stats = %+v", l)
+	}
+}
+
+func TestLinkBandwidthSerialization(t *testing.T) {
+	var clk Clock
+	l := NewLink(DefaultCostModel(), &clk)
+	size := 1 << 20
+	xfer := l.Model().TransferCycles(size)
+
+	// Two back-to-back async fetches: second transfer queues behind the
+	// first, so its arrival is one extra transfer-time later.
+	r1 := l.FetchAsync(size)
+	r2 := l.FetchAsync(size)
+	if r2 < r1+xfer {
+		t.Fatalf("second transfer should queue: r1=%d r2=%d xfer=%d", r1, r2, xfer)
+	}
+	if l.Prefetches != 2 {
+		t.Fatalf("Prefetches = %d, want 2", l.Prefetches)
+	}
+}
+
+func TestLinkAsyncDoesNotBlock(t *testing.T) {
+	var clk Clock
+	l := NewLink(DefaultCostModel(), &clk)
+	before := clk.Now()
+	ready := l.FetchAsync(1 << 20)
+	// Issuing costs only PrefetchIssue cycles.
+	if clk.Now() != before+l.Model().PrefetchIssue {
+		t.Fatalf("async issue advanced clock by %d, want %d",
+			clk.Now()-before, l.Model().PrefetchIssue)
+	}
+	if ready <= clk.Now() {
+		t.Fatal("arrival should be in the future")
+	}
+	l.WaitUntil(ready)
+	if clk.Now() != ready {
+		t.Fatalf("WaitUntil: clock = %d, want %d", clk.Now(), ready)
+	}
+}
+
+func TestLinkWriteBack(t *testing.T) {
+	var clk Clock
+	l := NewLink(DefaultCostModel(), &clk)
+	l.WriteBack(4096)
+	if clk.Now() != l.Model().EvictObject {
+		t.Fatalf("write-back charged %d cycles, want %d", clk.Now(), l.Model().EvictObject)
+	}
+	if l.WriteBacks != 1 || l.BytesOut != 4096 {
+		t.Fatalf("stats = %+v", l)
+	}
+	// A subsequent fetch must queue behind the write-back's transfer.
+	r := l.FetchAsync(4096)
+	if r < l.Model().TransferCycles(4096)+l.Model().RemoteRTT {
+		t.Fatalf("fetch did not queue behind write-back: ready=%d", r)
+	}
+}
+
+func TestLinkReset(t *testing.T) {
+	var clk Clock
+	l := NewLink(DefaultCostModel(), &clk)
+	l.FetchSync(128)
+	l.Reset()
+	if l.Fetches != 0 || l.BytesIn != 0 || l.busyUntil != 0 {
+		t.Fatalf("Reset left state: %+v", l)
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	var clk Clock
+	l := NewLink(DefaultCostModel(), &clk)
+	if l.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: arrival times are non-decreasing across a sequence of async
+// fetches (FIFO link), and each arrival is at least RTT after issue.
+func TestLinkFIFOProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		var clk Clock
+		l := NewLink(DefaultCostModel(), &clk)
+		var last Cycles
+		for _, s := range sizes {
+			issued := clk.Now()
+			r := l.FetchAsync(int(s))
+			if r < last || r < issued+l.Model().RemoteRTT {
+				return false
+			}
+			last = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a sync fetch never finishes before an earlier async fetch of
+// the same size could have (bandwidth is conserved, not created).
+func TestLinkBandwidthConservationProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%16) + 1
+		size := 4096
+		var clkA Clock
+		la := NewLink(DefaultCostModel(), &clkA)
+		var lastReady Cycles
+		for i := 0; i < count; i++ {
+			lastReady = la.FetchAsync(size)
+		}
+		// Total occupancy must be at least count * transfer time.
+		minBusy := Cycles(count) * la.Model().TransferCycles(size)
+		return lastReady >= minBusy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

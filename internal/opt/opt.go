@@ -1,0 +1,362 @@
+// Package opt implements the classical scalar optimizations the CaRDS
+// pipeline runs before its analyses (the real system inherits these from
+// LLVM's -O pipeline; NOELLE runs on normalized, optimized IR):
+//
+//   - constant propagation: a register whose only definition is a
+//     constant is replaced by the literal at every use;
+//   - constant folding: binary operations over two literals evaluate at
+//     compile time;
+//   - branch folding: conditional branches on constants become jumps;
+//   - dead code elimination: pure instructions whose results are never
+//     read, and blocks that become unreachable, are removed.
+//
+// Everything runs to a combined fixpoint. The passes are semantics
+// preserving by construction (the differential tests in internal/core
+// check optimized against unoptimized checksums on random programs).
+package opt
+
+import (
+	"math"
+
+	"cards/internal/ir"
+)
+
+// Stats reports what Simplify did.
+type Stats struct {
+	ConstPropagated int
+	ConstFolded     int
+	BranchesFolded  int
+	InstrsRemoved   int
+	BlocksRemoved   int
+}
+
+// Simplify optimizes every function of m in place and re-verifies it.
+func Simplify(m *ir.Module) Stats {
+	var st Stats
+	for _, f := range m.Funcs {
+		changed := true
+		for changed {
+			changed = false
+			if n := propagateConstants(f); n > 0 {
+				st.ConstPropagated += n
+				changed = true
+			}
+			if n := foldConstants(f); n > 0 {
+				st.ConstFolded += n
+				changed = true
+			}
+			if n := foldBranches(f); n > 0 {
+				st.BranchesFolded += n
+				changed = true
+			}
+			if n := removeDeadInstrs(f); n > 0 {
+				st.InstrsRemoved += n
+				changed = true
+			}
+			if n := removeUnreachable(f); n > 0 {
+				st.BlocksRemoved += n
+				changed = true
+			}
+		}
+	}
+	ir.MustVerify(m)
+	return st
+}
+
+// singleDefConsts finds registers with exactly one definition, where that
+// definition is a constant (and the register is not a parameter).
+func singleDefConsts(f *ir.Function) map[*ir.Reg]ir.Value {
+	defs := make(map[*ir.Reg]int)
+	konst := make(map[*ir.Reg]ir.Value)
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Dst == nil {
+			return true
+		}
+		defs[in.Dst]++
+		if in.Op == ir.OpConst {
+			if in.IsFloat {
+				konst[in.Dst] = ir.CF(in.FloatVal)
+			} else {
+				konst[in.Dst] = ir.CI(in.IntVal)
+			}
+		}
+		return true
+	})
+	out := make(map[*ir.Reg]ir.Value)
+	for r, v := range konst {
+		if defs[r] == 1 && !r.Param {
+			out[r] = v
+		}
+	}
+	return out
+}
+
+// propagateConstants substitutes literal operands for single-def constant
+// registers.
+func propagateConstants(f *ir.Function) int {
+	consts := singleDefConsts(f)
+	if len(consts) == 0 {
+		return 0
+	}
+	n := 0
+	sub := func(v ir.Value) ir.Value {
+		if r, ok := v.(*ir.Reg); ok {
+			if c, isConst := consts[r]; isConst {
+				n++
+				return c
+			}
+		}
+		return v
+	}
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.X != nil {
+			in.X = sub(in.X)
+		}
+		if in.Y != nil {
+			in.Y = sub(in.Y)
+		}
+		if in.Src != nil {
+			in.Src = sub(in.Src)
+		}
+		if in.Count != nil {
+			in.Count = sub(in.Count)
+		}
+		if in.Addr != nil {
+			in.Addr = sub(in.Addr)
+		}
+		if in.Base != nil {
+			in.Base = sub(in.Base)
+		}
+		if in.Index != nil {
+			in.Index = sub(in.Index)
+		}
+		if in.Cond != nil {
+			in.Cond = sub(in.Cond)
+		}
+		if in.DSHandle != nil {
+			in.DSHandle = sub(in.DSHandle)
+		}
+		for i := range in.Args {
+			in.Args[i] = sub(in.Args[i])
+		}
+		return true
+	})
+	return n
+}
+
+// foldConstants turns bin(lit, lit) into a constant definition, and
+// copy(lit) into a constant definition.
+func foldConstants(f *ir.Function) int {
+	n := 0
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpBin:
+			v, ok := evalConst(in.Kind, in.X, in.Y)
+			if !ok {
+				return true
+			}
+			n++
+			in.Op = ir.OpConst
+			if fc, isF := v.(ir.FloatConst); isF {
+				in.IsFloat = true
+				in.FloatVal = fc.V
+			} else {
+				in.IsFloat = false
+				in.IntVal = v.(ir.IntConst).V
+			}
+			in.X, in.Y = nil, nil
+		case ir.OpCopy:
+			switch c := in.Src.(type) {
+			case ir.IntConst:
+				// Only safe to rewrite into a const DEF if this is the
+				// register's sole definition; otherwise the copy writes
+				// a mutable register and must stay. Either way the copy
+				// itself is already minimal — skip.
+				_ = c
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// evalConst evaluates a binary operator over literal operands.
+func evalConst(kind ir.BinKind, x, y ir.Value) (ir.Value, bool) {
+	xi, xIsInt := x.(ir.IntConst)
+	yi, yIsInt := y.(ir.IntConst)
+	if xIsInt && yIsInt {
+		a, b := xi.V, yi.V
+		bit := func(cond bool) (ir.Value, bool) {
+			if cond {
+				return ir.CI(1), true
+			}
+			return ir.CI(0), true
+		}
+		switch kind {
+		case ir.Add:
+			return ir.CI(a + b), true
+		case ir.Sub:
+			return ir.CI(a - b), true
+		case ir.Mul:
+			return ir.CI(a * b), true
+		case ir.Div:
+			if b == 0 {
+				return nil, false // preserve the runtime trap
+			}
+			return ir.CI(a / b), true
+		case ir.Rem:
+			if b == 0 {
+				return nil, false
+			}
+			return ir.CI(a % b), true
+		case ir.And:
+			return ir.CI(a & b), true
+		case ir.Or:
+			return ir.CI(a | b), true
+		case ir.Xor:
+			return ir.CI(a ^ b), true
+		case ir.Shl:
+			return ir.CI(int64(uint64(a) << (uint64(b) & 63))), true
+		case ir.Shr:
+			return ir.CI(int64(uint64(a) >> (uint64(b) & 63))), true
+		case ir.EQ:
+			return bit(a == b)
+		case ir.NE:
+			return bit(a != b)
+		case ir.LT:
+			return bit(a < b)
+		case ir.LE:
+			return bit(a <= b)
+		case ir.GT:
+			return bit(a > b)
+		case ir.GE:
+			return bit(a >= b)
+		case ir.IToF:
+			return ir.CF(float64(a)), true
+		}
+		return nil, false
+	}
+	xf, xIsF := x.(ir.FloatConst)
+	yf, yIsF := y.(ir.FloatConst)
+	if xIsF && yIsF {
+		a, b := xf.V, yf.V
+		switch kind {
+		case ir.FAdd:
+			return ir.CF(a + b), true
+		case ir.FSub:
+			return ir.CF(a - b), true
+		case ir.FMul:
+			return ir.CF(a * b), true
+		case ir.FDiv:
+			return ir.CF(a / b), true
+		case ir.FLT:
+			if a < b {
+				return ir.CI(1), true
+			}
+			return ir.CI(0), true
+		}
+	}
+	_ = math.Float64bits
+	return nil, false
+}
+
+// foldBranches rewrites br(const, a, b) into jmp, and br(c, a, a) into
+// jmp a.
+func foldBranches(f *ir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		if t.Then == t.Else {
+			t.Op = ir.OpJmp
+			t.Target = t.Then
+			t.Cond, t.Then, t.Else = nil, nil, nil
+			n++
+			continue
+		}
+		if c, ok := t.Cond.(ir.IntConst); ok {
+			target := t.Else
+			if c.V != 0 {
+				target = t.Then
+			}
+			t.Op = ir.OpJmp
+			t.Target = target
+			t.Cond, t.Then, t.Else = nil, nil, nil
+			n++
+		}
+	}
+	return n
+}
+
+// pure reports whether an instruction has no side effects beyond its
+// destination register.
+func pure(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpConst, ir.OpBin, ir.OpCopy, ir.OpGEP:
+		return true
+	}
+	return false
+}
+
+// removeDeadInstrs deletes pure instructions whose destination is never
+// read anywhere in the function.
+func removeDeadInstrs(f *ir.Function) int {
+	used := make(map[*ir.Reg]bool)
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		for _, op := range in.Operands() {
+			if r, ok := op.(*ir.Reg); ok {
+				used[r] = true
+			}
+		}
+		return true
+	})
+	n := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if pure(in) && in.Dst != nil && !used[in.Dst] {
+				n++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return n
+}
+
+// removeUnreachable drops blocks not reachable from the entry.
+func removeUnreachable(f *ir.Function) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	reach := make(map[*ir.Block]bool)
+	stack := []*ir.Block{f.Entry()}
+	reach[f.Entry()] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if len(reach) == len(f.Blocks) {
+		return 0
+	}
+	kept := f.Blocks[:0]
+	n := 0
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			n++
+		}
+	}
+	f.Blocks = kept
+	return n
+}

@@ -1,0 +1,184 @@
+package opt
+
+import (
+	"testing"
+
+	"cards/internal/ir"
+)
+
+func countInstrs(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		f.Instrs(func(_ *ir.Block, _ int, _ *ir.Instr) bool {
+			n++
+			return true
+		})
+	}
+	return n
+}
+
+func TestConstantFoldingChain(t *testing.T) {
+	m := ir.NewModule("fold")
+	f := m.NewFunc("main", ir.I64())
+	b := ir.NewBuilder(f)
+	// (2+3)*4 - 6 = 14, all foldable.
+	two := b.ConstI(2)
+	three := b.ConstI(3)
+	sum := b.Add(two, three)
+	four := b.ConstI(4)
+	prod := b.Mul(sum, four)
+	six := b.ConstI(6)
+	b.Ret(b.Sub(prod, six))
+	m.AssignSites()
+	ir.MustVerify(m)
+
+	st := Simplify(m)
+	if st.ConstFolded < 3 {
+		t.Errorf("ConstFolded = %d, want >= 3", st.ConstFolded)
+	}
+	if st.InstrsRemoved == 0 {
+		t.Error("dead constant definitions should be removed")
+	}
+	// The function should collapse to a handful of instructions.
+	if got := countInstrs(m); got > 3 {
+		t.Errorf("after Simplify: %d instructions\n%s", got, m)
+	}
+	// Semantics preserved: the ret operand must be the literal 14.
+	ret := f.Blocks[len(f.Blocks)-1].Term()
+	found := false
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpRet {
+			if r, ok := in.Src.(*ir.Reg); ok {
+				f.Instrs(func(_ *ir.Block, _ int, def *ir.Instr) bool {
+					if def.Dst == r && def.Op == ir.OpConst && def.IntVal == 14 {
+						found = true
+					}
+					return true
+				})
+			} else if c, ok := in.Src.(ir.IntConst); ok && c.V == 14 {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Errorf("result is not 14:\n%s", m)
+	}
+	_ = ret
+}
+
+func TestBranchFoldingRemovesDeadPath(t *testing.T) {
+	m := ir.NewModule("br")
+	f := m.NewFunc("main", ir.I64())
+	b := ir.NewBuilder(f)
+	thenB := b.NewBlock("then")
+	elseB := b.NewBlock("else")
+	cond := b.ConstI(1)
+	b.Br(cond, thenB, elseB)
+	b.SetBlock(thenB)
+	b.Ret(ir.CI(10))
+	b.SetBlock(elseB)
+	b.Ret(ir.CI(20))
+	m.AssignSites()
+	ir.MustVerify(m)
+
+	st := Simplify(m)
+	if st.BranchesFolded != 1 {
+		t.Errorf("BranchesFolded = %d, want 1", st.BranchesFolded)
+	}
+	if st.BlocksRemoved != 1 {
+		t.Errorf("BlocksRemoved = %d, want 1 (the else path)", st.BlocksRemoved)
+	}
+	for _, blk := range f.Blocks {
+		if blk.Name == "else" {
+			t.Error("dead else block survived")
+		}
+	}
+}
+
+func TestSameTargetBranchFolds(t *testing.T) {
+	m := ir.NewModule("same")
+	f := m.NewFunc("main", ir.Void(), ir.P("c", ir.I64()))
+	b := ir.NewBuilder(f)
+	out := b.NewBlock("out")
+	b.Br(f.Params[0], out, out)
+	b.SetBlock(out)
+	b.Ret(nil)
+	m.AssignSites()
+	ir.MustVerify(m)
+	st := Simplify(m)
+	if st.BranchesFolded != 1 {
+		t.Errorf("BranchesFolded = %d, want 1", st.BranchesFolded)
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	m := ir.NewModule("trap")
+	f := m.NewFunc("main", ir.I64())
+	b := ir.NewBuilder(f)
+	b.Ret(b.Div(ir.CI(1), ir.CI(0)))
+	m.AssignSites()
+	ir.MustVerify(m)
+	st := Simplify(m)
+	if st.ConstFolded != 0 {
+		t.Error("division by zero must not fold (it traps at runtime)")
+	}
+	// The div instruction survives.
+	div := 0
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpBin && in.Kind == ir.Div {
+			div++
+		}
+		return true
+	})
+	if div != 1 {
+		t.Errorf("div instructions = %d, want 1", div)
+	}
+}
+
+func TestImpureInstructionsSurvive(t *testing.T) {
+	m := ir.NewModule("impure")
+	callee := m.NewFunc("sideeffect", ir.Void())
+	ir.NewBuilder(callee).Ret(nil)
+	f := m.NewFunc("main", ir.Void())
+	b := ir.NewBuilder(f)
+	arr := b.Alloc(ir.I64(), ir.CI(4)) // result unused but impure
+	b.Store(ir.I64(), ir.CI(1), b.Idx(arr, ir.CI(0)))
+	b.Call(callee)                         // void call, impure
+	b.Load(ir.I64(), b.Idx(arr, ir.CI(0))) // unused load: loads are impure here (may guard)
+	b.Ret(nil)
+	m.AssignSites()
+	ir.MustVerify(m)
+	Simplify(m)
+	var allocs, stores, calls, loads int
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpAlloc:
+			allocs++
+		case ir.OpStore:
+			stores++
+		case ir.OpCall:
+			calls++
+		case ir.OpLoad:
+			loads++
+		}
+		return true
+	})
+	if allocs != 1 || stores != 1 || calls != 1 || loads != 1 {
+		t.Errorf("impure instructions removed: alloc=%d store=%d call=%d load=%d",
+			allocs, stores, calls, loads)
+	}
+}
+
+func TestListing1SemanticsPreserved(t *testing.T) {
+	m := ir.BuildListing1(64, 2)
+	before := countInstrs(m)
+	Simplify(m)
+	after := countInstrs(m)
+	if after > before {
+		t.Errorf("Simplify grew the program: %d -> %d", before, after)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("post-opt verify: %v", err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package policy implements the CaRDS remoting policy selection (paper
+// §4.2): given the compiler's per-data-structure static scores and the
+// tunable parameter k — the percentage of data structures that should use
+// non-remotable (pinned) memory — it decides each structure's placement.
+//
+// The policies deliberately do NOT depend on data structure sizes, which
+// are generally unknown at compile time (the paper's second challenge);
+// the runtime's hint-override path (farmem.DSAlloc) handles structures
+// that turn out not to fit.
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cards/internal/farmem"
+)
+
+// Kind enumerates the remoting policies evaluated in Figures 4–7.
+type Kind int
+
+// Policies.
+const (
+	// AllRemotable is the conservative baseline: every structure is
+	// remotable and every access guarded (TrackFM's behaviour).
+	AllRemotable Kind = iota
+	// Linear allocates pinned memory sequentially in program order,
+	// switching to remotable memory once local memory is exhausted.
+	// The decision is made at runtime, so k is ignored.
+	Linear
+	// Random pins a random k% of the structures.
+	Random
+	// MaxReach pins the structures used in the top-k% functions with
+	// the longest caller/callee chains (SCC call-graph metric).
+	MaxReach
+	// MaxUse pins the top-k% structures by eq. 1:
+	// ds = MAX(#loops + #functions).
+	MaxUse
+)
+
+var kindNames = map[Kind]string{
+	AllRemotable: "all-remotable",
+	Linear:       "linear",
+	Random:       "random",
+	MaxReach:     "max-reach",
+	MaxUse:       "max-use",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("policy(%d)", int(k))
+}
+
+// All lists every policy, in the order the figures plot them.
+func All() []Kind { return []Kind{AllRemotable, Linear, Random, MaxReach, MaxUse} }
+
+// Parse resolves a policy name.
+func Parse(name string) (Kind, error) {
+	for k, s := range kindNames {
+		if s == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// Candidate is one data structure the policy ranks. Scores come from the
+// compiler analysis; sizes are deliberately absent.
+type Candidate struct {
+	ID         int
+	UseScore   int
+	ReachScore int
+}
+
+// Assign computes the placement for every candidate under the given
+// policy with threshold k (percent of structures to pin, 0..100). The
+// returned slice is indexed by position in cands. seed feeds the Random
+// policy; other policies are deterministic.
+func Assign(kind Kind, cands []Candidate, k float64, seed int64) []farmem.Placement {
+	n := len(cands)
+	out := make([]farmem.Placement, n)
+	if n == 0 {
+		return out
+	}
+	switch kind {
+	case AllRemotable:
+		for i := range out {
+			out[i] = farmem.PlaceRemotable
+		}
+	case Linear:
+		for i := range out {
+			out[i] = farmem.PlaceLinear
+		}
+	case Random:
+		for i := range out {
+			out[i] = farmem.PlaceRemotable
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, i := range rng.Perm(n)[:pinCount(n, k)] {
+			out[i] = farmem.PlacePinned
+		}
+	case MaxReach:
+		rankAndPin(cands, out, k, func(a, b Candidate) bool {
+			if a.ReachScore != b.ReachScore {
+				return a.ReachScore > b.ReachScore
+			}
+			return a.ID < b.ID
+		})
+	case MaxUse:
+		rankAndPin(cands, out, k, func(a, b Candidate) bool {
+			if a.UseScore != b.UseScore {
+				return a.UseScore > b.UseScore
+			}
+			return a.ID < b.ID
+		})
+	case Hybrid:
+		assignHybrid(cands, out, k)
+	}
+	return out
+}
+
+// pinCount converts the percentage k into a structure count.
+func pinCount(n int, k float64) int {
+	if k <= 0 {
+		return 0
+	}
+	if k >= 100 {
+		return n
+	}
+	c := int(math.Ceil(float64(n) * k / 100))
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// rankAndPin pins the top pinCount candidates under the given order.
+func rankAndPin(cands []Candidate, out []farmem.Placement, k float64,
+	less func(a, b Candidate) bool) {
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return less(cands[idx[i]], cands[idx[j]]) })
+	for i := range out {
+		out[i] = farmem.PlaceRemotable
+	}
+	for _, i := range idx[:pinCount(len(cands), k)] {
+		out[i] = farmem.PlacePinned
+	}
+}
+
+// PinnedIDs is a reporting helper: the candidate IDs a policy pinned.
+func PinnedIDs(cands []Candidate, placements []farmem.Placement) []int {
+	var ids []int
+	for i, p := range placements {
+		if p == farmem.PlacePinned {
+			ids = append(ids, cands[i].ID)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Hybrid is this reproduction's implementation of the paper's
+// future-work direction ("we aim to explore improved policies to close
+// this gap [to Mira] further"): it ranks structures by use score like
+// MaxUse, but assigns the structures *below* the cut PlaceLinear instead
+// of PlaceRemotable. The ranked-hot structures are pinned eagerly; the
+// rest still consume whatever pinned memory remains at allocation time,
+// so ample local memory is never wasted — the behaviour that lets Mira
+// pull away from the static k policies in Figure 8.
+const Hybrid Kind = MaxUse + 1
+
+// Extended lists every policy including post-paper extensions.
+func Extended() []Kind { return append(All(), Hybrid) }
+
+func init() {
+	kindNames[Hybrid] = "hybrid"
+}
+
+// assignHybrid implements the Hybrid policy.
+func assignHybrid(cands []Candidate, out []farmem.Placement, k float64) {
+	rankAndPin(cands, out, k, func(a, b Candidate) bool {
+		if a.UseScore != b.UseScore {
+			return a.UseScore > b.UseScore
+		}
+		if a.ReachScore != b.ReachScore {
+			return a.ReachScore > b.ReachScore
+		}
+		return a.ID < b.ID
+	})
+	for i := range out {
+		if out[i] == farmem.PlaceRemotable {
+			out[i] = farmem.PlaceLinear
+		}
+	}
+}

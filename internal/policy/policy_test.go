@@ -1,0 +1,187 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cards/internal/farmem"
+)
+
+func candidates() []Candidate {
+	return []Candidate{
+		{ID: 0, UseScore: 3, ReachScore: 2},
+		{ID: 1, UseScore: 4, ReachScore: 2}, // highest use
+		{ID: 2, UseScore: 1, ReachScore: 5}, // highest reach
+		{ID: 3, UseScore: 2, ReachScore: 1},
+	}
+}
+
+func TestAllRemotable(t *testing.T) {
+	p := Assign(AllRemotable, candidates(), 50, 1)
+	for i, pl := range p {
+		if pl != farmem.PlaceRemotable {
+			t.Errorf("cand %d = %v, want remotable", i, pl)
+		}
+	}
+}
+
+func TestLinearIgnoresK(t *testing.T) {
+	for _, k := range []float64{0, 25, 100} {
+		p := Assign(Linear, candidates(), k, 1)
+		for i, pl := range p {
+			if pl != farmem.PlaceLinear {
+				t.Errorf("k=%v cand %d = %v, want linear", k, i, pl)
+			}
+		}
+	}
+}
+
+func TestMaxUsePinsHighestUse(t *testing.T) {
+	// Listing 1 scenario: k=50% of 4 structures pins the top 2 by use.
+	p := Assign(MaxUse, candidates(), 50, 1)
+	pinned := PinnedIDs(candidates(), p)
+	if len(pinned) != 2 || pinned[0] != 0 || pinned[1] != 1 {
+		t.Fatalf("pinned = %v, want [0 1] (use scores 3 and 4)", pinned)
+	}
+}
+
+func TestMaxReachPinsDeepestChains(t *testing.T) {
+	p := Assign(MaxReach, candidates(), 25, 1)
+	pinned := PinnedIDs(candidates(), p)
+	if len(pinned) != 1 || pinned[0] != 2 {
+		t.Fatalf("pinned = %v, want [2] (reach 5)", pinned)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Assign(Random, candidates(), 50, 42)
+	b := Assign(Random, candidates(), 50, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same assignment")
+		}
+	}
+	pinned := PinnedIDs(candidates(), a)
+	if len(pinned) != 2 {
+		t.Fatalf("random pinned %d, want 2 at k=50", len(pinned))
+	}
+}
+
+func TestPinCountBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int
+		k    float64
+		want int
+	}{
+		{4, 0, 0}, {4, 100, 4}, {4, 50, 2}, {4, 25, 1}, {2, 50, 1},
+		{3, 50, 2}, {4, 150, 4}, {4, -5, 0},
+	}
+	for _, c := range cases {
+		if got := pinCount(c.n, c.k); got != c.want {
+			t.Errorf("pinCount(%d, %v) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestTieBreakDeterminism(t *testing.T) {
+	cands := []Candidate{{ID: 0, UseScore: 5}, {ID: 1, UseScore: 5}, {ID: 2, UseScore: 5}}
+	p1 := Assign(MaxUse, cands, 34, 0)
+	p2 := Assign(MaxUse, cands, 34, 99)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("tie-breaking must be seed-independent")
+		}
+	}
+	pinned := PinnedIDs(cands, p1)
+	if len(pinned) != 2 || pinned[0] != 0 || pinned[1] != 1 {
+		t.Fatalf("pinned = %v, want lowest IDs first on tie", pinned)
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	for _, k := range All() {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Errorf("Parse(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse should reject unknown names")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestEmptyCandidates(t *testing.T) {
+	for _, k := range All() {
+		if got := Assign(k, nil, 50, 1); len(got) != 0 {
+			t.Errorf("%s: non-empty result for empty candidates", k)
+		}
+	}
+}
+
+// Property: every policy pins exactly pinCount structures (except Linear
+// and AllRemotable which pin none statically), and placements only use
+// defined values.
+func TestAssignCountsProperty(t *testing.T) {
+	f := func(nRaw uint8, kRaw uint8, seed int64) bool {
+		n := int(nRaw%24) + 1
+		k := float64(kRaw % 120)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{ID: i, UseScore: i * 7 % 13, ReachScore: i * 5 % 11}
+		}
+		for _, kind := range All() {
+			p := Assign(kind, cands, k, seed)
+			if len(p) != n {
+				return false
+			}
+			pinned := 0
+			for _, pl := range p {
+				switch pl {
+				case farmem.PlacePinned:
+					pinned++
+				case farmem.PlaceRemotable, farmem.PlaceLinear:
+				default:
+					return false
+				}
+			}
+			switch kind {
+			case Linear, AllRemotable:
+				if pinned != 0 {
+					return false
+				}
+			default:
+				if pinned != pinCount(n, k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridPlacement(t *testing.T) {
+	p := Assign(Hybrid, candidates(), 50, 1)
+	pinned := PinnedIDs(candidates(), p)
+	// Top 2 by use score: IDs 0 (3) and 1 (4).
+	if len(pinned) != 2 || pinned[0] != 0 || pinned[1] != 1 {
+		t.Fatalf("hybrid pinned = %v, want [0 1]", pinned)
+	}
+	// Everything below the cut is Linear, never Remotable.
+	for i, pl := range p {
+		if pl == farmem.PlaceRemotable {
+			t.Errorf("cand %d is remotable; hybrid should use linear for the tail", i)
+		}
+	}
+	if got, err := Parse("hybrid"); err != nil || got != Hybrid {
+		t.Fatalf("Parse(hybrid) = %v, %v", got, err)
+	}
+	if len(Extended()) != len(All())+1 {
+		t.Fatalf("Extended() should add exactly the hybrid policy")
+	}
+}

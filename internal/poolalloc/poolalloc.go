@@ -1,0 +1,177 @@
+// Package poolalloc implements the pool allocation transformation of
+// CaRDS (paper Algorithm 1, reimplemented from Lattner & Adve's automatic
+// pool allocation). It is the channel through which compiler-identified
+// data structure identity reaches the runtime:
+//
+//   - Phase 1 walks every function's DS graph. Heap nodes that escape the
+//     function get a fresh data-structure-handle parameter added to the
+//     function (AddDSHandleArg); non-escaping heap nodes bind to their
+//     statically known handle (the DS_INIT path). Either way dsmap
+//     records the handle value for the node.
+//   - Phase 2 rewrites the program: every alloc becomes a dsalloc
+//     carrying its handle (paper Listing 2), and every call site passes
+//     the handles the callee's argnodes require, translated through the
+//     DSA clone maps.
+//
+// Unlike the original bottom-up algorithm, CaRDS feeds the transformation
+// with the context-sensitive disjoint structures from SeaDSA-style
+// analysis (paper §4.1), which is why two calls to the same allocating
+// helper can carry two different handles — the property Listing 2
+// demonstrates with DH1/DH2.
+package poolalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"cards/internal/dsa"
+	"cards/internal/ir"
+)
+
+// NoDS is the handle value for allocations outside any identified data
+// structure (should not occur for verified programs; defensive).
+const NoDS = -1
+
+// Result records what the transformation did, for downstream passes and
+// for tests.
+type Result struct {
+	// HandleParams maps function name to the handle parameters added in
+	// phase 1, in argnode order.
+	HandleParams map[string][]*ir.Reg
+
+	// ArgNodes maps function name to the graph nodes whose handles the
+	// function receives, parallel to HandleParams.
+	ArgNodes map[string][]*dsa.Node
+
+	// StaticHandles counts allocations bound to compile-time constant
+	// handles; DynamicHandles counts those receiving handles via
+	// parameters.
+	StaticHandles, DynamicHandles int
+}
+
+// Transform applies pool allocation to m in place, using the DSA result.
+// The module is re-verified afterwards; an invalid rewrite is a bug and
+// panics via ir.MustVerify.
+func Transform(m *ir.Module, res *dsa.Result) *Result {
+	out := &Result{
+		HandleParams: make(map[string][]*ir.Reg),
+		ArgNodes:     make(map[string][]*dsa.Node),
+	}
+
+	// dsmap per function: canonical node -> handle value.
+	dsmap := make(map[string]map[*dsa.Node]ir.Value)
+
+	// ---- Phase 1: assign handles (Algorithm 1, lines 1–13). ----
+	for _, f := range m.Funcs {
+		g := res.Graphs[f.Name]
+		if g == nil {
+			continue
+		}
+		fmap := make(map[*dsa.Node]ir.Value)
+		dsmap[f.Name] = fmap
+		escaping := g.EscapingNodes()
+
+		// Deterministic node order: by first allocation site.
+		nodes := g.HeapNodes()
+		sort.Slice(nodes, func(i, j int) bool { return nodeKey(nodes[i]) < nodeKey(nodes[j]) })
+
+		for _, n := range nodes {
+			if len(n.Sites) == 0 {
+				continue
+			}
+			if escaping[n] {
+				// AddDSHandleArg: the caller will tell us which data
+				// structure this memory belongs to.
+				h := f.NewReg(fmt.Sprintf("ds_h%d", len(out.HandleParams[f.Name])), ir.I64())
+				h.Param = true
+				f.Params = append(f.Params, h)
+				out.HandleParams[f.Name] = append(out.HandleParams[f.Name], h)
+				out.ArgNodes[f.Name] = append(out.ArgNodes[f.Name], n)
+				fmap[n] = h
+			} else {
+				// DS_INIT path: statically known instance.
+				d := res.DSOfNode(n)
+				id := int64(NoDS)
+				if d != nil {
+					id = int64(d.ID)
+				}
+				fmap[n] = ir.CI(id)
+			}
+		}
+	}
+
+	// ---- Phase 2: rewrite allocs and calls (lines 14–24). ----
+	for _, f := range m.Funcs {
+		g := res.Graphs[f.Name]
+		if g == nil {
+			continue
+		}
+		fmap := dsmap[f.Name]
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			switch in.Op {
+			case ir.OpAlloc:
+				// replace malloc with dsalloc(size, dsmap(N(ptr))).
+				c, ok := g.Cells[in.Dst]
+				if !ok {
+					in.DSHandle = ir.CI(NoDS)
+					return true
+				}
+				n := c.Find().N
+				h, ok := fmap[n]
+				if !ok {
+					h = ir.CI(NoDS)
+				}
+				in.DSHandle = h
+				if konst, isConst := h.(ir.IntConst); isConst {
+					in.DS = int(konst.V)
+					out.StaticHandles++
+				} else {
+					out.DynamicHandles++
+				}
+
+			case ir.OpCall:
+				// addCallArg(dsmap(NodeInCaller(F, I, n))) for each
+				// argnode of the callee.
+				argNodes := out.ArgNodes[in.Callee]
+				if len(argNodes) == 0 {
+					return true
+				}
+				clone := res.CloneMaps[in]
+				for _, calleeN := range argNodes {
+					callerN := nodeInCaller(clone, calleeN)
+					var v ir.Value = ir.CI(NoDS)
+					if callerN != nil {
+						if h, ok := fmap[callerN.Find()]; ok {
+							v = h
+						}
+					}
+					in.Args = append(in.Args, v)
+				}
+			}
+			return true
+		})
+	}
+
+	ir.MustVerify(m)
+	return out
+}
+
+// nodeInCaller translates a callee argnode into the caller's graph using
+// the DSA clone map; a nil map means caller and callee share a graph
+// (mutual recursion), so the node is its own translation.
+func nodeInCaller(clone map[*dsa.Node]*dsa.Node, calleeN *dsa.Node) *dsa.Node {
+	if clone == nil {
+		return calleeN
+	}
+	if n, ok := clone[calleeN.Find()]; ok {
+		return n
+	}
+	return nil
+}
+
+func nodeKey(n *dsa.Node) string {
+	if len(n.Sites) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s#%09d", n.Sites[0].Fn, n.Sites[0].Site)
+}

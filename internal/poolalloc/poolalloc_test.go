@@ -1,0 +1,229 @@
+package poolalloc
+
+import (
+	"testing"
+
+	"cards/internal/dsa"
+	"cards/internal/ir"
+)
+
+func TestListing1Transform(t *testing.T) {
+	m := ir.BuildListing1(128, 4)
+	res := dsa.Analyze(m)
+	pa := Transform(m, res)
+
+	// alloc() returns escaping memory, so it must receive a handle arg
+	// (the AddDSHandleArg path) — Listing 2's alloc(unsigned int DH).
+	allocF := m.FuncByName("alloc")
+	hp := pa.HandleParams["alloc"]
+	if len(hp) != 1 {
+		t.Fatalf("alloc handle params = %d, want 1", len(hp))
+	}
+	if len(allocF.Params) != 1 {
+		t.Fatalf("alloc now has %d params, want 1", len(allocF.Params))
+	}
+
+	// Set() does not allocate; no handles.
+	if len(pa.HandleParams["Set"]) != 0 {
+		t.Errorf("Set should receive no handle params, got %d", len(pa.HandleParams["Set"]))
+	}
+
+	// main passes DISTINCT constant handles at its two alloc call sites
+	// (Listing 2: alloc(DH1) / alloc(DH2)).
+	var handles []int64
+	m.Main().Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpCall && in.Callee == "alloc" {
+			if len(in.Args) != 1 {
+				t.Fatalf("alloc call has %d args, want 1", len(in.Args))
+			}
+			c, ok := in.Args[0].(ir.IntConst)
+			if !ok {
+				t.Fatalf("alloc call handle is %T, want constant", in.Args[0])
+			}
+			handles = append(handles, c.V)
+		}
+		return true
+	})
+	if len(handles) != 2 {
+		t.Fatalf("found %d alloc calls, want 2", len(handles))
+	}
+	if handles[0] == handles[1] {
+		t.Fatalf("both calls pass handle %d — context sensitivity lost", handles[0])
+	}
+
+	// The alloc instruction inside alloc() now carries a dynamic handle.
+	allocF.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpAlloc {
+			if in.DSHandle == nil {
+				t.Fatal("alloc instruction has no DSHandle")
+			}
+			if _, isConst := in.DSHandle.(ir.IntConst); isConst {
+				t.Fatal("handle inside alloc() should be the parameter, not a constant")
+			}
+		}
+		return true
+	})
+	if pa.DynamicHandles != 1 {
+		t.Errorf("DynamicHandles = %d, want 1", pa.DynamicHandles)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("post-transform verify: %v", err)
+	}
+}
+
+func TestLocalAllocationStaticHandle(t *testing.T) {
+	// Non-escaping scratch buffer: handle is a compile-time constant
+	// (the DS_INIT path of Algorithm 1).
+	m := ir.NewModule("local")
+	work := m.NewFunc("work", ir.I64())
+	b := ir.NewBuilder(work)
+	buf := b.Alloc(ir.I64(), ir.CI(16))
+	v := b.Load(ir.I64(), b.Idx(buf, ir.CI(0)))
+	b.Ret(v)
+	mainF := m.NewFunc("main", ir.Void())
+	mb := ir.NewBuilder(mainF)
+	mb.Call(work)
+	mb.Ret(nil)
+	m.AssignSites()
+	ir.MustVerify(m)
+
+	res := dsa.Analyze(m)
+	pa := Transform(m, res)
+
+	if len(pa.HandleParams["work"]) != 0 {
+		t.Error("non-escaping allocation should not add handle params")
+	}
+	if pa.StaticHandles != 1 || pa.DynamicHandles != 0 {
+		t.Errorf("static/dynamic = %d/%d, want 1/0", pa.StaticHandles, pa.DynamicHandles)
+	}
+	var ds int
+	work.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpAlloc {
+			ds = in.DS
+		}
+		return true
+	})
+	if ds != res.DS[0].ID {
+		t.Errorf("alloc.DS = %d, want %d", ds, res.DS[0].ID)
+	}
+}
+
+func TestHandleForwardingThroughChain(t *testing.T) {
+	// main -> mid -> leaf, where leaf allocates memory returned all the
+	// way up. Handles must thread through mid.
+	m := ir.NewModule("chain")
+	leaf := m.NewFunc("leaf", ir.Ptr(ir.I64()))
+	lb := ir.NewBuilder(leaf)
+	lb.Ret(lb.Alloc(ir.I64(), ir.CI(8)))
+
+	mid := m.NewFunc("mid", ir.Ptr(ir.I64()))
+	mb := ir.NewBuilder(mid)
+	mb.Ret(mb.Call(leaf))
+
+	mainF := m.NewFunc("main", ir.Void())
+	b := ir.NewBuilder(mainF)
+	p1 := b.Call(mid)
+	p2 := b.Call(mid)
+	b.Store(ir.I64(), ir.CI(1), p1)
+	b.Store(ir.I64(), ir.CI(2), p2)
+	b.Ret(nil)
+	m.AssignSites()
+	ir.MustVerify(m)
+
+	res := dsa.Analyze(m)
+	if len(res.DS) != 2 {
+		t.Fatalf("DS = %d, want 2 (context sensitivity through two levels)", len(res.DS))
+	}
+	pa := Transform(m, res)
+
+	if len(pa.HandleParams["leaf"]) != 1 || len(pa.HandleParams["mid"]) != 1 {
+		t.Fatalf("handle params leaf=%d mid=%d, want 1/1",
+			len(pa.HandleParams["leaf"]), len(pa.HandleParams["mid"]))
+	}
+	// mid must forward its own handle param to leaf.
+	midF := m.FuncByName("mid")
+	midF.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpCall && in.Callee == "leaf" {
+			if len(in.Args) != 1 {
+				t.Fatalf("leaf call args = %d, want 1", len(in.Args))
+			}
+			r, ok := in.Args[0].(*ir.Reg)
+			if !ok || !r.Param {
+				t.Fatalf("mid should forward its handle param, got %v", in.Args[0])
+			}
+		}
+		return true
+	})
+	// main passes two distinct constants to mid.
+	var hs []int64
+	mainF.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpCall && in.Callee == "mid" {
+			c := in.Args[len(in.Args)-1].(ir.IntConst)
+			hs = append(hs, c.V)
+		}
+		return true
+	})
+	if len(hs) != 2 || hs[0] == hs[1] {
+		t.Fatalf("main handles to mid = %v, want two distinct", hs)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("post-transform verify: %v", err)
+	}
+}
+
+func TestRecursiveAllocatorSharedHandle(t *testing.T) {
+	// A self-recursive list builder: one DS, handle threads through the
+	// recursive call.
+	m := ir.NewModule("recalloc")
+	node := ir.NewStruct("node", ir.F("val", ir.I64()), ir.F("next", ir.Ptr(ir.I64())))
+	var build *ir.Function
+	build = m.NewFunc("build", ir.Ptr(node), ir.P("n", ir.I64()))
+	b := ir.NewBuilder(build)
+	base := b.NewBlock("base")
+	rec := b.NewBlock("rec")
+	b.Br(b.LE(build.Params[0], ir.CI(0)), base, rec)
+	b.SetBlock(base)
+	nul := b.Alloc(node, ir.CI(1)) // sentinel
+	b.Ret(nul)
+	b.SetBlock(rec)
+	p := b.Alloc(node, ir.CI(1))
+	rest := b.Call(build, b.Sub(build.Params[0], ir.CI(1)))
+	b.Store(ir.Ptr(node), rest, b.FieldAddr(p, node, "next"))
+	b.Ret(p)
+
+	mainF := m.NewFunc("main", ir.Void())
+	mb := ir.NewBuilder(mainF)
+	mb.Call(build, ir.CI(10))
+	mb.Ret(nil)
+	m.AssignSites()
+	ir.MustVerify(m)
+
+	res := dsa.Analyze(m)
+	if len(res.DS) != 1 {
+		t.Fatalf("DS = %d, want 1", len(res.DS))
+	}
+	pa := Transform(m, res)
+	if got := len(pa.HandleParams["build"]); got != 1 {
+		t.Fatalf("build handle params = %d, want 1", got)
+	}
+	// The recursive call must forward the handle.
+	buildF := m.FuncByName("build")
+	h := pa.HandleParams["build"][0]
+	found := false
+	buildF.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpCall && in.Callee == "build" {
+			found = true
+			if in.Args[len(in.Args)-1] != ir.Value(h) {
+				t.Errorf("recursive call forwards %v, want handle param %v",
+					in.Args[len(in.Args)-1], h)
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no recursive call found")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("post-transform verify: %v", err)
+	}
+}

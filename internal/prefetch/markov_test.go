@@ -1,0 +1,138 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+
+	"cards/internal/farmem"
+)
+
+// permutationRuntime builds a remotable DS of nObjs objects whose data is
+// already remote, and returns a walk function that touches the objects in
+// a fixed pseudo-random permutation.
+func permutationRuntime(t *testing.T, nObjs, budgetObjs int, seed int64) (*farmem.Runtime, func() uint64, []int) {
+	t.Helper()
+	obj := 4096
+	r := farmem.New(farmem.Config{
+		PinnedBudget:    1 << 20,
+		RemotableBudget: uint64(budgetObjs * obj),
+	})
+	r.RegisterDS(0, farmem.DSMeta{Name: "perm", ObjSize: obj})
+	r.SetPlacement(0, farmem.PlaceRemotable)
+	addr, err := r.DSAlloc(0, int64(nObjs*obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nObjs; i++ {
+		p, err := r.Guard(addr+uint64(i*obj), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.WriteWord(p, uint64(i))
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(nObjs)
+	walk := func() uint64 {
+		var sum uint64
+		for _, i := range perm {
+			p, err := r.Guard(addr+uint64(i*obj), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, _ := r.ReadWord(p)
+			sum += v
+		}
+		return sum
+	}
+	return r, walk, perm
+}
+
+func TestMarkovLearnsRepeatedTraversal(t *testing.T) {
+	nObjs, budget := 64, 24
+	want := uint64(nObjs*(nObjs-1)) / 2
+
+	measure := func(pf farmem.Prefetcher) (uint64, farmem.DSStats) {
+		r, walk, _ := permutationRuntime(t, nObjs, budget, 7)
+		if pf != nil {
+			r.SetPrefetcher(0, pf)
+		}
+		start := r.Clock().Now()
+		for pass := 0; pass < 4; pass++ {
+			if got := walk(); got != want {
+				t.Fatalf("walk sum = %d, want %d", got, want)
+			}
+		}
+		return r.Clock().Now() - start, r.DSByID(0).Stats()
+	}
+
+	plain, _ := measure(nil)
+	stride, _ := measure(NewStride(8))
+	markov, st := measure(NewMarkov())
+
+	// The permutation defeats the stride prefetcher (no majority delta)
+	// but is identical every pass, so Markov covers passes 2..4.
+	if st.PrefetchHits == 0 {
+		t.Fatal("markov never hit")
+	}
+	if markov >= plain {
+		t.Errorf("markov (%d cycles) should beat no prefetching (%d)", markov, plain)
+	}
+	if markov >= stride {
+		t.Errorf("markov (%d cycles) should beat stride (%d) on a repeated permutation",
+			markov, stride)
+	}
+	acc := float64(st.PrefetchHits) / float64(st.PrefetchIssued)
+	t.Logf("plain=%d stride=%d markov=%d cycles, markov hits=%d acc=%.2f",
+		plain, stride, markov, st.PrefetchHits, acc)
+}
+
+func TestMarkovTableBounds(t *testing.T) {
+	mk := NewMarkov()
+	mk.MaxEntries = 8
+	mk.SuccessorsPerObj = 2
+	// Feed a long random transition stream; the table must stay bounded.
+	rng := rand.New(rand.NewSource(1))
+	prev := 0
+	for i := 0; i < 10000; i++ {
+		next := rng.Intn(1000)
+		mk.learn(prev, next)
+		prev = next
+	}
+	if len(mk.table) > mk.MaxEntries+1 {
+		t.Fatalf("table grew to %d entries (cap %d)", len(mk.table), mk.MaxEntries)
+	}
+	for k, edges := range mk.table {
+		if len(edges) > mk.SuccessorsPerObj {
+			t.Fatalf("entry %d has %d successors (cap %d)", k, len(edges), mk.SuccessorsPerObj)
+		}
+	}
+}
+
+func TestMarkovRequiresEvidence(t *testing.T) {
+	mk := NewMarkov()
+	mk.learn(1, 2)
+	if _, ok := mk.best(1); ok {
+		t.Fatal("a single observation should not trigger prefetching")
+	}
+	mk.learn(1, 2)
+	next, ok := mk.best(1)
+	if !ok || next != 2 {
+		t.Fatalf("best(1) = %d, %v; want 2 after two observations", next, ok)
+	}
+	if _, ok := mk.best(99); ok {
+		t.Fatal("unknown object should have no prediction")
+	}
+}
+
+func TestMarkovPrefersStrongerSuccessor(t *testing.T) {
+	mk := NewMarkov()
+	for i := 0; i < 5; i++ {
+		mk.learn(1, 2)
+	}
+	for i := 0; i < 2; i++ {
+		mk.learn(1, 3)
+	}
+	next, ok := mk.best(1)
+	if !ok || next != 2 {
+		t.Fatalf("best(1) = %d, want the 5-count successor 2", next)
+	}
+}

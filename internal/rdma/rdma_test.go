@@ -1,0 +1,133 @@
+package rdma
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Op: OpData, Payload: []byte("hello far memory")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("roundtrip: %+v vs %+v", in, out)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Op: OpOK}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil || f.Op != OpOK || len(f.Payload) != 0 {
+		t.Fatalf("f = %+v, err = %v", f, err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Op: OpData, Payload: make([]byte, MaxFrame+1)}); err == nil {
+		t.Fatal("oversized write should fail")
+	}
+	// Forged oversized header.
+	forged := []byte{0xff, 0xff, 0xff, 0xff, byte(OpData)}
+	if _, err := ReadFrame(bytes.NewReader(forged)); err == nil {
+		t.Fatal("oversized read should fail")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Op: OpData, Payload: []byte("abcdef")})
+	raw := buf.Bytes()
+	if _, err := ReadFrame(bytes.NewReader(raw[:3])); err == nil {
+		t.Fatal("truncated header should fail")
+	}
+	if _, err := ReadFrame(bytes.NewReader(raw[:7])); err == nil {
+		t.Fatal("truncated payload should fail")
+	}
+}
+
+func TestReadReqCodec(t *testing.T) {
+	f := EncodeRead(3, 77, 4096)
+	if f.Op != OpRead {
+		t.Fatal("wrong op")
+	}
+	req, err := DecodeRead(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.DS != 3 || req.Idx != 77 || req.Size != 4096 {
+		t.Fatalf("req = %+v", req)
+	}
+	if _, err := DecodeRead([]byte{1, 2}); err == nil {
+		t.Fatal("short payload should fail")
+	}
+}
+
+func TestWriteReqCodec(t *testing.T) {
+	data := []byte{9, 8, 7, 6}
+	f := EncodeWrite(1, 2, data)
+	req, err := DecodeWrite(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.DS != 1 || req.Idx != 2 || !bytes.Equal(req.Data, data) {
+		t.Fatalf("req = %+v", req)
+	}
+	if _, err := DecodeWrite([]byte{0}); err == nil {
+		t.Fatal("short payload should fail")
+	}
+	// Length mismatch.
+	bad := append([]byte(nil), f.Payload...)
+	bad = append(bad, 0xEE)
+	if _, err := DecodeWrite(bad); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for _, op := range []Op{OpRead, OpWrite, OpPing, OpData, OpOK, OpErr} {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("missing name for op %d", op)
+		}
+	}
+	if !strings.HasPrefix(Op(99).String(), "op(") {
+		t.Error("unknown op should fall back")
+	}
+}
+
+// Property: arbitrary write-request payloads roundtrip through the codec.
+func TestWriteCodecProperty(t *testing.T) {
+	f := func(ds, idx uint32, data []byte) bool {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		fr := EncodeWrite(ds, idx, data)
+		var buf bytes.Buffer
+		if WriteFrame(&buf, fr) != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		req, err := DecodeWrite(got.Payload)
+		if err != nil {
+			return false
+		}
+		return req.DS == ds && req.Idx == idx && bytes.Equal(req.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package remote implements the remote memory node: a server that owns
+// the far tier of objects keyed by (data structure, object index), and a
+// client that implements farmem.Store over the rdma wire protocol. This
+// is the process pair the paper runs on two CloudLab machines — memory
+// server on one, application on the other.
+//
+// The server is concurrency-safe (one goroutine per connection); the
+// client serializes requests per connection, matching the synchronous
+// fault path of the runtime.
+package remote
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cards/internal/rdma"
+)
+
+// ObjectStore is the server-side keyed object storage.
+type ObjectStore struct {
+	mu sync.RWMutex
+	m  map[[2]uint32][]byte
+}
+
+// NewObjectStore creates an empty store.
+func NewObjectStore() *ObjectStore {
+	return &ObjectStore{m: make(map[[2]uint32][]byte)}
+}
+
+// Read copies the object into a fresh buffer of the requested size
+// (zero-filled when absent or shorter).
+func (s *ObjectStore) Read(ds, idx, size uint32) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]byte, size)
+	copy(out, s.m[[2]uint32{ds, idx}])
+	return out
+}
+
+// Write stores a copy of data.
+func (s *ObjectStore) Write(ds, idx uint32, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.m[[2]uint32{ds, idx}] = cp
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored objects.
+func (s *ObjectStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Server serves the far-memory protocol on a listener.
+type Server struct {
+	Store *ObjectStore
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+
+	// Stats (atomic-free: guarded by mu).
+	reads, writes uint64
+}
+
+// NewServer creates a server with an empty store.
+func NewServer() *Server { return &Server{Store: NewObjectStore()} }
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
+// bound address. Serving happens on background goroutines.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn handles one connection until EOF or error. Exported so tests
+// and in-process pairs (net.Pipe) can drive it directly.
+func (s *Server) ServeConn(conn io.ReadWriteCloser) {
+	defer conn.Close()
+	for {
+		f, err := rdma.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var resp rdma.Frame
+		switch f.Op {
+		case rdma.OpPing:
+			resp = rdma.Frame{Op: rdma.OpOK}
+		case rdma.OpRead:
+			req, err := rdma.DecodeRead(f.Payload)
+			if err != nil {
+				resp = rdma.ErrFrame(err.Error())
+				break
+			}
+			s.mu.Lock()
+			s.reads++
+			s.mu.Unlock()
+			resp = rdma.Frame{Op: rdma.OpData, Payload: s.Store.Read(req.DS, req.Idx, req.Size)}
+		case rdma.OpWrite:
+			req, err := rdma.DecodeWrite(f.Payload)
+			if err != nil {
+				resp = rdma.ErrFrame(err.Error())
+				break
+			}
+			s.Store.Write(req.DS, req.Idx, req.Data)
+			s.mu.Lock()
+			s.writes++
+			s.mu.Unlock()
+			resp = rdma.Frame{Op: rdma.OpOK}
+		default:
+			resp = rdma.ErrFrame(fmt.Sprintf("unexpected op %s", f.Op))
+		}
+		if err := rdma.WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Counts returns (reads, writes) served.
+func (s *Server) Counts() (uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.writes
+}
+
+// Close stops the listener and waits for connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a farmem.Store backed by a protocol connection.
+type Client struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClientConn wraps an existing connection (e.g. one end of net.Pipe).
+func NewClientConn(conn io.ReadWriteCloser) *Client { return &Client{conn: conn} }
+
+// roundTrip sends a request and reads the response.
+func (c *Client) roundTrip(req rdma.Frame) (rdma.Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := rdma.WriteFrame(c.conn, req); err != nil {
+		return rdma.Frame{}, err
+	}
+	resp, err := rdma.ReadFrame(c.conn)
+	if err != nil {
+		return rdma.Frame{}, err
+	}
+	if resp.Op == rdma.OpErr {
+		return rdma.Frame{}, fmt.Errorf("remote: server error: %s", resp.Payload)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(rdma.Frame{Op: rdma.OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Op != rdma.OpOK {
+		return fmt.Errorf("remote: unexpected ping response %s", resp.Op)
+	}
+	return nil
+}
+
+// ReadObj implements farmem.Store.
+func (c *Client) ReadObj(ds, idx int, dst []byte) error {
+	resp, err := c.roundTrip(rdma.EncodeRead(uint32(ds), uint32(idx), uint32(len(dst))))
+	if err != nil {
+		return err
+	}
+	if resp.Op != rdma.OpData {
+		return fmt.Errorf("remote: unexpected read response %s", resp.Op)
+	}
+	copy(dst, resp.Payload)
+	return nil
+}
+
+// WriteObj implements farmem.Store.
+func (c *Client) WriteObj(ds, idx int, src []byte) error {
+	resp, err := c.roundTrip(rdma.EncodeWrite(uint32(ds), uint32(idx), src))
+	if err != nil {
+		return err
+	}
+	if resp.Op != rdma.OpOK {
+		return fmt.Errorf("remote: unexpected write response %s", resp.Op)
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }

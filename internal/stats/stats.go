@@ -1,0 +1,276 @@
+// Package stats provides light-weight counters, distribution sketches, and
+// summary statistics used throughout the CaRDS runtime and benchmark
+// harness.
+//
+// Everything in this package is deterministic and allocation-conscious: the
+// runtime increments counters on the memory-access fast path, so the
+// primitives here avoid locks unless the caller asks for a concurrent view.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter.
+//
+// The zero value is ready to use. Counter is safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is a value that can move in both directions (e.g. bytes resident).
+// Gauge is safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add adds delta (which may be negative) to the gauge.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Sample accumulates observations and answers order statistics over them.
+// It retains every observation, so it is intended for bounded trials such
+// as Table 1's "median cycles over 100 trials", not for per-access
+// instrumentation (use Histogram for that).
+//
+// The zero value is ready to use. Sample is NOT safe for concurrent use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Observe records one observation.
+func (s *Sample) Observe(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 {
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.xs))
+}
+
+// Variance returns the unbiased sample variance, or 0 for n < 2.
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between closest ranks. It returns 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		s.sort()
+		return s.xs[0]
+	}
+	if q >= 1 {
+		s.sort()
+		return s.xs[len(s.xs)-1]
+	}
+	s.sort()
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Reset discards all observations.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = true
+}
+
+// Histogram is a power-of-two bucketed histogram for non-negative integer
+// observations (latencies in cycles, object sizes in bytes). Bucket i
+// covers [2^(i-1), 2^i) except bucket 0, which covers {0, 1}.
+//
+// The zero value is ready to use. Histogram is safe for concurrent use.
+type Histogram struct {
+	buckets [65]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// bucketOf returns the bucket index for v.
+func bucketOf(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	return 64 - countLeadingZeros(v-1)
+}
+
+func countLeadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Observe records a single value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the mean of all observed values, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	c := h.Count()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(c)
+}
+
+// ApproxQuantile returns an upper bound for the q-th quantile: the top of
+// the bucket in which the quantile falls. Accurate to a factor of two,
+// which is enough for latency triage.
+func (h *Histogram) ApproxQuantile(q float64) uint64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum > target {
+			if i == 0 {
+				return 1
+			}
+			return 1 << uint(i)
+		}
+	}
+	return math.MaxUint64
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// String renders the non-empty buckets, for debugging.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist{n=%d mean=%.1f", h.Count(), h.Mean())
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			lo := uint64(0)
+			if i > 0 {
+				lo = 1 << uint(i-1)
+			}
+			fmt.Fprintf(&b, " [%d,%d):%d", lo, uint64(1)<<uint(i), c)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Ratio returns num/den as a float, or 0 when den is zero. It exists
+// because hit-rate style divisions appear everywhere in policy code.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

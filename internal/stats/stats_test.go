@@ -1,0 +1,271 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero value = %d, want 0", c.Load())
+	}
+	c.Inc()
+	c.Add(9)
+	if got := c.Load(); got != 10 {
+		t.Fatalf("Load = %d, want 10", got)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatalf("after Reset = %d, want 0", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Load = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(-8)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("Load = %d, want -3", got)
+	}
+	g.Set(42)
+	if got := g.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	if s.Variance() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample variance should be zero")
+	}
+}
+
+func TestSampleOrderStats(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5, 3, 7} {
+		s.Observe(x)
+	}
+	if got := s.Median(); got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 9 {
+		t.Errorf("Quantile(1) = %v, want 9", got)
+	}
+}
+
+func TestSampleMedianEvenCount(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Observe(x)
+	}
+	if got := s.Median(); got != 2.5 {
+		t.Fatalf("Median = %v, want 2.5", got)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(x)
+	}
+	// Known dataset: population variance 4, sample variance 32/7.
+	want := 32.0 / 7.0
+	if got := s.Variance(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	var s Sample
+	s.Observe(3)
+	s.Reset()
+	if s.N() != 0 {
+		t.Fatalf("N after reset = %d, want 0", s.N())
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by [Min, Max].
+func TestSampleQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip pathological inputs
+			}
+			s.Observe(x)
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a, b := s.Quantile(q1), s.Quantile(q2)
+		return a <= b && a >= s.Min() && b <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any permutation of the observations the median is the same.
+func TestSampleMedianPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := make([]float64, 101)
+	for i := range base {
+		base[i] = rng.Float64() * 1000
+	}
+	var ref Sample
+	for _, x := range base {
+		ref.Observe(x)
+	}
+	want := ref.Median()
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(base))
+		var s Sample
+		for _, i := range perm {
+			s.Observe(base[i])
+		}
+		if got := s.Median(); got != want {
+			t.Fatalf("median changed under permutation: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("Sum = %d, want 5050", h.Sum())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("Mean = %v, want 50.5", got)
+	}
+	q := h.ApproxQuantile(0.5)
+	// The true median is 50; the bucketed answer must be within 2x above.
+	if q < 50 || q > 128 {
+		t.Fatalf("ApproxQuantile(0.5) = %d, want in [50,128]", q)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.ApproxQuantile(0.99); got != 0 {
+		t.Fatalf("quantile of empty histogram = %d, want 0", got)
+	}
+}
+
+// Property: ApproxQuantile upper-bounds the exact quantile and is within 2x.
+func TestHistogramQuantileBoundProperty(t *testing.T) {
+	f := func(seedRaw int64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		rng := rand.New(rand.NewSource(seedRaw))
+		var h Histogram
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(rng.Intn(1 << 16))
+			h.Observe(xs[i])
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			idx := int(q * float64(n))
+			if idx >= n {
+				idx = n - 1
+			}
+			exact := xs[idx]
+			approx := h.ApproxQuantile(q)
+			if approx < exact {
+				return false
+			}
+			if exact > 1 && approx > 2*exact {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	s := h.String()
+	if s == "" {
+		t.Fatal("String() returned empty")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 0); got != 0 {
+		t.Fatalf("Ratio(1,0) = %v, want 0", got)
+	}
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Fatalf("Ratio(1,4) = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,93 @@
+package trackfm
+
+import (
+	"testing"
+
+	"cards/internal/core"
+	"cards/internal/ir"
+	"cards/internal/policy"
+)
+
+const (
+	arraySize = 16384
+	nTimes    = 8
+)
+
+func TestCompileGuardsEverything(t *testing.T) {
+	m := ir.BuildListing1(arraySize, nTimes)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Guards.GuardsInserted == 0 {
+		t.Fatal("no guards")
+	}
+	if c.Guards.LoopsVersioned != 0 {
+		t.Fatal("TrackFM must not version loops")
+	}
+	// All allocations bound to the merged heap handle 0.
+	m.FuncByName("alloc").Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpAlloc {
+			cst, ok := in.DSHandle.(ir.IntConst)
+			if !ok || cst.V != 0 {
+				t.Fatalf("alloc handle = %v, want constant 0", in.DSHandle)
+			}
+		}
+		return true
+	})
+}
+
+func TestRunComputesAndCounts(t *testing.T) {
+	c, err := Compile(ir.BuildListing1(4096, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(RunConfig{LocalMemory: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Runtime.GuardChecks == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Every guard check should go through the slow profile: TrackFM has
+	// no custody fast path for remotable (everything is remotable).
+	if res.Runtime.FastPathHits > res.Runtime.GuardChecks/2 {
+		t.Errorf("too many fast-path hits for an all-remotable baseline: %d/%d",
+			res.Runtime.FastPathHits, res.Runtime.GuardChecks)
+	}
+}
+
+func TestCaRDSBeatsTrackFMOnListing1(t *testing.T) {
+	// The headline comparison: with decent local memory, CaRDS (which
+	// pins the hot structure and elides guards) must beat TrackFM.
+	local := uint64(arraySize * 8) // enough for one of the two structures
+
+	tfm, err := Compile(ir.BuildListing1(arraySize, nTimes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfmRes, err := tfm.Run(RunConfig{LocalMemory: local + 16*4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cds, err := core.Compile(ir.BuildListing1(arraySize, nTimes), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdsRes, err := cds.Run(core.RunConfig{
+		Policy:          policy.MaxUse,
+		K:               50,
+		PinnedBudget:    local,
+		RemotableBudget: 16 * 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdsRes.Cycles >= tfmRes.Cycles {
+		t.Errorf("CaRDS (%d cycles) should beat TrackFM (%d cycles)",
+			cdsRes.Cycles, tfmRes.Cycles)
+	}
+	speedup := float64(tfmRes.Cycles) / float64(cdsRes.Cycles)
+	t.Logf("CaRDS speedup over TrackFM on Listing 1: %.2fx", speedup)
+}

@@ -1,0 +1,334 @@
+package workloads
+
+import "cards/internal/ir"
+
+// BFSConfig scales the graph workload.
+type BFSConfig struct {
+	// Vertices is the vertex count (the paper's 1.2 GB working set is
+	// ~8M vertices at degree 16; tests use 1<<10).
+	Vertices int64
+	// Degree is the average out-degree (GAP uses 16).
+	Degree int64
+	// Trials is the number of BFS roots (GAP runs 64; tests use 4).
+	Trials int64
+	// Seed feeds the graph generator.
+	Seed int64
+	// Skewed selects a power-law-ish degree distribution (squaring the
+	// uniform source pick concentrates edges on low-id vertices), the
+	// closest in-IR analogue of GAP's Kronecker graphs. False keeps the
+	// uniform graph.
+	Skewed bool
+}
+
+// DefaultBFS returns the configuration used by tests.
+func DefaultBFS() BFSConfig {
+	return BFSConfig{Vertices: 1 << 10, Degree: 8, Trials: 4, Seed: 27}
+}
+
+// BuildBFS constructs the GAP-suite-style breadth-first-search workload:
+// generate a uniform random edge list, build out- and in-CSR (GAP builds
+// both directions), then run BFS from Trials pseudo-random sources,
+// recording per-trial reach counts and eccentricities.
+//
+// The program allocates 19 disjoint data structures — the count CaRDS
+// identifies for BFS in §5.1: the edge list (2), degree arrays (2), CSR
+// row/column/cursor arrays for both directions (6), the BFS state
+// (parent, dist, two frontiers, visited = 5), level counts, and the
+// per-trial sources/reached/eccentricity records (4).
+//
+// Access patterns split exactly the way far-memory policies care about:
+// the CSR column arrays are scanned with loaded indices (irregular /
+// indirect), the frontiers are strided queues, and parent/dist/visited
+// are scattered writes — BFS is the paper's irregular benchmark.
+func BuildBFS(cfg BFSConfig) *Workload {
+	if cfg.Vertices <= 0 {
+		cfg = DefaultBFS()
+	}
+	n := cfg.Vertices
+	edges := n * cfg.Degree
+	m := ir.NewModule("bfs")
+	i64 := ir.I64()
+	colT := ir.Ptr(i64)
+
+	// resetArray: a[i] = val for i < n.
+	resetArray := m.NewFunc("reset_array", ir.Void(),
+		ir.P("a", colT), ir.P("n", i64), ir.P("val", i64))
+	{
+		b := ir.NewBuilder(resetArray)
+		loop := b.CountedLoop("i", ir.CI(0), resetArray.Params[1], ir.CI(1))
+		b.Store(i64, resetArray.Params[2], b.Idx(resetArray.Params[0], loop.IV))
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// genEdges: random (u, v) pairs without self loops — uniform, or
+	// skewed toward low-id sources when cfg.Skewed (u = r*r/n squares
+	// the uniform pick, yielding a heavy-tailed degree distribution).
+	genEdges := m.NewFunc("gen_edges", ir.Void(),
+		ir.P("src", colT), ir.P("dst", colT), ir.P("m", i64), ir.P("seed", i64))
+	{
+		b := ir.NewBuilder(genEdges)
+		state := genEdges.NewReg("rng", i64)
+		b.Assign(state, genEdges.Params[3])
+		loop := b.CountedLoop("e", ir.CI(0), genEdges.Params[2], ir.CI(1))
+		u := emitRand(b, state, n)
+		if cfg.Skewed {
+			u = b.Div(b.Mul(u, u), ir.CI(n))
+		}
+		hop := b.Add(emitRand(b, state, n-1), ir.CI(1))
+		v := b.Rem(b.Add(u, hop), ir.CI(n))
+		b.Store(i64, u, b.Idx(genEdges.Params[0], loop.IV))
+		b.Store(i64, v, b.Idx(genEdges.Params[1], loop.IV))
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// countDegrees: deg[ends[e]]++ over the edge list.
+	countDegrees := m.NewFunc("count_degrees", ir.Void(),
+		ir.P("ends", colT), ir.P("deg", colT), ir.P("m", i64))
+	{
+		b := ir.NewBuilder(countDegrees)
+		loop := b.CountedLoop("e", ir.CI(0), countDegrees.Params[2], ir.CI(1))
+		u := b.Load(i64, b.Idx(countDegrees.Params[0], loop.IV))
+		slot := b.Idx(countDegrees.Params[1], u)
+		b.Store(i64, b.Add(b.Load(i64, slot), ir.CI(1)), slot)
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// prefixSum: row[0]=0; row[i+1] = row[i] + deg[i].
+	prefixSum := m.NewFunc("prefix_sum", ir.Void(),
+		ir.P("deg", colT), ir.P("row", colT), ir.P("n", i64))
+	{
+		b := ir.NewBuilder(prefixSum)
+		b.Store(i64, ir.CI(0), b.Idx(prefixSum.Params[1], ir.CI(0)))
+		loop := b.CountedLoop("i", ir.CI(0), prefixSum.Params[2], ir.CI(1))
+		cur := b.Load(i64, b.Idx(prefixSum.Params[1], loop.IV))
+		d := b.Load(i64, b.Idx(prefixSum.Params[0], loop.IV))
+		b.Store(i64, b.Add(cur, d), b.Idx(prefixSum.Params[1], b.Add(loop.IV, ir.CI(1))))
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// fillCSR: cur = copy(row); for e: col[cur[src[e]]++] = dst[e].
+	fillCSR := m.NewFunc("fill_csr", ir.Void(),
+		ir.P("srcs", colT), ir.P("dsts", colT), ir.P("row", colT),
+		ir.P("cur", colT), ir.P("col", colT), ir.P("n", i64), ir.P("m", i64))
+	{
+		b := ir.NewBuilder(fillCSR)
+		cp := b.CountedLoop("c", ir.CI(0), fillCSR.Params[5], ir.CI(1))
+		b.Store(i64, b.Load(i64, b.Idx(fillCSR.Params[2], cp.IV)),
+			b.Idx(fillCSR.Params[3], cp.IV))
+		b.CloseLoop(cp)
+		loop := b.CountedLoop("e", ir.CI(0), fillCSR.Params[6], ir.CI(1))
+		u := b.Load(i64, b.Idx(fillCSR.Params[0], loop.IV))
+		v := b.Load(i64, b.Idx(fillCSR.Params[1], loop.IV))
+		slot := b.Idx(fillCSR.Params[3], u)
+		pos := b.Load(i64, slot)
+		b.Store(i64, v, b.Idx(fillCSR.Params[4], pos))
+		b.Store(i64, b.Add(pos, ir.CI(1)), slot)
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// bfs: frontier-queue BFS from src; returns number reached.
+	bfs := m.NewFunc("bfs", i64,
+		ir.P("row", colT), ir.P("col", colT), ir.P("parent", colT),
+		ir.P("dist", colT), ir.P("fcur", colT), ir.P("fnext", colT),
+		ir.P("visited", colT), ir.P("levels", colT), ir.P("src", i64))
+	{
+		p := bfs.Params
+		row, col, parent, dist := p[0], p[1], p[2], p[3]
+		fcur, fnext, visited, levels := p[4], p[5], p[6], p[7]
+		src := p[8]
+		b := ir.NewBuilder(bfs)
+
+		reached := bfs.NewReg("reached", i64)
+		curSize := bfs.NewReg("cur_size", i64)
+		level := bfs.NewReg("level", i64)
+		b.Assign(reached, ir.CI(1))
+		b.Assign(curSize, ir.CI(1))
+		b.Assign(level, ir.CI(0))
+		b.Store(i64, src, b.Idx(fcur, ir.CI(0)))
+		b.Store(i64, ir.CI(1), b.Idx(visited, src))
+		b.Store(i64, ir.CI(0), b.Idx(dist, src))
+		b.Store(i64, src, b.Idx(parent, src))
+
+		while := b.NewBlock("while")
+		body := b.NewBlock("body")
+		done := b.NewBlock("done")
+		b.Jmp(while)
+		b.SetBlock(while)
+		b.Br(b.GT(curSize, ir.CI(0)), body, done)
+
+		b.SetBlock(body)
+		nextSize := bfs.NewReg("next_size", i64)
+		b.Assign(nextSize, ir.CI(0))
+		ql := b.CountedLoop("q", ir.CI(0), curSize, ir.CI(1))
+		u := b.Load(i64, b.Idx(fcur, ql.IV))
+		start := b.Load(i64, b.Idx(row, u))
+		end := b.Load(i64, b.Idx(row, b.Add(u, ir.CI(1))))
+		jv := bfs.NewReg("j", i64)
+		b.Assign(jv, start)
+		nl := b.NewBlock("nbrs")
+		nbody := b.NewBlock("nbody")
+		seen := b.NewBlock("seen")
+		nlatch := b.NewBlock("nlatch")
+		nexit := b.NewBlock("nexit")
+		b.Jmp(nl)
+		b.SetBlock(nl)
+		b.Br(b.LT(jv, end), nbody, nexit)
+		b.SetBlock(nbody)
+		v := b.Load(i64, b.Idx(col, jv))
+		vis := b.Load(i64, b.Idx(visited, v))
+		fresh := b.NewBlock("fresh")
+		b.Br(vis, seen, fresh)
+		b.SetBlock(fresh)
+		b.Store(i64, ir.CI(1), b.Idx(visited, v))
+		b.Store(i64, u, b.Idx(parent, v))
+		b.Store(i64, b.Add(level, ir.CI(1)), b.Idx(dist, v))
+		b.Store(i64, v, b.Idx(fnext, nextSize))
+		b.Assign(nextSize, b.Add(nextSize, ir.CI(1)))
+		b.Assign(reached, b.Add(reached, ir.CI(1)))
+		b.Jmp(nlatch)
+		b.SetBlock(seen)
+		b.Jmp(nlatch)
+		b.SetBlock(nlatch)
+		b.Assign(jv, b.Add(jv, ir.CI(1)))
+		b.Jmp(nl)
+		b.SetBlock(nexit)
+		b.CloseLoop(ql)
+
+		// Copy fnext into fcur element-wise (keeps the two frontier
+		// structures disjoint for the analysis, as in GAP's SlidingQueue
+		// double buffer).
+		cpl := b.CountedLoop("cp", ir.CI(0), nextSize, ir.CI(1))
+		b.Store(i64, b.Load(i64, b.Idx(fnext, cpl.IV)), b.Idx(fcur, cpl.IV))
+		b.CloseLoop(cpl)
+		b.Assign(curSize, nextSize)
+		b.Assign(level, b.Add(level, ir.CI(1)))
+		lvlIdx := b.Rem(level, ir.CI(64))
+		slot := b.Idx(levels, lvlIdx)
+		b.Store(i64, b.Add(b.Load(i64, slot), nextSize), slot)
+		b.Jmp(while)
+
+		b.SetBlock(done)
+		b.Ret(reached)
+	}
+
+	// maxOf: max over dist[] entries < sentinel.
+	maxOf := m.NewFunc("max_of", i64, ir.P("a", colT), ir.P("n", i64), ir.P("sentinel", i64))
+	{
+		b := ir.NewBuilder(maxOf)
+		best := maxOf.NewReg("best", i64)
+		b.Assign(best, ir.CI(0))
+		loop := b.CountedLoop("i", ir.CI(0), maxOf.Params[1], ir.CI(1))
+		v := b.Load(i64, b.Idx(maxOf.Params[0], loop.IV))
+		upd := b.NewBlock("upd")
+		cont := b.NewBlock("cont")
+		valid := b.LT(v, maxOf.Params[2])
+		bigger := b.GT(v, best)
+		b.Br(b.And(valid, bigger), upd, cont)
+		b.SetBlock(upd)
+		b.Assign(best, v)
+		b.Jmp(cont)
+		b.SetBlock(cont)
+		b.CloseLoop(loop)
+		b.Ret(best)
+	}
+
+	// main: build graph (both directions), run trials.
+	mainF := m.NewFunc("main", i64)
+	b := ir.NewBuilder(mainF)
+	alloc := func(name string, count int64) *ir.Reg {
+		r := b.Alloc(i64, ir.CI(count))
+		r.Name = name
+		return r
+	}
+	// Allocation order matters to the Linear policy (it pins in program
+	// order until pinned memory runs out). GAP frees its edge list after
+	// CSR construction, leaving the BFS state and CSR as the earliest
+	// live allocations; with no free in the IR we express the same
+	// lifetime structure by allocating the traversal-hot state first and
+	// the build-only edge/degree/cursor scratch last.
+	parent := alloc("parent", n)
+	dist := alloc("dist", n)
+	fcur := alloc("frontier_cur", n)
+	fnext := alloc("frontier_next", n)
+	visited := alloc("visited", n)
+	levels := alloc("level_counts", 64)
+	sources := alloc("sources", cfg.Trials)
+	reachedArr := alloc("reached", cfg.Trials)
+	eccArr := alloc("eccentricity", cfg.Trials)
+	rowOut := alloc("row_out", n+1)
+	rowIn := alloc("row_in", n+1)
+	colOut := alloc("col_out", edges)
+	colIn := alloc("col_in", edges)
+	edgeSrc := alloc("edge_src", edges)
+	edgeDst := alloc("edge_dst", edges)
+	degOut := alloc("deg_out", n)
+	degIn := alloc("deg_in", n)
+	curOut := alloc("cur_out", n)
+	curIn := alloc("cur_in", n)
+
+	b.Call(genEdges, edgeSrc, edgeDst, ir.CI(edges), ir.CI(cfg.Seed))
+	b.Call(resetArray, degOut, ir.CI(n), ir.CI(0))
+	b.Call(resetArray, degIn, ir.CI(n), ir.CI(0))
+	b.Call(countDegrees, edgeSrc, degOut, ir.CI(edges))
+	b.Call(countDegrees, edgeDst, degIn, ir.CI(edges))
+	b.Call(prefixSum, degOut, rowOut, ir.CI(n))
+	b.Call(prefixSum, degIn, rowIn, ir.CI(n))
+	b.Call(fillCSR, edgeSrc, edgeDst, rowOut, curOut, colOut, ir.CI(n), ir.CI(edges))
+	b.Call(fillCSR, edgeDst, edgeSrc, rowIn, curIn, colIn, ir.CI(n), ir.CI(edges))
+	b.Call(resetArray, levels, ir.CI(64), ir.CI(0))
+
+	// Pick sources.
+	state := mainF.NewReg("rng", i64)
+	b.Assign(state, ir.CI(cfg.Seed+1))
+	sl := b.CountedLoop("s", ir.CI(0), ir.CI(cfg.Trials), ir.CI(1))
+	b.Store(i64, emitRand(b, state, n), b.Idx(sources, sl.IV))
+	b.CloseLoop(sl)
+
+	// GAP methodology: graph generation and CSR construction are set-up;
+	// the timed kernel is the BFS trials.
+	roiBegin, roiEnd := declareROI(m)
+	b.Call(roiBegin)
+
+	sentinel := int64(1) << 40
+	tl := b.CountedLoop("trial", ir.CI(0), ir.CI(cfg.Trials), ir.CI(1))
+	b.Call(resetArray, parent, ir.CI(n), ir.CI(-1))
+	b.Call(resetArray, dist, ir.CI(n), ir.CI(sentinel))
+	b.Call(resetArray, visited, ir.CI(n), ir.CI(0))
+	src := b.Load(i64, b.Idx(sources, tl.IV))
+	reach := b.Call(bfs, rowOut, colOut, parent, dist, fcur, fnext, visited, levels, src)
+	b.Store(i64, reach, b.Idx(reachedArr, tl.IV))
+	ecc := b.Call(maxOf, dist, ir.CI(n), ir.CI(sentinel))
+	b.Store(i64, ecc, b.Idx(eccArr, tl.IV))
+	b.CloseLoop(tl)
+	b.Call(roiEnd)
+
+	// Checksum.
+	check := mainF.NewReg("check", i64)
+	b.Assign(check, ir.CI(0))
+	fl := b.CountedLoop("f", ir.CI(0), ir.CI(cfg.Trials), ir.CI(1))
+	mix(b, check, b.Load(i64, b.Idx(reachedArr, fl.IV)))
+	mix(b, check, b.Load(i64, b.Idx(eccArr, fl.IV)))
+	b.CloseLoop(fl)
+	ll := b.CountedLoop("l", ir.CI(0), ir.CI(64), ir.CI(1))
+	mix(b, check, b.Load(i64, b.Idx(levels, ll.IV)))
+	b.CloseLoop(ll)
+	// In-CSR consistency fold (exercises the reverse graph).
+	rl := b.CountedLoop("r", ir.CI(0), ir.CI(n), ir.CI(1))
+	mix(b, check, b.Load(i64, b.Idx(rowIn, rl.IV)))
+	b.CloseLoop(rl)
+	b.Ret(check)
+
+	m.AssignSites()
+	ir.MustVerify(m)
+	return &Workload{
+		Name:            "bfs",
+		Module:          m,
+		WorkingSetBytes: uint64(8 * (4*edges + 8*n + 64 + 3*cfg.Trials + 2*(n+1))),
+		WantDS:          19,
+	}
+}

@@ -1,0 +1,528 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cards/internal/ir"
+)
+
+// ChaseConfig scales the Figure 9 micro-suite.
+type ChaseConfig struct {
+	// N is the element count per structure (the paper's 7 GB working
+	// set corresponds to ~100M elements; tests use 1<<10).
+	N int64
+	// Seed varies the generated values.
+	Seed int64
+}
+
+// DefaultChase returns the configuration used by tests.
+func DefaultChase() ChaseConfig { return ChaseConfig{N: 1 << 10, Seed: 9} }
+
+// ChaseKinds lists the data structures of the Figure 9 sum benchmark
+// (c[i] = a[i] + b[i] over each container type), from induction-friendly
+// to pointer-chasing. The tree is an extension beyond the paper's suite.
+var ChaseKinds = []string{"array", "vector", "deque", "list", "map", "tree"}
+
+// BuildChase constructs the c[i] = a[i] + b[i] microbenchmark over the
+// given container kind (paper §5.2 / Figure 9). Arrays have easily
+// discernible induction variables and run well even under TrackFM;
+// vectors hide the data behind a header indirection; lists, maps and
+// trees chase pointers, which only CaRDS's per-structure prefetchers
+// (jump pointer, greedy recursive) can cover.
+func BuildChase(kind string, cfg ChaseConfig) (*Workload, error) {
+	if cfg.N <= 0 {
+		cfg = DefaultChase()
+	}
+	var m *ir.Module
+	var ws uint64
+	var wantDS int
+	switch kind {
+	case "array":
+		m, ws, wantDS = buildChaseArray(cfg)
+	case "vector":
+		m, ws, wantDS = buildChaseVector(cfg)
+	case "deque":
+		m, ws, wantDS = buildChaseDeque(cfg)
+	case "list":
+		m, ws, wantDS = buildChaseList(cfg)
+	case "map":
+		m, ws, wantDS = buildChaseMap(cfg)
+	case "tree":
+		m, ws, wantDS = buildChaseTree(cfg)
+	default:
+		return nil, fmt.Errorf("workloads: unknown chase kind %q", kind)
+	}
+	m.AssignSites()
+	ir.MustVerify(m)
+	return &Workload{
+		Name:            "sum_" + kind,
+		Module:          m,
+		WorkingSetBytes: ws,
+		WantDS:          wantDS,
+	}, nil
+}
+
+// buildChaseArray: three flat arrays, the TrackFM-friendly case.
+func buildChaseArray(cfg ChaseConfig) (*ir.Module, uint64, int) {
+	n := cfg.N
+	m := ir.NewModule("sum_array")
+	i64 := ir.I64()
+	f := m.NewFunc("main", i64)
+	b := ir.NewBuilder(f)
+	a := b.Alloc(i64, ir.CI(n))
+	bb := b.Alloc(i64, ir.CI(n))
+	c := b.Alloc(i64, ir.CI(n))
+	fill := b.CountedLoop("fill", ir.CI(0), ir.CI(n), ir.CI(1))
+	b.Store(i64, b.Add(fill.IV, ir.CI(cfg.Seed)), b.Idx(a, fill.IV))
+	b.Store(i64, b.Mul(fill.IV, ir.CI(3)), b.Idx(bb, fill.IV))
+	b.CloseLoop(fill)
+	sum := b.CountedLoop("sum", ir.CI(0), ir.CI(n), ir.CI(1))
+	va := b.Load(i64, b.Idx(a, sum.IV))
+	vb := b.Load(i64, b.Idx(bb, sum.IV))
+	b.Store(i64, b.Add(va, vb), b.Idx(c, sum.IV))
+	b.CloseLoop(sum)
+	check := f.NewReg("check", i64)
+	b.Assign(check, ir.CI(0))
+	ck := b.CountedLoop("ck", ir.CI(0), ir.CI(n), ir.CI(1))
+	mix(b, check, b.Load(i64, b.Idx(c, ck.IV)))
+	b.CloseLoop(ck)
+	b.Ret(check)
+	return m, uint64(3 * n * 8), 3
+}
+
+// buildChaseVector: growable vectors with a {data, size, cap} header,
+// doubling on push (the C++ std::vector pattern).
+func buildChaseVector(cfg ChaseConfig) (*ir.Module, uint64, int) {
+	n := cfg.N
+	m := ir.NewModule("sum_vector")
+	i64 := ir.I64()
+	ptrT := ir.Ptr(i64)
+
+	// vec_new(cap) -> header {data, size, cap}.
+	vecNew := m.NewFunc("vec_new", ptrT, ir.P("cap", i64))
+	{
+		b := ir.NewBuilder(vecNew)
+		hdr := b.Alloc(i64, ir.CI(3))
+		data := b.Alloc(i64, vecNew.Params[0])
+		b.Store(ptrT, data, b.Idx(hdr, ir.CI(0)))
+		b.Store(i64, ir.CI(0), b.Idx(hdr, ir.CI(1)))
+		b.Store(i64, vecNew.Params[0], b.Idx(hdr, ir.CI(2)))
+		b.Ret(hdr)
+	}
+
+	// vec_push(hdr, v): doubles when full.
+	vecPush := m.NewFunc("vec_push", ir.Void(), ir.P("hdr", ptrT), ir.P("v", i64))
+	{
+		b := ir.NewBuilder(vecPush)
+		hdr := vecPush.Params[0]
+		size := b.Load(i64, b.Idx(hdr, ir.CI(1)))
+		capV := b.Load(i64, b.Idx(hdr, ir.CI(2)))
+		grow := b.NewBlock("grow")
+		store := b.NewBlock("store")
+		b.Br(b.EQ(size, capV), grow, store)
+		b.SetBlock(grow)
+		newCap := b.Mul(capV, ir.CI(2))
+		nd := b.Alloc(i64, newCap)
+		old := b.Load(ptrT, b.Idx(hdr, ir.CI(0)))
+		cp := b.CountedLoop("cp", ir.CI(0), size, ir.CI(1))
+		b.Store(i64, b.Load(i64, b.Idx(old, cp.IV)), b.Idx(nd, cp.IV))
+		b.CloseLoop(cp)
+		b.Store(ptrT, nd, b.Idx(hdr, ir.CI(0)))
+		b.Store(i64, newCap, b.Idx(hdr, ir.CI(2)))
+		b.Jmp(store)
+		b.SetBlock(store)
+		data := b.Load(ptrT, b.Idx(hdr, ir.CI(0)))
+		b.Store(i64, vecPush.Params[1], b.Idx(data, size))
+		b.Store(i64, b.Add(size, ir.CI(1)), b.Idx(hdr, ir.CI(1)))
+		b.Ret(nil)
+	}
+
+	// vec_get(hdr, i).
+	vecGet := m.NewFunc("vec_get", i64, ir.P("hdr", ptrT), ir.P("i", i64))
+	{
+		b := ir.NewBuilder(vecGet)
+		data := b.Load(ptrT, b.Idx(vecGet.Params[0], ir.CI(0)))
+		b.Ret(b.Load(i64, b.Idx(data, vecGet.Params[1])))
+	}
+
+	f := m.NewFunc("main", i64)
+	b := ir.NewBuilder(f)
+	va := b.Call(vecNew, ir.CI(8))
+	vb := b.Call(vecNew, ir.CI(8))
+	vc := b.Call(vecNew, ir.CI(8))
+	fill := b.CountedLoop("fill", ir.CI(0), ir.CI(n), ir.CI(1))
+	b.Call(vecPush, va, b.Add(fill.IV, ir.CI(cfg.Seed)))
+	b.Call(vecPush, vb, b.Mul(fill.IV, ir.CI(3)))
+	b.CloseLoop(fill)
+	sum := b.CountedLoop("sum", ir.CI(0), ir.CI(n), ir.CI(1))
+	x := b.Call(vecGet, va, sum.IV)
+	y := b.Call(vecGet, vb, sum.IV)
+	b.Call(vecPush, vc, b.Add(x, y))
+	b.CloseLoop(sum)
+	check := f.NewReg("check", i64)
+	b.Assign(check, ir.CI(0))
+	ck := b.CountedLoop("ck", ir.CI(0), ir.CI(n), ir.CI(1))
+	mix(b, check, b.Call(vecGet, vc, ck.IV))
+	b.CloseLoop(ck)
+	b.Ret(check)
+	// Headers + grown data arrays (~2n each due to doubling garbage).
+	return m, uint64(3 * (2*n + 3) * 8), 6
+}
+
+// buildChaseDeque: chunked double-ended queues (the std::deque layout —
+// a map of pointers to fixed-size chunks). Every element access loads a
+// chunk pointer from the map and then indexes into the chunk: one level
+// of indirection that defeats induction-variable-only prefetching, while
+// the chunks themselves are allocated in push order.
+func buildChaseDeque(cfg ChaseConfig) (*ir.Module, uint64, int) {
+	const chunkElems = 512 // 4 KiB chunks
+	// Round n up to whole chunks to keep the map dense.
+	n := (cfg.N + chunkElems - 1) / chunkElems * chunkElems
+	nChunks := n / chunkElems
+	m := ir.NewModule("sum_deque")
+	i64 := ir.I64()
+	chunkT := ir.Ptr(i64)
+	mapT := ir.Ptr(chunkT)
+
+	// dq_new(nChunks): allocate the chunk map and all chunks.
+	dqNew := m.NewFunc("dq_new", mapT, ir.P("nchunks", i64))
+	{
+		b := ir.NewBuilder(dqNew)
+		cm := b.Alloc(chunkT, dqNew.Params[0])
+		loop := b.CountedLoop("c", ir.CI(0), dqNew.Params[0], ir.CI(1))
+		chunk := b.Alloc(i64, ir.CI(chunkElems))
+		b.Store(chunkT, chunk, b.Idx(cm, loop.IV))
+		b.CloseLoop(loop)
+		b.Ret(cm)
+	}
+
+	// dq_get(map, i) / dq_set(map, i, v): two-level access.
+	elemAddr := func(b *ir.Builder, f *ir.Function, cm, i ir.Value) *ir.Reg {
+		cIdx := b.Div(i, ir.CI(chunkElems))
+		chunk := b.Load(chunkT, b.Idx(cm, cIdx))
+		off := b.Rem(i, ir.CI(chunkElems))
+		return b.Idx(chunk, off)
+	}
+	dqGet := m.NewFunc("dq_get", i64, ir.P("cm", mapT), ir.P("i", i64))
+	{
+		b := ir.NewBuilder(dqGet)
+		b.Ret(b.Load(i64, elemAddr(b, dqGet, dqGet.Params[0], dqGet.Params[1])))
+	}
+	dqSet := m.NewFunc("dq_set", ir.Void(), ir.P("cm", mapT), ir.P("i", i64), ir.P("v", i64))
+	{
+		b := ir.NewBuilder(dqSet)
+		b.Store(i64, dqSet.Params[2], elemAddr(b, dqSet, dqSet.Params[0], dqSet.Params[1]))
+		b.Ret(nil)
+	}
+
+	f := m.NewFunc("main", i64)
+	b := ir.NewBuilder(f)
+	da := b.Call(dqNew, ir.CI(nChunks))
+	db := b.Call(dqNew, ir.CI(nChunks))
+	dc := b.Call(dqNew, ir.CI(nChunks))
+	fill := b.CountedLoop("fill", ir.CI(0), ir.CI(n), ir.CI(1))
+	b.Call(dqSet, da, fill.IV, b.Add(fill.IV, ir.CI(cfg.Seed)))
+	b.Call(dqSet, db, fill.IV, b.Mul(fill.IV, ir.CI(3)))
+	b.CloseLoop(fill)
+	sum := b.CountedLoop("sum", ir.CI(0), ir.CI(n), ir.CI(1))
+	x := b.Call(dqGet, da, sum.IV)
+	y := b.Call(dqGet, db, sum.IV)
+	b.Call(dqSet, dc, sum.IV, b.Add(x, y))
+	b.CloseLoop(sum)
+	check := f.NewReg("check", i64)
+	b.Assign(check, ir.CI(0))
+	ck := b.CountedLoop("ck", ir.CI(0), ir.CI(n), ir.CI(1))
+	mix(b, check, b.Call(dqGet, dc, ck.IV))
+	b.CloseLoop(ck)
+	b.Ret(check)
+	// 3 chunk maps + 3 chunk pools.
+	return m, uint64((3*nChunks + 3*n) * 8), 6
+}
+
+// listNode is the linked-list element type.
+func listNodeType() *ir.StructType {
+	return ir.NewStruct("lnode", ir.F("val", ir.I64()), ir.F("next", ir.Ptr(ir.I64())))
+}
+
+// buildChaseList: three singly linked lists built in traversal order.
+func buildChaseList(cfg ChaseConfig) (*ir.Module, uint64, int) {
+	n := cfg.N
+	m := ir.NewModule("sum_list")
+	i64 := ir.I64()
+	node := listNodeType()
+	nodeT := ir.Ptr(node)
+
+	// build_list(n, mulc, addc) -> head, values i*mulc+addc in order.
+	buildList := m.NewFunc("build_list", nodeT,
+		ir.P("n", i64), ir.P("mulc", i64), ir.P("addc", i64))
+	{
+		b := ir.NewBuilder(buildList)
+		head := b.Alloc(node, ir.CI(1))
+		b.Store(i64, buildList.Params[2], b.FieldAddr(head, node, "val"))
+		b.Store(nodeT, ir.CI(0), b.FieldAddr(head, node, "next"))
+		tail := buildList.NewReg("tail", nodeT)
+		b.Assign(tail, head)
+		loop := b.CountedLoop("i", ir.CI(1), buildList.Params[0], ir.CI(1))
+		p := b.Alloc(node, ir.CI(1))
+		v := b.Add(b.Mul(loop.IV, buildList.Params[1]), buildList.Params[2])
+		b.Store(i64, v, b.FieldAddr(p, node, "val"))
+		b.Store(nodeT, ir.CI(0), b.FieldAddr(p, node, "next"))
+		b.Store(nodeT, p, b.FieldAddr(tail, node, "next"))
+		b.Assign(tail, p)
+		b.CloseLoop(loop)
+		b.Ret(head)
+	}
+
+	// sum_into(a, b, c, n): walk three lists in lockstep.
+	sumInto := m.NewFunc("sum_into", ir.Void(),
+		ir.P("a", nodeT), ir.P("b", nodeT), ir.P("c", nodeT), ir.P("n", i64))
+	{
+		b := ir.NewBuilder(sumInto)
+		pa := sumInto.NewReg("pa", nodeT)
+		pb := sumInto.NewReg("pb", nodeT)
+		pc := sumInto.NewReg("pc", nodeT)
+		b.Assign(pa, sumInto.Params[0])
+		b.Assign(pb, sumInto.Params[1])
+		b.Assign(pc, sumInto.Params[2])
+		loop := b.CountedLoop("i", ir.CI(0), sumInto.Params[3], ir.CI(1))
+		va := b.Load(i64, b.FieldAddr(pa, node, "val"))
+		vb := b.Load(i64, b.FieldAddr(pb, node, "val"))
+		b.Store(i64, b.Add(va, vb), b.FieldAddr(pc, node, "val"))
+		b.Assign(pa, b.Load(nodeT, b.FieldAddr(pa, node, "next")))
+		b.Assign(pb, b.Load(nodeT, b.FieldAddr(pb, node, "next")))
+		b.Assign(pc, b.Load(nodeT, b.FieldAddr(pc, node, "next")))
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// checksum(c, n): walk the result list.
+	checksum := m.NewFunc("checksum", i64, ir.P("c", nodeT), ir.P("n", i64))
+	{
+		b := ir.NewBuilder(checksum)
+		p := checksum.NewReg("p", nodeT)
+		b.Assign(p, checksum.Params[0])
+		acc := checksum.NewReg("acc", i64)
+		b.Assign(acc, ir.CI(0))
+		loop := b.CountedLoop("i", ir.CI(0), checksum.Params[1], ir.CI(1))
+		mix(b, acc, b.Load(i64, b.FieldAddr(p, node, "val")))
+		b.Assign(p, b.Load(nodeT, b.FieldAddr(p, node, "next")))
+		b.CloseLoop(loop)
+		b.Ret(acc)
+	}
+
+	f := m.NewFunc("main", i64)
+	b := ir.NewBuilder(f)
+	la := b.Call(buildList, ir.CI(n), ir.CI(1), ir.CI(cfg.Seed))
+	lb := b.Call(buildList, ir.CI(n), ir.CI(3), ir.CI(0))
+	lc := b.Call(buildList, ir.CI(n), ir.CI(0), ir.CI(0))
+	b.Call(sumInto, la, lb, lc, ir.CI(n-1))
+	b.Ret(b.Call(checksum, lc, ir.CI(n-1)))
+	return m, uint64(3 * n * int64(node.Size())), 3
+}
+
+// buildChaseMap: chained hash maps — bucket array + node chains.
+func buildChaseMap(cfg ChaseConfig) (*ir.Module, uint64, int) {
+	n := cfg.N
+	// Load factor <= 1, as in std::unordered_map's default ceiling.
+	buckets := int64(1)
+	for buckets < n {
+		buckets <<= 1
+	}
+	mask := buckets - 1
+	m := ir.NewModule("sum_map")
+	i64 := ir.I64()
+	node := ir.NewStruct("mnode",
+		ir.F("key", ir.I64()), ir.F("val", ir.I64()), ir.F("next", ir.Ptr(ir.I64())))
+	nodeT := ir.Ptr(node)
+	bucketT := ir.Ptr(nodeT)
+
+	hash := func(b *ir.Builder, k ir.Value) *ir.Reg {
+		h := b.Mul(k, ir.CI(-7046029254386353131)) // 0x9E3779B97F4A7C15
+		return b.And(b.Shr(h, ir.CI(17)), ir.CI(mask))
+	}
+
+	// map_new() -> zeroed bucket array.
+	mapNew := m.NewFunc("map_new", bucketT)
+	{
+		b := ir.NewBuilder(mapNew)
+		bs := b.Alloc(nodeT, ir.CI(buckets))
+		z := b.CountedLoop("z", ir.CI(0), ir.CI(buckets), ir.CI(1))
+		b.Store(nodeT, ir.CI(0), b.Idx(bs, z.IV))
+		b.CloseLoop(z)
+		b.Ret(bs)
+	}
+
+	// map_put(buckets, k, v): chain prepend.
+	mapPut := m.NewFunc("map_put", ir.Void(),
+		ir.P("bs", bucketT), ir.P("k", i64), ir.P("v", i64))
+	{
+		b := ir.NewBuilder(mapPut)
+		h := hash(b, mapPut.Params[1])
+		slot := b.Idx(mapPut.Params[0], h)
+		nd := b.Alloc(node, ir.CI(1))
+		b.Store(i64, mapPut.Params[1], b.FieldAddr(nd, node, "key"))
+		b.Store(i64, mapPut.Params[2], b.FieldAddr(nd, node, "val"))
+		b.Store(nodeT, b.Load(nodeT, slot), b.FieldAddr(nd, node, "next"))
+		b.Store(nodeT, nd, slot)
+		b.Ret(nil)
+	}
+
+	// map_get(buckets, k) -> value (0 if absent).
+	mapGet := m.NewFunc("map_get", i64, ir.P("bs", bucketT), ir.P("k", i64))
+	{
+		b := ir.NewBuilder(mapGet)
+		h := hash(b, mapGet.Params[1])
+		p := mapGet.NewReg("p", nodeT)
+		b.Assign(p, b.Load(nodeT, b.Idx(mapGet.Params[0], h)))
+		while := b.NewBlock("while")
+		test := b.NewBlock("test")
+		found := b.NewBlock("found")
+		advance := b.NewBlock("advance")
+		miss := b.NewBlock("miss")
+		b.Jmp(while)
+		b.SetBlock(while)
+		b.Br(b.NE(p, ir.CI(0)), test, miss)
+		b.SetBlock(test)
+		k := b.Load(i64, b.FieldAddr(p, node, "key"))
+		b.Br(b.EQ(k, mapGet.Params[1]), found, advance)
+		b.SetBlock(advance)
+		b.Assign(p, b.Load(nodeT, b.FieldAddr(p, node, "next")))
+		b.Jmp(while)
+		b.SetBlock(found)
+		b.Ret(b.Load(i64, b.FieldAddr(p, node, "val")))
+		b.SetBlock(miss)
+		b.Ret(ir.CI(0))
+	}
+
+	f := m.NewFunc("main", i64)
+	b := ir.NewBuilder(f)
+	ma := b.Call(mapNew)
+	mb := b.Call(mapNew)
+	c := b.Alloc(i64, ir.CI(n))
+	fill := b.CountedLoop("fill", ir.CI(0), ir.CI(n), ir.CI(1))
+	b.Call(mapPut, ma, fill.IV, b.Add(fill.IV, ir.CI(cfg.Seed)))
+	b.Call(mapPut, mb, fill.IV, b.Mul(fill.IV, ir.CI(3)))
+	b.CloseLoop(fill)
+	sum := b.CountedLoop("sum", ir.CI(0), ir.CI(n), ir.CI(1))
+	x := b.Call(mapGet, ma, sum.IV)
+	y := b.Call(mapGet, mb, sum.IV)
+	b.Store(i64, b.Add(x, y), b.Idx(c, sum.IV))
+	b.CloseLoop(sum)
+	check := f.NewReg("check", i64)
+	b.Assign(check, ir.CI(0))
+	ck := b.CountedLoop("ck", ir.CI(0), ir.CI(n), ir.CI(1))
+	mix(b, check, b.Load(i64, b.Idx(c, ck.IV)))
+	b.CloseLoop(ck)
+	b.Ret(check)
+	// 2 bucket arrays + 2 node pools + result array.
+	return m, uint64((2*buckets + 2*n*3 + n) * 8), 5
+}
+
+// buildChaseTree: binary search trees with pseudo-random insertion order.
+func buildChaseTree(cfg ChaseConfig) (*ir.Module, uint64, int) {
+	// n must be a power of two so (i*stride)%n with odd stride permutes.
+	n := int64(1)
+	for n < cfg.N {
+		n <<= 1
+	}
+	m := ir.NewModule("sum_tree")
+	i64 := ir.I64()
+	node := ir.NewStruct("tnode",
+		ir.F("key", ir.I64()), ir.F("val", ir.I64()),
+		ir.F("left", ir.Ptr(ir.I64())), ir.F("right", ir.Ptr(ir.I64())))
+	nodeT := ir.Ptr(node)
+
+	// tree_insert(root, k, v) -> new root (recursive BST insert).
+	treeInsert := m.NewFunc("tree_insert", nodeT,
+		ir.P("root", nodeT), ir.P("k", i64), ir.P("v", i64))
+	{
+		b := ir.NewBuilder(treeInsert)
+		isNil := b.NewBlock("isnil")
+		walk := b.NewBlock("walk")
+		b.Br(b.EQ(treeInsert.Params[0], ir.CI(0)), isNil, walk)
+		b.SetBlock(isNil)
+		nd := b.Alloc(node, ir.CI(1))
+		b.Store(i64, treeInsert.Params[1], b.FieldAddr(nd, node, "key"))
+		b.Store(i64, treeInsert.Params[2], b.FieldAddr(nd, node, "val"))
+		b.Store(nodeT, ir.CI(0), b.FieldAddr(nd, node, "left"))
+		b.Store(nodeT, ir.CI(0), b.FieldAddr(nd, node, "right"))
+		b.Ret(nd)
+		b.SetBlock(walk)
+		root := treeInsert.Params[0]
+		rk := b.Load(i64, b.FieldAddr(root, node, "key"))
+		goLeft := b.NewBlock("left")
+		goRight := b.NewBlock("right")
+		b.Br(b.LT(treeInsert.Params[1], rk), goLeft, goRight)
+		b.SetBlock(goLeft)
+		l := b.Load(nodeT, b.FieldAddr(root, node, "left"))
+		nl := b.Call(treeInsert, l, treeInsert.Params[1], treeInsert.Params[2])
+		b.Store(nodeT, nl, b.FieldAddr(root, node, "left"))
+		b.Ret(root)
+		b.SetBlock(goRight)
+		r := b.Load(nodeT, b.FieldAddr(root, node, "right"))
+		nr := b.Call(treeInsert, r, treeInsert.Params[1], treeInsert.Params[2])
+		b.Store(nodeT, nr, b.FieldAddr(root, node, "right"))
+		b.Ret(root)
+	}
+
+	// tree_get(root, k) -> value (iterative descent).
+	treeGet := m.NewFunc("tree_get", i64, ir.P("root", nodeT), ir.P("k", i64))
+	{
+		b := ir.NewBuilder(treeGet)
+		p := treeGet.NewReg("p", nodeT)
+		b.Assign(p, treeGet.Params[0])
+		while := b.NewBlock("while")
+		test := b.NewBlock("test")
+		found := b.NewBlock("found")
+		descend := b.NewBlock("descend")
+		goL := b.NewBlock("goL")
+		goR := b.NewBlock("goR")
+		miss := b.NewBlock("miss")
+		b.Jmp(while)
+		b.SetBlock(while)
+		b.Br(b.NE(p, ir.CI(0)), test, miss)
+		b.SetBlock(test)
+		k := b.Load(i64, b.FieldAddr(p, node, "key"))
+		b.Br(b.EQ(k, treeGet.Params[1]), found, descend)
+		b.SetBlock(descend)
+		b.Br(b.LT(treeGet.Params[1], k), goL, goR)
+		b.SetBlock(goL)
+		b.Assign(p, b.Load(nodeT, b.FieldAddr(p, node, "left")))
+		b.Jmp(while)
+		b.SetBlock(goR)
+		b.Assign(p, b.Load(nodeT, b.FieldAddr(p, node, "right")))
+		b.Jmp(while)
+		b.SetBlock(found)
+		b.Ret(b.Load(i64, b.FieldAddr(p, node, "val")))
+		b.SetBlock(miss)
+		b.Ret(ir.CI(0))
+	}
+
+	f := m.NewFunc("main", i64)
+	b := ir.NewBuilder(f)
+	rootA := f.NewReg("rootA", nodeT)
+	rootB := f.NewReg("rootB", nodeT)
+	b.Assign(rootA, ir.CI(0))
+	b.Assign(rootB, ir.CI(0))
+	c := b.Alloc(i64, ir.CI(n))
+	// Pseudo-random insertion order: key = (i*stride) & (n-1), stride odd.
+	stride := int64(0x9E37) | 1
+	fill := b.CountedLoop("fill", ir.CI(0), ir.CI(n), ir.CI(1))
+	key := b.And(b.Mul(fill.IV, ir.CI(stride)), ir.CI(n-1))
+	b.Assign(rootA, b.Call(treeInsert, rootA, key, b.Add(key, ir.CI(cfg.Seed))))
+	b.Assign(rootB, b.Call(treeInsert, rootB, key, b.Mul(key, ir.CI(3))))
+	b.CloseLoop(fill)
+	sum := b.CountedLoop("sum", ir.CI(0), ir.CI(n), ir.CI(1))
+	x := b.Call(treeGet, rootA, sum.IV)
+	y := b.Call(treeGet, rootB, sum.IV)
+	b.Store(i64, b.Add(x, y), b.Idx(c, sum.IV))
+	b.CloseLoop(sum)
+	check := f.NewReg("check", i64)
+	b.Assign(check, ir.CI(0))
+	ck := b.CountedLoop("ck", ir.CI(0), ir.CI(n), ir.CI(1))
+	mix(b, check, b.Load(i64, b.Idx(c, ck.IV)))
+	b.CloseLoop(ck)
+	b.Ret(check)
+	// 2 node pools + result array (A and B trees share no nodes).
+	return m, uint64((2*n*4 + n) * 8), 3
+}

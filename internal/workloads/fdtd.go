@@ -1,0 +1,213 @@
+package workloads
+
+import "cards/internal/ir"
+
+// FDTDConfig scales the fdtd-apml kernel.
+type FDTDConfig struct {
+	// N is the cube edge (PolyBench CZ=CYM=CXM; the paper's 8 GB
+	// working set corresponds to N~256; tests use 12-16).
+	N int64
+	// Steps is the number of time steps.
+	Steps int64
+}
+
+// DefaultFDTD returns the configuration used by tests.
+func DefaultFDTD() FDTDConfig { return FDTDConfig{N: 12, Steps: 2} }
+
+// BuildFDTD constructs the PolyBench fdtd-apml kernel (Finite Difference
+// Time Domain with an Anisotropic Perfectly Matched Layer), chosen by
+// the paper because it has the most data structures in the PolyBench
+// suite — 15 disjoint structures here: six 1-D coefficient arrays
+// (czm, czp, cxmh, cxph, cymh, cyph), four 2-D auxiliaries
+// (Ry, Ax, clf, tmp), four 3-D fields (Ex, Ey, Hz, Bza), and an energy
+// accumulator used for the checksum.
+//
+// The kernel follows PolyBench's static-control structure: a triple
+// nested loop updating Hz/Bza from Ex/Ey and the PML coefficients, with
+// the boundary columns folded in, iterated for Steps time steps. Every
+// access is affine in the loop indices, so the prefetch analysis must
+// classify all 15 structures as strided.
+func BuildFDTD(cfg FDTDConfig) *Workload {
+	if cfg.N <= 0 {
+		cfg = DefaultFDTD()
+	}
+	nz, ny, nx := cfg.N, cfg.N, cfg.N
+	m := ir.NewModule("fdtd-apml")
+	f64 := ir.F64()
+	i64 := ir.I64()
+	arrT := ir.Ptr(f64)
+
+	plane := (ny + 1) * (nx + 1) // one iz-plane of a 3-D field
+	vol := (nz + 1) * plane
+
+	// idx3 computes (iz*(ny+1)+iy)*(nx+1)+ix for the flattened fields.
+	idx3 := func(b *ir.Builder, iz, iy, ix ir.Value) *ir.Reg {
+		row := b.Add(b.Mul(iz, ir.CI(ny+1)), iy)
+		return b.Add(b.Mul(row, ir.CI(nx+1)), ix)
+	}
+	// idx2 computes iz*(ny+1)+iy for the 2-D auxiliaries.
+	idx2 := func(b *ir.Builder, iz, iy ir.Value) *ir.Reg {
+		return b.Add(b.Mul(iz, ir.CI(ny+1)), iy)
+	}
+
+	// initArray fills a float array with a deterministic ramp:
+	// a[i] = (i % mod + 1) / mod.
+	initArray := m.NewFunc("init_array", ir.Void(),
+		ir.P("a", arrT), ir.P("n", i64), ir.P("mod", i64))
+	{
+		b := ir.NewBuilder(initArray)
+		loop := b.CountedLoop("i", ir.CI(0), initArray.Params[1], ir.CI(1))
+		num := b.IToF(b.Add(b.Rem(loop.IV, initArray.Params[2]), ir.CI(1)))
+		den := b.IToF(initArray.Params[2])
+		b.Store(f64, b.FDiv(num, den), b.Idx(initArray.Params[0], loop.IV))
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// step runs one time step of the kernel.
+	step := m.NewFunc("step", ir.Void(),
+		ir.P("czm", arrT), ir.P("czp", arrT),
+		ir.P("cxmh", arrT), ir.P("cxph", arrT),
+		ir.P("cymh", arrT), ir.P("cyph", arrT),
+		ir.P("Ry", arrT), ir.P("Ax", arrT),
+		ir.P("clf", arrT), ir.P("tmp", arrT),
+		ir.P("Ex", arrT), ir.P("Ey", arrT),
+		ir.P("Hz", arrT), ir.P("Bza", arrT))
+	{
+		p := step.Params
+		czm, czp, cxmh, cxph, cymh, cyph := p[0], p[1], p[2], p[3], p[4], p[5]
+		Ry, Ax, clf, tmp := p[6], p[7], p[8], p[9]
+		Ex, Ey, Hz, Bza := p[10], p[11], p[12], p[13]
+		b := ir.NewBuilder(step)
+		mui := b.ConstF(2.0)
+		ch := b.ConstF(0.5)
+
+		zl := b.CountedLoop("iz", ir.CI(0), ir.CI(nz), ir.CI(1))
+		yl := b.CountedLoop("iy", ir.CI(0), ir.CI(ny), ir.CI(1))
+		xl := b.CountedLoop("ix", ir.CI(0), ir.CI(nx), ir.CI(1))
+		{
+			iz, iy, ix := zl.IV, yl.IV, xl.IV
+			exA := b.Load(f64, b.Idx(Ex, idx3(b, iz, iy, ix)))
+			exB := b.Load(f64, b.Idx(Ex, idx3(b, iz, b.Add(iy, ir.CI(1)), ix)))
+			eyA := b.Load(f64, b.Idx(Ey, idx3(b, iz, iy, b.Add(ix, ir.CI(1)))))
+			eyB := b.Load(f64, b.Idx(Ey, idx3(b, iz, iy, ix)))
+			clfV := b.FAdd(b.FSub(exA, exB), b.FSub(eyA, eyB))
+			b.Store(f64, clfV, b.Idx(clf, idx2(b, iz, iy)))
+
+			cym := b.Load(f64, b.Idx(cymh, iy))
+			cyp := b.Load(f64, b.Idx(cyph, iy))
+			bza := b.Load(f64, b.Idx(Bza, idx3(b, iz, iy, ix)))
+			tmpV := b.FSub(b.FMul(b.FDiv(cym, cyp), bza), b.FMul(b.FDiv(ch, cyp), clfV))
+			b.Store(f64, tmpV, b.Idx(tmp, idx2(b, iz, iy)))
+
+			cxm := b.Load(f64, b.Idx(cxmh, ix))
+			cxp := b.Load(f64, b.Idx(cxph, ix))
+			zm := b.Load(f64, b.Idx(czm, iz))
+			zp := b.Load(f64, b.Idx(czp, iz))
+			hz := b.Load(f64, b.Idx(Hz, idx3(b, iz, iy, ix)))
+			hzNew := b.FAdd(
+				b.FMul(b.FDiv(cxm, cxp), hz),
+				b.FSub(
+					b.FMul(b.FDiv(b.FMul(mui, zp), cxp), tmpV),
+					b.FMul(b.FDiv(b.FMul(mui, zm), cxp), bza)))
+			b.Store(f64, hzNew, b.Idx(Hz, idx3(b, iz, iy, ix)))
+			b.Store(f64, tmpV, b.Idx(Bza, idx3(b, iz, iy, ix)))
+		}
+		b.CloseLoop(xl)
+		// Boundary column update using Ry/Ax (the PML edge).
+		{
+			iz, iy := zl.IV, yl.IV
+			ry := b.Load(f64, b.Idx(Ry, idx2(b, iz, iy)))
+			ax := b.Load(f64, b.Idx(Ax, idx2(b, iz, iy)))
+			exA := b.Load(f64, b.Idx(Ex, idx3(b, iz, iy, ir.CI(nx))))
+			clfV := b.FAdd(b.FSub(exA, ax), ry)
+			b.Store(f64, clfV, b.Idx(clf, idx2(b, iz, iy)))
+			cym := b.Load(f64, b.Idx(cymh, iy))
+			cyp := b.Load(f64, b.Idx(cyph, iy))
+			bza := b.Load(f64, b.Idx(Bza, idx3(b, iz, iy, ir.CI(nx))))
+			tmpV := b.FSub(b.FMul(b.FDiv(cym, cyp), bza), b.FMul(b.FDiv(ch, cyp), clfV))
+			b.Store(f64, tmpV, b.Idx(Bza, idx3(b, iz, iy, ir.CI(nx))))
+		}
+		b.CloseLoop(yl)
+		b.CloseLoop(zl)
+		b.Ret(nil)
+	}
+
+	// energy folds Hz into the accumulator array (per-iz energies).
+	energy := m.NewFunc("energy", ir.Void(),
+		ir.P("Hz", arrT), ir.P("acc", arrT))
+	{
+		b := ir.NewBuilder(energy)
+		zl := b.CountedLoop("iz", ir.CI(0), ir.CI(nz+1), ir.CI(1))
+		sum := energy.NewReg("sum", f64)
+		b.Assign(sum, b.ConstF(0))
+		il := b.CountedLoop("i", ir.CI(0), ir.CI(plane), ir.CI(1))
+		off := b.Add(b.Mul(zl.IV, ir.CI(plane)), il.IV)
+		b.Assign(sum, b.FAdd(sum, b.Load(f64, b.Idx(energy.Params[0], off))))
+		b.CloseLoop(il)
+		slot := b.Idx(energy.Params[1], zl.IV)
+		b.Store(f64, b.FAdd(b.Load(f64, slot), sum), slot)
+		b.CloseLoop(zl)
+		b.Ret(nil)
+	}
+
+	// main: allocate the 15 structures, init, run Steps, checksum.
+	mainF := m.NewFunc("main", i64)
+	b := ir.NewBuilder(mainF)
+	alloc := func(name string, count int64) *ir.Reg {
+		r := b.Alloc(f64, ir.CI(count))
+		r.Name = name
+		return r
+	}
+	czm := alloc("czm", nz+1)
+	czp := alloc("czp", nz+1)
+	cxmh := alloc("cxmh", nx+1)
+	cxph := alloc("cxph", nx+1)
+	cymh := alloc("cymh", ny+1)
+	cyph := alloc("cyph", ny+1)
+	Ry := alloc("Ry", (nz+1)*(ny+1))
+	Ax := alloc("Ax", (nz+1)*(ny+1))
+	clf := alloc("clf", (nz+1)*(ny+1))
+	tmp := alloc("tmp", (nz+1)*(ny+1))
+	Ex := alloc("Ex", vol)
+	Ey := alloc("Ey", vol)
+	Hz := alloc("Hz", vol)
+	Bza := alloc("Bza", vol)
+	acc := alloc("energy_acc", nz+1)
+
+	for _, a := range []struct {
+		r *ir.Reg
+		n int64
+		k int64
+	}{
+		{czm, nz + 1, 7}, {czp, nz + 1, 5}, {cxmh, nx + 1, 11}, {cxph, nx + 1, 3},
+		{cymh, ny + 1, 13}, {cyph, ny + 1, 9},
+		{Ry, (nz + 1) * (ny + 1), 17}, {Ax, (nz + 1) * (ny + 1), 19},
+		{Ex, vol, 23}, {Ey, vol, 29}, {Hz, vol, 31}, {Bza, vol, 37},
+	} {
+		b.Call(initArray, a.r, ir.CI(a.n), ir.CI(a.k))
+	}
+
+	tl := b.CountedLoop("t", ir.CI(0), ir.CI(cfg.Steps), ir.CI(1))
+	b.Call(step, czm, czp, cxmh, cxph, cymh, cyph, Ry, Ax, clf, tmp, Ex, Ey, Hz, Bza)
+	b.Call(energy, Hz, acc)
+	b.CloseLoop(tl)
+
+	// Checksum: fold accumulator bits.
+	check := mainF.NewReg("check", i64)
+	b.Assign(check, ir.CI(0))
+	cl := b.CountedLoop("c", ir.CI(0), ir.CI(nz+1), ir.CI(1))
+	bits := b.Load(i64, b.Idx(acc, cl.IV)) // raw float bits
+	mix(b, check, bits)
+	b.CloseLoop(cl)
+	b.Ret(check)
+
+	m.AssignSites()
+	ir.MustVerify(m)
+	return &Workload{
+		Name:            "ftfdapml",
+		Module:          m,
+		WorkingSetBytes: uint64(8 * (4*vol + 4*(nz+1)*(ny+1) + 2*(nz+1) + 2*(ny+1) + 2*(nx+1) + (nz + 1))),
+		WantDS:          15,
+	}
+}

@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"testing"
+
+	"cards/internal/core"
+	"cards/internal/dsa"
+	"cards/internal/ir"
+	"cards/internal/policy"
+)
+
+// TestTextRoundTripPreservesSemantics cross-validates the IR printer and
+// parser against the whole pipeline: every workload program is printed
+// to text, parsed back, and both copies are compiled and executed — the
+// checksums must match, and so must the number of data structures the
+// analysis finds.
+func TestTextRoundTripPreservesSemantics(t *testing.T) {
+	builders := map[string]func() *Workload{
+		"listing1": func() *Workload {
+			return &Workload{Name: "listing1", Module: ir.BuildListing1(256, 4),
+				WorkingSetBytes: 2 * 256 * 8, WantDS: 2}
+		},
+		"analytics": func() *Workload {
+			return BuildTaxi(TaxiConfig{Trips: 512, HotPasses: 2, Seed: 7})
+		},
+		"ftfdapml": func() *Workload { return BuildFDTD(FDTDConfig{N: 6, Steps: 1}) },
+		"bfs": func() *Workload {
+			return BuildBFS(BFSConfig{Vertices: 128, Degree: 4, Trials: 1, Seed: 3})
+		},
+	}
+	for _, kind := range ChaseKinds {
+		kind := kind
+		builders["sum_"+kind] = func() *Workload {
+			w, err := BuildChase(kind, ChaseConfig{N: 128, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return w
+		}
+	}
+
+	run := func(m *ir.Module) (uint64, int) {
+		c, err := core.Compile(m, core.CompileOptions{})
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		res, err := c.Run(core.RunConfig{
+			Policy: policy.Linear, K: 100,
+			PinnedBudget: 1 << 24, RemotableBudget: 1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res.MainResult, len(c.DSA.DS)
+	}
+
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			orig := build().Module
+			text := orig.String()
+			parsed, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("parse of printed %s failed: %v", name, err)
+			}
+			// Print of the parse must be stable (fixpoint).
+			if text2 := parsed.String(); text2 != text {
+				t.Errorf("%s: print->parse->print not a fixpoint", name)
+			}
+			wantSum, wantDS := run(build().Module)
+			gotSum, gotDS := run(parsed)
+			if gotSum != wantSum {
+				t.Errorf("%s: parsed checksum %#x != original %#x", name, gotSum, wantSum)
+			}
+			if gotDS != wantDS {
+				t.Errorf("%s: parsed DS count %d != original %d", name, gotDS, wantDS)
+			}
+		})
+	}
+}
+
+// TestRandomProgramRoundTripAndDSA: random programs survive the text
+// round trip with identical analysis results, and the DSA is
+// deterministic and bounded by the allocation-site count.
+func TestRandomProgramRoundTripAndDSA(t *testing.T) {
+	for seed := int64(50); seed < 80; seed++ {
+		m1 := GenRandom(seed)
+		allocSites := 0
+		for _, f := range m1.Funcs {
+			f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+				if in.Op == ir.OpAlloc {
+					allocSites++
+				}
+				return true
+			})
+		}
+		d1 := dsa.Analyze(m1)
+		if len(d1.DS) == 0 || len(d1.DS) > allocSites {
+			t.Fatalf("seed %d: %d structures from %d alloc sites", seed, len(d1.DS), allocSites)
+		}
+		// Determinism.
+		d2 := dsa.Analyze(GenRandom(seed))
+		if len(d2.DS) != len(d1.DS) {
+			t.Fatalf("seed %d: DSA nondeterministic: %d vs %d", seed, len(d1.DS), len(d2.DS))
+		}
+		// Text round trip preserves the analysis.
+		text := GenRandom(seed).String()
+		parsed, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d3 := dsa.Analyze(parsed)
+		if len(d3.DS) != len(d1.DS) {
+			t.Fatalf("seed %d: parse changed DSA: %d vs %d", seed, len(d3.DS), len(d1.DS))
+		}
+	}
+}

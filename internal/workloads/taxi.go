@@ -1,0 +1,286 @@
+package workloads
+
+import "cards/internal/ir"
+
+// TaxiConfig scales the analytics workload.
+type TaxiConfig struct {
+	// Trips is the row count of the synthetic trip table (the paper's
+	// dataset has ~165M rows in 16 GB; default test scale is 1<<14).
+	Trips int64
+	// HotPasses is how many times the tip-ratio query rescans the hot
+	// columns (drives the hot/cold skew the remoting policies exploit).
+	HotPasses int64
+	// Seed feeds the data generator.
+	Seed int64
+}
+
+// DefaultTaxi returns the configuration used by tests.
+func DefaultTaxi() TaxiConfig { return TaxiConfig{Trips: 1 << 13, HotPasses: 6, Seed: 2014} }
+
+// taxiColumns is the NYC taxi trip schema the Kaggle notebook analyzes.
+var taxiColumns = []string{
+	"pickup_time", "dropoff_time", "passenger_count", "trip_distance",
+	"pickup_lon", "pickup_lat", "dropoff_lon", "dropoff_lat",
+	"fare", "tip", "tolls", "total_amount",
+	"payment_type", "vendor_id", "rate_code",
+}
+
+// BuildTaxi constructs the analytics workload: load a 15-column trip
+// table, then run the exploratory queries of the Kaggle notebook the
+// paper cites — hourly trip histogram, fare-by-passenger aggregation,
+// distance histogram, revenue by hour over a distance filter, payment
+// type breakdown, and a repeated tip-ratio scan over the hot columns.
+//
+// The program allocates 22 disjoint data structures (the count CaRDS
+// identifies for this workload in §5.1): the 15 columns plus 7 aggregate
+// structures. Columns such as tolls, vendor_id and the coordinates are
+// written once and read at most once (cold); fare, tip, pickup_time and
+// the filter flags are rescanned HotPasses times (hot). A good remoting
+// policy pins the hot ones.
+func BuildTaxi(cfg TaxiConfig) *Workload {
+	if cfg.Trips <= 0 {
+		cfg = DefaultTaxi()
+	}
+	n := cfg.Trips
+	m := ir.NewModule("taxi")
+	i64 := ir.I64()
+	colT := ir.Ptr(i64)
+
+	// --- Generic query helpers (shared across columns: the context-
+	// sensitive DSA must still attribute each call to the right
+	// instances). ---
+
+	// histogram: hist[(col[i]/div) % buckets]++
+	histogram := m.NewFunc("histogram", ir.Void(),
+		ir.P("col", colT), ir.P("hist", colT), ir.P("n", i64),
+		ir.P("div", i64), ir.P("buckets", i64))
+	{
+		b := ir.NewBuilder(histogram)
+		loop := b.CountedLoop("i", ir.CI(0), histogram.Params[2], ir.CI(1))
+		v := b.Load(i64, b.Idx(histogram.Params[0], loop.IV))
+		bucket := b.Rem(b.Div(v, histogram.Params[3]), histogram.Params[4])
+		slot := b.Idx(histogram.Params[1], bucket)
+		b.Store(i64, b.Add(b.Load(i64, slot), ir.CI(1)), slot)
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// groupSum: sums[key[i]%mod] += val[i]; counts[key[i]%mod]++
+	groupSum := m.NewFunc("group_sum", ir.Void(),
+		ir.P("key", colT), ir.P("val", colT), ir.P("sums", colT),
+		ir.P("counts", colT), ir.P("n", i64), ir.P("mod", i64))
+	{
+		b := ir.NewBuilder(groupSum)
+		loop := b.CountedLoop("i", ir.CI(0), groupSum.Params[4], ir.CI(1))
+		k := b.Rem(b.Load(i64, b.Idx(groupSum.Params[0], loop.IV)), groupSum.Params[5])
+		v := b.Load(i64, b.Idx(groupSum.Params[1], loop.IV))
+		sslot := b.Idx(groupSum.Params[2], k)
+		b.Store(i64, b.Add(b.Load(i64, sslot), v), sslot)
+		cslot := b.Idx(groupSum.Params[3], k)
+		b.Store(i64, b.Add(b.Load(i64, cslot), ir.CI(1)), cslot)
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// filterGT: flags[i] = col[i] > thresh; returns match count.
+	filterGT := m.NewFunc("filter_gt", i64,
+		ir.P("col", colT), ir.P("flags", colT), ir.P("n", i64), ir.P("thresh", i64))
+	{
+		b := ir.NewBuilder(filterGT)
+		count := filterGT.NewReg("count", i64)
+		b.Assign(count, ir.CI(0))
+		loop := b.CountedLoop("i", ir.CI(0), filterGT.Params[2], ir.CI(1))
+		v := b.Load(i64, b.Idx(filterGT.Params[0], loop.IV))
+		flag := b.GT(v, filterGT.Params[3])
+		b.Store(i64, flag, b.Idx(filterGT.Params[1], loop.IV))
+		b.Assign(count, b.Add(count, flag))
+		b.CloseLoop(loop)
+		b.Ret(count)
+	}
+
+	// condGroupSum: for flagged rows, out[(key[i]/div)%mod] += val[i].
+	condGroupSum := m.NewFunc("cond_group_sum", ir.Void(),
+		ir.P("flags", colT), ir.P("key", colT), ir.P("val", colT),
+		ir.P("out", colT), ir.P("n", i64), ir.P("div", i64), ir.P("mod", i64))
+	{
+		b := ir.NewBuilder(condGroupSum)
+		loop := b.CountedLoop("i", ir.CI(0), condGroupSum.Params[4], ir.CI(1))
+		skip := b.NewBlock("skip")
+		hit := b.NewBlock("hit")
+		f := b.Load(i64, b.Idx(condGroupSum.Params[0], loop.IV))
+		b.Br(f, hit, skip)
+		b.SetBlock(hit)
+		k := b.Rem(b.Div(b.Load(i64, b.Idx(condGroupSum.Params[1], loop.IV)),
+			condGroupSum.Params[5]), condGroupSum.Params[6])
+		v := b.Load(i64, b.Idx(condGroupSum.Params[2], loop.IV))
+		slot := b.Idx(condGroupSum.Params[3], k)
+		b.Store(i64, b.Add(b.Load(i64, slot), v), slot)
+		b.Jmp(skip)
+		b.SetBlock(skip)
+		b.CloseLoop(loop)
+		b.Ret(nil)
+	}
+
+	// ratioOf computes one row's tip percentage. It exists as a separate
+	// function for the same reason real analytics code has one: the hot
+	// kernel sits at the bottom of the deepest call chain, which is
+	// precisely the signal the Maximum Reach policy keys on.
+	ratioOf := m.NewFunc("ratio_of", i64,
+		ir.P("tips", colT), ir.P("fares", colT), ir.P("i", i64))
+	{
+		b := ir.NewBuilder(ratioOf)
+		tip := b.Load(i64, b.Idx(ratioOf.Params[0], ratioOf.Params[2]))
+		fare := b.Load(i64, b.Idx(ratioOf.Params[1], ratioOf.Params[2]))
+		b.Ret(b.Div(b.Mul(tip, ir.CI(100)), b.Add(fare, ir.CI(1))))
+	}
+
+	// scanRatio: sum of per-row tip percentages over flagged rows — the
+	// hot repeated query.
+	scanRatio := m.NewFunc("scan_ratio", i64,
+		ir.P("tip", colT), ir.P("fare", colT), ir.P("flags", colT), ir.P("n", i64))
+	{
+		b := ir.NewBuilder(scanRatio)
+		acc := scanRatio.NewReg("acc", i64)
+		b.Assign(acc, ir.CI(0))
+		loop := b.CountedLoop("i", ir.CI(0), scanRatio.Params[3], ir.CI(1))
+		skip := b.NewBlock("skip")
+		hit := b.NewBlock("hit")
+		f := b.Load(i64, b.Idx(scanRatio.Params[2], loop.IV))
+		b.Br(f, hit, skip)
+		b.SetBlock(hit)
+		ratio := b.Call(ratioOf, scanRatio.Params[0], scanRatio.Params[1], loop.IV)
+		b.Assign(acc, b.Add(acc, ratio))
+		b.Jmp(skip)
+		b.SetBlock(skip)
+		b.CloseLoop(loop)
+		b.Ret(acc)
+	}
+
+	// sumArray folds an aggregate array into a checksum.
+	sumArray := m.NewFunc("sum_array", i64, ir.P("a", colT), ir.P("n", i64))
+	{
+		b := ir.NewBuilder(sumArray)
+		acc := sumArray.NewReg("acc", i64)
+		b.Assign(acc, ir.CI(0))
+		loop := b.CountedLoop("i", ir.CI(0), sumArray.Params[1], ir.CI(1))
+		mix(b, acc, b.Load(i64, b.Idx(sumArray.Params[0], loop.IV)))
+		b.CloseLoop(loop)
+		b.Ret(acc)
+	}
+
+	// loadTrips: one pass generating correlated synthetic trips (the
+	// CSV-parse stand-in). Living in its own function keeps main free of
+	// direct accesses, as in the real application where parsing code,
+	// not main, touches the columns.
+	loadParams := make([]ir.Param, 0, len(taxiColumns)+2)
+	for _, name := range taxiColumns {
+		loadParams = append(loadParams, ir.P(name, colT))
+	}
+	loadParams = append(loadParams, ir.P("n", i64), ir.P("seed", i64))
+	loadTrips := m.NewFunc("load_trips", ir.Void(), loadParams...)
+	{
+		b := ir.NewBuilder(loadTrips)
+		col := func(name string) *ir.Reg {
+			for i, cn := range taxiColumns {
+				if cn == name {
+					return loadTrips.Params[i]
+				}
+			}
+			panic("unknown column " + name)
+		}
+		nArg := loadTrips.Params[len(taxiColumns)]
+		state := loadTrips.NewReg("rng", i64)
+		b.Assign(state, loadTrips.Params[len(taxiColumns)+1])
+		load := b.CountedLoop("load", ir.CI(0), nArg, ir.CI(1))
+		pickup := emitRand(b, state, 525600) // minute of year
+		b.Store(i64, pickup, b.Idx(col("pickup_time"), load.IV))
+		dur := emitRand(b, state, 120)
+		b.Store(i64, b.Add(pickup, dur), b.Idx(col("dropoff_time"), load.IV))
+		pc := b.Add(emitRand(b, state, 6), ir.CI(1))
+		b.Store(i64, pc, b.Idx(col("passenger_count"), load.IV))
+		dist := emitRand(b, state, 3000) // x100 miles
+		b.Store(i64, dist, b.Idx(col("trip_distance"), load.IV))
+		b.Store(i64, emitRand(b, state, 100000), b.Idx(col("pickup_lon"), load.IV))
+		b.Store(i64, emitRand(b, state, 100000), b.Idx(col("pickup_lat"), load.IV))
+		b.Store(i64, emitRand(b, state, 100000), b.Idx(col("dropoff_lon"), load.IV))
+		b.Store(i64, emitRand(b, state, 100000), b.Idx(col("dropoff_lat"), load.IV))
+		fare := b.Add(ir.CI(250), b.Div(b.Mul(dist, ir.CI(5)), ir.CI(2))) // base + per-mile
+		b.Store(i64, fare, b.Idx(col("fare"), load.IV))
+		tip := b.Div(b.Mul(fare, emitRand(b, state, 30)), ir.CI(100))
+		b.Store(i64, tip, b.Idx(col("tip"), load.IV))
+		tolls := emitRand(b, state, 600)
+		b.Store(i64, tolls, b.Idx(col("tolls"), load.IV))
+		total := b.Add(b.Add(fare, tip), tolls)
+		b.Store(i64, total, b.Idx(col("total_amount"), load.IV))
+		b.Store(i64, emitRand(b, state, 4), b.Idx(col("payment_type"), load.IV))
+		b.Store(i64, emitRand(b, state, 2), b.Idx(col("vendor_id"), load.IV))
+		b.Store(i64, emitRand(b, state, 6), b.Idx(col("rate_code"), load.IV))
+		b.CloseLoop(load)
+		b.Ret(nil)
+	}
+
+	// --- main: allocate, load, query. ---
+	mainF := m.NewFunc("main", i64)
+	b := ir.NewBuilder(mainF)
+
+	// 15 column allocations (each call site is its own DS instance).
+	cols := make(map[string]*ir.Reg, len(taxiColumns))
+	colArgs := make([]ir.Value, 0, len(taxiColumns)+2)
+	for _, name := range taxiColumns {
+		c := b.Alloc(i64, ir.CI(n))
+		c.Name = name
+		cols[name] = c
+		colArgs = append(colArgs, c)
+	}
+	// 7 aggregate structures.
+	hourHist := b.Alloc(i64, ir.CI(24))
+	fareSums := b.Alloc(i64, ir.CI(8))
+	tripCounts := b.Alloc(i64, ir.CI(8))
+	distHist := b.Alloc(i64, ir.CI(32))
+	revenueByHour := b.Alloc(i64, ir.CI(24))
+	flags := b.Alloc(i64, ir.CI(n))
+	paymentCounts := b.Alloc(i64, ir.CI(4))
+
+	colArgs = append(colArgs, ir.CI(n), ir.CI(cfg.Seed))
+	b.Call(loadTrips, colArgs...)
+
+	// Q1: trips per hour of day.
+	b.Call(histogram, cols["pickup_time"], hourHist, ir.CI(n), ir.CI(60), ir.CI(24))
+	// Q2: fare totals by passenger count.
+	b.Call(groupSum, cols["passenger_count"], cols["fare"], fareSums, tripCounts,
+		ir.CI(n), ir.CI(8))
+	// Q3: distance histogram (100-unit buckets).
+	b.Call(histogram, cols["trip_distance"], distHist, ir.CI(n), ir.CI(100), ir.CI(32))
+	// Q4: long-trip filter, then revenue by hour over the filtered set.
+	matches := b.Call(filterGT, cols["trip_distance"], flags, ir.CI(n), ir.CI(1500))
+	b.Call(condGroupSum, flags, cols["pickup_time"], cols["total_amount"],
+		revenueByHour, ir.CI(n), ir.CI(60), ir.CI(24))
+	// Q5: payment type breakdown.
+	b.Call(histogram, cols["payment_type"], paymentCounts, ir.CI(n), ir.CI(1), ir.CI(4))
+
+	// Q6 (hot): repeated tip-ratio scans over fare/tip/flags.
+	check := mainF.NewReg("check", i64)
+	b.Assign(check, matches)
+	hot := b.CountedLoop("hot", ir.CI(0), ir.CI(cfg.HotPasses), ir.CI(1))
+	r := b.Call(scanRatio, cols["tip"], cols["fare"], flags, ir.CI(n))
+	mix(b, check, r)
+	b.CloseLoop(hot)
+
+	// Fold aggregates into the checksum.
+	mix(b, check, b.Call(sumArray, hourHist, ir.CI(24)))
+	mix(b, check, b.Call(sumArray, fareSums, ir.CI(8)))
+	mix(b, check, b.Call(sumArray, tripCounts, ir.CI(8)))
+	mix(b, check, b.Call(sumArray, distHist, ir.CI(32)))
+	mix(b, check, b.Call(sumArray, revenueByHour, ir.CI(24)))
+	mix(b, check, b.Call(sumArray, paymentCounts, ir.CI(4)))
+	b.Ret(check)
+
+	m.AssignSites()
+	ir.MustVerify(m)
+	return &Workload{
+		Name:            "analytics",
+		Module:          m,
+		WorkingSetBytes: uint64(16*n*8) + (24+8+8+32+24+4)*8,
+		WantDS:          22,
+	}
+}

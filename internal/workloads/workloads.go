@@ -1,0 +1,67 @@
+// Package workloads builds the paper's application benchmarks as IR
+// programs: the NYC-taxi analytics workload (§5, 22 data structures),
+// the PolyBench fdtd-apml kernel (15 data structures), GAP-style BFS
+// (19 data structures), and the Figure 9 pointer-chasing micro-suite.
+//
+// The paper's datasets are not reproducible here — the 16 GB Kaggle
+// taxi dump is proprietary-ish and far beyond laptop scale — so each
+// workload *generates* its data deterministically with an in-IR linear
+// congruential generator during a load phase (standing in for CSV
+// parsing / graph loading), then runs the same computational phases the
+// originals run. What the experiments measure — which structures are
+// hot, how they are accessed, how policies place them — is preserved;
+// only absolute sizes are scaled (see DESIGN.md).
+//
+// Every workload's main returns a checksum, so any corruption introduced
+// by eviction, prefetching, or guard elision is caught by comparing
+// checksums across configurations.
+package workloads
+
+import "cards/internal/ir"
+
+// lcgMul and lcgAdd are Knuth's MMIX constants.
+const (
+	lcgMul = 6364136223846793005
+	lcgAdd = 1442695040888963407
+)
+
+// emitRand advances the LCG state register and yields a fresh register
+// with the next pseudo-random non-negative value (top bits, masked).
+func emitRand(b *ir.Builder, state *ir.Reg, modulus int64) *ir.Reg {
+	b.Assign(state, b.Add(b.Mul(state, ir.CI(lcgMul)), ir.CI(lcgAdd)))
+	v := b.Shr(state, ir.CI(33))
+	if modulus > 0 {
+		v = b.Rem(v, ir.CI(modulus))
+	}
+	return v
+}
+
+// mix folds a value into a running checksum register:
+// sum = sum*31 + v.
+func mix(b *ir.Builder, sum *ir.Reg, v ir.Value) {
+	b.Assign(sum, b.Add(b.Mul(sum, ir.CI(31)), v))
+}
+
+// Workload bundles a built program with its bookkeeping.
+type Workload struct {
+	Name string
+	// Module is the program (not yet compiled by any pipeline).
+	Module *ir.Module
+	// WorkingSetBytes approximates the heap footprint, for budget math.
+	WorkingSetBytes uint64
+	// WantDS is the number of disjoint data structures the paper
+	// reports for this workload (asserted by tests).
+	WantDS int
+}
+
+// declareROI registers the region-of-interest marker functions in m (the
+// interpreter intercepts calls to them; the bodies never run). Workloads
+// whose published methodology times only a kernel — GAP's BFS trials —
+// bracket that kernel with calls to the returned functions.
+func declareROI(m *ir.Module) (begin, end *ir.Function) {
+	begin = m.NewFunc("cards.roi_begin", ir.Void())
+	ir.NewBuilder(begin).Ret(nil)
+	end = m.NewFunc("cards.roi_end", ir.Void())
+	ir.NewBuilder(end).Ret(nil)
+	return begin, end
+}

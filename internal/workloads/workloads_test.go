@@ -1,0 +1,248 @@
+package workloads
+
+import (
+	"testing"
+
+	"cards/internal/analysis"
+	"cards/internal/core"
+	"cards/internal/dsa"
+	"cards/internal/ir"
+	"cards/internal/policy"
+	"cards/internal/trackfm"
+)
+
+// buildAll returns fresh instances of every workload at test scale.
+func buildAll(t *testing.T) []*Workload {
+	t.Helper()
+	ws := []*Workload{
+		BuildTaxi(TaxiConfig{Trips: 1 << 10, HotPasses: 3, Seed: 2014}),
+		BuildFDTD(FDTDConfig{N: 8, Steps: 2}),
+		BuildBFS(BFSConfig{Vertices: 256, Degree: 6, Trials: 2, Seed: 27}),
+	}
+	for _, kind := range ChaseKinds {
+		w, err := BuildChase(kind, ChaseConfig{N: 256, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// rebuild reconstructs one workload by name (compilation mutates modules,
+// so every pipeline needs a fresh copy).
+func rebuild(t *testing.T, name string) *Workload {
+	t.Helper()
+	for _, w := range buildAll(t) {
+		if w.Name == name {
+			return w
+		}
+	}
+	t.Fatalf("unknown workload %s", name)
+	return nil
+}
+
+func TestDisjointStructureCounts(t *testing.T) {
+	// The paper reports 22 structures for analytics, 15 for ftfdapml,
+	// and 19 for BFS (§5.1). Our DSA must find the same counts.
+	for _, w := range buildAll(t) {
+		res := dsa.Analyze(w.Module)
+		if got := len(res.DS); got != w.WantDS {
+			for _, d := range res.DS {
+				t.Logf("%s: %s", w.Name, d.Name())
+			}
+			t.Errorf("%s: DS count = %d, want %d", w.Name, got, w.WantDS)
+		}
+	}
+}
+
+func TestWorkloadsVerify(t *testing.T) {
+	for _, w := range buildAll(t) {
+		if err := ir.Verify(w.Module); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.WorkingSetBytes == 0 {
+			t.Errorf("%s: zero working set", w.Name)
+		}
+	}
+}
+
+// runCaRDS compiles and runs a fresh copy of the workload.
+func runCaRDS(t *testing.T, name string, pol policy.Kind, k float64,
+	pinned, remotable uint64) *core.RunResult {
+	t.Helper()
+	w := rebuild(t, name)
+	c, err := core.Compile(w.Module, core.CompileOptions{})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	res, err := c.Run(core.RunConfig{
+		Policy: pol, K: k, Seed: 5,
+		PinnedBudget: pinned, RemotableBudget: remotable,
+	})
+	if err != nil {
+		t.Fatalf("%s/%v: %v", name, pol, err)
+	}
+	return res
+}
+
+func TestChecksumsStableAcrossPolicies(t *testing.T) {
+	// The strongest correctness property: whatever the placement,
+	// eviction pressure, or prefetching, the computation's result must
+	// not change. Run every workload under every policy plus TrackFM.
+	for _, w := range buildAll(t) {
+		name := w.Name
+		t.Run(name, func(t *testing.T) {
+			ws := w.WorkingSetBytes
+			pinned := ws / 2
+			remotable := uint64(24 * 4096)
+			want := runCaRDS(t, name, policy.Linear, 100, ws*2, remotable).MainResult
+			if want == 0 {
+				t.Fatalf("%s: zero checksum (degenerate workload?)", name)
+			}
+			for _, pol := range policy.All() {
+				got := runCaRDS(t, name, pol, 50, pinned, remotable).MainResult
+				if got != want {
+					t.Errorf("%s under %v: checksum %#x, want %#x", name, pol, got, want)
+				}
+			}
+			// Constrained memory.
+			got := runCaRDS(t, name, policy.AllRemotable, 0, 0, ws/4+remotable).MainResult
+			if got != want {
+				t.Errorf("%s constrained: checksum %#x, want %#x", name, got, want)
+			}
+			// TrackFM baseline computes the same result.
+			tw := rebuild(t, name)
+			tc, err := trackfm.Compile(tw.Module)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tres, err := tc.Run(trackfm.RunConfig{LocalMemory: ws/2 + remotable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tres.MainResult != want {
+				t.Errorf("%s under TrackFM: checksum %#x, want %#x", name, tres.MainResult, want)
+			}
+		})
+	}
+}
+
+func TestTaxiHotColumnsScoreHigher(t *testing.T) {
+	w := BuildTaxi(TaxiConfig{Trips: 512, HotPasses: 4, Seed: 2014})
+	res := dsa.Analyze(w.Module)
+	an := analysis.Analyze(w.Module, res)
+
+	// Identify columns by allocation order in main: fare is column 8,
+	// tolls is column 10, vendor_id is 13 (see taxiColumns).
+	scores := make([]int, len(an.Infos))
+	for _, info := range an.Infos {
+		scores[info.DS.ID] = info.UseScore
+	}
+	fare, tip := scores[8], scores[9]
+	tolls, vendor := scores[10], scores[13]
+	if fare <= tolls || tip <= vendor {
+		t.Errorf("hot columns should outscore cold: fare=%d tolls=%d tip=%d vendor=%d",
+			fare, tolls, tip, vendor)
+	}
+}
+
+func TestBFSHasIndirectStructures(t *testing.T) {
+	w := BuildBFS(BFSConfig{Vertices: 128, Degree: 4, Trials: 1, Seed: 3})
+	res := dsa.Analyze(w.Module)
+	an := analysis.Analyze(w.Module, res)
+	indirect := 0
+	for _, info := range an.Infos {
+		if info.Pattern == analysis.PatternIndirect {
+			indirect++
+		}
+	}
+	if indirect == 0 {
+		for _, info := range an.Infos {
+			t.Logf("%s: %s", info.DS.Name(), info.Pattern)
+		}
+		t.Error("BFS should have indirect-pattern structures (visited/parent/dist)")
+	}
+}
+
+func TestFDTDAllStrided(t *testing.T) {
+	w := BuildFDTD(FDTDConfig{N: 6, Steps: 1})
+	res := dsa.Analyze(w.Module)
+	an := analysis.Analyze(w.Module, res)
+	for _, info := range an.Infos {
+		if info.Pattern != analysis.PatternStrided {
+			t.Errorf("%s: pattern = %s, want strided (static control parts)",
+				info.DS.Name(), info.Pattern)
+		}
+	}
+}
+
+func TestListIsPointerChase(t *testing.T) {
+	w, err := BuildChase("list", ChaseConfig{N: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := dsa.Analyze(w.Module)
+	an := analysis.Analyze(w.Module, res)
+	chase := 0
+	for _, info := range an.Infos {
+		if info.Pattern == analysis.PatternPointerChase {
+			chase++
+		}
+		if !info.DS.Recursive {
+			t.Errorf("%s: list nodes should be recursive", info.DS.Name())
+		}
+	}
+	if chase == 0 {
+		t.Error("no pointer-chase structures detected in sum_list")
+	}
+}
+
+func TestChaseUnknownKind(t *testing.T) {
+	if _, err := BuildChase("bogus", DefaultChase()); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestDeterministicChecksums(t *testing.T) {
+	// Two fresh builds + runs give identical results (no hidden
+	// nondeterminism anywhere in the stack).
+	a := runCaRDS(t, "bfs", policy.MaxUse, 50, 1<<20, 1<<18).MainResult
+	b := runCaRDS(t, "bfs", policy.MaxUse, 50, 1<<20, 1<<18).MainResult
+	if a != b {
+		t.Fatalf("nondeterministic: %#x vs %#x", a, b)
+	}
+}
+
+func TestBFSSkewedGraph(t *testing.T) {
+	uni := BuildBFS(BFSConfig{Vertices: 256, Degree: 6, Trials: 1, Seed: 4})
+	skw := BuildBFS(BFSConfig{Vertices: 256, Degree: 6, Trials: 1, Seed: 4, Skewed: true})
+	run := func(w *Workload) *core.RunResult {
+		c, err := core.Compile(w.Module, core.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(core.RunConfig{
+			Policy: policy.Linear, K: 100,
+			PinnedBudget: 1 << 22, RemotableBudget: 1 << 18,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ru, rs := run(uni), run(skw)
+	// Different graphs, both correct (non-zero checksums, distinct).
+	if ru.MainResult == 0 || rs.MainResult == 0 {
+		t.Fatal("zero checksum")
+	}
+	if ru.MainResult == rs.MainResult {
+		t.Fatal("skewed graph should differ from uniform")
+	}
+	// Same structure count either way.
+	c, _ := core.Compile(BuildBFS(BFSConfig{Vertices: 256, Degree: 6, Trials: 1,
+		Seed: 4, Skewed: true}).Module, core.CompileOptions{})
+	if len(c.DSA.DS) != 19 {
+		t.Fatalf("skewed BFS DS = %d, want 19", len(c.DSA.DS))
+	}
+}
