@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test check fmt vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: formatting, static analysis, and the full test
+# suite under the race detector (exercises the concurrent remote server
+# and the obs tracer/registry).
+check: fmt vet race
+
+bench:
+	$(GO) test -bench . -benchtime 2s -run '^$$' .

@@ -221,3 +221,16 @@ func (r *Runtime) Trace(w io.Writer) {
 	}
 	r.rt.SetEventHook(farmem.TraceWriter(w))
 }
+
+// WriteMetrics writes a point-in-time JSON snapshot of every runtime
+// metric — the per-structure counters, latency histograms, and occupancy
+// gauges the Report table is rendered from.
+func (r *Runtime) WriteMetrics(w io.Writer) error {
+	return r.rt.ObsSnapshot().WriteJSON(w)
+}
+
+// WritePrometheus writes the same snapshot in the Prometheus text
+// exposition format (the shape cardsd serves on /metrics).
+func (r *Runtime) WritePrometheus(w io.Writer) error {
+	return r.rt.ObsSnapshot().WritePrometheus(w)
+}

@@ -5,6 +5,12 @@
 //
 //	cardsbench [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9]
 //	           [-scale quick|default] [-markdown] [-seed N]
+//	           [-metrics-out metrics.json] [-trace-out trace.json]
+//
+// -metrics-out writes the shared metric registry every run published
+// into (JSON snapshot; a .prom suffix selects the Prometheus text
+// exposition instead). -trace-out writes the runs' event ring as Chrome
+// trace_event JSON, loadable in chrome://tracing or Perfetto.
 //
 // Absolute numbers come from the deterministic virtual-time model
 // calibrated to the paper's testbed (see DESIGN.md); the comparisons —
@@ -16,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cards/internal/bench"
+	"cards/internal/obs"
 )
 
 func main() {
@@ -26,6 +34,8 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	jsonOut := flag.Bool("json", false, "emit JSON")
 	seed := flag.Int64("seed", 0, "override the experiment seed (0 = keep)")
+	metricsOut := flag.String("metrics-out", "", "write the final metric snapshot to this file (JSON; .prom suffix: Prometheus text)")
+	traceOut := flag.String("trace-out", "", "write runtime events as Chrome trace JSON to this file")
 	flag.Parse()
 
 	var cfg bench.Config
@@ -40,6 +50,29 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *metricsOut != "" {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		cfg.Tracer = obs.NewTracer(0)
+	}
+	// flush writes the observability exports once every experiment ran.
+	flush := func() {
+		if cfg.Obs != nil {
+			if err := writeSnapshot(*metricsOut, cfg.Obs.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "cardsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if cfg.Tracer != nil {
+			if err := writeTrace(*traceOut, cfg.Tracer); err != nil {
+				fmt.Fprintf(os.Stderr, "cardsbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cardsbench: wrote %d trace events (%d dropped) to %s\n",
+				cfg.Tracer.Len(), cfg.Tracer.Drops(), *traceOut)
+		}
 	}
 
 	emit := func(t *bench.Table) {
@@ -65,6 +98,7 @@ func main() {
 			}
 			emit(t)
 		}
+		flush()
 		return
 	}
 	e, ok := bench.ByID(*exp)
@@ -78,4 +112,37 @@ func main() {
 		os.Exit(1)
 	}
 	emit(t)
+	flush()
+}
+
+// writeSnapshot exports the snapshot to path — Prometheus text when the
+// file name ends in .prom, JSON otherwise.
+func writeSnapshot(path string, snap *obs.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".prom") {
+		err = snap.WritePrometheus(f)
+	} else {
+		err = snap.WriteJSON(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace exports the ring as Chrome trace_event JSON.
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -29,6 +29,7 @@ import (
 	"cards/internal/interp"
 	"cards/internal/ir"
 	"cards/internal/netsim"
+	"cards/internal/obs"
 	"cards/internal/policy"
 	"cards/internal/workloads"
 )
@@ -64,6 +65,7 @@ func main() {
 	dumpIR := flag.Bool("dump-ir", false, "print the transformed IR")
 	dumpDSA := flag.Bool("dump-dsa", false, "print the data structure analysis graphs (Figure 2 view)")
 	traceRun := flag.Bool("trace", false, "with -run: stream far-memory events to stderr")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace (per-pass compile spans; with -run also runtime events) to this file")
 	report := flag.Bool("report", false, "with -run: print the per-structure runtime report")
 	optimize := flag.Bool("O", false, "run the scalar optimizer before the CaRDS passes")
 	run := flag.Bool("run", false, "execute the compiled program (linear policy)")
@@ -88,7 +90,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	c, err := core.Compile(m, core.CompileOptions{Optimize: *optimize})
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
+
+	c, err := core.Compile(m, core.CompileOptions{Optimize: *optimize, Tracer: tracer})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cardsc: compile: %v\n", err)
 		os.Exit(1)
@@ -124,6 +131,7 @@ func main() {
 			K:               100,
 			PinnedBudget:    *pinnedKiB << 10,
 			RemotableBudget: *cacheKiB << 10,
+			Tracer:          tracer,
 		}
 		var res *core.RunResult
 		if *traceRun || *report {
@@ -140,6 +148,28 @@ func main() {
 		fmt.Printf("     guards=%d remote fetches=%d evictions=%d\n",
 			res.Runtime.GuardChecks, res.Runtime.RemoteFetches, res.Runtime.Evictions)
 	}
+
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "cardsc: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cardsc: wrote %d trace events to %s (load in chrome://tracing)\n",
+			tracer.Len(), *traceOut)
+	}
+}
+
+// writeTrace dumps the ring as Chrome trace_event JSON.
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runInstrumented executes the compiled program on a runtime with

@@ -5,25 +5,34 @@
 // this is the "memory server machine" of the paper's two-node CloudLab
 // setup.
 //
+// With -metrics-addr the node also serves live introspection over HTTP:
+// GET /metrics returns the Prometheus text exposition of the server's
+// registry (verb latency histograms, wire bytes, connection and
+// in-flight gauges); GET /stats the same snapshot as JSON. On shutdown
+// (SIGINT/SIGTERM) the final snapshot is dumped to stderr.
+//
 // Usage:
 //
-//	cardsd [-listen 127.0.0.1:7770] [-v]
+//	cardsd [-listen 127.0.0.1:7770] [-metrics-addr :9090] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cards/internal/obs"
 	"cards/internal/remote"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7770", "address to serve on")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /stats (JSON) on this address")
 	verbose := flag.Bool("v", false, "log periodic statistics")
 	flag.Parse()
 
@@ -35,12 +44,30 @@ func main() {
 	}
 	log.Printf("cardsd: serving far memory on %s", addr)
 
+	if *metricsAddr != "" {
+		ln := *metricsAddr
+		go func() {
+			log.Printf("cardsd: metrics on http://%s/metrics (JSON on /stats)", ln)
+			if err := http.ListenAndServe(ln, obs.Handler(srv.ObsSnapshot)); err != nil {
+				log.Printf("cardsd: metrics server: %v", err)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
 	if *verbose {
 		go func() {
-			for range time.Tick(5 * time.Second) {
-				r, w := srv.Counts()
-				log.Printf("cardsd: %d objects resident, %d reads, %d writes",
-					srv.Store.Len(), r, w)
+			tick := time.NewTicker(5 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					r, w := srv.Counts()
+					log.Printf("cardsd: %d objects resident, %d reads, %d writes",
+						srv.Store.Len(), r, w)
+				case <-done:
+					return
+				}
 			}
 		}()
 	}
@@ -48,6 +75,12 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(done)
 	log.Printf("cardsd: shutting down")
 	srv.Close()
+
+	// Final point-in-time snapshot so a scrape-less run still leaves the
+	// numbers behind.
+	fmt.Fprintln(os.Stderr, "cardsd: final metrics snapshot:")
+	srv.ObsSnapshot().WriteJSON(os.Stderr)
 }

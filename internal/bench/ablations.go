@@ -172,11 +172,11 @@ func HybridExp(cfg Config) (*Table, error) {
 	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
 		pinned := uint64(float64(ws) * frac)
 
-		mu, err := runPolicy(build, policy.MaxUse, 50, pinned, reserve, cfg.Seed)
+		mu, err := cfg.runPolicy(build, policy.MaxUse, 50, pinned, reserve, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		hy, err := runPolicy(build, policy.Hybrid, 50, pinned, reserve, cfg.Seed)
+		hy, err := cfg.runPolicy(build, policy.Hybrid, 50, pinned, reserve, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -318,11 +318,11 @@ func GuardCensus(cfg Config) (*Table, error) {
 			reserve = local * 3 / 4
 		}
 
-		cons, err := runPolicy(cse.build, policy.AllRemotable, 0, local-reserve, reserve, cfg.Seed)
+		cons, err := cfg.runPolicy(cse.build, policy.AllRemotable, 0, local-reserve, reserve, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		best, err := runPolicy(cse.build, cse.best, 50, local-reserve, reserve, cfg.Seed)
+		best, err := cfg.runPolicy(cse.build, cse.best, 50, local-reserve, reserve, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}

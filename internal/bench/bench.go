@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"cards/internal/obs"
 )
 
 // Table is one experiment's output.
@@ -97,6 +99,14 @@ type Config struct {
 	ChaseN int64
 	// Seed drives data generation and the Random policy.
 	Seed int64
+
+	// Obs, when non-nil, is a shared metric registry every experiment
+	// run publishes into (latency histograms accumulate across runs;
+	// counters reflect the last run that published them).
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives runtime events from every run into
+	// one bounded ring for Chrome-trace export (-trace-out).
+	Tracer *obs.Tracer
 }
 
 // Quick returns the configuration used by unit tests and testing.B

@@ -65,17 +65,19 @@ func reserveFor(name string, ws uint64) uint64 {
 
 // runPolicy compiles a fresh copy of the workload and runs it under one
 // policy. AllRemotable uses pinned+reserve as pure cache (the
-// conservative baseline has no pinned region).
-func runPolicy(build func() *workloads.Workload, pol policy.Kind, k float64,
+// conservative baseline has no pinned region). The run publishes into
+// cfg.Obs / cfg.Tracer when those are set.
+func (cfg Config) runPolicy(build func() *workloads.Workload, pol policy.Kind, k float64,
 	pinned, reserve uint64, seed int64) (*core.RunResult, error) {
 	w := build()
-	c, err := core.Compile(w.Module, core.CompileOptions{})
+	c, err := core.Compile(w.Module, core.CompileOptions{Tracer: cfg.Tracer})
 	if err != nil {
 		return nil, err
 	}
 	rc := core.RunConfig{
 		Policy: pol, K: k, Seed: seed,
 		PinnedBudget: pinned, RemotableBudget: reserve,
+		Obs: cfg.Obs, Tracer: cfg.Tracer,
 	}
 	if pol == policy.AllRemotable {
 		rc.PinnedBudget = 0
@@ -194,7 +196,7 @@ func Fig4(cfg Config) (*Table, error) {
 	pinned := ws / 2 // one of the two structures fits
 	reserve := reserveFor("listing1", ws)
 
-	base, err := runPolicy(build, policy.AllRemotable, 50, pinned, reserve, cfg.Seed)
+	base, err := cfg.runPolicy(build, policy.AllRemotable, 50, pinned, reserve, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +211,7 @@ func Fig4(cfg Config) (*Table, error) {
 	for _, pol := range policy.All() {
 		res := base
 		if pol != policy.AllRemotable {
-			res, err = runPolicy(build, pol, 50, pinned, reserve, cfg.Seed)
+			res, err = cfg.runPolicy(build, pol, 50, pinned, reserve, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -228,7 +230,7 @@ func Fig4(cfg Config) (*Table, error) {
 // working set: the CaRDS policies split it into pinned + the workload's
 // remotable reserve, while the all-remotable baseline uses all of it as
 // cache.
-func policySweep(id, title string, build func() *workloads.Workload, seed int64) (*Table, error) {
+func (cfg Config) policySweep(id, title string, build func() *workloads.Workload, seed int64) (*Table, error) {
 	w := build()
 	ws := w.WorkingSetBytes
 	local := ws / 2
@@ -251,7 +253,7 @@ func policySweep(id, title string, build func() *workloads.Workload, seed int64)
 	for _, pol := range policy.All() {
 		row := []string{pol.String()}
 		for _, k := range ks {
-			res, err := runPolicy(build, pol, k, pinned, reserve, seed)
+			res, err := cfg.runPolicy(build, pol, k, pinned, reserve, seed)
 			if err != nil {
 				return nil, fmt.Errorf("%s k=%v: %w", pol, k, err)
 			}
@@ -264,21 +266,21 @@ func policySweep(id, title string, build func() *workloads.Workload, seed int64)
 
 // Fig5 sweeps the remoting policies on BFS.
 func Fig5(cfg Config) (*Table, error) {
-	return policySweep("fig5",
+	return cfg.policySweep("fig5",
 		"Remoting policies × k, BFS (paper Fig. 5; 19 structures)",
 		func() *workloads.Workload { return cfg.bfs() }, cfg.Seed)
 }
 
 // Fig6 sweeps the remoting policies on the analytics workload.
 func Fig6(cfg Config) (*Table, error) {
-	return policySweep("fig6",
+	return cfg.policySweep("fig6",
 		"Remoting policies × k, analytics (paper Fig. 6; 22 structures)",
 		func() *workloads.Workload { return cfg.taxi() }, cfg.Seed)
 }
 
 // Fig7 sweeps the remoting policies on ftfdapml.
 func Fig7(cfg Config) (*Table, error) {
-	return policySweep("fig7",
+	return cfg.policySweep("fig7",
 		"Remoting policies × k, ftfdapml (paper Fig. 7; 15 structures)",
 		func() *workloads.Workload { return cfg.fdtd() }, cfg.Seed)
 }
@@ -303,7 +305,7 @@ func Fig8(cfg Config) (*Table, error) {
 	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
 		pinned := uint64(float64(ws) * frac)
 
-		cds, err := runPolicy(build, policy.MaxUse, 50, pinned, reserve, cfg.Seed)
+		cds, err := cfg.runPolicy(build, policy.MaxUse, 50, pinned, reserve, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +370,7 @@ func Fig9(cfg Config) (*Table, error) {
 			local = floor
 		}
 
-		cds, err := runPolicy(build, policy.AllRemotable, 0, local, 0, cfg.Seed)
+		cds, err := cfg.runPolicy(build, policy.AllRemotable, 0, local, 0, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("%s cards: %w", kind, err)
 		}

@@ -26,6 +26,7 @@ import (
 	"cards/internal/interp"
 	"cards/internal/ir"
 	"cards/internal/netsim"
+	"cards/internal/obs"
 	"cards/internal/opt"
 	"cards/internal/policy"
 	"cards/internal/poolalloc"
@@ -53,6 +54,10 @@ type CompileOptions struct {
 	// folding, DCE) before the CaRDS passes, as LLVM's -O pipeline would
 	// have.
 	Optimize bool
+	// Tracer, when non-nil, receives one wall-clock span per compiler
+	// pass (category "compile") — the -trace-out view of where compile
+	// time goes.
+	Tracer *obs.Tracer
 }
 
 // Compile runs the full CaRDS pass pipeline on m (mutating it).
@@ -60,17 +65,29 @@ func Compile(m *ir.Module, opts CompileOptions) (*Compiled, error) {
 	if opts.Guards == (guards.Options{}) {
 		opts.Guards = guards.DefaultOptions()
 	}
-	if err := ir.Verify(m); err != nil {
+	pass := func(name string, fn func() error) error {
+		done := opts.Tracer.Span("compile", name, 0)
+		err := fn()
+		done()
+		return err
+	}
+	if err := pass("verify", func() error { return ir.Verify(m) }); err != nil {
 		return nil, fmt.Errorf("core: input program invalid: %w", err)
 	}
 	if opts.Optimize {
-		opt.Simplify(m)
+		pass("simplify", func() error { opt.Simplify(m); return nil })
 	}
 	m.AssignSites()
-	ds := dsa.AnalyzeWithOptions(m, opts.DSA)
-	pool := poolalloc.Transform(m, ds)
-	an := analysis.Analyze(m, ds)
-	g := guards.Transform(m, ds, an, opts.Guards)
+	var (
+		ds   *dsa.Result
+		pool *poolalloc.Result
+		an   *analysis.Result
+		g    *guards.Result
+	)
+	pass("dsa", func() error { ds = dsa.AnalyzeWithOptions(m, opts.DSA); return nil })
+	pass("poolalloc", func() error { pool = poolalloc.Transform(m, ds); return nil })
+	pass("analysis", func() error { an = analysis.Analyze(m, ds); return nil })
+	pass("guards", func() error { g = guards.Transform(m, ds, an, opts.Guards); return nil })
 	return &Compiled{Module: m, DSA: ds, Pool: pool, Analysis: an, Guards: g}, nil
 }
 
@@ -113,6 +130,14 @@ type RunConfig struct {
 
 	// MaxSteps bounds interpretation (0 = interp default).
 	MaxSteps uint64
+
+	// Obs, when non-nil, is the metric registry the runtime publishes
+	// into (nil: the runtime creates a private one).
+	Obs *obs.Registry
+
+	// Tracer, when non-nil, receives runtime events (fetch, prefetch,
+	// evict, spill) into the bounded ring for Chrome-trace export.
+	Tracer *obs.Tracer
 }
 
 // RunResult captures everything one execution measured.
@@ -171,6 +196,8 @@ func (c *Compiled) NewRuntime(cfg RunConfig) (*farmem.Runtime, []farmem.Placemen
 		PinnedBudget:    cfg.PinnedBudget,
 		RemotableBudget: cfg.RemotableBudget,
 		Store:           cfg.Store,
+		Obs:             cfg.Obs,
+		Tracer:          cfg.Tracer,
 	})
 
 	placements := cfg.Placements
@@ -235,6 +262,9 @@ func (c *Compiled) Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Publish the run's final tallies so a shared cfg.Obs registry (and
+	// any -metrics-out export taken from it) reflects this execution.
+	rt.PublishObs()
 
 	res := &RunResult{
 		Cycles:     rt.Clock().Now(),

@@ -156,13 +156,15 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 	case objInFlight:
 		// A prefetch raced ahead of us: wait out the remaining flight
 		// time instead of paying a full round trip.
+		start := r.clock.Now()
 		r.link.WaitUntil(obj.readyAt)
+		d.pfWaitHist.Observe(r.clock.Now() - start)
 		obj.state = objLocal
 		d.inflight--
 		r.inflightBytes -= uint64(d.Meta.ObjSize)
 		d.stats.PrefetchHits++
 		d.stats.Hits++
-		r.emit(EvPrefetchHit, d.ID, idx, false)
+		r.emitSpan(EvPrefetchHit, d.ID, idx, false, start)
 
 	case objUninit:
 		// First touch: materialize a zeroed frame locally; no network.
@@ -179,6 +181,7 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 		missed = true
 		d.stats.Misses++
 		r.stats.RemoteFetches++
+		start := r.clock.Now()
 		frame, err := r.allocFrame(d, idx)
 		if err != nil {
 			return 0, err
@@ -187,9 +190,10 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 			return 0, fmt.Errorf("farmem: remote read ds%d[%d]: %w", d.ID, idx, err)
 		}
 		r.link.FetchSync(d.Meta.ObjSize)
+		d.fetchHist.Observe(r.clock.Now() - start)
 		obj.frame = frame
 		obj.state = objLocal
-		r.emit(EvFetch, d.ID, idx, false)
+		r.emitSpan(EvFetch, d.ID, idx, false, start)
 	}
 
 	obj.ref = true
@@ -287,7 +291,8 @@ func (r *Runtime) evictOne() error {
 // evictObject writes back (if dirty) and frees one resident object.
 func (r *Runtime) evictObject(d *DS, idx, ringPos int) error {
 	obj := &d.objs[idx]
-	r.emit(EvEvict, d.ID, idx, obj.dirty)
+	start := r.clock.Now()
+	wasDirty := obj.dirty
 	if obj.dirty {
 		if err := r.store.WriteObj(d.ID, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
 			return fmt.Errorf("farmem: write-back ds%d[%d]: %w", d.ID, idx, err)
@@ -297,6 +302,8 @@ func (r *Runtime) evictObject(d *DS, idx, ringPos int) error {
 	} else {
 		r.clock.Advance(r.model.EvictObject)
 	}
+	d.evictHist.Observe(r.clock.Now() - start)
+	r.emitSpan(EvEvict, d.ID, idx, wasDirty, start)
 	r.arena.Free(obj.frame, d.Meta.ObjSize)
 	r.remotableUsed -= uint64(d.Meta.ObjSize)
 	obj.state = objRemote

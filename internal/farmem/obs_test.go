@@ -1,0 +1,185 @@
+package farmem
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cards/internal/obs"
+)
+
+// driveRuntime produces fetches, prefetch hits, evictions and a spill on
+// a small runtime so every observability surface has data.
+func driveRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	const obj = 4096
+	r := New(Config{PinnedBudget: 1 << 12, RemotableBudget: 2 * obj, Tracer: obs.NewTracer(256)})
+	if _, err := r.RegisterDS(0, DSMeta{Name: "probe", ObjSize: obj}); err != nil {
+		t.Fatal(err)
+	}
+	r.SetPlacement(0, PlacePinned) // tiny pinned budget: will spill
+	if _, err := r.DSAlloc(0, 1<<12); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := r.DSAlloc(0, 6*obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-touch writes: materialize each object, then overflow the
+	// 2-frame remotable budget so the cold ones are evicted dirty.
+	for i := 0; i < 6; i++ {
+		if _, err := r.Guard(addr+uint64(i*obj), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Object 0 was evicted above; touching it again is a demand fetch.
+	if _, err := r.Guard(addr, false); err != nil {
+		t.Fatal(err)
+	}
+	// Prefetch immediately before the access so the guard lands while
+	// the line is still in flight (prefetch-hit path).
+	d := r.DSByID(0)
+	for i := 1; i < 6; i++ {
+		r.PrefetchObj(d, 1+i)
+		if _, err := r.Guard(addr+uint64(i*obj), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestReportMatchesSnapshot verifies the acceptance property: every
+// number Report prints is the value the Registry snapshot carries, so
+// re-rendering from the same snapshot is byte-for-byte identical and the
+// snapshot's counters equal the runtime's own tallies.
+func TestReportMatchesSnapshot(t *testing.T) {
+	r := driveRuntime(t)
+
+	snap := r.ObsSnapshot()
+	var a, b bytes.Buffer
+	r.WriteReport(&a, snap)
+	r.WriteReport(&b, snap)
+	if a.String() != b.String() {
+		t.Fatal("WriteReport is not deterministic for a fixed snapshot")
+	}
+	var c bytes.Buffer
+	r.Report(&c)
+	if c.String() != a.String() {
+		t.Fatalf("Report() diverges from WriteReport(snapshot):\n%s\nvs\n%s", c.String(), a.String())
+	}
+
+	st := r.DSByID(0).Stats()
+	rs := r.Stats()
+	checks := []struct {
+		name   string
+		labels []string
+		want   uint64
+	}{
+		{MetricDSHits, []string{"ds", "0"}, st.Hits},
+		{MetricDSMisses, []string{"ds", "0"}, st.Misses},
+		{MetricDSEvictions, []string{"ds", "0"}, st.Evictions},
+		{MetricDSPrefetchIssued, []string{"ds", "0"}, st.PrefetchIssued},
+		{MetricDSPrefetchHits, []string{"ds", "0"}, st.PrefetchHits},
+		{MetricDSPinnedBytes, []string{"ds", "0"}, st.PinnedBytes},
+		{MetricDSRemoteBytes, []string{"ds", "0"}, st.RemoteBytes},
+		{MetricGuardChecks, nil, rs.GuardChecks},
+		{MetricRemoteFetches, nil, rs.RemoteFetches},
+		{MetricEvictions, nil, rs.Evictions},
+		{MetricSpilledDS, nil, rs.SpilledDS},
+		{MetricLinkBytesIn, nil, r.Link().BytesIn},
+	}
+	for _, c := range checks {
+		if got := snap.Counter(c.name, c.labels...); got != c.want {
+			t.Errorf("snapshot %s%v = %d, want %d", c.name, c.labels, got, c.want)
+		}
+	}
+	if rs.RemoteFetches == 0 || rs.SpilledDS != 1 {
+		t.Fatalf("workload did not exercise the slow paths: %+v", rs)
+	}
+}
+
+// TestLatencyHistogramsObserved checks the live per-DS histograms fill
+// on the fetch / prefetch-wait / evict paths.
+func TestLatencyHistogramsObserved(t *testing.T) {
+	r := driveRuntime(t)
+	snap := r.ObsSnapshot()
+
+	fetch := snap.Histogram(MetricFetchCycles, "ds", "0")
+	if fetch.Count == 0 {
+		t.Fatal("fetch histogram empty after remote fetches")
+	}
+	// A fetch costs at least the RTT; the histogram upper bound must
+	// reflect that order of magnitude (factor-of-two buckets).
+	if fetch.P50 < r.Model().RemoteRTT/2 {
+		t.Fatalf("fetch P50 = %d, implausibly below RTT %d", fetch.P50, r.Model().RemoteRTT)
+	}
+	if snap.Histogram(MetricEvictCycles, "ds", "0").Count == 0 {
+		t.Fatal("evict histogram empty after evictions")
+	}
+	if snap.Histogram(MetricPrefetchWaitCycles, "ds", "0").Count == 0 {
+		t.Fatal("prefetch-wait histogram empty after prefetch hits")
+	}
+	if snap.Histogram(MetricLinkQueueDelay).Count == 0 {
+		t.Fatal("adopted link queue-delay histogram missing from snapshot")
+	}
+}
+
+// TestRuntimeTraceRing checks the runtime feeds the ring tracer and that
+// the result exports as valid Chrome trace JSON.
+func TestRuntimeTraceRing(t *testing.T) {
+	r := driveRuntime(t)
+	tr := r.Tracer()
+	if tr.Len() == 0 {
+		t.Fatal("tracer ring empty after instrumented run")
+	}
+	kinds := map[string]bool{}
+	for _, ev := range tr.Events() {
+		if ev.Cat != "farmem" {
+			t.Fatalf("unexpected category %q", ev.Cat)
+		}
+		kinds[ev.Name] = true
+	}
+	for _, want := range []string{"fetch", "prefetch", "prefetch-hit", "evict", "spill", "materialize"} {
+		if !kinds[want] {
+			t.Errorf("trace missing %q events (have %v)", want, kinds)
+		}
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace invalid JSON: %v", err)
+	}
+}
+
+// TestHookAndTracerCoexist verifies the legacy hook still fires when a
+// ring tracer is installed, with identical event streams.
+func TestHookAndTracerCoexist(t *testing.T) {
+	const obj = 4096
+	r := New(Config{PinnedBudget: 0, RemotableBudget: 2 * obj, Tracer: obs.NewTracer(64)})
+	r.RegisterDS(0, DSMeta{Name: "d", ObjSize: obj})
+	r.SetPlacement(0, PlaceRemotable)
+	counter := NewEventCounter()
+	r.SetEventHook(counter.Hook())
+	addr, err := r.DSAlloc(0, 4*obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := r.Guard(addr+uint64(i*obj), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, n := range counter.Counts {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("legacy hook saw no events")
+	}
+	if got := r.Tracer().Len(); got != total {
+		t.Fatalf("tracer saw %d events, hook saw %d", got, total)
+	}
+}

@@ -4,37 +4,56 @@ import (
 	"fmt"
 	"io"
 
+	"cards/internal/obs"
 	"cards/internal/stats"
 )
 
 // Report writes a per-data-structure summary table: placement, footprint,
 // hit rates, prefetch effectiveness, and evictions — the at-a-glance view
 // for deciding which structures a policy should pin.
+//
+// The table is rendered from a Registry snapshot (ObsSnapshot), so every
+// number it shows is byte-for-byte the value a /metrics or /stats export
+// of the same snapshot would carry.
 func (r *Runtime) Report(w io.Writer) {
+	r.WriteReport(w, r.ObsSnapshot())
+}
+
+// WriteReport renders the Report table from an already-taken snapshot.
+// Only the structure names and placement strings come from the runtime;
+// every numeric cell is looked up in snap.
+func (r *Runtime) WriteReport(w io.Writer, snap *obs.Snapshot) {
 	fmt.Fprintf(w, "%-4s %-28s %-9s %10s %10s %8s %8s %8s %9s %9s\n",
 		"id", "data structure", "placement", "pinned-B", "remote-B",
 		"hits", "misses", "evict", "pf-acc", "pf-cov")
 	for _, d := range r.dss {
-		st := d.Stats()
+		l := d.label
 		placement := d.placement.String()
-		if d.spilled {
+		if snap.Gauge(MetricDSSpilled, "ds", l) != 0 {
 			placement += "!"
 		}
+		hits := snap.Counter(MetricDSHits, "ds", l)
+		misses := snap.Counter(MetricDSMisses, "ds", l)
+		pfIssued := snap.Counter(MetricDSPrefetchIssued, "ds", l)
+		pfHits := snap.Counter(MetricDSPrefetchHits, "ds", l)
 		fmt.Fprintf(w, "%-4d %-28s %-9s %10d %10d %8d %8d %8d %8.0f%% %8.0f%%\n",
 			d.ID, truncName(d.Meta.Name, 28), placement,
-			st.PinnedBytes, st.RemoteBytes,
-			st.Hits, st.Misses, st.Evictions,
-			100*stats.Ratio(st.PrefetchHits, st.PrefetchIssued),
-			100*stats.Ratio(st.PrefetchHits, st.PrefetchHits+st.Misses))
+			snap.Counter(MetricDSPinnedBytes, "ds", l),
+			snap.Counter(MetricDSRemoteBytes, "ds", l),
+			hits, misses,
+			snap.Counter(MetricDSEvictions, "ds", l),
+			100*stats.Ratio(pfHits, pfIssued),
+			100*stats.Ratio(pfHits, pfHits+misses))
 	}
-	s := r.Stats()
 	fmt.Fprintf(w, "total: %d guard checks (%d fast-path), %d derefs, %d remote fetches, %d evictions",
-		s.GuardChecks, s.FastPathHits, s.DerefCalls, s.RemoteFetches, s.Evictions)
-	if s.SpilledDS > 0 {
-		fmt.Fprintf(w, ", %d spilled structures ('!' above)", s.SpilledDS)
+		snap.Counter(MetricGuardChecks), snap.Counter(MetricFastPathHits),
+		snap.Counter(MetricDerefCalls), snap.Counter(MetricRemoteFetches),
+		snap.Counter(MetricEvictions))
+	if n := snap.Counter(MetricSpilledDS); n > 0 {
+		fmt.Fprintf(w, ", %d spilled structures ('!' above)", n)
 	}
-	if s.OvercommitBytes > 0 {
-		fmt.Fprintf(w, ", %d bytes pinned over budget", s.OvercommitBytes)
+	if n := snap.Counter(MetricOvercommitBytes); n > 0 {
+		fmt.Fprintf(w, ", %d bytes pinned over budget", n)
 	}
 	fmt.Fprintln(w)
 }

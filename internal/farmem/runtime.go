@@ -2,8 +2,11 @@ package farmem
 
 import (
 	"fmt"
+	"strconv"
 
 	"cards/internal/netsim"
+	"cards/internal/obs"
+	"cards/internal/stats"
 )
 
 // Pattern mirrors the compiler's access-pattern classification. The
@@ -113,7 +116,20 @@ type DS struct {
 	maxInflight int
 	inflight    int
 
+	// label is the ds="<id>" metric label.
+	label string
+
 	stats DSStats
+
+	// The latency histograms are single-writer locals (the runtime is
+	// single-threaded): a plain Observe costs ~2 ns where the registry's
+	// atomic one costs ~20, which is measurable even on the remote-fault
+	// path. PublishObs copies them into the registry's concurrent
+	// series. They sit last so their ~1.5 KB of buckets stays off the
+	// cache lines the fault path walks.
+	fetchHist  stats.LocalHistogram
+	pfWaitHist stats.LocalHistogram
+	evictHist  stats.LocalHistogram
 }
 
 // Stats returns a copy of the structure's counters.
@@ -198,6 +214,14 @@ type Config struct {
 	// TrackFMGuards switches guard/fault cost accounting to the TrackFM
 	// cost profile of Table 1 (used by the baseline).
 	TrackFMGuards bool
+	// Obs is the metrics registry the runtime publishes into; nil gives
+	// the runtime a private registry (reachable via Runtime.Obs). Sharing
+	// one registry across runtimes accumulates histograms but makes
+	// published counters last-publish-wins.
+	Obs *obs.Registry
+	// Tracer receives runtime events into the bounded ring (in addition
+	// to any legacy SetEventHook subscriber); nil disables ring tracing.
+	Tracer *obs.Tracer
 }
 
 // clockEntry is one CLOCK ring slot.
@@ -241,6 +265,9 @@ type Runtime struct {
 	accessSeq          uint64
 	inflightBytes      uint64
 	hook               EventHook
+	tracer             *obs.Tracer
+	tracing            bool // hook != nil || tracer != nil
+	reg                *obs.Registry
 
 	stats RuntimeStats
 }
@@ -268,6 +295,10 @@ func New(cfg Config) *Runtime {
 	if mi <= 0 {
 		mi = 16
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	r := &Runtime{
 		model:           model,
 		clock:           clock,
@@ -277,6 +308,9 @@ func New(cfg Config) *Runtime {
 		pinnedBudget:    cfg.PinnedBudget,
 		remotableBudget: cfg.RemotableBudget,
 		trackFM:         cfg.TrackFMGuards,
+		tracer:          cfg.Tracer,
+		tracing:         cfg.Tracer != nil,
+		reg:             reg,
 	}
 	r.defaultMaxInflight = mi
 	return r
@@ -345,6 +379,7 @@ func (r *Runtime) RegisterDS(id int, meta DSMeta) (*DS, error) {
 		objShift:    log2(meta.ObjSize),
 		prefetcher:  nullPrefetcher{},
 		maxInflight: r.defaultMaxInflight,
+		label:       strconv.Itoa(id),
 	}
 	r.dss = append(r.dss, d)
 	return d, nil

@@ -3,6 +3,8 @@ package farmem
 import (
 	"fmt"
 	"io"
+
+	"cards/internal/obs"
 )
 
 // EventKind classifies runtime events for tracing.
@@ -61,17 +63,65 @@ func (e Event) String() string {
 }
 
 // EventHook receives trace events synchronously on the runtime's
-// single thread. Install with SetEventHook; nil disables tracing.
+// single thread. Install with SetEventHook; nil disables the hook.
 // The hook must not call back into the runtime.
+//
+// The hook is the legacy single-subscriber path; the obs.Tracer passed
+// via Config.Tracer receives the same events into a bounded ring with
+// multiple-subscriber fan-out and Chrome-trace export.
 type EventHook func(Event)
 
 // SetEventHook installs (or clears) the trace hook.
-func (r *Runtime) SetEventHook(h EventHook) { r.hook = h }
+func (r *Runtime) SetEventHook(h EventHook) {
+	r.hook = h
+	r.tracing = r.hook != nil || r.tracer != nil
+}
 
-// emit delivers an event to the hook if tracing is enabled.
+// SetTracer installs (or clears) the ring tracer after construction.
+func (r *Runtime) SetTracer(t *obs.Tracer) {
+	r.tracer = t
+	r.tracing = r.hook != nil || r.tracer != nil
+}
+
+// emit delivers an instant event at the current virtual time. The
+// single-bool guard (rather than checking hook and tracer separately)
+// keeps emit and emitSpan under the inlining budget, so call sites on
+// the fault path pay one predictable branch when tracing is off.
 func (r *Runtime) emit(kind EventKind, ds, obj int, dirty bool) {
+	if !r.tracing {
+		return
+	}
+	r.deliver(kind, ds, obj, dirty, r.clock.Now(), 0)
+}
+
+// emitSpan delivers an event covering [start, now] in virtual time —
+// the fetch/prefetch-wait/evict latencies the trace viewer shows as
+// horizontal bars.
+func (r *Runtime) emitSpan(kind EventKind, ds, obj int, dirty bool, start uint64) {
+	if !r.tracing {
+		return
+	}
+	r.deliver(kind, ds, obj, dirty, start, r.clock.Now()-start)
+}
+
+func (r *Runtime) deliver(kind EventKind, ds, obj int, dirty bool, start, dur uint64) {
 	if r.hook != nil {
-		r.hook(Event{Cycle: r.clock.Now(), Kind: kind, DS: ds, Obj: obj, Dirty: dirty})
+		r.hook(Event{Cycle: start + dur, Kind: kind, DS: ds, Obj: obj, Dirty: dirty})
+	}
+	if r.tracer != nil {
+		d := int64(0)
+		if dirty {
+			d = 1
+		}
+		r.tracer.Emit(obs.TraceEvent{
+			TS:       start / cyclesPerMicro,
+			Dur:      dur / cyclesPerMicro,
+			Cat:      "farmem",
+			Name:     kind.String(),
+			TID:      ds,
+			Arg1Name: "obj", Arg1: int64(obj),
+			Arg2Name: "dirty", Arg2: d,
+		})
 	}
 }
 

@@ -13,7 +13,11 @@
 // bit-for-bit on any machine.
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"cards/internal/stats"
+)
 
 // Cycles is a duration or timestamp measured in virtual CPU cycles.
 type Cycles = uint64
@@ -147,6 +151,11 @@ type Link struct {
 	WriteBacks uint64 // eviction write-backs issued
 	BytesIn    uint64 // payload bytes fetched (both kinds)
 	BytesOut   uint64 // payload bytes written back
+
+	// QueueDelay records, per scheduled transfer, the cycles it waited
+	// behind earlier transfers for link bandwidth — the queue-depth
+	// signal that shows when prefetchers saturate the wire.
+	QueueDelay stats.LocalHistogram
 }
 
 // NewLink creates a link with the given cost model, charging time to clock.
@@ -166,6 +175,7 @@ func (l *Link) schedule(size int) (arrival Cycles) {
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
+	l.QueueDelay.Observe(start - now)
 	xfer := l.model.TransferCycles(size)
 	l.busyUntil = start + xfer
 	// The RTT is dominated by propagation + request processing, which
@@ -207,11 +217,21 @@ func (l *Link) WriteBack(size int) {
 // prefetch the thread now depends on).
 func (l *Link) WaitUntil(t Cycles) { l.clock.AdvanceTo(t) }
 
+// QueueBacklog returns the cycles of payload serialization currently
+// queued on the link (0 when the transmit queue is drained).
+func (l *Link) QueueBacklog() Cycles {
+	if now := l.clock.Now(); l.busyUntil > now {
+		return l.busyUntil - now
+	}
+	return 0
+}
+
 // Reset clears link occupancy and statistics (the clock is not touched).
 func (l *Link) Reset() {
 	l.busyUntil = 0
 	l.Fetches, l.Prefetches, l.WriteBacks = 0, 0, 0
 	l.BytesIn, l.BytesOut = 0, 0
+	l.QueueDelay.Reset()
 }
 
 // String summarizes link activity.

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving live introspection endpoints
+// from point-in-time snapshots:
+//
+//	GET /metrics — Prometheus text exposition (version 0.0.4)
+//	GET /stats   — the same snapshot as indented JSON
+//
+// snap is invoked per request, so servers can publish freshly-computed
+// gauges (resident objects, arena occupancy) inside it.
+func Handler(snap func() *Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap().WritePrometheus(w); err != nil {
+			// Headers are gone; best effort.
+			fmt.Fprintf(w, "# error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := snap().WriteJSON(w); err != nil {
+			fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		}
+	})
+	return mux
+}

@@ -69,12 +69,19 @@ type Frame struct {
 	Payload []byte
 }
 
+// headerSize is the fixed per-frame overhead: u32 length + u8 opcode.
+const headerSize = 5
+
+// WireSize returns the number of bytes the frame occupies on the wire,
+// header included — the unit the transport byte counters account in.
+func (f Frame) WireSize() uint64 { return headerSize + uint64(len(f.Payload)) }
+
 // WriteFrame encodes and writes one frame.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return fmt.Errorf("rdma: frame too large (%d bytes)", len(f.Payload))
 	}
-	var hdr [5]byte
+	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(f.Payload)))
 	hdr[4] = byte(f.Op)
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -90,7 +97,7 @@ func WriteFrame(w io.Writer, f Frame) error {
 
 // ReadFrame reads and decodes one frame.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [5]byte
+	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err
 	}

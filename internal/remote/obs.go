@@ -1,0 +1,146 @@
+package remote
+
+import (
+	"time"
+
+	"cards/internal/obs"
+	"cards/internal/rdma"
+	"cards/internal/stats"
+)
+
+// Metric names exported by the remote memory node. Latencies are
+// wall-clock (this layer runs on real sockets, unlike farmem's virtual
+// cycles), hence the _ns suffix.
+const (
+	// Server side: one histogram per verb, observed around the full
+	// handle (decode + store access + response encode).
+	MetricReadNS  = "cards_remote_read_ns"
+	MetricWriteNS = "cards_remote_write_ns"
+	MetricPingNS  = "cards_remote_ping_ns"
+
+	MetricReads  = "cards_remote_reads_total"
+	MetricWrites = "cards_remote_writes_total"
+	MetricErrors = "cards_remote_errors_total"
+
+	// Wire bytes as framed by the rdma transport (header included).
+	MetricBytesIn  = "cards_remote_bytes_in_total"
+	MetricBytesOut = "cards_remote_bytes_out_total"
+
+	// MetricInflight counts requests currently being served across all
+	// connections; MetricConns the open connections.
+	MetricInflight   = "cards_remote_inflight_requests"
+	MetricConns      = "cards_remote_connections"
+	MetricConnsTotal = "cards_remote_connections_total"
+
+	// MetricResidentObjects is the far-tier population, published by
+	// ObsSnapshot.
+	MetricResidentObjects = "cards_remote_resident_objects"
+
+	// Client side mirrors of the verb latencies, measured around the
+	// whole round trip (request write + response read).
+	MetricClientReadNS  = "cards_remote_client_read_ns"
+	MetricClientWriteNS = "cards_remote_client_write_ns"
+	MetricClientPingNS  = "cards_remote_client_ping_ns"
+)
+
+// serverMetrics caches the registry series the hot request loop touches,
+// so serving a verb never takes the registry map lock.
+type serverMetrics struct {
+	reads, writes, errors *stats.Counter
+	bytesIn, bytesOut     *stats.Counter
+	connsTotal            *stats.Counter
+	inflight, conns       *stats.Gauge
+	readNS, writeNS       *stats.Histogram
+	pingNS                *stats.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reads:      reg.Counter(MetricReads),
+		writes:     reg.Counter(MetricWrites),
+		errors:     reg.Counter(MetricErrors),
+		bytesIn:    reg.Counter(MetricBytesIn),
+		bytesOut:   reg.Counter(MetricBytesOut),
+		connsTotal: reg.Counter(MetricConnsTotal),
+		inflight:   reg.Gauge(MetricInflight),
+		conns:      reg.Gauge(MetricConns),
+		readNS:     reg.Histogram(MetricReadNS),
+		writeNS:    reg.Histogram(MetricWriteNS),
+		pingNS:     reg.Histogram(MetricPingNS),
+	}
+}
+
+// Obs returns the server's metric registry.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Tracer returns the server's ring tracer (nil unless configured).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// ObsSnapshot publishes the point-in-time gauges only the snapshot
+// moment can know (resident object population) and returns a snapshot
+// of the whole registry.
+func (s *Server) ObsSnapshot() *obs.Snapshot {
+	s.reg.Gauge(MetricResidentObjects).Set(int64(s.Store.Len()))
+	return s.reg.Snapshot()
+}
+
+// observeVerb records one served request: latency into the per-verb
+// histogram and a span into the trace ring (category "remote", one trace
+// thread per connection).
+func (s *Server) observeVerb(op rdma.Op, connID int, start time.Time, startUS uint64, ds, idx int64) {
+	ns := uint64(time.Since(start).Nanoseconds())
+	switch op {
+	case rdma.OpRead:
+		s.metrics.reads.Inc()
+		s.metrics.readNS.Observe(ns)
+	case rdma.OpWrite:
+		s.metrics.writes.Inc()
+		s.metrics.writeNS.Observe(ns)
+	case rdma.OpPing:
+		s.metrics.pingNS.Observe(ns)
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(obs.TraceEvent{
+			TS:       startUS,
+			Dur:      ns / 1000,
+			Cat:      "remote",
+			Name:     op.String(),
+			TID:      connID,
+			Arg1Name: "ds", Arg1: ds,
+			Arg2Name: "obj", Arg2: idx,
+		})
+	}
+}
+
+// clientMetrics caches the client-side registry series.
+type clientMetrics struct {
+	readNS, writeNS, pingNS *stats.Histogram
+	bytesIn, bytesOut       *stats.Counter
+}
+
+// SetObs attaches a registry to the client; round trips then observe
+// per-verb latencies and wire bytes. Call before issuing requests.
+func (c *Client) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		c.metrics = nil
+		return
+	}
+	c.metrics = &clientMetrics{
+		readNS:   reg.Histogram(MetricClientReadNS),
+		writeNS:  reg.Histogram(MetricClientWriteNS),
+		pingNS:   reg.Histogram(MetricClientPingNS),
+		bytesIn:  reg.Counter(MetricBytesIn),
+		bytesOut: reg.Counter(MetricBytesOut),
+	}
+}
+
+func (m *clientMetrics) observe(op rdma.Op, ns uint64) {
+	switch op {
+	case rdma.OpRead:
+		m.readNS.Observe(ns)
+	case rdma.OpWrite:
+		m.writeNS.Observe(ns)
+	case rdma.OpPing:
+		m.pingNS.Observe(ns)
+	}
+}

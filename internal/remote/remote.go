@@ -14,7 +14,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"cards/internal/obs"
 	"cards/internal/rdma"
 )
 
@@ -64,12 +67,30 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	// Stats (atomic-free: guarded by mu).
-	reads, writes uint64
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	metrics *serverMetrics
+	nextCon atomic.Int64
 }
 
-// NewServer creates a server with an empty store.
-func NewServer() *Server { return &Server{Store: NewObjectStore()} }
+// NewServer creates a server with an empty store and a private metric
+// registry.
+func NewServer() *Server { return NewServerWith(nil, nil) }
+
+// NewServerWith creates a server publishing into reg (nil for a private
+// registry) and, when tr is non-nil, emitting one trace span per served
+// request into the ring.
+func NewServerWith(reg *obs.Registry, tr *obs.Tracer) *Server {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Server{
+		Store:   NewObjectStore(),
+		reg:     reg,
+		tracer:  tr,
+		metrics: newServerMetrics(reg),
+	}
+}
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
 // bound address. Serving happens on background goroutines.
@@ -105,12 +126,24 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // and in-process pairs (net.Pipe) can drive it directly.
 func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	defer conn.Close()
+	connID := int(s.nextCon.Add(1))
+	s.metrics.connsTotal.Inc()
+	s.metrics.conns.Add(1)
+	defer s.metrics.conns.Add(-1)
 	for {
 		f, err := rdma.ReadFrame(conn)
 		if err != nil {
 			return
 		}
+		s.metrics.bytesIn.Add(f.WireSize())
+		s.metrics.inflight.Add(1)
+		start := time.Now()
+		var startUS uint64
+		if s.tracer != nil {
+			startUS = s.tracer.Now()
+		}
 		var resp rdma.Frame
+		var ds, idx int64
 		switch f.Op {
 		case rdma.OpPing:
 			resp = rdma.Frame{Op: rdma.OpOK}
@@ -120,9 +153,7 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 				resp = rdma.ErrFrame(err.Error())
 				break
 			}
-			s.mu.Lock()
-			s.reads++
-			s.mu.Unlock()
+			ds, idx = int64(req.DS), int64(req.Idx)
 			resp = rdma.Frame{Op: rdma.OpData, Payload: s.Store.Read(req.DS, req.Idx, req.Size)}
 		case rdma.OpWrite:
 			req, err := rdma.DecodeWrite(f.Payload)
@@ -130,25 +161,29 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 				resp = rdma.ErrFrame(err.Error())
 				break
 			}
+			ds, idx = int64(req.DS), int64(req.Idx)
 			s.Store.Write(req.DS, req.Idx, req.Data)
-			s.mu.Lock()
-			s.writes++
-			s.mu.Unlock()
 			resp = rdma.Frame{Op: rdma.OpOK}
 		default:
 			resp = rdma.ErrFrame(fmt.Sprintf("unexpected op %s", f.Op))
 		}
+		if resp.Op == rdma.OpErr {
+			s.metrics.errors.Inc()
+		} else {
+			s.observeVerb(f.Op, connID, start, startUS, ds, idx)
+		}
+		s.metrics.inflight.Add(-1)
+		s.metrics.bytesOut.Add(resp.WireSize())
 		if err := rdma.WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-// Counts returns (reads, writes) served.
+// Counts returns (reads, writes) served. The values are the registry's
+// cards_remote_reads_total / writes_total counters.
 func (s *Server) Counts() (uint64, uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reads, s.writes
+	return s.metrics.reads.Load(), s.metrics.writes.Load()
 }
 
 // Close stops the listener and waits for connections to drain.
@@ -170,8 +205,9 @@ func (s *Server) Close() error {
 
 // Client is a farmem.Store backed by a protocol connection.
 type Client struct {
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
+	mu      sync.Mutex
+	conn    io.ReadWriteCloser
+	metrics *clientMetrics
 }
 
 // Dial connects to a server address.
@@ -190,12 +226,18 @@ func NewClientConn(conn io.ReadWriteCloser) *Client { return &Client{conn: conn}
 func (c *Client) roundTrip(req rdma.Frame) (rdma.Frame, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	if err := rdma.WriteFrame(c.conn, req); err != nil {
 		return rdma.Frame{}, err
 	}
 	resp, err := rdma.ReadFrame(c.conn)
 	if err != nil {
 		return rdma.Frame{}, err
+	}
+	if m := c.metrics; m != nil {
+		m.bytesOut.Add(req.WireSize())
+		m.bytesIn.Add(resp.WireSize())
+		m.observe(req.Op, uint64(time.Since(start).Nanoseconds()))
 	}
 	if resp.Op == rdma.OpErr {
 		return rdma.Frame{}, fmt.Errorf("remote: server error: %s", resp.Payload)

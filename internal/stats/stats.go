@@ -10,6 +10,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -30,6 +31,11 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Store sets the counter to an absolute value. It exists for publishing
+// point-in-time copies of counters maintained elsewhere (e.g. the
+// single-threaded runtime tallies) into a concurrent registry.
+func (c *Counter) Store(v uint64) { c.v.Store(v) }
 
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
@@ -164,33 +170,48 @@ func (s *Sample) Reset() {
 }
 
 // Histogram is a power-of-two bucketed histogram for non-negative integer
-// observations (latencies in cycles, object sizes in bytes). Bucket i
-// covers [2^(i-1), 2^i) except bucket 0, which covers {0, 1}.
+// observations (latencies in cycles, object sizes in bytes). Bucket 0
+// covers {0, 1}; bucket i >= 1 covers (2^(i-1), 2^i], i.e. every bucket's
+// upper bound is inclusive and BucketBound(i) is the largest value the
+// bucket can hold.
 //
 // The zero value is ready to use. Histogram is safe for concurrent use.
 type Histogram struct {
-	buckets [65]atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
 	count   atomic.Uint64
 	sum     atomic.Uint64
 }
+
+// NumBuckets is the number of histogram buckets (bucket 0 plus one per
+// remaining power of two of the uint64 range).
+const NumBuckets = 65
 
 // bucketOf returns the bucket index for v.
 func bucketOf(v uint64) int {
 	if v <= 1 {
 		return 0
 	}
-	return 64 - countLeadingZeros(v-1)
+	return 64 - bits.LeadingZeros64(v-1)
 }
 
-func countLeadingZeros(v uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if v&(1<<uint(i)) != 0 {
-			break
-		}
-		n++
+// BucketBound returns the inclusive upper bound of bucket i: 1 for
+// bucket 0, 2^i for 1 <= i < 64, and MaxUint64 for the last bucket.
+func BucketBound(i int) uint64 {
+	switch {
+	case i <= 0:
+		return 1
+	case i >= 64:
+		return math.MaxUint64
 	}
-	return n
+	return 1 << uint(i)
+}
+
+// BucketCount returns the number of observations recorded in bucket i.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if i < 0 || i >= NumBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
 }
 
 // Observe records a single value.
@@ -215,9 +236,9 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum()) / float64(c)
 }
 
-// ApproxQuantile returns an upper bound for the q-th quantile: the top of
-// the bucket in which the quantile falls. Accurate to a factor of two,
-// which is enough for latency triage.
+// ApproxQuantile returns an upper bound for the q-th quantile: the
+// inclusive upper bound (BucketBound) of the bucket in which the quantile
+// falls. Accurate to a factor of two, which is enough for latency triage.
 func (h *Histogram) ApproxQuantile(q float64) uint64 {
 	total := h.Count()
 	if total == 0 {
@@ -228,16 +249,21 @@ func (h *Histogram) ApproxQuantile(q float64) uint64 {
 		target = total - 1
 	}
 	var cum uint64
+	last := 0
 	for i := range h.buckets {
-		cum += h.buckets[i].Load()
+		c := h.buckets[i].Load()
+		if c > 0 {
+			last = i
+		}
+		cum += c
 		if cum > target {
-			if i == 0 {
-				return 1
-			}
-			return 1 << uint(i)
+			return BucketBound(i)
 		}
 	}
-	return math.MaxUint64
+	// Unreachable when reads are quiescent (Observe fills buckets before
+	// count, so cum >= total here); under a concurrent reset fall back to
+	// the highest non-empty bucket rather than an out-of-range sentinel.
+	return BucketBound(last)
 }
 
 // Reset zeroes the histogram.
@@ -249,21 +275,84 @@ func (h *Histogram) Reset() {
 	h.sum.Store(0)
 }
 
-// String renders the non-empty buckets, for debugging.
+// String renders the non-empty buckets, for debugging. Ranges match the
+// bucket definition: "[0,1]" for bucket 0, "(lo,hi]" with hi=BucketBound(i)
+// for the rest.
 func (h *Histogram) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "hist{n=%d mean=%.1f", h.Count(), h.Mean())
 	for i := range h.buckets {
 		if c := h.buckets[i].Load(); c > 0 {
-			lo := uint64(0)
-			if i > 0 {
-				lo = 1 << uint(i-1)
+			if i == 0 {
+				fmt.Fprintf(&b, " [0,1]:%d", c)
+			} else {
+				fmt.Fprintf(&b, " (%d,%d]:%d", BucketBound(i-1), BucketBound(i), c)
 			}
-			fmt.Fprintf(&b, " [%d,%d):%d", lo, uint64(1)<<uint(i), c)
 		}
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// LocalHistogram is the single-writer variant of Histogram: identical
+// buckets, plain fields, no atomics. It exists because an atomic
+// Observe costs an order of magnitude more than a plain one, which is
+// measurable on the runtime's remote-fault path. Use it on paths owned
+// by one goroutine and PublishTo a shared Histogram at snapshot time.
+//
+// The zero value is ready to use. LocalHistogram is NOT safe for
+// concurrent use.
+type LocalHistogram struct {
+	buckets [NumBuckets]uint64
+	count   uint64
+	sum     uint64
+
+	// Tallies as of the last PublishTo. Publishing only the delta keeps
+	// repeated publishes idempotent and lets several histograms (e.g.
+	// one per runtime in a sweep) accumulate into one shared series.
+	pubBuckets [NumBuckets]uint64
+	pubCount   uint64
+	pubSum     uint64
+}
+
+// Observe records a single value.
+func (h *LocalHistogram) Observe(v uint64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *LocalHistogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed values.
+func (h *LocalHistogram) Sum() uint64 { return h.sum }
+
+// Reset zeroes the histogram.
+func (h *LocalHistogram) Reset() { *h = LocalHistogram{} }
+
+// PublishTo adds the observations recorded since the last PublishTo
+// into dst, making the single-writer histogram visible through a
+// concurrent one (e.g. a metric registry). Because only the delta is
+// added, repeated publishes are idempotent and multiple local
+// histograms can accumulate into one shared series. Buckets land
+// before the count, mirroring Observe's ordering, so concurrent
+// readers never see count exceed the bucket sum.
+func (h *LocalHistogram) PublishTo(dst *Histogram) {
+	for i := range h.buckets {
+		if d := h.buckets[i] - h.pubBuckets[i]; d != 0 {
+			dst.buckets[i].Add(d)
+			h.pubBuckets[i] = h.buckets[i]
+		}
+	}
+	if d := h.sum - h.pubSum; d != 0 {
+		dst.sum.Add(d)
+		h.pubSum = h.sum
+	}
+	if d := h.count - h.pubCount; d != 0 {
+		dst.count.Add(d)
+		h.pubCount = h.count
+	}
 }
 
 // Ratio returns num/den as a float, or 0 when den is zero. It exists

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -261,11 +262,115 @@ func TestHistogramString(t *testing.T) {
 	}
 }
 
+// TestBucketBoundaries pins down the bucket definition at the edges:
+// bucket 0 holds {0,1}; bucket i >= 1 holds (2^(i-1), 2^i]; BucketBound
+// is the inclusive upper bound; String renders matching ranges; and
+// ApproxQuantile of a single observation returns its bucket's bound.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+		bound  uint64 // BucketBound(bucket) == ApproxQuantile upper bound
+	}{
+		{0, 0, 1},
+		{1, 0, 1},
+		{2, 1, 2},
+		{1 << 4, 4, 1 << 4},
+		{1<<4 + 1, 5, 1 << 5},
+		{1 << 10, 10, 1 << 10},
+		{1<<10 + 1, 11, 1 << 11},
+		{1 << 32, 32, 1 << 32},
+		{1<<32 + 1, 33, 1 << 33},
+		{1 << 63, 63, 1 << 63},
+		{1<<63 + 1, 64, math.MaxUint64},
+		{math.MaxUint64, 64, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		if got := BucketBound(c.bucket); got != c.bound {
+			t.Errorf("BucketBound(%d) = %d, want %d", c.bucket, got, c.bound)
+		}
+		var h Histogram
+		h.Observe(c.v)
+		if got := h.BucketCount(c.bucket); got != 1 {
+			t.Errorf("BucketCount(%d) after Observe(%d) = %d, want 1", c.bucket, c.v, got)
+		}
+		// Every quantile of a single observation lands in its bucket, so
+		// the approximate answer must be exactly the bucket's upper bound
+		// (which is >= the observation and within 2x of it).
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.ApproxQuantile(q); got != c.bound {
+				t.Errorf("Observe(%d): ApproxQuantile(%v) = %d, want %d", c.v, q, got, c.bound)
+			}
+		}
+	}
+}
+
+// TestHistogramStringBoundaries checks that the rendered ranges agree
+// with where the values actually landed.
+func TestHistogramStringBoundaries(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(16)
+	h.Observe(17)
+	s := h.String()
+	for _, want := range []string{"[0,1]:2", "(1,2]:1", "(8,16]:1", "(16,32]:1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if got := Ratio(1, 0); got != 0 {
 		t.Fatalf("Ratio(1,0) = %v, want 0", got)
 	}
 	if got := Ratio(1, 4); got != 0.25 {
 		t.Fatalf("Ratio(1,4) = %v, want 0.25", got)
+	}
+}
+
+// TestLocalHistogramPublishTo checks the delta-publish contract: a
+// publish is idempotent until new observations arrive, and several
+// local histograms accumulate into one shared series.
+func TestLocalHistogramPublishTo(t *testing.T) {
+	var a, b LocalHistogram
+	var dst Histogram
+
+	a.Observe(3)
+	a.Observe(100)
+	a.PublishTo(&dst)
+	a.PublishTo(&dst) // no new observations: must not double-count
+	if got := dst.Count(); got != 2 {
+		t.Fatalf("Count after repeated publish = %d, want 2", got)
+	}
+	if got := dst.Sum(); got != 103 {
+		t.Fatalf("Sum after repeated publish = %d, want 103", got)
+	}
+
+	a.Observe(3)
+	a.PublishTo(&dst)
+	if got := dst.Count(); got != 3 {
+		t.Fatalf("Count after incremental publish = %d, want 3", got)
+	}
+	if got := dst.BucketCount(2); got != 2 { // 3 lands in (2,4]
+		t.Fatalf("BucketCount(2) = %d, want 2", got)
+	}
+
+	b.Observe(100)
+	b.PublishTo(&dst) // a second writer accumulates, not overwrites
+	if got, want := dst.Count(), uint64(4); got != want {
+		t.Fatalf("Count after second histogram = %d, want %d", got, want)
+	}
+	if got, want := dst.Sum(), uint64(206); got != want {
+		t.Fatalf("Sum after second histogram = %d, want %d", got, want)
+	}
+
+	if a.Count() != 3 || a.Sum() != 106 {
+		t.Fatalf("local tallies disturbed: count=%d sum=%d", a.Count(), a.Sum())
 	}
 }
