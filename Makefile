@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench
+.PHONY: build test check fmt vet race bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,9 @@ check: fmt vet race
 
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .
+
+# bench-smoke runs the pipeline-depth sweep briefly (real TCP loopback)
+# and records the table for trend tracking.
+bench-smoke:
+	$(GO) run ./cmd/cardsbench -exp pipeline -scale quick -json > BENCH_pipeline.json
+	@cat BENCH_pipeline.json

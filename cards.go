@@ -97,24 +97,30 @@ type Config struct {
 // Runtime is a far-memory runtime instance.
 type Runtime struct {
 	rt     *farmem.Runtime
-	client *remote.Client
+	client remote.StoreConn
 	nextID int
 }
 
 // New creates a runtime. With Config{} all memory budgets are zero, so
 // pass real budgets for anything beyond toy use.
+//
+// With RemoteAddr set, the connection is pipelined when the server
+// supports tagged batches (prefetches then overlap: a whole lookahead
+// window rides one doorbell), falling back to the serial protocol
+// against legacy servers.
 func New(cfg Config) (*Runtime, error) {
 	fc := farmem.Config{
 		PinnedBudget:    cfg.PinnedMemory,
 		RemotableBudget: cfg.RemotableMemory,
 	}
-	var client *remote.Client
+	var client remote.StoreConn
 	if cfg.RemoteAddr != "" {
-		c, err := remote.Dial(cfg.RemoteAddr)
+		c, err := remote.DialAuto(cfg.RemoteAddr)
 		if err != nil {
 			return nil, fmt.Errorf("cards: connecting far tier: %w", err)
 		}
 		if err := c.Ping(); err != nil {
+			c.Close()
 			return nil, fmt.Errorf("cards: far tier not responding: %w", err)
 		}
 		fc.Store = c

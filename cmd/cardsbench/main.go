@@ -1,9 +1,11 @@
 // Command cardsbench regenerates the paper's evaluation tables and
-// figures (Table 1, Figures 4–9) on the reproduction stack.
+// figures (Table 1, Figures 4–9) on the reproduction stack, plus the
+// beyond-the-paper experiments (ablations, network sweep, and the
+// pipeline-depth sweep of the real TCP data path).
 //
 // Usage:
 //
-//	cardsbench [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9]
+//	cardsbench [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|pipeline|...]
 //	           [-scale quick|default] [-markdown] [-seed N]
 //	           [-metrics-out metrics.json] [-trace-out trace.json]
 //
@@ -29,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, table1, fig4..fig9)")
+	exp := flag.String("exp", "all", "experiment id (all, table1, fig4..fig9, pipeline, ...)")
 	scale := flag.String("scale", "quick", "workload scale: quick or default")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	jsonOut := flag.Bool("json", false, "emit JSON")

@@ -1,6 +1,8 @@
 // Command cardsd is the remote memory node: it owns the far tier of
-// objects and serves the CaRDS wire protocol (READ/WRITE verbs over
-// length-prefixed TCP frames). Point a runtime at it with
+// objects and serves the CaRDS wire protocol — serial READ/WRITE verbs
+// over length-prefixed TCP frames, plus the tagged pipelined verbs
+// (READBATCH scatter-gather reads, tagged writes) negotiated on PING.
+// Point a runtime at it with
 // cards.Config{RemoteAddr: ...} or run examples/cluster against it —
 // this is the "memory server machine" of the paper's two-node CloudLab
 // setup.
@@ -13,7 +15,7 @@
 //
 // Usage:
 //
-//	cardsd [-listen 127.0.0.1:7770] [-metrics-addr :9090] [-v]
+//	cardsd [-listen 127.0.0.1:7770] [-metrics-addr :9090] [-batch-workers 4] [-v]
 package main
 
 import (
@@ -33,10 +35,13 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7770", "address to serve on")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /stats (JSON) on this address")
+	batchWorkers := flag.Int("batch-workers", remote.DefaultBatchWorkers,
+		"concurrent READBATCH handlers per connection (replies may be reordered)")
 	verbose := flag.Bool("v", false, "log periodic statistics")
 	flag.Parse()
 
 	srv := remote.NewServer()
+	srv.BatchWorkers = *batchWorkers
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cardsd: %v\n", err)

@@ -97,6 +97,9 @@ type Config struct {
 	BFSTrials   int64
 	// Figure 9 scale (paper: 7 GB working set).
 	ChaseN int64
+	// PipelineReads is the number of remote reads per client in the
+	// pipeline-depth sweep (real TCP loopback, wall-clock).
+	PipelineReads int64
 	// Seed drives data generation and the Random policy.
 	Seed int64
 
@@ -117,8 +120,9 @@ func Quick() Config {
 		TaxiTrips: 1 << 11, HotPasses: 4,
 		FDTDSize: 8, FDTDSteps: 2,
 		BFSVertices: 512, BFSDegree: 6, BFSTrials: 2,
-		ChaseN: 4096,
-		Seed:   42,
+		ChaseN:        4096,
+		PipelineReads: 1024,
+		Seed:          42,
 	}
 }
 
@@ -128,8 +132,9 @@ func Default() Config {
 		TaxiTrips: 1 << 14, HotPasses: 6,
 		FDTDSize: 16, FDTDSteps: 3,
 		BFSVertices: 2048, BFSDegree: 8, BFSTrials: 3,
-		ChaseN: 16384,
-		Seed:   42,
+		ChaseN:        16384,
+		PipelineReads: 8192,
+		Seed:          42,
 	}
 }
 
@@ -166,6 +171,7 @@ func Experiments() []Experiment {
 		{"hybrid", "Hybrid policy extension vs Mira (beyond the paper)", HybridExp},
 		{"netsweep", "Network sensitivity sweep (beyond the paper)", NetSweep},
 		{"guards", "Dynamic guard check census (paper §5.1 claim)", GuardCensus},
+		{"pipeline", "Pipelined vs serial remote reads × window depth, TCP loopback (beyond the paper)", Pipeline},
 	}
 }
 

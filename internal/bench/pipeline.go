@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cards/internal/remote"
+)
+
+// pipelineObjSize is the object granularity of the sweep: the runtime's
+// default 4 KiB page-sized objects.
+const pipelineObjSize = 4096
+
+// pipelineDepths are the in-flight windows the sweep measures. Depth 1
+// isolates the doorbell/demux overhead of the pipelined client itself
+// (one op in flight behaves like the serial client plus framing).
+var pipelineDepths = []int{1, 2, 4, 8, 16, 32}
+
+// Pipeline measures remote read throughput of the serial client vs the
+// pipelined client across window depths, over a real TCP loopback
+// connection to an in-process server. Unlike the other experiments this
+// one runs on wall-clock time, not the virtual cycle clock: it measures
+// the real data path the simulated one models.
+func Pipeline(cfg Config) (*Table, error) {
+	reads := int(cfg.PipelineReads)
+	if reads <= 0 {
+		reads = 1024
+	}
+	return PipelineSweep(reads, pipelineObjSize, pipelineDepths)
+}
+
+// PipelineSweep runs the depth sweep: `reads` remote reads of
+// `objSize`-byte objects, once with the serial client and once with the
+// pipelined client per depth. Rows report throughput and speedup over
+// the serial baseline.
+func PipelineSweep(reads, objSize int, depths []int) (*Table, error) {
+	srv := remote.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: listen: %w", err)
+	}
+	defer srv.Close()
+
+	// Seed the far tier so reads return real payloads.
+	nObjs := seedObjects(srv, objSize)
+
+	serial, err := runSerial(addr, reads, objSize, nObjs)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "pipeline",
+		Title:  fmt.Sprintf("Remote read throughput, %d reads x %dB over TCP loopback", reads, objSize),
+		Header: []string{"client", "depth", "reads/s", "MB/s", "vs serial"},
+	}
+	row := func(name string, depth string, d time.Duration) {
+		rps := float64(reads) / d.Seconds()
+		mbs := rps * float64(objSize) / 1e6
+		t.Rows = append(t.Rows, []string{
+			name, depth,
+			fmt.Sprintf("%.0f", rps),
+			fmt.Sprintf("%.1f", mbs),
+			ratio(serial.Seconds() / d.Seconds()),
+		})
+	}
+	row("serial", "-", serial)
+
+	for _, depth := range depths {
+		d, err := runPipelined(addr, reads, objSize, nObjs, depth)
+		if err != nil {
+			return nil, err
+		}
+		row("pipelined", fmt.Sprintf("%d", depth), d)
+	}
+	t.Notes = append(t.Notes,
+		"wall-clock over real sockets (not the virtual cycle clock); depth = bounded in-flight window",
+		"pipelined reads coalesce into READBATCH frames flushed through one buffered write (doorbell)")
+	return t, nil
+}
+
+// seedObjects writes a deterministic working set directly into the
+// server's store and returns its object count.
+func seedObjects(srv *remote.Server, objSize int) int {
+	const nObjs = 64
+	buf := make([]byte, objSize)
+	for i := 0; i < nObjs; i++ {
+		for j := range buf {
+			buf[j] = byte(i + j)
+		}
+		srv.Store.Write(0, uint32(i), buf)
+	}
+	return nObjs
+}
+
+func runSerial(addr string, reads, objSize, nObjs int) (time.Duration, error) {
+	c, err := remote.Dial(addr)
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: serial dial: %w", err)
+	}
+	defer c.Close()
+	dst := make([]byte, objSize)
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		if err := c.ReadObj(0, i%nObjs, dst); err != nil {
+			return 0, fmt.Errorf("pipeline: serial read: %w", err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+func runPipelined(addr string, reads, objSize, nObjs, depth int) (time.Duration, error) {
+	c, err := remote.DialPipelined(addr, remote.PipelineOpts{Window: depth})
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: dial depth %d: %w", depth, err)
+	}
+	defer c.Close()
+
+	// Issue every read asynchronously; per-read destination buffers so
+	// completions never overwrite each other.
+	dsts := make([][]byte, depth*2)
+	for i := range dsts {
+		dsts[i] = make([]byte, objSize)
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	wg.Add(reads)
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		c.IssueRead(0, i%nObjs, dsts[i%len(dsts)], func(err error) {
+			if err != nil {
+				mu.Lock()
+				if firstEr == nil {
+					firstEr = err
+				}
+				mu.Unlock()
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	d := time.Since(start)
+	if firstEr != nil {
+		return 0, fmt.Errorf("pipeline: depth %d read: %w", depth, firstEr)
+	}
+	return d, nil
+}

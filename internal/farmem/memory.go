@@ -155,13 +155,18 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 
 	case objInFlight:
 		// A prefetch raced ahead of us: wait out the remaining flight
-		// time instead of paying a full round trip.
+		// time instead of paying a full round trip. On the async path this
+		// also harvests the completion (blocking until the payload really
+		// landed, then copying staging buffer -> arena frame).
 		start := r.clock.Now()
 		r.link.WaitUntil(obj.readyAt)
-		d.pfWaitHist.Observe(r.clock.Now() - start)
-		obj.state = objLocal
 		d.inflight--
 		r.inflightBytes -= uint64(d.Meta.ObjSize)
+		if err := r.harvest(d, idx); err != nil {
+			return 0, err
+		}
+		d.pfWaitHist.Observe(r.clock.Now() - start)
+		obj.state = objLocal
 		d.stats.PrefetchHits++
 		d.stats.Hits++
 		r.emitSpan(EvPrefetchHit, d.ID, idx, false, start)
@@ -249,14 +254,22 @@ func (r *Runtime) evictOne() error {
 			}
 			r.removeRingEntry(r.hand)
 		case obj.state == objInFlight:
-			if obj.readyAt <= r.clock.Now() {
+			if obj.readyAt <= r.clock.Now() && (obj.pending == nil || obj.pending.ready()) {
 				// The payload has landed but no access consumed it: an
 				// unused prefetch. Settle it to Local (evictable) so
-				// speculative frames cannot wedge the cache.
-				obj.state = objLocal
-				obj.ref = false
+				// speculative frames cannot wedge the cache. On the async
+				// path, only settle once the completion has actually
+				// arrived (ready is a non-blocking poll).
 				e.ds.inflight--
 				r.inflightBytes -= uint64(e.ds.Meta.ObjSize)
+				if err := r.harvest(e.ds, e.idx); err != nil {
+					// harvest reverted the object to remote and freed its
+					// frame; the ring entry is now stale and will be
+					// collected on a later pass.
+					continue
+				}
+				obj.state = objLocal
+				obj.ref = false
 				continue
 			}
 			// Payload still on the wire: never evict in-flight frames.
@@ -353,7 +366,21 @@ func (r *Runtime) PrefetchObj(d *DS, idx int) {
 	if err != nil {
 		return // no capacity: drop the hint
 	}
-	if err := r.store.ReadObj(d.ID, idx, r.arena.Bytes(frame, d.Meta.ObjSize)); err != nil {
+	if r.astore != nil {
+		// Truly asynchronous issue: the read starts filling a private
+		// staging buffer and this goroutine moves on immediately, so a
+		// prefetcher can put its whole lookahead window on the wire in
+		// one doorbell. The payload is copied into the arena frame at
+		// harvest time (Deref or CLOCK settle) — the frame itself cannot
+		// be the destination because the arena slab may move (grow) while
+		// the read is in flight.
+		p := &pendingFetch{
+			buf:  make([]byte, d.Meta.ObjSize),
+			done: make(chan error, 1),
+		}
+		r.astore.IssueRead(d.ID, idx, p.buf, func(err error) { p.done <- err })
+		obj.pending = p
+	} else if err := r.store.ReadObj(d.ID, idx, r.arena.Bytes(frame, d.Meta.ObjSize)); err != nil {
 		r.arena.Free(frame, d.Meta.ObjSize)
 		r.remotableUsed -= uint64(d.Meta.ObjSize)
 		return
@@ -366,6 +393,34 @@ func (r *Runtime) PrefetchObj(d *DS, idx int) {
 	r.inflightBytes += uint64(d.Meta.ObjSize)
 	d.stats.PrefetchIssued++
 	r.emit(EvPrefetch, d.ID, idx, false)
+}
+
+// harvest consumes the pending async completion of an in-flight object,
+// copying the staged payload into the object's arena frame. No-op on the
+// sync path (pending == nil). On a failed async read it retries
+// synchronously; if that also fails the object reverts to remote, its
+// frame is freed, and the error is returned.
+func (r *Runtime) harvest(d *DS, idx int) error {
+	obj := &d.objs[idx]
+	p := obj.pending
+	if p == nil {
+		return nil
+	}
+	obj.pending = nil
+	if err := p.wait(); err == nil {
+		copy(r.arena.Bytes(obj.frame, d.Meta.ObjSize), p.buf)
+		return nil
+	}
+	if err := r.store.ReadObj(d.ID, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err == nil {
+		return nil
+	}
+	r.arena.Free(obj.frame, d.Meta.ObjSize)
+	r.remotableUsed -= uint64(d.Meta.ObjSize)
+	obj.state = objRemote
+	obj.dirty = false
+	obj.ref = false
+	obj.epoch++
+	return fmt.Errorf("farmem: async fetch ds%d[%d]: %w", d.ID, idx, p.err)
 }
 
 // AllLocal answers the cards_all_local check of Listing 3: true iff every

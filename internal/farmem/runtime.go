@@ -3,6 +3,7 @@ package farmem
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"cards/internal/netsim"
 	"cards/internal/obs"
@@ -81,6 +82,48 @@ type FarObj struct {
 	dirty   bool
 	ref     bool // CLOCK reference bit
 	epoch   uint32
+	// pending carries the staging state of an AsyncStore read while the
+	// object is in flight; nil on the sync path.
+	pending *pendingFetch
+}
+
+// pendingFetch is the completion state of one asynchronous read. The
+// store's completion callback fills exactly one slot of done (buffered,
+// so the callback never blocks); the single-threaded runtime harvests it
+// with wait/ready and caches the result in err/settled.
+//
+// The payload lands in buf — a private staging buffer, not the arena
+// frame — because the arena slab may be reallocated (grown) while the
+// read is in flight, which would invalidate any slice into it.
+type pendingFetch struct {
+	buf     []byte
+	done    chan error
+	err     error
+	settled bool
+}
+
+// wait blocks until the read completes and returns its error.
+func (p *pendingFetch) wait() error {
+	if !p.settled {
+		p.err = <-p.done
+		p.settled = true
+	}
+	return p.err
+}
+
+// ready polls for completion without blocking.
+func (p *pendingFetch) ready() bool {
+	if p.settled {
+		return true
+	}
+	select {
+	case err := <-p.done:
+		p.err = err
+		p.settled = true
+		return true
+	default:
+		return false
+	}
 }
 
 // DSStats is a snapshot of one structure's runtime counters.
@@ -172,9 +215,24 @@ type Store interface {
 	WriteObj(ds, idx int, src []byte) error
 }
 
+// AsyncStore is a Store that can additionally issue reads without
+// blocking the caller. IssueRead starts filling dst and returns
+// immediately; done is invoked exactly once — possibly on another
+// goroutine, possibly before IssueRead returns — when dst is complete or
+// the read has failed, and must not block. The runtime detects the
+// capability by type assertion, so plain Stores (simulations, MapStore)
+// keep the synchronous prefetch path unchanged.
+type AsyncStore interface {
+	Store
+	IssueRead(ds, idx int, dst []byte, done func(error))
+}
+
 // MapStore is the in-process remote store used by simulations and tests.
+// It is safe for concurrent use: async completions and concurrent
+// runtimes may touch the map from different goroutines.
 type MapStore struct {
-	m map[[2]int][]byte
+	mu sync.RWMutex
+	m  map[[2]int][]byte
 }
 
 // NewMapStore creates an empty in-process store.
@@ -182,7 +240,10 @@ func NewMapStore() *MapStore { return &MapStore{m: make(map[[2]int][]byte)} }
 
 // ReadObj implements Store.
 func (s *MapStore) ReadObj(ds, idx int, dst []byte) error {
-	if b, ok := s.m[[2]int{ds, idx}]; ok {
+	s.mu.RLock()
+	b, ok := s.m[[2]int{ds, idx}]
+	s.mu.RUnlock()
+	if ok {
 		copy(dst, b)
 		return nil
 	}
@@ -194,12 +255,18 @@ func (s *MapStore) ReadObj(ds, idx int, dst []byte) error {
 func (s *MapStore) WriteObj(ds, idx int, src []byte) error {
 	b := make([]byte, len(src))
 	copy(b, src)
+	s.mu.Lock()
 	s.m[[2]int{ds, idx}] = b
+	s.mu.Unlock()
 	return nil
 }
 
 // Objects returns the number of objects resident in the store.
-func (s *MapStore) Objects() int { return len(s.m) }
+func (s *MapStore) Objects() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
 
 // Config configures a Runtime.
 type Config struct {
@@ -247,11 +314,12 @@ type RuntimeStats struct {
 
 // Runtime is the CaRDS far-memory runtime.
 type Runtime struct {
-	model netsim.CostModel
-	clock *netsim.Clock
-	link  *netsim.Link
-	arena *Arena
-	store Store
+	model  netsim.CostModel
+	clock  *netsim.Clock
+	link   *netsim.Link
+	arena  *Arena
+	store  Store
+	astore AsyncStore // non-nil iff store supports IssueRead
 
 	pinnedBudget, remotableBudget uint64
 	pinnedUsed, remotableUsed     uint64
@@ -311,6 +379,9 @@ func New(cfg Config) *Runtime {
 		tracer:          cfg.Tracer,
 		tracing:         cfg.Tracer != nil,
 		reg:             reg,
+	}
+	if as, ok := store.(AsyncStore); ok {
+		r.astore = as
 	}
 	r.defaultMaxInflight = mi
 	return r

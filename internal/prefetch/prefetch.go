@@ -18,7 +18,9 @@ import (
 )
 
 // Depth is the default number of objects a prefetcher keeps in flight
-// ahead of the access stream.
+// ahead of the access stream. Runtime.PrefetchObj only issues the fetch:
+// against an AsyncStore (the pipelined TCP client) all Depth reads
+// overlap in one in-flight window rather than paying Depth round trips.
 const Depth = 8
 
 // Stride is the majority stride-based prefetcher. It watches the deltas

@@ -10,16 +10,35 @@
 //
 // Frame layout (little endian):
 //
-//	u32 payloadLen | u8 op | payload
+//	u32 payloadLen | u8 op | payload                       (untagged ops)
+//	u32 payloadLen | u8 op | u32 tag | payload             (tagged ops)
+//
+// Opcodes with the high bit (TagBit) set carry a u32 tag between the
+// opcode and the payload; payloadLen never includes the tag. Tags let a
+// pipelined client keep many requests in flight and demultiplex
+// completions arriving out of order.
 //
 // Payloads:
 //
-//	READ:  u32 ds | u32 idx | u32 size            -> DATA frame
-//	WRITE: u32 ds | u32 idx | u32 size | bytes    -> OK frame
-//	PING:  (empty)                                -> OK frame
-//	DATA:  bytes
-//	OK:    (empty)
-//	ERR:   utf-8 message
+//	READ:      u32 ds | u32 idx | u32 size                 -> DATA frame
+//	WRITE:     u32 ds | u32 idx | u32 size | bytes         -> OK frame
+//	PING:      (empty) or u32 features                     -> OK frame
+//	DATA:      bytes
+//	OK:        (empty), or u32 features replying to a feature PING
+//	ERR:       utf-8 message
+//	READBATCH: u32 count | count x (u32 ds | u32 idx | u32 size)
+//	DATABATCH: u32 count | count x (u32 len | bytes)       (request order)
+//	WRITETAG:  as WRITE                                    -> ACKTAG frame
+//	ACKTAG:    (empty)
+//	ERRTAG:    utf-8 message (tagged reply to a failed tagged request)
+//
+// Interoperability: untagged frames are byte-identical to the original
+// protocol. A client discovers whether its peer speaks the tagged/batch
+// extension by sending PING with a u32 feature word; a new server echoes
+// its own feature word in the OK payload, while a legacy server returns
+// an empty OK (its PING handler ignores the payload) — so new clients
+// fall back to the serial verbs and legacy clients never see a tagged
+// frame.
 package rdma
 
 import (
@@ -41,6 +60,27 @@ const (
 	OpErr
 )
 
+// TagBit marks opcodes whose frames carry a u32 tag after the opcode.
+const TagBit Op = 0x80
+
+// Tagged opcodes (the pipelined/batched extension).
+const (
+	// OpReadBatch requests count reads in one frame; the reply is one
+	// OpDataBatch (same tag) with the payloads in request order.
+	OpReadBatch Op = TagBit | 0x01
+	// OpDataBatch is the scatter-gather reply to OpReadBatch.
+	OpDataBatch Op = TagBit | 0x02
+	// OpWriteTag is a tagged WRITE; acknowledged by OpAckTag.
+	OpWriteTag Op = TagBit | 0x03
+	// OpAckTag acknowledges a tagged write.
+	OpAckTag Op = TagBit | 0x04
+	// OpErrTag reports failure of the tagged request with the same tag.
+	OpErrTag Op = TagBit | 0x05
+)
+
+// Tagged reports whether frames with this opcode carry a u32 tag.
+func (o Op) Tagged() bool { return o&TagBit != 0 }
+
 func (o Op) String() string {
 	switch o {
 	case OpRead:
@@ -55,6 +95,16 @@ func (o Op) String() string {
 		return "OK"
 	case OpErr:
 		return "ERR"
+	case OpReadBatch:
+		return "READBATCH"
+	case OpDataBatch:
+		return "DATABATCH"
+	case OpWriteTag:
+		return "WRITETAG"
+	case OpAckTag:
+		return "ACKTAG"
+	case OpErrTag:
+		return "ERRTAG"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -63,28 +113,47 @@ func (o Op) String() string {
 // corrupt length prefixes.
 const MaxFrame = 16 << 20
 
-// Frame is one decoded protocol message.
+// Frame is one decoded protocol message. Tag is meaningful only for
+// tagged opcodes (Op.Tagged) and is zero otherwise.
 type Frame struct {
 	Op      Op
+	Tag     uint32
 	Payload []byte
 }
 
 // headerSize is the fixed per-frame overhead: u32 length + u8 opcode.
-const headerSize = 5
+// Tagged opcodes add tagSize more bytes.
+const (
+	headerSize = 5
+	tagSize    = 4
+)
 
 // WireSize returns the number of bytes the frame occupies on the wire,
 // header included — the unit the transport byte counters account in.
-func (f Frame) WireSize() uint64 { return headerSize + uint64(len(f.Payload)) }
+func (f Frame) WireSize() uint64 {
+	n := headerSize + uint64(len(f.Payload))
+	if f.Op.Tagged() {
+		n += tagSize
+	}
+	return n
+}
 
-// WriteFrame encodes and writes one frame.
+// WriteFrame encodes and writes one frame. Writing through a buffered
+// writer and flushing once per group of frames is the doorbell-coalescing
+// path: many frames, one syscall.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return fmt.Errorf("rdma: frame too large (%d bytes)", len(f.Payload))
 	}
-	var hdr [headerSize]byte
+	var hdr [headerSize + tagSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(f.Payload)))
 	hdr[4] = byte(f.Op)
-	if _, err := w.Write(hdr[:]); err != nil {
+	n := headerSize
+	if f.Op.Tagged() {
+		binary.LittleEndian.PutUint32(hdr[headerSize:], f.Tag)
+		n += tagSize
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	if len(f.Payload) > 0 {
@@ -106,6 +175,13 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, fmt.Errorf("rdma: oversized frame (%d bytes)", n)
 	}
 	f := Frame{Op: Op(hdr[4])}
+	if f.Op.Tagged() {
+		var tag [tagSize]byte
+		if _, err := io.ReadFull(r, tag[:]); err != nil {
+			return Frame{}, err
+		}
+		f.Tag = binary.LittleEndian.Uint32(tag[:])
+	}
 	if n > 0 {
 		f.Payload = make([]byte, n)
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
@@ -175,3 +251,139 @@ func DecodeWrite(p []byte) (WriteReq, error) {
 
 // ErrFrame builds an ERR frame carrying a message.
 func ErrFrame(msg string) Frame { return Frame{Op: OpErr, Payload: []byte(msg)} }
+
+// ErrTagFrame builds a tagged ERR frame so a pipelined peer can route the
+// failure to the request with the same tag.
+func ErrTagFrame(tag uint32, msg string) Frame {
+	return Frame{Op: OpErrTag, Tag: tag, Payload: []byte(msg)}
+}
+
+// Feature bits exchanged on PING (u32, little endian).
+const (
+	// FeatBatch: the peer understands tagged frames and the
+	// READBATCH/DATABATCH/WRITETAG verbs.
+	FeatBatch uint32 = 1 << 0
+)
+
+// EncodeFeatures packs a feature word into a PING/OK payload.
+func EncodeFeatures(feats uint32) []byte {
+	p := make([]byte, 4)
+	binary.LittleEndian.PutUint32(p, feats)
+	return p
+}
+
+// DecodeFeatures unpacks a feature word; ok is false when the payload
+// carries none (a legacy peer).
+func DecodeFeatures(p []byte) (feats uint32, ok bool) {
+	if len(p) < 4 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(p), true
+}
+
+// PingFeatures builds the feature-negotiation PING.
+func PingFeatures(feats uint32) Frame {
+	return Frame{Op: OpPing, Payload: EncodeFeatures(feats)}
+}
+
+// readReqSize is the wire size of one (ds, idx, size) read tuple.
+const readReqSize = 12
+
+// EncodeReadBatch builds a READBATCH frame for the given tuples.
+func EncodeReadBatch(tag uint32, reqs []ReadReq) Frame {
+	p := make([]byte, 4+readReqSize*len(reqs))
+	binary.LittleEndian.PutUint32(p[0:], uint32(len(reqs)))
+	for i, r := range reqs {
+		off := 4 + i*readReqSize
+		binary.LittleEndian.PutUint32(p[off:], r.DS)
+		binary.LittleEndian.PutUint32(p[off+4:], r.Idx)
+		binary.LittleEndian.PutUint32(p[off+8:], r.Size)
+	}
+	return Frame{Op: OpReadBatch, Tag: tag, Payload: p}
+}
+
+// DecodeReadBatch parses a READBATCH payload.
+func DecodeReadBatch(p []byte) ([]ReadReq, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("rdma: bad READBATCH payload length %d", len(p))
+	}
+	count := binary.LittleEndian.Uint32(p)
+	if uint64(len(p)) != 4+uint64(count)*readReqSize {
+		return nil, fmt.Errorf("rdma: READBATCH length mismatch: header %d tuples, payload %d bytes",
+			count, len(p))
+	}
+	reqs := make([]ReadReq, count)
+	for i := range reqs {
+		off := 4 + i*readReqSize
+		reqs[i] = ReadReq{
+			DS:   binary.LittleEndian.Uint32(p[off:]),
+			Idx:  binary.LittleEndian.Uint32(p[off+4:]),
+			Size: binary.LittleEndian.Uint32(p[off+8:]),
+		}
+	}
+	return reqs, nil
+}
+
+// DataBatchSize returns the DATABATCH payload size replying to reqs —
+// the value both sides bound against MaxFrame before building a batch.
+func DataBatchSize(reqs []ReadReq) int {
+	n := 4
+	for _, r := range reqs {
+		n += 4 + int(r.Size)
+	}
+	return n
+}
+
+// EncodeDataBatch builds the scatter-gather DATABATCH reply. Segments
+// must be in request order.
+func EncodeDataBatch(tag uint32, segs [][]byte) (Frame, error) {
+	n := 4
+	for _, s := range segs {
+		n += 4 + len(s)
+	}
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("rdma: DATABATCH too large (%d bytes)", n)
+	}
+	p := make([]byte, n)
+	binary.LittleEndian.PutUint32(p[0:], uint32(len(segs)))
+	off := 4
+	for _, s := range segs {
+		binary.LittleEndian.PutUint32(p[off:], uint32(len(s)))
+		off += 4
+		copy(p[off:], s)
+		off += len(s)
+	}
+	return Frame{Op: OpDataBatch, Tag: tag, Payload: p}, nil
+}
+
+// DecodeDataBatch parses a DATABATCH payload into per-request segments
+// (subslices of p — valid while p is).
+func DecodeDataBatch(p []byte) ([][]byte, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("rdma: bad DATABATCH payload length %d", len(p))
+	}
+	count := binary.LittleEndian.Uint32(p)
+	// Each segment needs at least its u32 length prefix; a count beyond
+	// that is a forged header — reject before sizing the allocation by it.
+	if uint64(count) > uint64(len(p)-4)/4 {
+		return nil, fmt.Errorf("rdma: DATABATCH count %d exceeds payload", count)
+	}
+	segs := make([][]byte, 0, count)
+	off := 4
+	for i := uint32(0); i < count; i++ {
+		if off+4 > len(p) {
+			return nil, fmt.Errorf("rdma: truncated DATABATCH at segment %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		if off+n > len(p) {
+			return nil, fmt.Errorf("rdma: truncated DATABATCH segment %d (%d bytes)", i, n)
+		}
+		segs = append(segs, p[off:off+n])
+		off += n
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("rdma: DATABATCH trailing garbage (%d bytes)", len(p)-off)
+	}
+	return segs, nil
+}

@@ -37,10 +37,19 @@ const (
 	MetricResidentObjects = "cards_remote_resident_objects"
 
 	// Client side mirrors of the verb latencies, measured around the
-	// whole round trip (request write + response read).
+	// whole round trip (request write + response read). On the pipelined
+	// client, read/write latencies span enqueue to completion.
 	MetricClientReadNS  = "cards_remote_client_read_ns"
 	MetricClientWriteNS = "cards_remote_client_write_ns"
 	MetricClientPingNS  = "cards_remote_client_ping_ns"
+
+	// Pipelined data path: batch frames served and their sizes (reads
+	// per READBATCH) on the server; in-flight window depth and doorbell
+	// batch sizes on the client.
+	MetricReadBatches     = "cards_remote_read_batches_total"
+	MetricBatchReads      = "cards_remote_batch_reads"
+	MetricClientInflight  = "cards_remote_client_inflight_ops"
+	MetricClientBatchSize = "cards_remote_client_batch_reads"
 )
 
 // serverMetrics caches the registry series the hot request loop touches,
@@ -49,24 +58,28 @@ type serverMetrics struct {
 	reads, writes, errors *stats.Counter
 	bytesIn, bytesOut     *stats.Counter
 	connsTotal            *stats.Counter
+	readBatches           *stats.Counter
 	inflight, conns       *stats.Gauge
 	readNS, writeNS       *stats.Histogram
 	pingNS                *stats.Histogram
+	batchReads            *stats.Histogram
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	return &serverMetrics{
-		reads:      reg.Counter(MetricReads),
-		writes:     reg.Counter(MetricWrites),
-		errors:     reg.Counter(MetricErrors),
-		bytesIn:    reg.Counter(MetricBytesIn),
-		bytesOut:   reg.Counter(MetricBytesOut),
-		connsTotal: reg.Counter(MetricConnsTotal),
-		inflight:   reg.Gauge(MetricInflight),
-		conns:      reg.Gauge(MetricConns),
-		readNS:     reg.Histogram(MetricReadNS),
-		writeNS:    reg.Histogram(MetricWriteNS),
-		pingNS:     reg.Histogram(MetricPingNS),
+		reads:       reg.Counter(MetricReads),
+		writes:      reg.Counter(MetricWrites),
+		errors:      reg.Counter(MetricErrors),
+		bytesIn:     reg.Counter(MetricBytesIn),
+		bytesOut:    reg.Counter(MetricBytesOut),
+		connsTotal:  reg.Counter(MetricConnsTotal),
+		readBatches: reg.Counter(MetricReadBatches),
+		inflight:    reg.Gauge(MetricInflight),
+		conns:       reg.Gauge(MetricConns),
+		readNS:      reg.Histogram(MetricReadNS),
+		writeNS:     reg.Histogram(MetricWriteNS),
+		pingNS:      reg.Histogram(MetricPingNS),
+		batchReads:  reg.Histogram(MetricBatchReads),
 	}
 }
 
@@ -93,7 +106,7 @@ func (s *Server) observeVerb(op rdma.Op, connID int, start time.Time, startUS ui
 	case rdma.OpRead:
 		s.metrics.reads.Inc()
 		s.metrics.readNS.Observe(ns)
-	case rdma.OpWrite:
+	case rdma.OpWrite, rdma.OpWriteTag:
 		s.metrics.writes.Inc()
 		s.metrics.writeNS.Observe(ns)
 	case rdma.OpPing:
@@ -108,6 +121,26 @@ func (s *Server) observeVerb(op rdma.Op, connID int, start time.Time, startUS ui
 			TID:      connID,
 			Arg1Name: "ds", Arg1: ds,
 			Arg2Name: "obj", Arg2: idx,
+		})
+	}
+}
+
+// observeBatch records one served READBATCH: the batch-size histogram,
+// the per-read counters, and one trace span carrying the batch size.
+func (s *Server) observeBatch(connID, n int, start time.Time, startUS uint64) {
+	ns := uint64(time.Since(start).Nanoseconds())
+	s.metrics.readBatches.Inc()
+	s.metrics.batchReads.Observe(uint64(n))
+	s.metrics.reads.Add(uint64(n))
+	s.metrics.readNS.Observe(ns)
+	if s.tracer != nil {
+		s.tracer.Emit(obs.TraceEvent{
+			TS:       startUS,
+			Dur:      ns / 1000,
+			Cat:      "remote",
+			Name:     rdma.OpReadBatch.String(),
+			TID:      connID,
+			Arg1Name: "reads", Arg1: int64(n),
 		})
 	}
 }
@@ -142,5 +175,29 @@ func (m *clientMetrics) observe(op rdma.Op, ns uint64) {
 		m.writeNS.Observe(ns)
 	case rdma.OpPing:
 		m.pingNS.Observe(ns)
+	}
+}
+
+// pipeMetrics caches the pipelined client's registry series. It is
+// installed at construction (PipelineOpts.Obs) — before the background
+// goroutines start — so the hot paths read it without synchronization.
+type pipeMetrics struct {
+	readNS, writeNS   *stats.Histogram
+	batchReads        *stats.Histogram
+	inflight          *stats.Gauge
+	bytesIn, bytesOut *stats.Counter
+}
+
+func newPipeMetrics(reg *obs.Registry) *pipeMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &pipeMetrics{
+		readNS:     reg.Histogram(MetricClientReadNS),
+		writeNS:    reg.Histogram(MetricClientWriteNS),
+		batchReads: reg.Histogram(MetricClientBatchSize),
+		inflight:   reg.Gauge(MetricClientInflight),
+		bytesIn:    reg.Counter(MetricBytesIn),
+		bytesOut:   reg.Counter(MetricBytesOut),
 	}
 }

@@ -1,0 +1,455 @@
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cards/internal/obs"
+	"cards/internal/rdma"
+)
+
+// Pipelining errors.
+var (
+	// ErrNoPipelining means the peer answered the feature PING without a
+	// feature word: a legacy server. The connection remains usable with
+	// the serial Client.
+	ErrNoPipelining = errors.New("remote: server does not support pipelined batches")
+)
+
+// PipelineOpts tunes a PipelinedClient.
+type PipelineOpts struct {
+	// Window bounds the operations in flight on the wire (default 64).
+	// This is the pipeline depth: higher hides more round trips but
+	// holds more completion state.
+	Window int
+	// MaxBatch bounds the reads coalesced into one READBATCH frame
+	// (default 32, clamped to Window).
+	MaxBatch int
+	// Obs, when non-nil, receives per-op latencies, doorbell batch
+	// sizes, the live in-flight depth, and wire bytes. It must be set
+	// here (not after construction) so the background goroutines see it.
+	Obs *obs.Registry
+}
+
+func (o PipelineOpts) withDefaults() PipelineOpts {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxBatch > o.Window {
+		o.MaxBatch = o.Window
+	}
+	return o
+}
+
+// pipeOp is one queued or in-flight operation. Completion is delivered
+// exactly once: through done when set (async reads), else through ch.
+type pipeOp struct {
+	write         bool
+	ds, idx, size uint32
+	dst           []byte // read destination
+	data          []byte // write payload (valid until completion)
+	done          func(error)
+	ch            chan error
+	start         time.Time // set when metrics are attached
+}
+
+func (op *pipeOp) complete(err error) {
+	if op.done != nil {
+		op.done(err)
+		return
+	}
+	op.ch <- err
+}
+
+// PipelinedClient is a farmem.Store/AsyncStore over one connection that
+// keeps a bounded window of tagged requests in flight.
+//
+// Data path: callers enqueue operations without touching the socket. A
+// flusher goroutine drains the queue, coalesces consecutive reads into
+// READBATCH frames, and pushes everything through one buffered write and
+// a single flush — the doorbell: one syscall rings out many verbs. A
+// reader goroutine demultiplexes completions by tag, so replies may
+// arrive in any order.
+//
+// Ordering contract: operations are *issued* in enqueue order, but reads
+// complete in any order and the server may serve batches concurrently.
+// A write is acknowledged only after it is applied, so issue-after-ack
+// read-your-write ordering holds; callers must not read an object while
+// their own write to it is still unacknowledged (the farmem runtime
+// never does: in-flight frames are unevictable, and its write-backs are
+// synchronous).
+type PipelinedClient struct {
+	conn io.ReadWriteCloser
+	bw   *bufio.Writer
+	opts PipelineOpts
+
+	mu       sync.Mutex
+	cond     *sync.Cond // flusher waits for queue work / window space
+	queue    []*pipeOp  // enqueued, not yet on the wire
+	inflight int        // operations on the wire
+	nextTag  uint32
+	pending  map[uint32][]*pipeOp // tag -> ops awaiting the tagged reply
+	err      error                // sticky transport/close error
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	metrics *pipeMetrics
+}
+
+// NewPipelined negotiates the batch feature on conn and, on success,
+// returns a running pipelined client. Returns ErrNoPipelining (with conn
+// still usable for a serial Client) when the peer is a legacy server.
+func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient, error) {
+	if err := rdma.WriteFrame(conn, rdma.PingFeatures(rdma.FeatBatch)); err != nil {
+		return nil, fmt.Errorf("remote: feature ping: %w", err)
+	}
+	resp, err := rdma.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("remote: feature ping: %w", err)
+	}
+	if resp.Op != rdma.OpOK {
+		return nil, fmt.Errorf("remote: unexpected ping response %s", resp.Op)
+	}
+	feats, ok := rdma.DecodeFeatures(resp.Payload)
+	if !ok || feats&rdma.FeatBatch == 0 {
+		return nil, ErrNoPipelining
+	}
+	c := &PipelinedClient{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		opts:    opts.withDefaults(),
+		pending: make(map[uint32][]*pipeOp),
+		metrics: newPipeMetrics(opts.Obs),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.wg.Add(2)
+	go c.flushLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// DialPipelined connects to a server address and negotiates pipelining.
+func DialPipelined(addr string, opts PipelineOpts) (*PipelinedClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	c, err := NewPipelined(conn, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// StoreConn is the client surface shared by the serial and pipelined
+// clients (it satisfies farmem.Store).
+type StoreConn interface {
+	ReadObj(ds, idx int, dst []byte) error
+	WriteObj(ds, idx int, src []byte) error
+	Ping() error
+	Close() error
+}
+
+// DialAuto connects to a server address and returns a pipelined client
+// when the server supports batching, falling back to the serial client
+// against legacy servers.
+func DialAuto(addr string) (StoreConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	c, err := NewPipelined(conn, PipelineOpts{})
+	if err == nil {
+		return c, nil
+	}
+	if errors.Is(err, ErrNoPipelining) {
+		return NewClientConn(conn), nil
+	}
+	conn.Close()
+	return nil, err
+}
+
+// enqueue hands an operation to the flusher (never blocks on the wire).
+func (c *PipelinedClient) enqueue(op *pipeOp) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		op.complete(err)
+		return
+	}
+	if c.metrics != nil {
+		op.start = time.Now()
+	}
+	c.queue = append(c.queue, op)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// IssueRead implements farmem.AsyncStore: it starts filling dst and
+// returns immediately; done is invoked exactly once (possibly on the
+// reader goroutine) when dst is filled or the read failed. done must not
+// block.
+func (c *PipelinedClient) IssueRead(ds, idx int, dst []byte, done func(error)) {
+	c.enqueue(&pipeOp{
+		ds: uint32(ds), idx: uint32(idx), size: uint32(len(dst)),
+		dst: dst, done: done,
+	})
+}
+
+// ReadObj implements farmem.Store (issue + wait).
+func (c *PipelinedClient) ReadObj(ds, idx int, dst []byte) error {
+	op := &pipeOp{
+		ds: uint32(ds), idx: uint32(idx), size: uint32(len(dst)),
+		dst: dst, ch: make(chan error, 1),
+	}
+	c.enqueue(op)
+	return <-op.ch
+}
+
+// WriteObj implements farmem.Store. The write rides the same pipeline
+// (tagged frame) and returns once the server acknowledges it; src must
+// stay unmodified until then, which the blocking call guarantees.
+func (c *PipelinedClient) WriteObj(ds, idx int, src []byte) error {
+	op := &pipeOp{
+		write: true, ds: uint32(ds), idx: uint32(idx),
+		data: src, ch: make(chan error, 1),
+	}
+	c.enqueue(op)
+	return <-op.ch
+}
+
+// Ping checks liveness by round-tripping an empty read batch through the
+// full pipeline — it doubles as a fence: when it returns, every
+// operation enqueued before it has been issued.
+func (c *PipelinedClient) Ping() error {
+	return c.ReadObj(0, 0, nil)
+}
+
+// Close fails all queued and in-flight operations with ErrClientClosed,
+// closes the connection, and waits for the background goroutines.
+func (c *PipelinedClient) Close() error {
+	c.fail(ErrClientClosed)
+	c.wg.Wait()
+	return nil
+}
+
+// fail marks the client broken: completes everything outstanding with
+// err, wakes the flusher, and closes the connection (unblocking the
+// reader). First caller wins; later transport errors are ignored.
+func (c *PipelinedClient) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	queued := c.queue
+	c.queue = nil
+	pend := c.pending
+	c.pending = make(map[uint32][]*pipeOp)
+	c.inflight = 0
+	if m := c.metrics; m != nil {
+		m.inflight.Set(0)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	c.closeOnce.Do(func() { c.conn.Close() })
+	for _, op := range queued {
+		op.complete(err)
+	}
+	for _, ops := range pend {
+		for _, op := range ops {
+			op.complete(err)
+		}
+	}
+}
+
+// flushLoop is the doorbell: it waits for queued work and window space,
+// moves as much of the queue as fits onto the wire as tagged frames —
+// consecutive reads coalesced into READBATCH — and flushes the buffered
+// writer once per wakeup.
+func (c *PipelinedClient) flushLoop() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for c.err == nil && (len(c.queue) == 0 || c.inflight >= c.opts.Window) {
+			c.cond.Wait()
+		}
+		if c.err != nil {
+			c.mu.Unlock()
+			return
+		}
+		space := c.opts.Window - c.inflight
+		var frames []rdma.Frame
+		for space > 0 && len(c.queue) > 0 {
+			if op := c.queue[0]; op.write {
+				tag := c.take(1)
+				c.pending[tag] = []*pipeOp{op}
+				frames = append(frames, rdma.Frame{
+					Op: rdma.OpWriteTag, Tag: tag,
+					Payload: rdma.EncodeWrite(op.ds, op.idx, op.data).Payload,
+				})
+				space--
+				continue
+			}
+			// Coalesce the run of reads at the head of the queue.
+			var reqs []rdma.ReadReq
+			var ops []*pipeOp
+			replySize := 4
+			for space > 0 && len(c.queue) > 0 && !c.queue[0].write && len(ops) < c.opts.MaxBatch {
+				op := c.queue[0]
+				if len(ops) > 0 && replySize+4+int(op.size) > rdma.MaxFrame {
+					break
+				}
+				replySize += 4 + int(op.size)
+				reqs = append(reqs, rdma.ReadReq{DS: op.ds, Idx: op.idx, Size: op.size})
+				ops = append(ops, op)
+				c.queue = c.queue[1:]
+				space--
+			}
+			tag := c.tagFor(ops)
+			frames = append(frames, rdma.EncodeReadBatch(tag, reqs))
+			if m := c.metrics; m != nil {
+				m.batchReads.Observe(uint64(len(ops)))
+			}
+		}
+		if len(c.queue) == 0 {
+			c.queue = nil // release the drained backing array
+		}
+		if m := c.metrics; m != nil {
+			m.inflight.Set(int64(c.inflight))
+		}
+		c.mu.Unlock()
+
+		var werr error
+		for _, f := range frames {
+			if werr = rdma.WriteFrame(c.bw, f); werr != nil {
+				break
+			}
+			if m := c.metrics; m != nil {
+				m.bytesOut.Add(f.WireSize())
+			}
+		}
+		if werr == nil {
+			werr = c.bw.Flush()
+		}
+		if werr != nil {
+			c.fail(werr)
+			return
+		}
+	}
+}
+
+// take pops n write ops off the queue head (caller holds mu, n==1) and
+// returns a fresh tag accounting them in flight.
+func (c *PipelinedClient) take(n int) uint32 {
+	c.queue = c.queue[n:]
+	c.inflight += n
+	c.nextTag++
+	return c.nextTag
+}
+
+// tagFor registers a read batch in flight (caller holds mu; ops already
+// popped) and returns its tag.
+func (c *PipelinedClient) tagFor(ops []*pipeOp) uint32 {
+	c.inflight += len(ops)
+	c.nextTag++
+	c.pending[c.nextTag] = ops
+	return c.nextTag
+}
+
+// readLoop demultiplexes completions by tag.
+func (c *PipelinedClient) readLoop() {
+	defer c.wg.Done()
+	for {
+		f, err := rdma.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if m := c.metrics; m != nil {
+			m.bytesIn.Add(f.WireSize())
+		}
+		ops, ok := c.takePending(f.Tag)
+		if !ok {
+			c.fail(fmt.Errorf("remote: unknown completion tag %d (%s)", f.Tag, f.Op))
+			return
+		}
+		switch f.Op {
+		case rdma.OpDataBatch:
+			segs, derr := rdma.DecodeDataBatch(f.Payload)
+			if derr == nil && len(segs) != len(ops) {
+				derr = fmt.Errorf("remote: DATABATCH has %d segments, want %d", len(segs), len(ops))
+			}
+			if derr != nil {
+				c.completeAll(ops, derr)
+				c.fail(derr) // framing is untrustworthy past this point
+				return
+			}
+			for i, op := range ops {
+				copy(op.dst, segs[i])
+				c.observeOp(op)
+				op.complete(nil)
+			}
+		case rdma.OpAckTag:
+			c.observeOp(ops[0])
+			ops[0].complete(nil)
+		case rdma.OpErrTag:
+			c.completeAll(ops, fmt.Errorf("remote: server error: %s", f.Payload))
+		default:
+			err := fmt.Errorf("remote: unexpected frame %s in pipelined stream", f.Op)
+			c.completeAll(ops, err)
+			c.fail(err)
+			return
+		}
+	}
+}
+
+// takePending removes and returns the ops registered under tag, freeing
+// their window slots.
+func (c *PipelinedClient) takePending(tag uint32) ([]*pipeOp, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ops, ok := c.pending[tag]
+	if !ok {
+		return nil, false
+	}
+	delete(c.pending, tag)
+	c.inflight -= len(ops)
+	if m := c.metrics; m != nil {
+		m.inflight.Set(int64(c.inflight))
+	}
+	c.cond.Broadcast()
+	return ops, true
+}
+
+func (c *PipelinedClient) completeAll(ops []*pipeOp, err error) {
+	for _, op := range ops {
+		op.complete(err)
+	}
+}
+
+func (c *PipelinedClient) observeOp(op *pipeOp) {
+	m := c.metrics
+	if m == nil || op.start.IsZero() {
+		return
+	}
+	ns := uint64(time.Since(op.start).Nanoseconds())
+	if op.write {
+		m.writeNS.Observe(ns)
+	} else {
+		m.readNS.Observe(ns)
+	}
+}

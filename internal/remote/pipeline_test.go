@@ -1,0 +1,530 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cards/internal/obs"
+	"cards/internal/rdma"
+)
+
+func startPipelined(t *testing.T, opts PipelineOpts) (*Server, *PipelinedClient) {
+	t.Helper()
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := DialPipelined(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+func TestPipelinedReadWrite(t *testing.T) {
+	srv, cl := startPipelined(t, PipelineOpts{})
+	data := []byte("pipelined far memory")
+	if err := cl.WriteObj(3, 7, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := cl.ReadObj(3, 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("roundtrip = %q", buf)
+	}
+	// Absent object reads as zeros.
+	zeros := make([]byte, 8)
+	if err := cl.ReadObj(9, 9, zeros); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range zeros {
+		if b != 0 {
+			t.Fatal("absent object should read zero")
+		}
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Store.Len() != 1 {
+		t.Fatalf("store len = %d", srv.Store.Len())
+	}
+}
+
+func TestPipelinedOverPipe(t *testing.T) {
+	srv := NewServer()
+	c1, c2 := net.Pipe()
+	go srv.ServeConn(c1)
+	cl, err := NewPipelined(c2, PipelineOpts{Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WriteObj(1, 1, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if err := cl.ReadObj(1, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Fatalf("readback = %d", buf[0])
+	}
+}
+
+func TestPipelinedManyAsyncReads(t *testing.T) {
+	srv, cl := startPipelined(t, PipelineOpts{Window: 16, MaxBatch: 4})
+	const n = 200
+	for i := 0; i < n; i++ {
+		srv.Store.Write(1, uint32(i), []byte{byte(i), byte(i >> 8)})
+	}
+	dsts := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		dsts[i] = make([]byte, 2)
+		cl.IssueRead(1, i, dsts[i], func(err error) {
+			errs[i] = err
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("read %d: %v", i, errs[i])
+		}
+		if dsts[i][0] != byte(i) || dsts[i][1] != byte(i>>8) {
+			t.Fatalf("read %d = %v", i, dsts[i])
+		}
+	}
+}
+
+func TestPipelinedMixedReadWrite(t *testing.T) {
+	_, cl := startPipelined(t, PipelineOpts{Window: 8, MaxBatch: 3})
+	// Interleave writes and reads so the flusher alternates WRITETAG
+	// frames with READBATCH runs; read-your-write holds because WriteObj
+	// blocks until the ack.
+	for i := 0; i < 50; i++ {
+		data := []byte{byte(i), 0xAB}
+		if err := cl.WriteObj(2, i, data); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 2)
+		if err := cl.ReadObj(2, i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("readback %d = %v", i, buf)
+		}
+	}
+}
+
+// TestPipelinedOutOfOrderCompletions hand-crafts a batch-capable server
+// that answers two read batches in reverse order: the tag demux must
+// route each completion to the right caller.
+func TestPipelinedOutOfOrderCompletions(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- func() error {
+			// Feature negotiation.
+			f, err := rdma.ReadFrame(c1)
+			if err != nil {
+				return err
+			}
+			if f.Op != rdma.OpPing {
+				return errors.New("want feature ping first")
+			}
+			if err := rdma.WriteFrame(c1, rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(ServerFeatures)}); err != nil {
+				return err
+			}
+			// Collect two single-read batches, then answer in REVERSE.
+			var frames []rdma.Frame
+			for len(frames) < 2 {
+				f, err := rdma.ReadFrame(c1)
+				if err != nil {
+					return err
+				}
+				if f.Op != rdma.OpReadBatch {
+					return errors.New("want READBATCH")
+				}
+				frames = append(frames, f)
+			}
+			for i := len(frames) - 1; i >= 0; i-- {
+				reqs, err := rdma.DecodeReadBatch(frames[i].Payload)
+				if err != nil {
+					return err
+				}
+				segs := make([][]byte, len(reqs))
+				for j, r := range reqs {
+					segs[j] = []byte{byte(r.Idx)}
+				}
+				resp, err := rdma.EncodeDataBatch(frames[i].Tag, segs)
+				if err != nil {
+					return err
+				}
+				if err := rdma.WriteFrame(c1, resp); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+	}()
+
+	// MaxBatch 1 forces each read into its own batch frame.
+	cl, err := NewPipelined(c2, PipelineOpts{Window: 2, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	dsts := [2][]byte{make([]byte, 1), make([]byte, 1)}
+	errs := [2]error{}
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		i := i
+		cl.IssueRead(0, 10+i, dsts[i], func(err error) {
+			errs[i] = err
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("read %d: %v", i, errs[i])
+		}
+		if dsts[i][0] != byte(10+i) {
+			t.Fatalf("read %d routed wrong payload %d", i, dsts[i][0])
+		}
+	}
+}
+
+// legacyServe answers the pre-batch protocol: empty OK to every PING
+// (ignoring any payload), serial READ/WRITE, no tagged verbs.
+func legacyServe(conn net.Conn, store *ObjectStore) {
+	defer conn.Close()
+	for {
+		f, err := rdma.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var resp rdma.Frame
+		switch f.Op {
+		case rdma.OpPing:
+			resp = rdma.Frame{Op: rdma.OpOK}
+		case rdma.OpRead:
+			req, err := rdma.DecodeRead(f.Payload)
+			if err != nil {
+				resp = rdma.ErrFrame(err.Error())
+				break
+			}
+			resp = rdma.Frame{Op: rdma.OpData, Payload: store.Read(req.DS, req.Idx, req.Size)}
+		case rdma.OpWrite:
+			req, err := rdma.DecodeWrite(f.Payload)
+			if err != nil {
+				resp = rdma.ErrFrame(err.Error())
+				break
+			}
+			store.Write(req.DS, req.Idx, req.Data)
+			resp = rdma.Frame{Op: rdma.OpOK}
+		default:
+			resp = rdma.ErrFrame("unexpected op")
+		}
+		if rdma.WriteFrame(conn, resp) != nil {
+			return
+		}
+	}
+}
+
+func TestPipelinedLegacyFallback(t *testing.T) {
+	store := NewObjectStore()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go legacyServe(conn, store)
+		}
+	}()
+
+	// Direct negotiation: a legacy peer yields ErrNoPipelining and the
+	// connection stays usable for the serial client.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipelined(conn, PipelineOpts{}); !errors.Is(err, ErrNoPipelining) {
+		t.Fatalf("err = %v, want ErrNoPipelining", err)
+	}
+	serial := NewClientConn(conn)
+	defer serial.Close()
+	if err := serial.WriteObj(1, 2, []byte{0x5A}); err != nil {
+		t.Fatalf("conn unusable after failed negotiation: %v", err)
+	}
+
+	// DialAuto falls back to the serial client transparently.
+	sc, err := DialAuto(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if _, ok := sc.(*Client); !ok {
+		t.Fatalf("DialAuto against legacy server = %T, want *Client", sc)
+	}
+	buf := make([]byte, 1)
+	if err := sc.ReadObj(1, 2, buf); err != nil || buf[0] != 0x5A {
+		t.Fatalf("fallback read = %v, %v", buf, err)
+	}
+}
+
+func TestDialAutoPipelined(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sc, err := DialAuto(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if _, ok := sc.(*PipelinedClient); !ok {
+		t.Fatalf("DialAuto against new server = %T, want *PipelinedClient", sc)
+	}
+	if err := sc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyClientAgainstNewServer covers the other interop direction:
+// the serial client's plain PING must still get a working session.
+func TestLegacyClientAgainstNewServer(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteObj(0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelinedPerRequestServerError(t *testing.T) {
+	_, cl := startPipelined(t, PipelineOpts{})
+	// A read whose reply would exceed the frame limit is rejected by the
+	// server with a tagged error — and only that request fails.
+	huge := make([]byte, rdma.MaxFrame)
+	if err := cl.ReadObj(0, 0, huge); err == nil {
+		t.Fatal("oversized batch reply should fail")
+	}
+	// The client survives: later operations still work.
+	if err := cl.WriteObj(0, 1, []byte{7}); err != nil {
+		t.Fatalf("client broken after per-request error: %v", err)
+	}
+	buf := make([]byte, 1)
+	if err := cl.ReadObj(0, 1, buf); err != nil || buf[0] != 7 {
+		t.Fatalf("readback = %v, %v", buf, err)
+	}
+}
+
+func TestPipelinedCloseUnblocksInflight(t *testing.T) {
+	// A server that negotiates features, then goes silent: in-flight and
+	// queued operations must be failed by Close, not stuck forever.
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		f, err := rdma.ReadFrame(c1)
+		if err != nil || f.Op != rdma.OpPing {
+			return
+		}
+		rdma.WriteFrame(c1, rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(ServerFeatures)})
+		// Swallow whatever arrives, never reply.
+		for {
+			if _, err := rdma.ReadFrame(c1); err != nil {
+				return
+			}
+		}
+	}()
+	cl, err := NewPipelined(c2, PipelineOpts{Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8 // more than the window: some queued, some in flight
+	res := make(chan error, n)
+	for i := 0; i < n; i++ {
+		cl.IssueRead(0, i, make([]byte, 4), func(err error) { res <- err })
+	}
+	closed := make(chan struct{})
+	go func() {
+		cl.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked behind a silent server")
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-res:
+			if !errors.Is(err, ErrClientClosed) {
+				t.Fatalf("completion %d = %v, want ErrClientClosed", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("in-flight op never completed after Close")
+		}
+	}
+	// Post-close issues fail immediately.
+	if err := cl.ReadObj(0, 0, make([]byte, 1)); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("post-close read = %v", err)
+	}
+}
+
+func TestPipelinedMetrics(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	cl, err := DialPipelined(addr, PipelineOpts{Window: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WriteObj(0, 0, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if err := cl.ReadObj(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	read := snap.Histograms[MetricClientReadNS]
+	write := snap.Histograms[MetricClientWriteNS]
+	batch := snap.Histograms[MetricClientBatchSize]
+	if read.Count != 1 {
+		t.Errorf("read histogram = %+v", read)
+	}
+	if write.Count != 1 {
+		t.Errorf("write histogram = %+v", write)
+	}
+	if batch.Count == 0 {
+		t.Errorf("batch-size histogram = %+v", batch)
+	}
+	// Server-side batch accounting.
+	ssnap := srv.ObsSnapshot()
+	if c := ssnap.Counters[MetricReadBatches]; c == 0 {
+		t.Error("server read-batch counter not incremented")
+	}
+}
+
+// TestSerialClientStalledServer is the satellite regression: Close must
+// never wait behind an in-flight round trip, and the unblocked caller
+// gets ErrClientClosed — as do all later calls.
+func TestSerialClientStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Read the request, never answer.
+		rdma.ReadFrame(conn)
+		<-stop
+	}()
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	readDone := make(chan error, 1)
+	go func() {
+		readDone <- cl.ReadObj(0, 0, make([]byte, 8))
+	}()
+	// Give the round trip time to get stuck waiting for the response.
+	time.Sleep(50 * time.Millisecond)
+
+	closeDone := make(chan struct{})
+	go func() {
+		cl.Close()
+		close(closeDone)
+	}()
+	select {
+	case <-closeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked behind the stalled round trip")
+	}
+	select {
+	case err := <-readDone:
+		if !errors.Is(err, ErrClientClosed) {
+			t.Fatalf("stalled read = %v, want ErrClientClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled read never unblocked")
+	}
+	if err := cl.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("post-close ping = %v, want ErrClientClosed", err)
+	}
+}
+
+// TestSerialClientBrokenStreamFailsFast: after a mid-flight transport
+// failure the client must refuse new round trips instead of pairing them
+// with stale bytes from the desynchronized stream.
+func TestSerialClientBrokenStreamFailsFast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Read one request, then slam the connection.
+		rdma.ReadFrame(conn)
+		conn.Close()
+	}()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.ReadObj(0, 0, make([]byte, 8)); err == nil {
+		t.Fatal("read against slammed connection should fail")
+	}
+	// The sticky error keeps later calls from touching the stream.
+	if err := cl.Ping(); err == nil {
+		t.Fatal("ping after transport failure should fail fast")
+	}
+}

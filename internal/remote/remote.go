@@ -4,12 +4,17 @@
 // is the process pair the paper runs on two CloudLab machines — memory
 // server on one, application on the other.
 //
-// The server is concurrency-safe (one goroutine per connection); the
-// client serializes requests per connection, matching the synchronous
-// fault path of the runtime.
+// The server is concurrency-safe (one goroutine per connection, plus a
+// per-connection worker pool answering READBATCH frames out of order).
+// Two clients are provided: Client serializes one round trip at a time
+// (the synchronous fault path of the runtime), while PipelinedClient
+// keeps a bounded window of tagged requests in flight, coalesces queued
+// frames into single doorbell writes, and implements farmem.AsyncStore
+// so prefetchers can issue a whole lookahead window without blocking.
 package remote
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -62,6 +67,12 @@ func (s *ObjectStore) Len() int {
 type Server struct {
 	Store *ObjectStore
 
+	// BatchWorkers is the number of goroutines per connection handling
+	// READBATCH frames; batches are served concurrently and may be
+	// answered out of order (tags route the replies). <= 0 uses
+	// DefaultBatchWorkers. Set before Listen/ServeConn.
+	BatchWorkers int
+
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
@@ -72,6 +83,13 @@ type Server struct {
 	metrics *serverMetrics
 	nextCon atomic.Int64
 }
+
+// DefaultBatchWorkers is the per-connection READBATCH concurrency.
+const DefaultBatchWorkers = 4
+
+// ServerFeatures is the feature word the server answers to a feature
+// PING: this server speaks the tagged/batch extension.
+const ServerFeatures = rdma.FeatBatch
 
 // NewServer creates a server with an empty store and a private metric
 // registry.
@@ -124,18 +142,59 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 // ServeConn handles one connection until EOF or error. Exported so tests
 // and in-process pairs (net.Pipe) can drive it directly.
+//
+// Serial verbs are handled inline, in arrival order. READBATCH frames
+// are dispatched to a small per-connection worker pool and answered
+// whenever they complete — possibly out of order relative to each other
+// and to later serial verbs; the tag routes each reply. Callers that
+// need write-then-read ordering for an object get it from the write
+// acknowledgement: ACKTAG/OK is sent only after the store mutation, so a
+// read issued after the ack observes it.
 func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	defer conn.Close()
 	connID := int(s.nextCon.Add(1))
 	s.metrics.connsTotal.Inc()
 	s.metrics.conns.Add(1)
 	defer s.metrics.conns.Add(-1)
+
+	// Batch workers reply concurrently with the inline loop: every
+	// response frame goes through send so frames never interleave.
+	var wmu sync.Mutex
+	send := func(resp rdma.Frame) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		s.metrics.bytesOut.Add(resp.WireSize())
+		return rdma.WriteFrame(conn, resp)
+	}
+	workers := s.BatchWorkers
+	if workers <= 0 {
+		workers = DefaultBatchWorkers
+	}
+	jobs := make(chan rdma.Frame)
+	var bwg sync.WaitGroup
+	bwg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer bwg.Done()
+			for f := range jobs {
+				s.serveBatch(f, connID, send)
+			}
+		}()
+	}
+	defer bwg.Wait()
+	defer close(jobs)
+
 	for {
 		f, err := rdma.ReadFrame(conn)
 		if err != nil {
 			return
 		}
 		s.metrics.bytesIn.Add(f.WireSize())
+		if f.Op == rdma.OpReadBatch {
+			s.metrics.inflight.Add(1)
+			jobs <- f // reply sent by a worker, possibly out of order
+			continue
+		}
 		s.metrics.inflight.Add(1)
 		start := time.Now()
 		var startUS uint64
@@ -146,7 +205,13 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		var ds, idx int64
 		switch f.Op {
 		case rdma.OpPing:
-			resp = rdma.Frame{Op: rdma.OpOK}
+			if _, ok := rdma.DecodeFeatures(f.Payload); ok {
+				// Feature negotiation: answer with our feature word. A
+				// legacy client never sends one and gets the empty OK.
+				resp = rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(ServerFeatures)}
+			} else {
+				resp = rdma.Frame{Op: rdma.OpOK}
+			}
 		case rdma.OpRead:
 			req, err := rdma.DecodeRead(f.Payload)
 			if err != nil {
@@ -155,29 +220,75 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 			}
 			ds, idx = int64(req.DS), int64(req.Idx)
 			resp = rdma.Frame{Op: rdma.OpData, Payload: s.Store.Read(req.DS, req.Idx, req.Size)}
-		case rdma.OpWrite:
+		case rdma.OpWrite, rdma.OpWriteTag:
 			req, err := rdma.DecodeWrite(f.Payload)
 			if err != nil {
-				resp = rdma.ErrFrame(err.Error())
+				if f.Op == rdma.OpWriteTag {
+					resp = rdma.ErrTagFrame(f.Tag, err.Error())
+				} else {
+					resp = rdma.ErrFrame(err.Error())
+				}
 				break
 			}
 			ds, idx = int64(req.DS), int64(req.Idx)
 			s.Store.Write(req.DS, req.Idx, req.Data)
-			resp = rdma.Frame{Op: rdma.OpOK}
+			if f.Op == rdma.OpWriteTag {
+				resp = rdma.Frame{Op: rdma.OpAckTag, Tag: f.Tag}
+			} else {
+				resp = rdma.Frame{Op: rdma.OpOK}
+			}
 		default:
-			resp = rdma.ErrFrame(fmt.Sprintf("unexpected op %s", f.Op))
+			msg := fmt.Sprintf("unexpected op %s", f.Op)
+			if f.Op.Tagged() {
+				resp = rdma.ErrTagFrame(f.Tag, msg)
+			} else {
+				resp = rdma.ErrFrame(msg)
+			}
 		}
-		if resp.Op == rdma.OpErr {
+		if resp.Op == rdma.OpErr || resp.Op == rdma.OpErrTag {
 			s.metrics.errors.Inc()
 		} else {
 			s.observeVerb(f.Op, connID, start, startUS, ds, idx)
 		}
 		s.metrics.inflight.Add(-1)
-		s.metrics.bytesOut.Add(resp.WireSize())
-		if err := rdma.WriteFrame(conn, resp); err != nil {
+		if err := send(resp); err != nil {
 			return
 		}
 	}
+}
+
+// serveBatch handles one READBATCH frame on a worker goroutine: gather
+// every requested object and answer with a single DATABATCH.
+func (s *Server) serveBatch(f rdma.Frame, connID int, send func(rdma.Frame) error) {
+	defer s.metrics.inflight.Add(-1)
+	start := time.Now()
+	var startUS uint64
+	if s.tracer != nil {
+		startUS = s.tracer.Now()
+	}
+	reqs, err := rdma.DecodeReadBatch(f.Payload)
+	if err != nil {
+		s.metrics.errors.Inc()
+		send(rdma.ErrTagFrame(f.Tag, err.Error()))
+		return
+	}
+	if rdma.DataBatchSize(reqs) > rdma.MaxFrame {
+		s.metrics.errors.Inc()
+		send(rdma.ErrTagFrame(f.Tag, "batch reply exceeds frame limit"))
+		return
+	}
+	segs := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		segs[i] = s.Store.Read(r.DS, r.Idx, r.Size)
+	}
+	resp, err := rdma.EncodeDataBatch(f.Tag, segs)
+	if err != nil {
+		s.metrics.errors.Inc()
+		send(rdma.ErrTagFrame(f.Tag, err.Error()))
+		return
+	}
+	s.observeBatch(connID, len(reqs), start, startUS)
+	send(resp)
 }
 
 // Counts returns (reads, writes) served. The values are the registry's
@@ -203,12 +314,23 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Client is a farmem.Store backed by a protocol connection.
+// Client is a farmem.Store backed by a protocol connection. Round trips
+// are serialized; Close is safe to call concurrently with an in-flight
+// round trip (it unblocks the stalled network I/O rather than waiting
+// behind it), and after any transport failure the client fails fast
+// instead of reading a stale response off a desynchronized stream.
 type Client struct {
-	mu      sync.Mutex
-	conn    io.ReadWriteCloser
-	metrics *clientMetrics
+	mu        sync.Mutex // serializes round trips; never held by Close
+	conn      io.ReadWriteCloser
+	closed    atomic.Bool
+	closeOnce sync.Once
+	broken    error // sticky transport error; guarded by mu
+	metrics   *clientMetrics
 }
+
+// ErrClientClosed is returned by calls made after (or unblocked by)
+// Close.
+var ErrClientClosed = errors.New("remote: client closed")
 
 // Dial connects to a server address.
 func Dial(addr string) (*Client, error) {
@@ -224,15 +346,24 @@ func NewClientConn(conn io.ReadWriteCloser) *Client { return &Client{conn: conn}
 
 // roundTrip sends a request and reads the response.
 func (c *Client) roundTrip(req rdma.Frame) (rdma.Frame, error) {
+	if c.closed.Load() {
+		return rdma.Frame{}, ErrClientClosed
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		// A previous round trip died mid-flight: the stream may hold a
+		// half-written request or an unread response, so interleaving a
+		// new round trip could pair it with the wrong reply. Fail fast.
+		return rdma.Frame{}, fmt.Errorf("remote: connection broken: %w", c.broken)
+	}
 	start := time.Now()
 	if err := rdma.WriteFrame(c.conn, req); err != nil {
-		return rdma.Frame{}, err
+		return rdma.Frame{}, c.breakConn(err)
 	}
 	resp, err := rdma.ReadFrame(c.conn)
 	if err != nil {
-		return rdma.Frame{}, err
+		return rdma.Frame{}, c.breakConn(err)
 	}
 	if m := c.metrics; m != nil {
 		m.bytesOut.Add(req.WireSize())
@@ -243,6 +374,17 @@ func (c *Client) roundTrip(req rdma.Frame) (rdma.Frame, error) {
 		return rdma.Frame{}, fmt.Errorf("remote: server error: %s", resp.Payload)
 	}
 	return resp, nil
+}
+
+// breakConn marks the stream unusable after a transport error (caller
+// holds mu) and maps errors caused by a concurrent Close to
+// ErrClientClosed.
+func (c *Client) breakConn(err error) error {
+	if c.closed.Load() {
+		err = ErrClientClosed
+	}
+	c.broken = err
+	return err
 }
 
 // Ping checks liveness.
@@ -282,5 +424,15 @@ func (c *Client) WriteObj(ds, idx int, src []byte) error {
 	return nil
 }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the underlying connection. It never waits behind an
+// in-flight round trip: closing the connection unblocks any goroutine
+// stalled in network I/O, which then returns ErrClientClosed. Close is
+// idempotent and safe for concurrent use.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		err = c.conn.Close()
+	})
+	return err
+}
