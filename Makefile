@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench bench-smoke
+.PHONY: build test check fmt vet race chaos bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,18 @@ race:
 # suite under the race detector (exercises the concurrent remote server
 # and the obs tracer/registry).
 check: fmt vet race
+
+# chaos runs the fault-tolerance suite: the e2e workloads over the chaos
+# proxy and the breaker outage demo (root), the transport's
+# cut/timeout/uncertain-write/reconnect tests (internal/remote), the
+# runtime breaker and async fault paths (internal/farmem), and the
+# injector itself (internal/faultnet). Schedules are seeded in the tests,
+# so a run is reproducible.
+chaos:
+	$(GO) test -v -run 'TestChaos|TestBreaker' .
+	$(GO) test -v -run 'TestSerialClient|TestSerialWrite|TestPipelined|TestServerDrain|TestCRCSession' ./internal/remote
+	$(GO) test -v -run 'TestBreaker|TestStoreRetry|TestDegraded|TestHarvest|TestClockSettle' ./internal/farmem
+	$(GO) test -v ./internal/faultnet
 
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .

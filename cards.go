@@ -21,6 +21,7 @@ package cards
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"cards/internal/farmem"
 	"cards/internal/netsim"
@@ -92,6 +93,21 @@ type Config struct {
 	// RemoteAddr, when non-empty, backs far memory with a cardsd server
 	// at that TCP address instead of the in-process store.
 	RemoteAddr string
+
+	// RemoteTimeout bounds each far-tier round trip; on expiry the
+	// connection is abandoned and redialed. 0 means 2s; negative
+	// disables deadlines.
+	RemoteTimeout time.Duration
+	// RemoteRetries is how many times an idempotent far-tier operation
+	// is retried (with backoff and automatic reconnect) before the error
+	// reaches the runtime. 0 means 6; negative disables retries.
+	RemoteRetries int
+	// BreakerThreshold arms the runtime's circuit breaker: after this
+	// many consecutive far-tier failures it degrades to local memory,
+	// pinning the working set and probing for recovery in the
+	// background. 0 means 8; negative disables the breaker. Only
+	// meaningful with RemoteAddr set.
+	BreakerThreshold int
 }
 
 // Runtime is a far-memory runtime instance.
@@ -115,7 +131,26 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	var client remote.StoreConn
 	if cfg.RemoteAddr != "" {
-		c, err := remote.DialAuto(cfg.RemoteAddr)
+		timeout := cfg.RemoteTimeout
+		if timeout == 0 {
+			timeout = 2 * time.Second
+		} else if timeout < 0 {
+			timeout = 0
+		}
+		retries := cfg.RemoteRetries
+		if retries == 0 {
+			retries = 6
+		} else if retries < 0 {
+			retries = 0
+		}
+		// The resilient dialer replaces a client whose reconnect budget
+		// ran out during a long outage, so a restarted server resumes
+		// remoting without restarting this process (the breaker's Ping
+		// probes trigger the replacement dial).
+		c, err := remote.DialResilient(cfg.RemoteAddr, remote.DialConfig{
+			Timeout:  timeout,
+			RetryMax: retries,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("cards: connecting far tier: %w", err)
 		}
@@ -125,12 +160,25 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		fc.Store = c
 		client = c
+		// The transport never silently retries an unacknowledged write
+		// (it cannot know whether the server applied it); the runtime
+		// reissues instead — full-object write-backs are idempotent.
+		fc.RetryMax = retries
+		threshold := cfg.BreakerThreshold
+		if threshold == 0 {
+			threshold = 8
+		} else if threshold < 0 {
+			threshold = 0
+		}
+		fc.BreakerThreshold = threshold
 	}
 	return &Runtime{rt: farmem.New(fc), client: client}, nil
 }
 
-// Close releases the far-tier connection, if any.
+// Close stops the runtime's background work (the breaker's recovery
+// prober) and releases the far-tier connection, if any.
 func (r *Runtime) Close() error {
+	r.rt.Close()
 	if r.client != nil {
 		return r.client.Close()
 	}

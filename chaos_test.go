@@ -1,0 +1,315 @@
+package cards
+
+// End-to-end fault-tolerance tests: compiled workloads running over a
+// real TCP far tier through the chaos proxy (forced disconnects + frame
+// corruption), and the circuit-breaker demo — a server killed mid-run,
+// degraded service from resident memory, then recovery with a drain of
+// the dirty write-backs after the server restarts.
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"cards/internal/core"
+	"cards/internal/farmem"
+	"cards/internal/faultnet"
+	"cards/internal/ir"
+	"cards/internal/policy"
+	"cards/internal/remote"
+	"cards/internal/workloads"
+)
+
+// checkGoroutines polls until the goroutine count settles back to the
+// baseline: transport clients, servers, proxies and the breaker prober
+// must all have wound down.
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// dialChaosPipelined dials through the fault proxy until the negotiation
+// yields the pipelined client. Under frame corruption the feature
+// handshake itself can be garbled, in which case DialAutoOpts falls back
+// to the serial protocol — which has no CRC and must not carry payloads
+// across a corrupting link — so a serial fallback is closed and redialed.
+func dialChaosPipelined(t *testing.T, addr string) *remote.PipelinedClient {
+	t.Helper()
+	cfg := remote.DialConfig{
+		// A short stall timeout keeps corrupted-length frames (server
+		// blocked mid-frame, stream wedged) cheap: each one costs one
+		// Timeout before the stall detector cuts and replays.
+		Timeout:   300 * time.Millisecond,
+		RetryMax:  64,
+		RetryBase: time.Millisecond,
+		RetryCap:  20 * time.Millisecond,
+		// Small batches: a coalesced READBATCH response (up to
+		// Window*4 KiB in one frame) could exceed every possible cut
+		// budget and replay forever; two objects per frame (~8 KiB)
+		// always fit the minimum cut draw (cut/2 = 16 KiB).
+		Window:   8,
+		MaxBatch: 2,
+	}
+	for i := 0; i < 50; i++ {
+		c, err := remote.DialAutoOpts(addr, cfg)
+		if err != nil {
+			continue
+		}
+		if pc, ok := c.(*remote.PipelinedClient); ok {
+			return pc
+		}
+		c.Close()
+	}
+	t.Fatal("could not negotiate a pipelined connection through the chaos proxy")
+	return nil
+}
+
+// TestChaosWorkloadsRunToCompletion is the headline robustness test: the
+// compiled BFS and pointer-chase workloads run against a TCP far tier
+// reached through the chaos proxy — a connection cut every 16 KiB and 1%
+// of forwarded chunks corrupted — and must produce exactly the checksum
+// of the in-process run. The transport replays reads across reconnects;
+// corrupted frames are caught by the CRC trailer; uncertain writes
+// surface to the runtime, whose reissue is safe because full-object
+// write-backs are idempotent.
+func TestChaosWorkloadsRunToCompletion(t *testing.T) {
+	// Each workload carries the cut schedule matched to its traffic
+	// volume (BFS pushes ~40x the bytes of the chase), so both rack up
+	// well over 50 disconnects without taking minutes.
+	cases := map[string]struct {
+		spec  string
+		build func() (*ir.Module, error)
+	}{
+		"bfs": {
+			spec: "cut=32768,corrupt=0.01,seed=7",
+			build: func() (*ir.Module, error) {
+				return workloads.BuildBFS(workloads.BFSConfig{
+					Vertices: 512, Degree: 6, Trials: 2, Seed: 11}).Module, nil
+			},
+		},
+		"pointer_chase": {
+			spec: "cut=8192,corrupt=0.01,seed=7",
+			build: func() (*ir.Module, error) {
+				w, err := workloads.BuildChase("list", workloads.ChaseConfig{N: 4096, Seed: 9})
+				if err != nil {
+					return nil, err
+				}
+				return w.Module, nil
+			},
+		},
+	}
+	for name, tc := range cases {
+		build := tc.build
+		spec := tc.spec
+		t.Run(name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+
+			run := func(store farmem.Store) uint64 {
+				m, err := build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := core.Compile(m, core.CompileOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := c.Run(core.RunConfig{
+					Policy:          policy.AllRemotable,
+					PinnedBudget:    0,
+					RemotableBudget: 8 * 4096, // tiny cache: heavy wire traffic
+					Store:           store,
+					RetryMax:        8, // reissue uncertain write-backs
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.MainResult
+			}
+			want := run(nil) // in-process store: the reference checksum
+
+			srv := remote.NewServer()
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fcfg, err := faultnet.ParseSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proxy, err := faultnet.NewProxy("127.0.0.1:0", addr, fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl := dialChaosPipelined(t, proxy.Addr())
+
+			got := run(cl)
+			if got != want {
+				t.Errorf("chaos checksum %#x != in-process %#x", got, want)
+			}
+			cuts, corrupts, conns := proxy.Cuts(), proxy.Corruptions(), proxy.Conns()
+			if cuts < 50 {
+				t.Errorf("proxy forced %d disconnects, want >= 50 (schedule too gentle for the traffic)", cuts)
+			}
+			t.Logf("%s survived %d disconnects, %d corrupted chunks across %d connections",
+				name, cuts, corrupts, conns)
+
+			cl.Close()
+			proxy.Close()
+			srv.Close()
+			checkGoroutines(t, before)
+		})
+	}
+}
+
+// TestBreakerServerOutageAndRecovery is the degradation demo on the
+// public API: kill the far-tier server mid-run, watch the circuit
+// breaker trip so resident objects keep serving while remote derefs fail
+// fast with ErrDegraded, then restart the server (same store — the far
+// tier's contents survive a cardsd restart in spirit) and watch the
+// breaker recover, draining the dirty write-backs that accumulated while
+// degraded — all visible as obs counters in the /stats snapshot.
+func TestBreakerServerOutageAndRecovery(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := remote.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := New(Config{
+		PinnedMemory:     1 << 20,
+		RemotableMemory:  2 * 4096, // 2-object cache over an 8-object array
+		RemoteAddr:       addr,
+		RemoteTimeout:    250 * time.Millisecond,
+		RemoteRetries:    1,
+		BreakerThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8 * 512 // 8 objects of 512 int64s
+	arr, err := NewArray[int64](rt, "demo", n, Remotable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := arr.Set(i, int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Store.Len() == 0 {
+		t.Fatal("no write-backs reached the server before the outage")
+	}
+
+	// Kill the server mid-run: listener closed, connections force-cut.
+	srv.Drain(20 * time.Millisecond)
+
+	// Remote derefs fail; after BreakerThreshold consecutive failures the
+	// breaker opens and they fail fast with ErrDegraded.
+	var derr error
+	for i := 0; i < 20; i++ {
+		if _, derr = arr.Get(0); errors.Is(derr, farmem.ErrDegraded) {
+			break
+		}
+	}
+	if !errors.Is(derr, farmem.ErrDegraded) {
+		t.Fatalf("remote deref during outage = %v, want ErrDegraded", derr)
+	}
+
+	// Resident objects keep serving from local memory while degraded.
+	if v, err := arr.Get(n - 1); err != nil || v != int64(1000+n-1) {
+		t.Fatalf("resident element during outage = %d, %v", v, err)
+	}
+	if err := arr.Set(n-1, int64(2000)); err != nil {
+		t.Fatalf("resident write during outage: %v", err)
+	}
+
+	// Restart the far tier on the same address, same object store. The
+	// breaker's background prober notices, arms half-open, and the next
+	// deref is the trial that closes the circuit and drains dirty objects.
+	srv2 := remote.NewServer()
+	srv2.Store = srv.Store
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var v int64
+	for {
+		v, err = arr.Get(0)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no recovery after server restart: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if v != 1000 {
+		t.Fatalf("recovered element 0 = %d, want 1000", v)
+	}
+
+	st := rt.rt.Stats()
+	if st.BreakerTrips == 0 {
+		t.Error("BreakerTrips = 0 after outage")
+	}
+	if st.BreakerRecoveries == 0 {
+		t.Error("BreakerRecoveries = 0 after restart")
+	}
+	if st.DrainedWriteBacks == 0 {
+		t.Error("DrainedWriteBacks = 0: dirty residents were not flushed on recovery")
+	}
+
+	// The whole working set survived the outage, including the write made
+	// while degraded.
+	for i := 0; i < n-1; i++ {
+		v, err := arr.Get(i)
+		if err != nil {
+			t.Fatalf("post-recovery Get(%d): %v", i, err)
+		}
+		if v != int64(1000+i) {
+			t.Fatalf("post-recovery element %d = %d, want %d", i, v, 1000+i)
+		}
+	}
+	if v, _ := arr.Get(n - 1); v != 2000 {
+		t.Fatalf("degraded-mode write lost: element %d = %d, want 2000", n-1, v)
+	}
+
+	// The breaker counters are on the /stats snapshot cardsd serves.
+	var buf bytes.Buffer
+	if err := rt.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		"cards_farmem_breaker_state",
+		"cards_farmem_breaker_trips_total",
+		"cards_farmem_breaker_recoveries_total",
+		"cards_farmem_drained_writebacks_total",
+	} {
+		if !strings.Contains(buf.String(), metric) {
+			t.Errorf("metrics snapshot missing %s", metric)
+		}
+	}
+
+	rt.Close()
+	srv2.Close()
+	checkGoroutines(t, before)
+}

@@ -36,6 +36,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	jsonOut := flag.Bool("json", false, "emit JSON")
 	seed := flag.Int64("seed", 0, "override the experiment seed (0 = keep)")
+	chaos := flag.String("chaos", "", "run the pipeline sweep through a fault proxy with this schedule, e.g. cut=65536,corrupt=0.01,seed=7")
 	metricsOut := flag.String("metrics-out", "", "write the final metric snapshot to this file (JSON; .prom suffix: Prometheus text)")
 	traceOut := flag.String("trace-out", "", "write runtime events as Chrome trace JSON to this file")
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Chaos = *chaos
 	if *metricsOut != "" {
 		cfg.Obs = obs.NewRegistry()
 	}

@@ -71,6 +71,8 @@ func main() {
 	run := flag.Bool("run", false, "execute the compiled program (linear policy)")
 	pinnedKiB := flag.Uint64("pinned", 4096, "pinned local memory for -run, KiB")
 	cacheKiB := flag.Uint64("cache", 512, "remotable local memory for -run, KiB")
+	retryMax := flag.Int("retry-max", 0, "with -run: reissue failed far-tier operations up to N times")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "with -run: trip the circuit breaker (degrade to local memory) after N consecutive far-tier failures (0 = off)")
 	flag.Parse()
 
 	var m *ir.Module
@@ -127,11 +129,13 @@ func main() {
 
 	if *run {
 		rc := core.RunConfig{
-			Policy:          policy.Linear,
-			K:               100,
-			PinnedBudget:    *pinnedKiB << 10,
-			RemotableBudget: *cacheKiB << 10,
-			Tracer:          tracer,
+			Policy:           policy.Linear,
+			K:                100,
+			PinnedBudget:     *pinnedKiB << 10,
+			RemotableBudget:  *cacheKiB << 10,
+			Tracer:           tracer,
+			RetryMax:         *retryMax,
+			BreakerThreshold: *breakerThreshold,
 		}
 		var res *core.RunResult
 		if *traceRun || *report {
@@ -180,6 +184,7 @@ func runInstrumented(c *core.Compiled, rc core.RunConfig, trace, report bool) (*
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 	if trace {
 		rt.SetEventHook(farmem.TraceWriter(os.Stderr))
 	}

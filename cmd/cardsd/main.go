@@ -13,21 +13,33 @@
 // in-flight gauges); GET /stats the same snapshot as JSON. On shutdown
 // (SIGINT/SIGTERM) the final snapshot is dumped to stderr.
 //
+// With -chaos every accepted connection is wrapped in the deterministic
+// fault injector (internal/faultnet): forced disconnects, corrupted or
+// truncated frames, added latency and stalls, per the given spec — the
+// harness the fault-tolerant client path is exercised against. On
+// SIGINT/SIGTERM the server drains gracefully: it stops accepting,
+// waits up to -drain-timeout for in-flight requests, then force-closes
+// stragglers.
+//
 // Usage:
 //
-//	cardsd [-listen 127.0.0.1:7770] [-metrics-addr :9090] [-batch-workers 4] [-v]
+//	cardsd [-listen 127.0.0.1:7770] [-metrics-addr :9090] [-batch-workers 4]
+//	       [-chaos cut=65536,corrupt=0.01,seed=7] [-drain-timeout 5s] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"cards/internal/faultnet"
 	"cards/internal/obs"
 	"cards/internal/remote"
 )
@@ -37,11 +49,29 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /stats (JSON) on this address")
 	batchWorkers := flag.Int("batch-workers", remote.DefaultBatchWorkers,
 		"concurrent READBATCH handlers per connection (replies may be reordered)")
+	chaos := flag.String("chaos", "", "inject faults on every connection, e.g. cut=65536,corrupt=0.01,seed=7 (see internal/faultnet)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests")
 	verbose := flag.Bool("v", false, "log periodic statistics")
 	flag.Parse()
 
 	srv := remote.NewServer()
 	srv.BatchWorkers = *batchWorkers
+	if *chaos != "" {
+		cfg, err := faultnet.ParseSpec(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cardsd: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		// Derive a distinct (but deterministic) schedule per connection,
+		// so reconnects do not replay the identical fault sequence.
+		var connSeq atomic.Int64
+		srv.ConnWrap = func(c io.ReadWriteCloser) io.ReadWriteCloser {
+			ccfg := cfg
+			ccfg.Seed += connSeq.Add(1) - 1
+			return faultnet.Wrap(c, ccfg)
+		}
+		log.Printf("cardsd: chaos injection enabled: %s", *chaos)
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cardsd: %v\n", err)
@@ -81,8 +111,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(done)
-	log.Printf("cardsd: shutting down")
-	srv.Close()
+	log.Printf("cardsd: draining (up to %s)", *drainTimeout)
+	if srv.Drain(*drainTimeout) {
+		log.Printf("cardsd: drained cleanly")
+	} else {
+		log.Printf("cardsd: drain timed out; connections force-closed")
+	}
 
 	// Final point-in-time snapshot so a scrape-less run still leaves the
 	// numbers behind.

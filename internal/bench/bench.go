@@ -100,6 +100,10 @@ type Config struct {
 	// PipelineReads is the number of remote reads per client in the
 	// pipeline-depth sweep (real TCP loopback, wall-clock).
 	PipelineReads int64
+	// Chaos, when non-empty, routes the pipeline sweep through a fault
+	// proxy with this schedule spec (see faultnet.ParseSpec) and dials
+	// the clients with deadlines + retry/reconnect enabled.
+	Chaos string
 	// Seed drives data generation and the Random policy.
 	Seed int64
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"cards/internal/faultnet"
 	"cards/internal/remote"
 )
 
@@ -27,7 +28,7 @@ func Pipeline(cfg Config) (*Table, error) {
 	if reads <= 0 {
 		reads = 1024
 	}
-	return PipelineSweep(reads, pipelineObjSize, pipelineDepths)
+	return pipelineSweep(reads, pipelineObjSize, pipelineDepths, cfg.Chaos)
 }
 
 // PipelineSweep runs the depth sweep: `reads` remote reads of
@@ -35,6 +36,10 @@ func Pipeline(cfg Config) (*Table, error) {
 // pipelined client per depth. Rows report throughput and speedup over
 // the serial baseline.
 func PipelineSweep(reads, objSize int, depths []int) (*Table, error) {
+	return pipelineSweep(reads, objSize, depths, "")
+}
+
+func pipelineSweep(reads, objSize int, depths []int, chaos string) (*Table, error) {
 	srv := remote.NewServer()
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -42,10 +47,27 @@ func PipelineSweep(reads, objSize int, depths []int) (*Table, error) {
 	}
 	defer srv.Close()
 
+	// Under chaos, clients reach the server through the fault proxy and
+	// dial with deadlines + retry/reconnect, so the sweep measures the
+	// data path's throughput while it survives the schedule.
+	var proxy *faultnet.Proxy
+	if chaos != "" {
+		fcfg, err := faultnet.ParseSpec(chaos)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		proxy, err = faultnet.NewProxy("127.0.0.1:0", addr, fcfg)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: proxy: %w", err)
+		}
+		defer proxy.Close()
+		addr = proxy.Addr()
+	}
+
 	// Seed the far tier so reads return real payloads.
 	nObjs := seedObjects(srv, objSize)
 
-	serial, err := runSerial(addr, reads, objSize, nObjs)
+	serial, err := runSerial(addr, reads, objSize, nObjs, chaos != "")
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +90,7 @@ func PipelineSweep(reads, objSize int, depths []int) (*Table, error) {
 	row("serial", "-", serial)
 
 	for _, depth := range depths {
-		d, err := runPipelined(addr, reads, objSize, nObjs, depth)
+		d, err := runPipelined(addr, reads, objSize, nObjs, depth, chaos != "")
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +99,24 @@ func PipelineSweep(reads, objSize int, depths []int) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"wall-clock over real sockets (not the virtual cycle clock); depth = bounded in-flight window",
 		"pipelined reads coalesce into READBATCH frames flushed through one buffered write (doorbell)")
+	if proxy != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"chaos %q survived: %d forced disconnects, %d corrupted chunks, %d stalls across %d connections",
+			chaos, proxy.Cuts(), proxy.Corruptions(), proxy.Stalls(), proxy.Conns()))
+	}
 	return t, nil
+}
+
+// chaosDialTuning is the retry budget chaos-mode clients dial with: tight
+// backoff so throughput numbers stay meaningful, a deep enough reconnect
+// budget to outlast any reasonable cut schedule.
+func chaosClientOpts() remote.ClientOpts {
+	return remote.ClientOpts{
+		Timeout:   2 * time.Second,
+		RetryMax:  64,
+		RetryBase: time.Millisecond,
+		RetryCap:  20 * time.Millisecond,
+	}
 }
 
 // seedObjects writes a deterministic working set directly into the
@@ -94,8 +133,14 @@ func seedObjects(srv *remote.Server, objSize int) int {
 	return nObjs
 }
 
-func runSerial(addr string, reads, objSize, nObjs int) (time.Duration, error) {
-	c, err := remote.Dial(addr)
+func runSerial(addr string, reads, objSize, nObjs int, chaos bool) (time.Duration, error) {
+	var c *remote.Client
+	var err error
+	if chaos {
+		c, err = remote.DialOpts(addr, chaosClientOpts())
+	} else {
+		c, err = remote.Dial(addr)
+	}
 	if err != nil {
 		return 0, fmt.Errorf("pipeline: serial dial: %w", err)
 	}
@@ -110,8 +155,19 @@ func runSerial(addr string, reads, objSize, nObjs int) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-func runPipelined(addr string, reads, objSize, nObjs, depth int) (time.Duration, error) {
-	c, err := remote.DialPipelined(addr, remote.PipelineOpts{Window: depth})
+func runPipelined(addr string, reads, objSize, nObjs, depth int, chaos bool) (time.Duration, error) {
+	opts := remote.PipelineOpts{Window: depth}
+	if chaos {
+		co := chaosClientOpts()
+		opts.Timeout, opts.RetryMax = co.Timeout, co.RetryMax
+		opts.RetryBase, opts.RetryCap = co.RetryBase, co.RetryCap
+		// Cap batch coalescing: a READBATCH response carrying the whole
+		// window (up to 128 KiB at depth 32) in one frame can exceed every
+		// possible cut budget of the schedule and replay forever. Four
+		// 4 KiB objects per frame fit any sane cut spec's minimum draw.
+		opts.MaxBatch = 4
+	}
+	c, err := remote.DialPipelined(addr, opts)
 	if err != nil {
 		return 0, fmt.Errorf("pipeline: dial depth %d: %w", depth, err)
 	}

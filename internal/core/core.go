@@ -138,6 +138,14 @@ type RunConfig struct {
 	// Tracer, when non-nil, receives runtime events (fetch, prefetch,
 	// evict, spill) into the bounded ring for Chrome-trace export.
 	Tracer *obs.Tracer
+
+	// RetryMax reissues failed store operations (charged to the link as
+	// wasted round trips plus backoff); 0 disables retries.
+	RetryMax int
+	// BreakerThreshold arms the runtime circuit breaker (degradation to
+	// local memory after this many consecutive store failures); 0
+	// disables it. See internal/farmem/breaker.go.
+	BreakerThreshold int
 }
 
 // RunResult captures everything one execution measured.
@@ -192,12 +200,14 @@ func (r *RunResult) TotalPrefetchHits() uint64 {
 // without running it (used by benches that drive execution themselves).
 func (c *Compiled) NewRuntime(cfg RunConfig) (*farmem.Runtime, []farmem.Placement, error) {
 	rt := farmem.New(farmem.Config{
-		Model:           cfg.Model,
-		PinnedBudget:    cfg.PinnedBudget,
-		RemotableBudget: cfg.RemotableBudget,
-		Store:           cfg.Store,
-		Obs:             cfg.Obs,
-		Tracer:          cfg.Tracer,
+		Model:            cfg.Model,
+		PinnedBudget:     cfg.PinnedBudget,
+		RemotableBudget:  cfg.RemotableBudget,
+		Store:            cfg.Store,
+		Obs:              cfg.Obs,
+		Tracer:           cfg.Tracer,
+		RetryMax:         cfg.RetryMax,
+		BreakerThreshold: cfg.BreakerThreshold,
 	})
 
 	placements := cfg.Placements
@@ -254,6 +264,7 @@ func (c *Compiled) Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 	mach, err := interp.New(c.Module, rt, interp.Options{MaxSteps: cfg.MaxSteps})
 	if err != nil {
 		return nil, err

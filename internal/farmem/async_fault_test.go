@@ -1,0 +1,143 @@
+package farmem
+
+import (
+	"strings"
+	"testing"
+)
+
+// failingAsyncStore is an AsyncStore whose asynchronous reads of failIdx
+// always fail and whose synchronous reads of failIdx fail while syncFail
+// is set. Writes always succeed, so eviction write-backs keep working
+// while the read paths are under fault. The runtime and the (immediate)
+// completion callback run on one goroutine, so no locking is needed.
+type failingAsyncStore struct {
+	inner    *MapStore
+	failIdx  int
+	syncFail bool
+}
+
+func (s *failingAsyncStore) ReadObj(ds, idx int, dst []byte) error {
+	if s.syncFail && idx == s.failIdx {
+		return errInjected
+	}
+	return s.inner.ReadObj(ds, idx, dst)
+}
+
+func (s *failingAsyncStore) WriteObj(ds, idx int, src []byte) error {
+	return s.inner.WriteObj(ds, idx, src)
+}
+
+func (s *failingAsyncStore) IssueRead(ds, idx int, dst []byte, done func(error)) {
+	if idx == s.failIdx {
+		done(errInjected)
+		return
+	}
+	done(s.inner.ReadObj(ds, idx, dst))
+}
+
+func asyncFaultRuntime(t *testing.T, store Store) (*Runtime, uint64) {
+	t.Helper()
+	r := New(Config{
+		PinnedBudget:    1 << 20,
+		RemotableBudget: 2 * 4096,
+		Store:           store,
+	})
+	if _, err := r.RegisterDS(0, DSMeta{Name: "d", ObjSize: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	r.SetPlacement(0, PlaceRemotable)
+	addr, err := r.DSAlloc(0, 8*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, addr
+}
+
+func TestHarvestRetriesFailedAsyncReadSynchronously(t *testing.T) {
+	s := &failingAsyncStore{inner: NewMapStore(), failIdx: 0}
+	r, addr := asyncFaultRuntime(t, s)
+	writeWorkingSet(t, r, addr, 6) // objs 0..3 evicted to the store
+	d := r.DSByID(0)
+
+	r.PrefetchObj(d, 0) // async read fails immediately into the staging buffer
+	if d.objs[0].state != objInFlight {
+		t.Fatalf("obj 0 state = %v, want in-flight", d.objs[0].state)
+	}
+	// The demand deref harvests the failed completion and must fall back
+	// to a synchronous re-read transparently.
+	p, err := r.Guard(addr, false)
+	if err != nil {
+		t.Fatalf("deref with failed async read: %v", err)
+	}
+	if v, _ := r.ReadWord(p); v != 1000 {
+		t.Fatalf("value = %d, want 1000", v)
+	}
+}
+
+func TestHarvestFailurePropagatesAndRevertsObject(t *testing.T) {
+	s := &failingAsyncStore{inner: NewMapStore(), failIdx: 0}
+	r, addr := asyncFaultRuntime(t, s)
+	writeWorkingSet(t, r, addr, 6)
+	d := r.DSByID(0)
+
+	r.PrefetchObj(d, 0)
+	s.syncFail = true // the synchronous fallback fails too
+	used := r.RemotableUsed()
+	_, err := r.Guard(addr, false)
+	if err == nil || !strings.Contains(err.Error(), "async fetch") {
+		t.Fatalf("err = %v, want async fetch failure", err)
+	}
+	if d.objs[0].state != objRemote {
+		t.Fatalf("obj 0 state = %v, want reverted to remote", d.objs[0].state)
+	}
+	if r.RemotableUsed() != used-4096 {
+		t.Fatalf("failed harvest leaked its frame: used %d -> %d", used, r.RemotableUsed())
+	}
+
+	// Heal the store: the object must localize correctly afterwards.
+	s.syncFail = false
+	s.failIdx = -1
+	p, err := r.Guard(addr, false)
+	if err != nil {
+		t.Fatalf("deref after heal: %v", err)
+	}
+	if v, _ := r.ReadWord(p); v != 1000 {
+		t.Fatalf("value after heal = %d, want 1000", v)
+	}
+}
+
+func TestClockSettleRevertsFailedPrefetch(t *testing.T) {
+	// A failed async prefetch that no access consumes is settled by the
+	// CLOCK pass: the settle harvest fails, the object reverts to remote,
+	// and eviction continues without surfacing an error to the caller.
+	s := &failingAsyncStore{inner: NewMapStore(), failIdx: 0, syncFail: true}
+	r, addr := asyncFaultRuntime(t, s)
+	writeWorkingSet(t, r, addr, 6)
+	d := r.DSByID(0)
+
+	r.PrefetchObj(d, 0)
+	// Advance virtual time past the prefetch's arrival, then force
+	// evictions: obj 1's fetch advances the clock a full RTT, and the
+	// later derefs need frames the wedged prefetch would otherwise hold.
+	for i := 1; i < 4; i++ {
+		if _, err := r.Guard(addr+uint64(i*4096), false); err != nil {
+			t.Fatalf("deref obj %d during settle pressure: %v", i, err)
+		}
+	}
+	if d.objs[0].state != objRemote {
+		t.Fatalf("obj 0 state = %v, want settled back to remote", d.objs[0].state)
+	}
+	if d.inflight != 0 {
+		t.Fatalf("inflight = %d, want 0 after settle", d.inflight)
+	}
+
+	s.syncFail = false
+	s.failIdx = -1
+	p, err := r.Guard(addr, false)
+	if err != nil {
+		t.Fatalf("deref after heal: %v", err)
+	}
+	if v, _ := r.ReadWord(p); v != 1000 {
+		t.Fatalf("value after heal = %d, want 1000", v)
+	}
+}

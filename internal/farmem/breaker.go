@@ -1,0 +1,292 @@
+package farmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Circuit-breaker degradation to local memory.
+//
+// When the remote tier dies outright (server crash, partition), per-op
+// retries only multiply the pain: every miss and every dirty eviction
+// stalls through a full retry budget before failing. The breaker
+// converts that into fail-fast degraded service: after
+// Config.BreakerThreshold consecutive store failures it trips OPEN, and
+// while open the runtime
+//
+//   - serves derefs of resident objects as usual (they never touch the
+//     store),
+//   - fails derefs of remote objects immediately with ErrDegraded,
+//   - stops evicting dirty objects (their only copy is local now —
+//     write-back has nowhere to go) and instead grows the remotable
+//     budget up to a ceiling, pinning the working set in local memory,
+//   - issues no prefetches.
+//
+// Recovery: a background prober pings the store (when it has a Ping
+// method) on a wall-clock interval; a successful ping arms HALF-OPEN
+// and the next runtime store operation is the trial. If the trial
+// succeeds the breaker closes, the dirty working set is drained back to
+// the far tier, and the remotable budget shrinks to its configured
+// size. Without a Ping method the breaker arms half-open by elapsed
+// wall time alone.
+
+// ErrDegraded reports a remote-object access while the breaker is open:
+// the far tier is unreachable and the object is not resident locally.
+var ErrDegraded = errors.New("farmem: remote tier degraded (circuit breaker open)")
+
+// Pinger is the optional liveness probe surface of a Store (the remote
+// clients implement it); detected by type assertion.
+type Pinger interface {
+	Ping() error
+}
+
+// BreakerState enumerates the circuit-breaker states.
+type BreakerState int32
+
+// Breaker states.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker holds the state machine. It is shared between the
+// single-threaded runtime and the background prober goroutine, hence
+// the mutex; every transition is cheap and rare.
+type breaker struct {
+	threshold  int
+	probeEvery time.Duration
+	hasPinger  bool
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int       // consecutive failures while closed
+	openedAt time.Time // wall clock of the last trip
+}
+
+// gate is consulted before a store operation. It returns false when the
+// operation must fail fast with ErrDegraded. In the open state without
+// a prober it self-arms half-open once probeEvery has elapsed.
+func (b *breaker) gate() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return true
+	}
+	if !b.hasPinger && time.Since(b.openedAt) >= b.probeEvery {
+		b.state = BreakerHalfOpen
+		return true
+	}
+	return false
+}
+
+// onSuccess records a successful store operation; reports true when
+// this was the half-open trial that closed the breaker (the caller then
+// runs recovery).
+func (b *breaker) onSuccess() (recovered bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	if b.state == BreakerClosed {
+		return false
+	}
+	b.state = BreakerClosed
+	return true
+}
+
+// onFailure records a failed store operation; reports true when this
+// failure tripped the breaker open (a half-open trial failure re-opens
+// without re-reporting).
+func (b *breaker) onFailure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+	case BreakerClosed:
+		if b.consec >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			return true
+		}
+	}
+	return false
+}
+
+// armHalfOpen moves open -> half-open (called by the prober after a
+// successful ping); the next store operation is the trial.
+func (b *breaker) armHalfOpen() {
+	b.mu.Lock()
+	if b.state == BreakerOpen {
+		b.state = BreakerHalfOpen
+	}
+	b.mu.Unlock()
+}
+
+// State returns the current state.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// isOpen is the hot-path check the allocator and evictor use.
+func (r *Runtime) breakerIsOpen() bool {
+	return r.breaker != nil && r.breaker.State() != BreakerClosed
+}
+
+// BreakerState reports the breaker's current state (BreakerClosed when
+// no breaker is configured).
+func (r *Runtime) BreakerState() BreakerState {
+	if r.breaker == nil {
+		return BreakerClosed
+	}
+	return r.breaker.State()
+}
+
+// storeRead is the fault path's read through the breaker + retry
+// wrapper.
+func (r *Runtime) storeRead(d *DS, idx int, dst []byte) error {
+	return r.storeOp(func() error { return r.store.ReadObj(d.ID, idx, dst) })
+}
+
+// storeWrite is the write-back path through the breaker + retry
+// wrapper. Replaying a write-back is safe at this layer: write-backs
+// carry the full object and the runtime is the single writer, so a
+// duplicated (uncertain) write is idempotent — which is exactly why the
+// transport refuses to make this call and the runtime gets to.
+func (r *Runtime) storeWrite(d *DS, idx int, src []byte) error {
+	return r.storeOp(func() error { return r.store.WriteObj(d.ID, idx, src) })
+}
+
+// storeOp runs one store operation under the breaker gate with up to
+// Config.RetryMax reissues, charging each reissue to the simulated link
+// (a wasted round trip plus backoff). A success that closes a half-open
+// breaker triggers recovery: budget restore + dirty drain.
+func (r *Runtime) storeOp(op func() error) error {
+	b := r.breaker
+	if b != nil && !b.gate() {
+		r.stats.DegradedOps++
+		return ErrDegraded
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			if b != nil && b.onSuccess() {
+				r.recoverRemote()
+			}
+			return nil
+		}
+		if attempt >= r.retryMax {
+			break
+		}
+		r.stats.StoreRetries++
+		r.link.Retry()
+	}
+	if b != nil && b.onFailure() {
+		r.stats.BreakerTrips++
+		r.emit(EvBreakerTrip, -1, 0, false)
+	}
+	return err
+}
+
+// recoverRemote runs after the half-open trial closed the breaker:
+// drain every dirty resident object back to the far tier, then shrink
+// the remotable budget to its configured size (subsequent allocations
+// evict back down to it). A failure mid-drain re-trips the breaker and
+// aborts; the remaining dirty objects stay pinned until the next
+// recovery.
+func (r *Runtime) recoverRemote() {
+	r.stats.BreakerRecoveries++
+	r.emit(EvBreakerRecover, -1, 0, false)
+	for _, d := range r.dss {
+		for idx := range d.objs {
+			obj := &d.objs[idx]
+			if obj.state != objLocal || !obj.dirty {
+				continue
+			}
+			if err := r.storeWrite(d, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
+				return // re-tripped (or transient): stop, stay pinned
+			}
+			r.link.WriteBack(d.Meta.ObjSize)
+			obj.dirty = false
+			d.stats.WriteBacks++
+			r.stats.DrainedWriteBacks++
+		}
+	}
+	r.remotableBudget = r.baseRemotableBudget
+}
+
+// growBudgetFor implements degraded-mode allocation: while the breaker
+// is open the remotable budget grows (up to the ceiling) instead of
+// evicting — dirty evictions are impossible and clean evictions would
+// shrink the only copy of the working set we can still serve.
+func (r *Runtime) growBudgetFor(sz uint64) bool {
+	if !r.breakerIsOpen() {
+		return false
+	}
+	want := r.remotableUsed + sz
+	if want <= r.remotableBudget {
+		return true
+	}
+	if want > r.breakerCeiling {
+		return false
+	}
+	r.remotableBudget = want
+	return true
+}
+
+// probeLoop is the background prober: while the breaker is open it
+// pings the store every probeEvery; a successful ping arms half-open so
+// the next runtime operation trials the recovery. It runs on wall
+// clock, not virtual cycles — probing is real-world I/O, invisible to
+// the simulation until the trial op succeeds.
+func (r *Runtime) probeLoop(p Pinger) {
+	t := time.NewTicker(r.breaker.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.breakerStop:
+			return
+		case <-t.C:
+			if r.breaker.State() != BreakerOpen {
+				continue
+			}
+			if p.Ping() == nil {
+				r.breaker.armHalfOpen()
+			}
+		}
+	}
+}
+
+// Close releases background resources (the breaker prober). Safe to
+// call multiple times; a Runtime without a breaker needs no Close but
+// tolerates one.
+func (r *Runtime) Close() error {
+	r.closeOnce.Do(func() {
+		if r.breakerStop != nil {
+			close(r.breakerStop)
+		}
+	})
+	return nil
+}
+
+// errDegradedDeref wraps ErrDegraded with the faulting object for
+// diagnostics while keeping errors.Is(err, ErrDegraded) true.
+func errDegradedDeref(ds, idx int) error {
+	return fmt.Errorf("farmem: deref ds%d[%d]: %w", ds, idx, ErrDegraded)
+}

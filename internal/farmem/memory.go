@@ -183,6 +183,12 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 		r.emit(EvMaterialize, d.ID, idx, false)
 
 	case objRemote:
+		// Fail fast while degraded — and BEFORE allocFrame, so refused
+		// derefs cannot erode the clean resident set through evictions.
+		if r.breaker != nil && !r.breaker.gate() {
+			r.stats.DegradedOps++
+			return 0, errDegradedDeref(d.ID, idx)
+		}
 		missed = true
 		d.stats.Misses++
 		r.stats.RemoteFetches++
@@ -191,7 +197,13 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		if err := r.store.ReadObj(d.ID, idx, r.arena.Bytes(frame, d.Meta.ObjSize)); err != nil {
+		if err := r.storeRead(d, idx, r.arena.Bytes(frame, d.Meta.ObjSize)); err != nil {
+			// Give the frame back and bump the epoch so the ring entry
+			// allocFrame just registered goes stale — otherwise every
+			// failed fetch would leak remotable budget.
+			r.arena.Free(frame, d.Meta.ObjSize)
+			r.remotableUsed -= uint64(d.Meta.ObjSize)
+			obj.epoch++
 			return 0, fmt.Errorf("farmem: remote read ds%d[%d]: %w", d.ID, idx, err)
 		}
 		r.link.FetchSync(d.Meta.ObjSize)
@@ -215,6 +227,11 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 func (r *Runtime) allocFrame(d *DS, idx int) (uint64, error) {
 	sz := uint64(d.Meta.ObjSize)
 	for r.remotableUsed+sz > r.remotableBudget {
+		if r.growBudgetFor(sz) {
+			// Degraded mode: grow the budget (up to the ceiling) instead
+			// of evicting — see breaker.go.
+			break
+		}
 		if err := r.evictOne(); err != nil {
 			return 0, err
 		}
@@ -235,6 +252,7 @@ const recentWindow = 8
 // evictOne runs CLOCK pass steps until a victim is evicted.
 func (r *Runtime) evictOne() error {
 	scanned := 0
+	degraded := r.breakerIsOpen()
 	// When every resident object is deref-scope protected (tiny budgets),
 	// fall back to evicting the least recently derefed protected object.
 	fallbackPos := -1
@@ -287,6 +305,12 @@ func (r *Runtime) evictOne() error {
 			}
 			r.hand++
 			scanned++
+		case degraded && obj.dirty:
+			// Breaker open: this frame holds the only copy of a dirty
+			// object (its write-back has nowhere to go). Pin it; the
+			// allocator grows the budget instead.
+			r.hand++
+			scanned++
 		default:
 			return r.evictObject(e.ds, e.idx, r.hand)
 		}
@@ -294,7 +318,7 @@ func (r *Runtime) evictOne() error {
 	if fallbackPos >= 0 && fallbackPos < len(r.ring) {
 		e := r.ring[fallbackPos]
 		obj := &e.ds.objs[e.idx]
-		if obj.epoch == e.epoch && obj.state == objLocal {
+		if obj.epoch == e.epoch && obj.state == objLocal && !(degraded && obj.dirty) {
 			return r.evictObject(e.ds, e.idx, fallbackPos)
 		}
 	}
@@ -307,7 +331,7 @@ func (r *Runtime) evictObject(d *DS, idx, ringPos int) error {
 	start := r.clock.Now()
 	wasDirty := obj.dirty
 	if obj.dirty {
-		if err := r.store.WriteObj(d.ID, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
+		if err := r.storeWrite(d, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
 			return fmt.Errorf("farmem: write-back ds%d[%d]: %w", d.ID, idx, err)
 		}
 		r.link.WriteBack(d.Meta.ObjSize)
@@ -342,6 +366,10 @@ func (r *Runtime) removeRingEntry(pos int) {
 // it is remote and capacity allows. Called by prefetchers.
 func (r *Runtime) PrefetchObj(d *DS, idx int) {
 	if idx < 0 || idx >= len(d.objs) {
+		return
+	}
+	// No speculation while the remote tier is degraded (or on trial).
+	if r.breakerIsOpen() {
 		return
 	}
 	// Never let in-flight prefetches occupy more than half the remotable
@@ -380,9 +408,10 @@ func (r *Runtime) PrefetchObj(d *DS, idx int) {
 		}
 		r.astore.IssueRead(d.ID, idx, p.buf, func(err error) { p.done <- err })
 		obj.pending = p
-	} else if err := r.store.ReadObj(d.ID, idx, r.arena.Bytes(frame, d.Meta.ObjSize)); err != nil {
+	} else if err := r.storeRead(d, idx, r.arena.Bytes(frame, d.Meta.ObjSize)); err != nil {
 		r.arena.Free(frame, d.Meta.ObjSize)
 		r.remotableUsed -= uint64(d.Meta.ObjSize)
+		obj.epoch++
 		return
 	}
 	obj.frame = frame
@@ -411,7 +440,13 @@ func (r *Runtime) harvest(d *DS, idx int) error {
 		copy(r.arena.Bytes(obj.frame, d.Meta.ObjSize), p.buf)
 		return nil
 	}
-	if err := r.store.ReadObj(d.ID, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err == nil {
+	// The async read failed: record it against the breaker, then reissue
+	// synchronously under the retry budget.
+	if r.breaker != nil && r.breaker.onFailure() {
+		r.stats.BreakerTrips++
+		r.emit(EvBreakerTrip, -1, 0, false)
+	}
+	if err := r.storeRead(d, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err == nil {
 		return nil
 	}
 	r.arena.Free(obj.frame, d.Meta.ObjSize)

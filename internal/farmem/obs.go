@@ -38,6 +38,16 @@ const (
 	MetricAllLocalCalls   = "cards_farmem_all_local_calls_total"
 	MetricOvercommitBytes = "cards_farmem_overcommit_bytes"
 
+	// Fault-tolerance counters and the circuit-breaker state gauge
+	// (0=closed 1=open 2=half-open; see breaker.go).
+	MetricStoreRetries      = "cards_farmem_store_retries_total"
+	MetricDegradedOps       = "cards_farmem_degraded_ops_total"
+	MetricBreakerTrips      = "cards_farmem_breaker_trips_total"
+	MetricBreakerRecoveries = "cards_farmem_breaker_recoveries_total"
+	MetricDrainedWriteBacks = "cards_farmem_drained_writebacks_total"
+	MetricBreakerState      = "cards_farmem_breaker_state"
+	MetricRemotableBudget   = "cards_farmem_remotable_budget_bytes"
+
 	// Local memory occupancy gauges.
 	MetricArenaUsed     = "cards_farmem_arena_used_bytes"
 	MetricPinnedUsed    = "cards_farmem_pinned_used_bytes"
@@ -52,6 +62,7 @@ const (
 	MetricLinkBytesOut     = "cards_netsim_bytes_out_total"
 	MetricLinkQueueBacklog = "cards_netsim_queue_backlog_cycles"
 	MetricLinkQueueDelay   = "cards_netsim_queue_delay_cycles"
+	MetricLinkRetries      = "cards_netsim_retries_total"
 )
 
 // cyclesPerMicro converts virtual cycles to trace microseconds at the
@@ -102,6 +113,14 @@ func (r *Runtime) PublishObs() {
 	reg.Counter(MetricAllLocalCalls).Store(s.AllLocalCalls)
 	reg.Counter(MetricOvercommitBytes).Store(s.OvercommitBytes)
 
+	reg.Counter(MetricStoreRetries).Store(s.StoreRetries)
+	reg.Counter(MetricDegradedOps).Store(s.DegradedOps)
+	reg.Counter(MetricBreakerTrips).Store(s.BreakerTrips)
+	reg.Counter(MetricBreakerRecoveries).Store(s.BreakerRecoveries)
+	reg.Counter(MetricDrainedWriteBacks).Store(s.DrainedWriteBacks)
+	reg.Gauge(MetricBreakerState).Set(int64(r.BreakerState()))
+	reg.Gauge(MetricRemotableBudget).Set(int64(r.remotableBudget))
+
 	reg.Gauge(MetricArenaUsed).Set(int64(r.arena.Used()))
 	reg.Gauge(MetricPinnedUsed).Set(int64(r.pinnedUsed))
 	reg.Gauge(MetricRemotableUsed).Set(int64(r.remotableUsed))
@@ -112,6 +131,7 @@ func (r *Runtime) PublishObs() {
 	reg.Counter(MetricLinkWriteBacks).Store(r.link.WriteBacks)
 	reg.Counter(MetricLinkBytesIn).Store(r.link.BytesIn)
 	reg.Counter(MetricLinkBytesOut).Store(r.link.BytesOut)
+	reg.Counter(MetricLinkRetries).Store(r.link.Retries)
 	reg.Gauge(MetricLinkQueueBacklog).Set(int64(r.link.QueueBacklog()))
 	r.link.QueueDelay.PublishTo(reg.Histogram(MetricLinkQueueDelay))
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"cards/internal/netsim"
 	"cards/internal/obs"
@@ -289,6 +290,21 @@ type Config struct {
 	// Tracer receives runtime events into the bounded ring (in addition
 	// to any legacy SetEventHook subscriber); nil disables ring tracing.
 	Tracer *obs.Tracer
+
+	// RetryMax is the number of times a failed store operation is
+	// reissued before the failure propagates (each reissue charges a
+	// wasted round trip plus backoff to the link). 0 disables retries.
+	RetryMax int
+	// BreakerThreshold arms the circuit breaker: after this many
+	// consecutive store failures the runtime degrades to local memory
+	// (see breaker.go). 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCeiling bounds how far the remotable budget may grow while
+	// degraded; 0 means 4x RemotableBudget.
+	BreakerCeiling uint64
+	// BreakerProbe is the wall-clock interval between recovery probes
+	// while the breaker is open; 0 means 250ms.
+	BreakerProbe time.Duration
 }
 
 // clockEntry is one CLOCK ring slot.
@@ -310,6 +326,13 @@ type RuntimeStats struct {
 	// OvercommitBytes counts pinned allocations beyond the pinned budget
 	// forced by local promises (unguarded code paths).
 	OvercommitBytes uint64
+
+	// Fault-tolerance counters (see breaker.go).
+	StoreRetries      uint64 // store operations reissued after a failure
+	DegradedOps       uint64 // store operations refused while the breaker was open
+	BreakerTrips      uint64 // closed -> open transitions
+	BreakerRecoveries uint64 // half-open -> closed transitions
+	DrainedWriteBacks uint64 // dirty objects written back during recovery
 }
 
 // Runtime is the CaRDS far-memory runtime.
@@ -336,6 +359,15 @@ type Runtime struct {
 	tracer             *obs.Tracer
 	tracing            bool // hook != nil || tracer != nil
 	reg                *obs.Registry
+
+	// Fault tolerance (breaker.go). baseRemotableBudget is the configured
+	// budget the breaker restores after degraded-mode growth.
+	retryMax            int
+	breaker             *breaker
+	breakerCeiling      uint64
+	baseRemotableBudget uint64
+	breakerStop         chan struct{}
+	closeOnce           sync.Once
 
 	stats RuntimeStats
 }
@@ -368,22 +400,44 @@ func New(cfg Config) *Runtime {
 		reg = obs.NewRegistry()
 	}
 	r := &Runtime{
-		model:           model,
-		clock:           clock,
-		link:            netsim.NewLink(model, clock),
-		arena:           NewArena(initialArenaCap(cfg.PinnedBudget + cfg.RemotableBudget)),
-		store:           store,
-		pinnedBudget:    cfg.PinnedBudget,
-		remotableBudget: cfg.RemotableBudget,
-		trackFM:         cfg.TrackFMGuards,
-		tracer:          cfg.Tracer,
-		tracing:         cfg.Tracer != nil,
-		reg:             reg,
+		model:               model,
+		clock:               clock,
+		link:                netsim.NewLink(model, clock),
+		arena:               NewArena(initialArenaCap(cfg.PinnedBudget + cfg.RemotableBudget)),
+		store:               store,
+		pinnedBudget:        cfg.PinnedBudget,
+		remotableBudget:     cfg.RemotableBudget,
+		baseRemotableBudget: cfg.RemotableBudget,
+		trackFM:             cfg.TrackFMGuards,
+		tracer:              cfg.Tracer,
+		tracing:             cfg.Tracer != nil,
+		reg:                 reg,
+		retryMax:            cfg.RetryMax,
 	}
 	if as, ok := store.(AsyncStore); ok {
 		r.astore = as
 	}
 	r.defaultMaxInflight = mi
+	if cfg.BreakerThreshold > 0 {
+		probe := cfg.BreakerProbe
+		if probe <= 0 {
+			probe = 250 * time.Millisecond
+		}
+		r.breakerCeiling = cfg.BreakerCeiling
+		if r.breakerCeiling == 0 {
+			r.breakerCeiling = 4 * cfg.RemotableBudget
+		}
+		p, hasPinger := store.(Pinger)
+		r.breaker = &breaker{
+			threshold:  cfg.BreakerThreshold,
+			probeEvery: probe,
+			hasPinger:  hasPinger,
+		}
+		if hasPinger {
+			r.breakerStop = make(chan struct{})
+			go r.probeLoop(p)
+		}
+	}
 	return r
 }
 

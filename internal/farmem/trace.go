@@ -24,6 +24,12 @@ const (
 	EvSpill
 	// EvMaterialize: first touch of an uninitialized object.
 	EvMaterialize
+	// EvBreakerTrip: the circuit breaker opened after consecutive
+	// remote-tier failures; the runtime degrades to local memory.
+	EvBreakerTrip
+	// EvBreakerRecover: a probe succeeded; remoting resumed and dirty
+	// objects were drained back to the far tier.
+	EvBreakerRecover
 )
 
 func (k EventKind) String() string {
@@ -40,6 +46,10 @@ func (k EventKind) String() string {
 		return "spill"
 	case EvMaterialize:
 		return "materialize"
+	case EvBreakerTrip:
+		return "breaker-trip"
+	case EvBreakerRecover:
+		return "breaker-recover"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

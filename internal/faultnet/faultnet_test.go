@@ -1,0 +1,229 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("cut=4096,corrupt=0.01,latency=1ms,jitter=2ms,stall=50ms,stallp=0.5,trunc=0.25,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CutEveryBytes != 4096 || cfg.CorruptProb != 0.01 || cfg.Seed != 7 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Latency != time.Millisecond || cfg.Jitter != 2*time.Millisecond ||
+		cfg.Stall != 50*time.Millisecond || cfg.StallProb != 0.5 || cfg.TruncateProb != 0.25 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if c, err := ParseSpec("  "); err != nil || c.active() {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	if c, err := ParseSpec("stallp=0.1"); err != nil || c.Stall == 0 {
+		t.Fatalf("stallp without stall should default the stall duration: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"cut", "nope=1", "cut=abc", "latency=xyz"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+// pipePair returns the two ends of an in-memory conn for wrapper tests.
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestCutSeversStreamDeterministically(t *testing.T) {
+	cutAt := func(seed int64) int {
+		a, b := pipePair()
+		defer b.Close()
+		w := Wrap(a, Config{Seed: seed, CutEveryBytes: 1024})
+		go io.Copy(io.Discard, b)
+		total := 0
+		buf := make([]byte, 100)
+		for {
+			n, err := w.Write(buf)
+			total += n
+			if err != nil {
+				if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrCut) {
+					t.Fatalf("cut error = %v", err)
+				}
+				break
+			}
+			if total > 10*1024 {
+				t.Fatal("never cut")
+			}
+		}
+		if !w.WasCut() {
+			t.Fatal("WasCut = false after injected cut")
+		}
+		// The connection stays dead.
+		if _, err := w.Write(buf); !errors.Is(err, ErrCut) {
+			t.Fatalf("post-cut write = %v", err)
+		}
+		return total
+	}
+	a, b := cutAt(42), cutAt(42)
+	if a != b {
+		t.Fatalf("same seed cut at different offsets: %d vs %d", a, b)
+	}
+	if c := cutAt(43); c == a {
+		t.Logf("different seeds cut at same offset %d (possible but unlikely)", c)
+	}
+	// Cut offsets land within the scheduled band [N/2, 3N/2).
+	if a < 512 || a >= 1536+100 {
+		t.Fatalf("cut offset %d outside scheduled band", a)
+	}
+}
+
+func TestCorruptionFlipsBytes(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	w := Wrap(a, Config{Seed: 3, CorruptProb: 1.0}) // corrupt every chunk
+	payload := bytes.Repeat([]byte{0x55}, 256)
+	go b.Write(payload)
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(w, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("CorruptProb=1 corrupted nothing")
+	}
+}
+
+func TestTruncateTearsWrite(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	var kinds []Kind
+	w := Wrap(a, Config{Seed: 5, TruncateProb: 1.0, OnFault: func(k Kind) { kinds = append(kinds, k) }})
+	recv := make(chan int, 1)
+	go func() {
+		n, _ := io.Copy(io.Discard, b)
+		recv <- int(n)
+	}()
+	n, err := w.Write(make([]byte, 64))
+	if err == nil || n >= 64 {
+		t.Fatalf("truncated write returned n=%d err=%v", n, err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := <-recv; got >= 64 {
+		t.Fatalf("peer received %d bytes, want a torn frame", got)
+	}
+	if len(kinds) == 0 || kinds[0] != KindTruncate {
+		t.Fatalf("fault kinds = %v", kinds)
+	}
+	if KindCut.String() != "cut" || KindCorrupt.String() != "corrupt" ||
+		KindStall.String() != "stall" || KindTruncate.String() != "truncate" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestLatencyDelaysReads(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	w := Wrap(a, Config{Seed: 1, Latency: 30 * time.Millisecond})
+	go b.Write([]byte{1})
+	start := time.Now()
+	if _, err := w.Read(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("read returned after %v, want >=30ms injected latency", d)
+	}
+}
+
+func TestProxyPipesAndCuts(t *testing.T) {
+	// Echo server as backend.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String(), Config{Seed: 11, CutEveryBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Drive traffic through reconnecting sessions until >= 3 cuts.
+	buf := make([]byte, 128)
+	echo := make([]byte, 128)
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Cuts() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d cuts injected", p.Cuts())
+		}
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := conn.Write(buf); err != nil {
+				break
+			}
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			if _, err := io.ReadFull(conn, echo); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	}
+	if p.Conns() < 1 {
+		t.Fatal("no connections accepted")
+	}
+}
+
+func TestDeadlinePassthrough(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := Wrap(a, Config{})
+	if err := w.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := w.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read past deadline = %v, want timeout", err)
+	}
+	if err := w.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWriteDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	// A non-net inner conn reports no deadline support.
+	nd := Wrap(nopRWC{}, Config{})
+	if err := nd.SetReadDeadline(time.Now()); err == nil {
+		t.Fatal("deadline on deadline-less inner conn should error")
+	}
+}
+
+type nopRWC struct{}
+
+func (nopRWC) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (nopRWC) Write(p []byte) (int, error) { return len(p), nil }
+func (nopRWC) Close() error                { return nil }

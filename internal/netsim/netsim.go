@@ -103,6 +103,11 @@ type CostModel struct {
 	// the cost of registering a remotable allocation with the runtime.
 	AllocLocal  Cycles
 	AllocRemote Cycles
+
+	// RetryBackoff is the extra charge per retried remote operation on
+	// top of the wasted round trip: the backoff delay the transport
+	// inserts before reissuing (~10 us at 2.4 GHz).
+	RetryBackoff Cycles
 }
 
 // DefaultCostModel returns the Table 1 calibration.
@@ -122,6 +127,7 @@ func DefaultCostModel() CostModel {
 		PrefetchIssue:           150,
 		AllocLocal:              80,
 		AllocRemote:             200,
+		RetryBackoff:            24000,
 	}
 }
 
@@ -149,6 +155,7 @@ type Link struct {
 	Fetches    uint64 // synchronous fetches issued
 	Prefetches uint64 // asynchronous fetches issued
 	WriteBacks uint64 // eviction write-backs issued
+	Retries    uint64 // remote operations reissued after a fault
 	BytesIn    uint64 // payload bytes fetched (both kinds)
 	BytesOut   uint64 // payload bytes written back
 
@@ -213,6 +220,14 @@ func (l *Link) WriteBack(size int) {
 	l.BytesOut += uint64(size)
 }
 
+// Retry charges the cost of one failed-and-reissued remote operation:
+// the wasted round trip plus the backoff delay before the reissue. The
+// transfer itself is charged by the eventual successful Fetch/WriteBack.
+func (l *Link) Retry() {
+	l.Retries++
+	l.clock.Advance(l.model.RemoteRTT + l.model.RetryBackoff)
+}
+
 // WaitUntil blocks the executing thread until t (e.g. an in-flight
 // prefetch the thread now depends on).
 func (l *Link) WaitUntil(t Cycles) { l.clock.AdvanceTo(t) }
@@ -229,7 +244,7 @@ func (l *Link) QueueBacklog() Cycles {
 // Reset clears link occupancy and statistics (the clock is not touched).
 func (l *Link) Reset() {
 	l.busyUntil = 0
-	l.Fetches, l.Prefetches, l.WriteBacks = 0, 0, 0
+	l.Fetches, l.Prefetches, l.WriteBacks, l.Retries = 0, 0, 0, 0
 	l.BytesIn, l.BytesOut = 0, 0
 	l.QueueDelay.Reset()
 }

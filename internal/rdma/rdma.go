@@ -263,6 +263,11 @@ const (
 	// FeatBatch: the peer understands tagged frames and the
 	// READBATCH/DATABATCH/WRITETAG verbs.
 	FeatBatch uint32 = 1 << 0
+	// FeatCRC: the peer can switch the session to checksummed framing
+	// (a CRC32-C trailer per frame — see crc.go). When both sides
+	// advertise it, every frame after the negotiation exchange carries
+	// the trailer.
+	FeatCRC uint32 = 1 << 1
 )
 
 // EncodeFeatures packs a feature word into a PING/OK payload.

@@ -50,6 +50,16 @@ const (
 	MetricBatchReads      = "cards_remote_batch_reads"
 	MetricClientInflight  = "cards_remote_client_inflight_ops"
 	MetricClientBatchSize = "cards_remote_client_batch_reads"
+
+	// Fault tolerance (both clients): idempotent retries, successful
+	// redials, round trips that hit their deadline, writes whose outcome
+	// the transport could not determine, and reads replayed onto a fresh
+	// connection after a reconnect.
+	MetricClientRetries         = "cards_remote_client_retries_total"
+	MetricClientReconnects      = "cards_remote_client_reconnects_total"
+	MetricClientTimeouts        = "cards_remote_client_timeouts_total"
+	MetricClientUncertainWrites = "cards_remote_client_uncertain_writes_total"
+	MetricClientReplayedReads   = "cards_remote_client_replayed_reads_total"
 )
 
 // serverMetrics caches the registry series the hot request loop touches,
@@ -149,6 +159,9 @@ func (s *Server) observeBatch(connID, n int, start time.Time, startUS uint64) {
 type clientMetrics struct {
 	readNS, writeNS, pingNS *stats.Histogram
 	bytesIn, bytesOut       *stats.Counter
+	retries, reconnects     *stats.Counter
+	timeouts                *stats.Counter
+	uncertainWrites         *stats.Counter
 }
 
 // SetObs attaches a registry to the client; round trips then observe
@@ -159,11 +172,15 @@ func (c *Client) SetObs(reg *obs.Registry) {
 		return
 	}
 	c.metrics = &clientMetrics{
-		readNS:   reg.Histogram(MetricClientReadNS),
-		writeNS:  reg.Histogram(MetricClientWriteNS),
-		pingNS:   reg.Histogram(MetricClientPingNS),
-		bytesIn:  reg.Counter(MetricBytesIn),
-		bytesOut: reg.Counter(MetricBytesOut),
+		readNS:          reg.Histogram(MetricClientReadNS),
+		writeNS:         reg.Histogram(MetricClientWriteNS),
+		pingNS:          reg.Histogram(MetricClientPingNS),
+		bytesIn:         reg.Counter(MetricBytesIn),
+		bytesOut:        reg.Counter(MetricBytesOut),
+		retries:         reg.Counter(MetricClientRetries),
+		reconnects:      reg.Counter(MetricClientReconnects),
+		timeouts:        reg.Counter(MetricClientTimeouts),
+		uncertainWrites: reg.Counter(MetricClientUncertainWrites),
 	}
 }
 
@@ -186,6 +203,10 @@ type pipeMetrics struct {
 	batchReads        *stats.Histogram
 	inflight          *stats.Gauge
 	bytesIn, bytesOut *stats.Counter
+	reconnects        *stats.Counter
+	timeouts          *stats.Counter
+	uncertainWrites   *stats.Counter
+	replayedReads     *stats.Counter
 }
 
 func newPipeMetrics(reg *obs.Registry) *pipeMetrics {
@@ -193,11 +214,15 @@ func newPipeMetrics(reg *obs.Registry) *pipeMetrics {
 		return nil
 	}
 	return &pipeMetrics{
-		readNS:     reg.Histogram(MetricClientReadNS),
-		writeNS:    reg.Histogram(MetricClientWriteNS),
-		batchReads: reg.Histogram(MetricClientBatchSize),
-		inflight:   reg.Gauge(MetricClientInflight),
-		bytesIn:    reg.Counter(MetricBytesIn),
-		bytesOut:   reg.Counter(MetricBytesOut),
+		readNS:          reg.Histogram(MetricClientReadNS),
+		writeNS:         reg.Histogram(MetricClientWriteNS),
+		batchReads:      reg.Histogram(MetricClientBatchSize),
+		inflight:        reg.Gauge(MetricClientInflight),
+		bytesIn:         reg.Counter(MetricBytesIn),
+		bytesOut:        reg.Counter(MetricBytesOut),
+		reconnects:      reg.Counter(MetricClientReconnects),
+		timeouts:        reg.Counter(MetricClientTimeouts),
+		uncertainWrites: reg.Counter(MetricClientUncertainWrites),
+		replayedReads:   reg.Counter(MetricClientReplayedReads),
 	}
 }

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -21,6 +24,10 @@ var (
 	ErrNoPipelining = errors.New("remote: server does not support pipelined batches")
 )
 
+// DefaultReconnectAttempts bounds the redial loop after a connection
+// fault when PipelineOpts.RetryMax is unset.
+const DefaultReconnectAttempts = 6
+
 // PipelineOpts tunes a PipelinedClient.
 type PipelineOpts struct {
 	// Window bounds the operations in flight on the wire (default 64).
@@ -34,6 +41,29 @@ type PipelineOpts struct {
 	// sizes, the live in-flight depth, and wire bytes. It must be set
 	// here (not after construction) so the background goroutines see it.
 	Obs *obs.Registry
+
+	// Timeout bounds negotiation and, on deadline-capable connections,
+	// detects a stalled stream: no reply within Timeout while operations
+	// are in flight abandons the connection. 0 disables.
+	Timeout time.Duration
+
+	// Redial reopens the transport after a connection fault. With it set
+	// the client reconnects transparently: the in-flight read window is
+	// replayed on the fresh connection (reads are idempotent), while
+	// unacknowledged writes complete with ErrUncertainWrite — the caller
+	// decides whether its writes are safe to replay. Nil keeps the
+	// historical fail-stop behavior.
+	Redial func() (io.ReadWriteCloser, error)
+
+	// RetryMax bounds consecutive failed redial attempts before the
+	// client fails permanently (default DefaultReconnectAttempts).
+	// RetryBase/RetryCap shape the capped exponential backoff between
+	// attempts (defaults 2ms / 250ms); Seed makes its jitter
+	// deterministic for tests.
+	RetryMax  int
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	Seed      int64
 }
 
 func (o PipelineOpts) withDefaults() PipelineOpts {
@@ -86,49 +116,104 @@ func (op *pipeOp) complete(err error) {
 // their own write to it is still unacknowledged (the farmem runtime
 // never does: in-flight frames are unevictable, and its write-backs are
 // synchronous).
+//
+// Fault model: with Redial configured, a transport fault (cut, checksum
+// mismatch, stalled stream) tears the connection down, replays every
+// in-flight read on a fresh one under new tags, and completes in-flight
+// writes with ErrUncertainWrite. The connection generation counter keeps
+// the flusher, the reader, and stale failures from different
+// generations honest about which connection actually failed.
 type PipelinedClient struct {
-	conn io.ReadWriteCloser
-	bw   *bufio.Writer
 	opts PipelineOpts
 
-	mu       sync.Mutex
-	cond     *sync.Cond // flusher waits for queue work / window space
-	queue    []*pipeOp  // enqueued, not yet on the wire
-	inflight int        // operations on the wire
-	nextTag  uint32
-	pending  map[uint32][]*pipeOp // tag -> ops awaiting the tagged reply
-	err      error                // sticky transport/close error
+	mu           sync.Mutex
+	conn         io.ReadWriteCloser // current connection; swapped on reconnect
+	bw           *bufio.Writer      // doorbell buffer for conn
+	crc          bool               // session uses checksummed framing
+	gen          uint64             // connection generation
+	reconnecting bool               // a reconnect is in progress
+	lastWire     time.Time          // last successful wire activity
+	cond         *sync.Cond         // flusher waits for queue work / window space
+	queue        []*pipeOp          // enqueued, not yet on the wire
+	inflight     int                // operations on the wire
+	nextTag      uint32
+	pending      map[uint32][]*pipeOp // tag -> ops awaiting the tagged reply
+	err          error                // sticky transport/close error
 
-	closeOnce sync.Once
-	wg        sync.WaitGroup
+	rng  *rand.Rand    // backoff jitter; only the reconnect winner uses it
+	stop chan struct{} // closed by fail: aborts backoff sleeps
+	wg   sync.WaitGroup
 
 	metrics *pipeMetrics
+}
+
+// negotiate runs the feature exchange on a fresh connection: request the
+// batch and CRC extensions, demand batching, and report whether the
+// session switched to checksummed framing. The exchange itself is always
+// legacy-framed; d bounds it when > 0.
+func negotiate(conn io.ReadWriteCloser, d time.Duration) (crc bool, err error) {
+	g := guardIO(conn, d)
+	err = rdma.WriteFrame(conn, rdma.PingFeatures(rdma.FeatBatch|rdma.FeatCRC))
+	var resp rdma.Frame
+	if err == nil {
+		resp, err = rdma.ReadFrame(conn)
+	}
+	if err = g.finish(err); err != nil {
+		return false, fmt.Errorf("remote: feature ping: %w", err)
+	}
+	if resp.Op != rdma.OpOK {
+		return false, fmt.Errorf("remote: unexpected ping response %s", resp.Op)
+	}
+	feats, ok := rdma.DecodeFeatures(resp.Payload)
+	if !ok || feats&rdma.FeatBatch == 0 {
+		return false, ErrNoPipelining
+	}
+	return feats&rdma.FeatCRC != 0, nil
+}
+
+// negotiateCRC asks the peer for checksummed framing only — no batching
+// requirement, so it suits the serial client. A legacy server's empty OK
+// decodes as "no features" and leaves the session on plain framing. The
+// exchange itself is always legacy-framed; d bounds it when > 0.
+func negotiateCRC(conn io.ReadWriteCloser, d time.Duration) (bool, error) {
+	g := guardIO(conn, d)
+	err := rdma.WriteFrame(conn, rdma.PingFeatures(rdma.FeatCRC))
+	var resp rdma.Frame
+	if err == nil {
+		resp, err = rdma.ReadFrame(conn)
+	}
+	if err = g.finish(err); err != nil {
+		return false, fmt.Errorf("remote: feature ping: %w", err)
+	}
+	if resp.Op != rdma.OpOK {
+		return false, fmt.Errorf("remote: unexpected ping response %s", resp.Op)
+	}
+	feats, ok := rdma.DecodeFeatures(resp.Payload)
+	return ok && feats&rdma.FeatCRC != 0, nil
 }
 
 // NewPipelined negotiates the batch feature on conn and, on success,
 // returns a running pipelined client. Returns ErrNoPipelining (with conn
 // still usable for a serial Client) when the peer is a legacy server.
 func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient, error) {
-	if err := rdma.WriteFrame(conn, rdma.PingFeatures(rdma.FeatBatch)); err != nil {
-		return nil, fmt.Errorf("remote: feature ping: %w", err)
-	}
-	resp, err := rdma.ReadFrame(conn)
+	crc, err := negotiate(conn, opts.Timeout)
 	if err != nil {
-		return nil, fmt.Errorf("remote: feature ping: %w", err)
+		return nil, err
 	}
-	if resp.Op != rdma.OpOK {
-		return nil, fmt.Errorf("remote: unexpected ping response %s", resp.Op)
-	}
-	feats, ok := rdma.DecodeFeatures(resp.Payload)
-	if !ok || feats&rdma.FeatBatch == 0 {
-		return nil, ErrNoPipelining
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
 	}
 	c := &PipelinedClient{
-		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 64<<10),
-		opts:    opts.withDefaults(),
-		pending: make(map[uint32][]*pipeOp),
-		metrics: newPipeMetrics(opts.Obs),
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 64<<10),
+		crc:      crc,
+		opts:     opts.withDefaults(),
+		lastWire: time.Now(),
+		pending:  make(map[uint32][]*pipeOp),
+		rng:      rand.New(rand.NewSource(seed)),
+		stop:     make(chan struct{}),
+		metrics:  newPipeMetrics(opts.Obs),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.wg.Add(2)
@@ -138,10 +223,15 @@ func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient,
 }
 
 // DialPipelined connects to a server address and negotiates pipelining.
+// When fault handling is requested (Timeout or RetryMax set) and
+// opts.Redial is nil, it defaults to redialing addr.
 func DialPipelined(addr string, opts PipelineOpts) (*PipelinedClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	if opts.Redial == nil && (opts.RetryMax > 0 || opts.Timeout > 0) {
+		opts.Redial = redialer(addr)
 	}
 	c, err := NewPipelined(conn, opts)
 	if err != nil {
@@ -149,6 +239,19 @@ func DialPipelined(addr string, opts PipelineOpts) (*PipelinedClient, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// redialer builds a Redial function for a TCP address. The indirection
+// avoids the classic typed-nil trap: returning (*net.TCPConn)(nil) in an
+// io.ReadWriteCloser interface would compare non-nil.
+func redialer(addr string) func() (io.ReadWriteCloser, error) {
+	return func() (io.ReadWriteCloser, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return conn, nil
+	}
 }
 
 // StoreConn is the client surface shared by the serial and pipelined
@@ -160,20 +263,96 @@ type StoreConn interface {
 	Close() error
 }
 
+// DialConfig configures DialAutoOpts: pipeline shape plus the shared
+// fault-handling knobs applied to whichever client the negotiation
+// lands on.
+type DialConfig struct {
+	// Timeout bounds each round trip (serial) or stall detection
+	// (pipelined). RetryMax / RetryBase / RetryCap / Seed shape the
+	// retry and reconnect backoff; see ClientOpts and PipelineOpts.
+	Timeout   time.Duration
+	RetryMax  int
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	Seed      int64
+
+	// Window/MaxBatch pass through to PipelineOpts.
+	Window   int
+	MaxBatch int
+
+	Obs *obs.Registry
+}
+
+// faultTolerant reports whether the config asks for any fault handling,
+// which is what gates the default redialer.
+func (c DialConfig) faultTolerant() bool { return c.Timeout > 0 || c.RetryMax > 0 }
+
 // DialAuto connects to a server address and returns a pipelined client
 // when the server supports batching, falling back to the serial client
-// against legacy servers.
+// against legacy servers. No deadlines, no retries — the zero-config
+// path.
 func DialAuto(addr string) (StoreConn, error) {
+	return DialAutoOpts(addr, DialConfig{})
+}
+
+// DialAutoOpts is DialAuto with fault handling: the initial dial and
+// negotiation retry under the same backoff budget as later reconnects,
+// so a flaky link at startup is survived too.
+func DialAutoOpts(addr string, cfg DialConfig) (StoreConn, error) {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		sc, err := dialAutoOnce(addr, cfg)
+		if err == nil {
+			return sc, nil
+		}
+		lastErr = err
+		if !cfg.faultTolerant() || attempt >= cfg.RetryMax {
+			return nil, lastErr
+		}
+		time.Sleep(backoff(rng, cfg.RetryBase, cfg.RetryCap, attempt))
+	}
+}
+
+func dialAutoOnce(addr string, cfg DialConfig) (StoreConn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
 	}
-	c, err := NewPipelined(conn, PipelineOpts{})
+	popts := PipelineOpts{
+		Window: cfg.Window, MaxBatch: cfg.MaxBatch, Obs: cfg.Obs,
+		Timeout: cfg.Timeout, RetryMax: cfg.RetryMax,
+		RetryBase: cfg.RetryBase, RetryCap: cfg.RetryCap, Seed: cfg.Seed,
+	}
+	if cfg.faultTolerant() {
+		popts.Redial = redialer(addr)
+	}
+	c, err := NewPipelined(conn, popts)
 	if err == nil {
 		return c, nil
 	}
 	if errors.Is(err, ErrNoPipelining) {
-		return NewClientConn(conn), nil
+		copts := ClientOpts{
+			Timeout: cfg.Timeout, RetryMax: cfg.RetryMax,
+			RetryBase: cfg.RetryBase, RetryCap: cfg.RetryCap, Seed: cfg.Seed,
+		}
+		if cfg.faultTolerant() {
+			copts.Redial = redialer(addr)
+		}
+		sc := NewClientConnOpts(conn, copts)
+		// The fallback conn stays on plain framing (the peer answered the
+		// feature ping without FeatCRC), but any redial renegotiates: a
+		// garbled handshake against a CRC-capable server recovers on the
+		// first fresh connection.
+		sc.wantCRC = cfg.faultTolerant()
+		if cfg.Obs != nil {
+			sc.SetObs(cfg.Obs)
+		}
+		return sc, nil
 	}
 	conn.Close()
 	return nil, err
@@ -219,7 +398,10 @@ func (c *PipelinedClient) ReadObj(ds, idx int, dst []byte) error {
 
 // WriteObj implements farmem.Store. The write rides the same pipeline
 // (tagged frame) and returns once the server acknowledges it; src must
-// stay unmodified until then, which the blocking call guarantees.
+// stay unmodified until then, which the blocking call guarantees. If the
+// connection fails before the ack, the error is ErrUncertainWrite: the
+// transport does not know whether the server applied it and will not
+// guess.
 func (c *PipelinedClient) WriteObj(ds, idx int, src []byte) error {
 	op := &pipeOp{
 		write: true, ds: uint32(ds), idx: uint32(idx),
@@ -237,16 +419,28 @@ func (c *PipelinedClient) Ping() error {
 }
 
 // Close fails all queued and in-flight operations with ErrClientClosed,
-// closes the connection, and waits for the background goroutines.
+// closes the connection, and waits for the background goroutines. A
+// reconnect in progress aborts at its next cancellation point.
 func (c *PipelinedClient) Close() error {
 	c.fail(ErrClientClosed)
 	c.wg.Wait()
 	return nil
 }
 
-// fail marks the client broken: completes everything outstanding with
-// err, wakes the flusher, and closes the connection (unblocking the
-// reader). First caller wins; later transport errors are ignored.
+// Alive reports whether the client can still serve operations — it has
+// not been closed and has not failed permanently after exhausting its
+// reconnect budget. A false result is terminal: callers holding a dead
+// client must dial a new one (see Resilient).
+func (c *PipelinedClient) Alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err == nil
+}
+
+// fail marks the client broken permanently: completes everything
+// outstanding with err, wakes the loops, aborts reconnect sleeps, and
+// closes the current connection (unblocking the reader). First caller
+// wins; later failures are ignored.
 func (c *PipelinedClient) fail(err error) {
 	c.mu.Lock()
 	if c.err != nil {
@@ -259,13 +453,15 @@ func (c *PipelinedClient) fail(err error) {
 	pend := c.pending
 	c.pending = make(map[uint32][]*pipeOp)
 	c.inflight = 0
+	conn := c.conn
 	if m := c.metrics; m != nil {
 		m.inflight.Set(0)
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
 
-	c.closeOnce.Do(func() { c.conn.Close() })
+	close(c.stop)
+	conn.Close()
 	for _, op := range queued {
 		op.complete(err)
 	}
@@ -276,21 +472,157 @@ func (c *PipelinedClient) fail(err error) {
 	}
 }
 
+// connFail handles a transport fault on connection generation gen: the
+// first reporter for the live generation wins and runs the reconnect;
+// stale reports (an already-replaced connection) and racing reporters
+// return immediately. Without a Redial the client fails permanently, as
+// it did before reconnects existed.
+func (c *PipelinedClient) connFail(gen uint64, cause error) {
+	c.mu.Lock()
+	if c.err != nil || c.gen != gen || c.reconnecting {
+		c.mu.Unlock()
+		return
+	}
+	if c.opts.Redial == nil {
+		c.mu.Unlock()
+		c.fail(cause)
+		return
+	}
+	c.reconnecting = true
+	// Harvest the in-flight window. Reads are idempotent: requeue them
+	// ahead of newer work, to be reissued under fresh tags (the old tags
+	// died with the connection). Writes may or may not have been applied
+	// — complete them with ErrUncertainWrite and let the caller decide.
+	tags := make([]uint32, 0, len(c.pending))
+	for tag := range c.pending {
+		tags = append(tags, tag)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	var reads, writes []*pipeOp
+	for _, tag := range tags {
+		for _, op := range c.pending[tag] {
+			if op.write {
+				writes = append(writes, op)
+			} else {
+				reads = append(reads, op)
+			}
+		}
+	}
+	c.pending = make(map[uint32][]*pipeOp)
+	c.inflight = 0
+	c.queue = append(append(make([]*pipeOp, 0, len(reads)+len(c.queue)), reads...), c.queue...)
+	if m := c.metrics; m != nil {
+		m.inflight.Set(0)
+		m.replayedReads.Add(uint64(len(reads)))
+		m.uncertainWrites.Add(uint64(len(writes)))
+	}
+	old := c.conn
+	c.mu.Unlock()
+
+	old.Close()
+	uerr := uncertain(cause)
+	for _, op := range writes {
+		op.complete(uerr)
+	}
+
+	retryMax := c.opts.RetryMax
+	if retryMax <= 0 {
+		retryMax = DefaultReconnectAttempts
+	}
+	lastErr := cause
+	for attempt := 0; attempt < retryMax; attempt++ {
+		select {
+		case <-c.stop:
+			return // Close/fail ran and completed everything outstanding
+		case <-time.After(backoff(c.rng, c.opts.RetryBase, c.opts.RetryCap, attempt)):
+		}
+		nc, err := c.opts.Redial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		crc, err := negotiate(nc, c.opts.Timeout)
+		if err != nil {
+			nc.Close()
+			lastErr = err
+			continue
+		}
+		c.mu.Lock()
+		if c.err != nil {
+			c.mu.Unlock()
+			nc.Close()
+			return
+		}
+		c.conn = nc
+		c.bw = bufio.NewWriterSize(nc, 64<<10)
+		c.crc = crc
+		c.gen++
+		c.reconnecting = false
+		c.lastWire = time.Now()
+		if m := c.metrics; m != nil {
+			m.reconnects.Inc()
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
+	c.fail(fmt.Errorf("remote: reconnect failed after %d attempts: %w", retryMax, lastErr))
+}
+
+// requeueOps returns ops harvested from a bad reply to the pipeline:
+// reads go back to the queue head for replay, writes complete with
+// ErrUncertainWrite. If the client already failed, everything completes
+// with the sticky error instead.
+func (c *PipelinedClient) requeueOps(ops []*pipeOp, cause error) {
+	var reads, writes []*pipeOp
+	for _, op := range ops {
+		if op.write {
+			writes = append(writes, op)
+		} else {
+			reads = append(reads, op)
+		}
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		for _, op := range ops {
+			op.complete(err)
+		}
+		return
+	}
+	c.queue = append(append(make([]*pipeOp, 0, len(reads)+len(c.queue)), reads...), c.queue...)
+	if m := c.metrics; m != nil {
+		m.replayedReads.Add(uint64(len(reads)))
+		m.uncertainWrites.Add(uint64(len(writes)))
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	uerr := uncertain(cause)
+	for _, op := range writes {
+		op.complete(uerr)
+	}
+}
+
 // flushLoop is the doorbell: it waits for queued work and window space,
 // moves as much of the queue as fits onto the wire as tagged frames —
 // consecutive reads coalesced into READBATCH — and flushes the buffered
-// writer once per wakeup.
+// writer once per wakeup. It parks while a reconnect is in progress and
+// resumes against the fresh connection.
 func (c *PipelinedClient) flushLoop() {
 	defer c.wg.Done()
 	for {
 		c.mu.Lock()
-		for c.err == nil && (len(c.queue) == 0 || c.inflight >= c.opts.Window) {
+		for c.err == nil && (c.reconnecting || len(c.queue) == 0 || c.inflight >= c.opts.Window) {
 			c.cond.Wait()
 		}
 		if c.err != nil {
 			c.mu.Unlock()
 			return
 		}
+		gen := c.gen
+		bw := c.bw
+		crc := c.crc
 		space := c.opts.Window - c.inflight
 		var frames []rdma.Frame
 		for space > 0 && len(c.queue) > 0 {
@@ -333,9 +665,13 @@ func (c *PipelinedClient) flushLoop() {
 		}
 		c.mu.Unlock()
 
+		writeFrame := rdma.WriteFrame
+		if crc {
+			writeFrame = rdma.WriteFrameCRC
+		}
 		var werr error
 		for _, f := range frames {
-			if werr = rdma.WriteFrame(c.bw, f); werr != nil {
+			if werr = writeFrame(bw, f); werr != nil {
 				break
 			}
 			if m := c.metrics; m != nil {
@@ -343,12 +679,18 @@ func (c *PipelinedClient) flushLoop() {
 			}
 		}
 		if werr == nil {
-			werr = c.bw.Flush()
+			werr = bw.Flush()
 		}
 		if werr != nil {
-			c.fail(werr)
-			return
+			// The ops this flush registered are harvested by connFail
+			// (requeued or completed uncertain); the loop parks until the
+			// fresh connection is up.
+			c.connFail(gen, werr)
+			continue
 		}
+		c.mu.Lock()
+		c.lastWire = time.Now()
+		c.mu.Unlock()
 	}
 }
 
@@ -370,22 +712,71 @@ func (c *PipelinedClient) tagFor(ops []*pipeOp) uint32 {
 	return c.nextTag
 }
 
-// readLoop demultiplexes completions by tag.
+// readLoop demultiplexes completions by tag. Any transport-level
+// problem — read error, checksum mismatch, unknown tag, malformed
+// batch — reports the connection generation to connFail and parks until
+// reconnected (or until the client fails for good).
 func (c *PipelinedClient) readLoop() {
 	defer c.wg.Done()
 	for {
-		f, err := rdma.ReadFrame(c.conn)
-		if err != nil {
-			c.fail(err)
+		c.mu.Lock()
+		for c.err == nil && c.reconnecting {
+			c.cond.Wait()
+		}
+		if c.err != nil {
+			c.mu.Unlock()
 			return
 		}
+		gen := c.gen
+		conn := c.conn
+		crc := c.crc
+		c.mu.Unlock()
+
+		if d := c.opts.Timeout; d > 0 {
+			if dl, ok := conn.(connDeadline); ok {
+				dl.SetReadDeadline(time.Now().Add(d))
+			}
+		}
+		var f rdma.Frame
+		var err error
+		if crc {
+			f, err = rdma.ReadFrameCRC(conn)
+		} else {
+			f, err = rdma.ReadFrame(conn)
+		}
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// An idle connection hitting the read deadline is benign:
+				// nothing is owed. With ops in flight and no wire activity
+				// for a full Timeout, the stream is stalled — abandon it.
+				// (A deadline that fired mid-frame desynchronizes the
+				// stream; the next read then fails the tag or checksum
+				// check and converges to the same reconnect.)
+				c.mu.Lock()
+				stalled := c.gen == gen && c.inflight > 0 &&
+					time.Since(c.lastWire) >= c.opts.Timeout
+				c.mu.Unlock()
+				if !stalled {
+					continue
+				}
+				if m := c.metrics; m != nil {
+					m.timeouts.Inc()
+				}
+				err = fmt.Errorf("%w (no reply in %v with ops in flight)", ErrTimeout, c.opts.Timeout)
+			}
+			c.connFail(gen, err)
+			continue
+		}
+		c.mu.Lock()
+		c.lastWire = time.Now()
+		c.mu.Unlock()
 		if m := c.metrics; m != nil {
 			m.bytesIn.Add(f.WireSize())
 		}
 		ops, ok := c.takePending(f.Tag)
 		if !ok {
-			c.fail(fmt.Errorf("remote: unknown completion tag %d (%s)", f.Tag, f.Op))
-			return
+			c.connFail(gen, fmt.Errorf("remote: unknown completion tag %d (%s)", f.Tag, f.Op))
+			continue
 		}
 		switch f.Op {
 		case rdma.OpDataBatch:
@@ -394,9 +785,11 @@ func (c *PipelinedClient) readLoop() {
 				derr = fmt.Errorf("remote: DATABATCH has %d segments, want %d", len(segs), len(ops))
 			}
 			if derr != nil {
-				c.completeAll(ops, derr)
-				c.fail(derr) // framing is untrustworthy past this point
-				return
+				// Framing is untrustworthy past this point: replay these
+				// reads on a fresh connection.
+				c.requeueOps(ops, derr)
+				c.connFail(gen, derr)
+				continue
 			}
 			for i, op := range ops {
 				copy(op.dst, segs[i])
@@ -407,12 +800,14 @@ func (c *PipelinedClient) readLoop() {
 			c.observeOp(ops[0])
 			ops[0].complete(nil)
 		case rdma.OpErrTag:
+			// Definitive server-level rejection: the connection is fine
+			// and the answer is final — never retried.
 			c.completeAll(ops, fmt.Errorf("remote: server error: %s", f.Payload))
 		default:
 			err := fmt.Errorf("remote: unexpected frame %s in pipelined stream", f.Op)
-			c.completeAll(ops, err)
-			c.fail(err)
-			return
+			c.requeueOps(ops, err)
+			c.connFail(gen, err)
+			continue
 		}
 	}
 }

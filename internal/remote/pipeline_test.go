@@ -146,7 +146,9 @@ func TestPipelinedOutOfOrderCompletions(t *testing.T) {
 			if f.Op != rdma.OpPing {
 				return errors.New("want feature ping first")
 			}
-			if err := rdma.WriteFrame(c1, rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(ServerFeatures)}); err != nil {
+			// Echo batching only: this hand-rolled server speaks legacy
+			// framing, so it must not accept the CRC feature.
+			if err := rdma.WriteFrame(c1, rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(rdma.FeatBatch)}); err != nil {
 				return err
 			}
 			// Collect two single-read batches, then answer in REVERSE.
@@ -358,7 +360,7 @@ func TestPipelinedCloseUnblocksInflight(t *testing.T) {
 		if err != nil || f.Op != rdma.OpPing {
 			return
 		}
-		rdma.WriteFrame(c1, rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(ServerFeatures)})
+		rdma.WriteFrame(c1, rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(rdma.FeatBatch)})
 		// Swallow whatever arrives, never reply.
 		for {
 			if _, err := rdma.ReadFrame(c1); err != nil {

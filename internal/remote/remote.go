@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -73,9 +74,15 @@ type Server struct {
 	// DefaultBatchWorkers. Set before Listen/ServeConn.
 	BatchWorkers int
 
+	// ConnWrap, when non-nil, wraps every accepted connection before it
+	// is served — the hook cardsd's -chaos flag uses to interpose the
+	// faultnet chaos layer. Set before Listen.
+	ConnWrap func(io.ReadWriteCloser) io.ReadWriteCloser
+
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
+	conns  map[io.ReadWriteCloser]struct{}
 	wg     sync.WaitGroup
 
 	reg     *obs.Registry
@@ -88,8 +95,9 @@ type Server struct {
 const DefaultBatchWorkers = 4
 
 // ServerFeatures is the feature word the server answers to a feature
-// PING: this server speaks the tagged/batch extension.
-const ServerFeatures = rdma.FeatBatch
+// PING: this server speaks the tagged/batch extension and can switch
+// the session to checksummed frames.
+const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC
 
 // NewServer creates a server with an empty store and a private metric
 // registry.
@@ -132,11 +140,32 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		var rwc io.ReadWriteCloser = conn
+		if s.ConnWrap != nil {
+			rwc = s.ConnWrap(rwc)
+		}
+		s.trackConn(rwc, true)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.ServeConn(conn)
+			defer s.trackConn(rwc, false)
+			s.ServeConn(rwc)
 		}()
+	}
+}
+
+// trackConn registers accepted connections so Drain can force-close the
+// stragglers once the drain timeout expires.
+func (s *Server) trackConn(conn io.ReadWriteCloser, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		if s.conns == nil {
+			s.conns = make(map[io.ReadWriteCloser]struct{})
+		}
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
 	}
 }
 
@@ -159,11 +188,18 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 
 	// Batch workers reply concurrently with the inline loop: every
 	// response frame goes through send so frames never interleave.
+	// crcOut flips after the negotiation reply is sent; no batch can be
+	// in flight then (clients wait for the feature OK first), so the
+	// switch is ordered with every checksummed frame.
 	var wmu sync.Mutex
+	var crcOut atomic.Bool
 	send := func(resp rdma.Frame) error {
 		wmu.Lock()
 		defer wmu.Unlock()
 		s.metrics.bytesOut.Add(resp.WireSize())
+		if crcOut.Load() {
+			return rdma.WriteFrameCRC(conn, resp)
+		}
 		return rdma.WriteFrame(conn, resp)
 	}
 	workers := s.BatchWorkers
@@ -184,8 +220,15 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	defer bwg.Wait()
 	defer close(jobs)
 
+	crcIn := false
 	for {
-		f, err := rdma.ReadFrame(conn)
+		var f rdma.Frame
+		var err error
+		if crcIn {
+			f, err = rdma.ReadFrameCRC(conn)
+		} else {
+			f, err = rdma.ReadFrame(conn)
+		}
 		if err != nil {
 			return
 		}
@@ -203,12 +246,16 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		}
 		var resp rdma.Frame
 		var ds, idx int64
+		enableCRC := false
 		switch f.Op {
 		case rdma.OpPing:
-			if _, ok := rdma.DecodeFeatures(f.Payload); ok {
+			if feats, ok := rdma.DecodeFeatures(f.Payload); ok {
 				// Feature negotiation: answer with our feature word. A
-				// legacy client never sends one and gets the empty OK.
+				// legacy client never sends one and gets the empty OK. The
+				// reply itself is always legacy-framed; checksummed framing
+				// starts with the next frame in each direction.
 				resp = rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(ServerFeatures)}
+				enableCRC = feats&rdma.FeatCRC != 0
 			} else {
 				resp = rdma.Frame{Op: rdma.OpOK}
 			}
@@ -253,6 +300,10 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		s.metrics.inflight.Add(-1)
 		if err := send(resp); err != nil {
 			return
+		}
+		if enableCRC {
+			crcIn = true
+			crcOut.Store(true)
 		}
 	}
 }
@@ -314,55 +365,227 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Drain performs a graceful shutdown: stop accepting, let in-flight
+// requests finish (bounded by timeout), then force-close any connection
+// still open and wait for its goroutines. Clients see a clean
+// disconnect after their outstanding replies, which their reconnect
+// logic treats as an ordinary cut. Returns true if in-flight work hit
+// zero before the timeout.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	closed := s.closed
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil && !closed {
+		ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	drained := false
+	for {
+		if s.metrics.inflight.Load() == 0 {
+			drained = true
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.mu.Lock()
+	conns := make([]io.ReadWriteCloser, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return drained
+}
+
+// ClientOpts configures the serial client's fault handling. The zero
+// value reproduces the historical behavior exactly: no deadline, no
+// retries, no redial — a broken connection stays broken.
+type ClientOpts struct {
+	// Timeout bounds each round trip (request write + response read).
+	// Expiry returns ErrTimeout and abandons the connection: the reply
+	// may still arrive later and would desynchronize the stream.
+	Timeout time.Duration
+
+	// RetryMax is the number of retries (beyond the first attempt) for
+	// idempotent verbs (PING, READ) and for any verb whose request never
+	// reached the wire. Writes that fail mid round trip are never
+	// silently retried — callers get ErrUncertainWrite.
+	RetryMax int
+
+	// RetryBase/RetryCap shape the capped exponential backoff between
+	// attempts (defaults 2ms / 250ms). Seed makes the jitter
+	// deterministic for tests; 0 uses a fixed default seed.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	Seed      int64
+
+	// Redial reopens the transport after a failure. Nil disables
+	// reconnects (and with them all retries that need a fresh conn).
+	Redial func() (io.ReadWriteCloser, error)
+}
+
 // Client is a farmem.Store backed by a protocol connection. Round trips
 // are serialized; Close is safe to call concurrently with an in-flight
 // round trip (it unblocks the stalled network I/O rather than waiting
-// behind it), and after any transport failure the client fails fast
-// instead of reading a stale response off a desynchronized stream.
+// behind it). After a transport failure the client abandons the
+// connection — with a Redial it reopens one and retries idempotent
+// verbs under capped backoff; without, it fails fast as before.
 type Client struct {
-	mu        sync.Mutex // serializes round trips; never held by Close
-	conn      io.ReadWriteCloser
-	closed    atomic.Bool
-	closeOnce sync.Once
-	broken    error // sticky transport error; guarded by mu
-	metrics   *clientMetrics
+	mu      sync.Mutex // serializes round trips; never held by Close
+	connMu  sync.Mutex // guards the conn pointer swap vs Close
+	conn    io.ReadWriteCloser
+	opts    ClientOpts
+	rng     *rand.Rand // jitter source; guarded by mu
+	closed  atomic.Bool
+	broken  error // sticky transport error; guarded by mu
+	wantCRC bool  // negotiate checksummed framing on every fresh conn
+	crc     bool  // CRC active on the current conn; guarded by mu
+	metrics *clientMetrics
 }
 
 // ErrClientClosed is returned by calls made after (or unblocked by)
 // Close.
 var ErrClientClosed = errors.New("remote: client closed")
 
-// Dial connects to a server address.
+// Dial connects to a server address with zero-value options (no
+// deadline, no retries).
 func Dial(addr string) (*Client, error) {
+	return DialOpts(addr, ClientOpts{})
+}
+
+// DialOpts connects to a server address with fault handling configured.
+// When opts.Redial is nil it defaults to redialing addr.
+func DialOpts(addr string, opts ClientOpts) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	faultTolerant := opts.RetryMax > 0 || opts.Timeout > 0
+	if opts.Redial == nil && faultTolerant {
+		opts.Redial = func() (io.ReadWriteCloser, error) {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+	}
+	c := NewClientConnOpts(conn, opts)
+	if faultTolerant {
+		// A fault-tolerant session needs checksummed framing: without it a
+		// corrupted request decodes as garbage server-side and comes back
+		// as a definitive ERR reply, which is never retried. Legacy servers
+		// answer the feature ping with an empty OK and the session stays on
+		// plain framing. If the handshake itself is garbled, the conn is
+		// marked broken so the first operation redials and renegotiates
+		// under the normal retry budget.
+		c.wantCRC = true
+		if crc, err := negotiateCRC(conn, opts.Timeout); err != nil {
+			c.broken = err
+		} else {
+			c.crc = crc
+		}
+	}
+	return c, nil
 }
 
 // NewClientConn wraps an existing connection (e.g. one end of net.Pipe).
 func NewClientConn(conn io.ReadWriteCloser) *Client { return &Client{conn: conn} }
 
-// roundTrip sends a request and reads the response.
+// NewClientConnOpts wraps an existing connection with fault handling.
+func NewClientConnOpts(conn io.ReadWriteCloser, opts ClientOpts) *Client {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Client{conn: conn, opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// roundTrip sends a request and reads the response, redialing and
+// retrying per ClientOpts. Server ERR replies are definitive and never
+// retried; transport failures on non-idempotent verbs surface as
+// ErrUncertainWrite unless the request provably never hit the wire.
 func (c *Client) roundTrip(req rdma.Frame) (rdma.Frame, error) {
 	if c.closed.Load() {
 		return rdma.Frame{}, ErrClientClosed
 	}
+	idempotent := req.Op == rdma.OpPing || req.Op == rdma.OpRead
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.closed.Load() {
+			return rdma.Frame{}, ErrClientClosed
+		}
+		sent := false
+		resp, err := c.attemptLocked(req, &sent)
+		if err == nil {
+			return resp, nil
+		}
+		if errors.Is(err, ErrClientClosed) {
+			return rdma.Frame{}, ErrClientClosed
+		}
+		if c.broken == nil {
+			// The connection survived: this is a definitive server-level
+			// error (ERR reply), not a transport fault. Never retried.
+			return rdma.Frame{}, err
+		}
+		if !idempotent && sent {
+			// The request may have reached the server; replaying could
+			// apply the mutation twice. Surface the uncertainty instead.
+			if m := c.metrics; m != nil {
+				m.uncertainWrites.Inc()
+			}
+			return rdma.Frame{}, uncertain(err)
+		}
+		if attempt >= c.opts.RetryMax || c.opts.Redial == nil {
+			return rdma.Frame{}, err
+		}
+		if m := c.metrics; m != nil {
+			m.retries.Inc()
+		}
+		time.Sleep(backoff(c.rng, c.opts.RetryBase, c.opts.RetryCap, attempt))
+	}
+}
+
+// attemptLocked performs one round-trip attempt (caller holds mu),
+// redialing first when the previous connection broke. *sent reports
+// whether the request may have reached the wire.
+func (c *Client) attemptLocked(req rdma.Frame, sent *bool) (rdma.Frame, error) {
 	if c.broken != nil {
-		// A previous round trip died mid-flight: the stream may hold a
-		// half-written request or an unread response, so interleaving a
-		// new round trip could pair it with the wrong reply. Fail fast.
-		return rdma.Frame{}, fmt.Errorf("remote: connection broken: %w", c.broken)
+		if c.opts.Redial == nil {
+			return rdma.Frame{}, fmt.Errorf("remote: connection broken: %w", c.broken)
+		}
+		if err := c.redialLocked(); err != nil {
+			return rdma.Frame{}, err
+		}
 	}
+	*sent = true
+	conn := c.conn
+	writeFrame, readFrame := rdma.WriteFrame, rdma.ReadFrame
+	if c.crc {
+		writeFrame, readFrame = rdma.WriteFrameCRC, rdma.ReadFrameCRC
+	}
+	g := guardIO(conn, c.opts.Timeout)
 	start := time.Now()
-	if err := rdma.WriteFrame(c.conn, req); err != nil {
-		return rdma.Frame{}, c.breakConn(err)
+	err := writeFrame(conn, req)
+	var resp rdma.Frame
+	if err == nil {
+		resp, err = readFrame(conn)
 	}
-	resp, err := rdma.ReadFrame(c.conn)
-	if err != nil {
+	if err = g.finish(err); err != nil {
+		if errors.Is(err, ErrTimeout) {
+			if m := c.metrics; m != nil {
+				m.timeouts.Inc()
+			}
+		}
 		return rdma.Frame{}, c.breakConn(err)
 	}
 	if m := c.metrics; m != nil {
@@ -374,6 +597,47 @@ func (c *Client) roundTrip(req rdma.Frame) (rdma.Frame, error) {
 		return rdma.Frame{}, fmt.Errorf("remote: server error: %s", resp.Payload)
 	}
 	return resp, nil
+}
+
+// redialLocked replaces the broken connection with a fresh one (caller
+// holds mu). The swap is guarded against a concurrent Close: if the
+// client closed while dialing, the new conn is closed and the client
+// stays closed.
+func (c *Client) redialLocked() error {
+	conn, err := c.opts.Redial()
+	if err != nil {
+		// The dial itself failed: nothing reached the wire, so even
+		// writes may retry this. c.broken stays set.
+		return fmt.Errorf("remote: redial: %w", err)
+	}
+	c.connMu.Lock()
+	if c.closed.Load() {
+		c.connMu.Unlock()
+		conn.Close()
+		return ErrClientClosed
+	}
+	old := c.conn
+	c.conn = conn
+	c.connMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	c.broken = nil
+	c.crc = false
+	if c.wantCRC {
+		// Re-negotiate checksummed framing on the fresh stream. A failure
+		// here happens before the caller's request touches the wire, so
+		// even writes may retry it.
+		crc, err := negotiateCRC(conn, c.opts.Timeout)
+		if err != nil {
+			return c.breakConn(err)
+		}
+		c.crc = crc
+	}
+	if m := c.metrics; m != nil {
+		m.reconnects.Inc()
+	}
+	return nil
 }
 
 // breakConn marks the stream unusable after a transport error (caller
@@ -425,14 +689,16 @@ func (c *Client) WriteObj(ds, idx int, src []byte) error {
 }
 
 // Close closes the underlying connection. It never waits behind an
-// in-flight round trip: closing the connection unblocks any goroutine
-// stalled in network I/O, which then returns ErrClientClosed. Close is
-// idempotent and safe for concurrent use.
+// in-flight round trip: closing the current connection unblocks any
+// goroutine stalled in network I/O, which then returns ErrClientClosed.
+// A concurrent redial observes the closed flag under connMu and closes
+// its fresh connection too. Close is idempotent and safe for concurrent
+// use.
 func (c *Client) Close() error {
-	var err error
-	c.closeOnce.Do(func() {
-		c.closed.Store(true)
-		err = c.conn.Close()
-	})
-	return err
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.conn.Close()
 }

@@ -1,0 +1,133 @@
+package remote
+
+import "sync"
+
+// Resilient is a StoreConn that survives outages longer than the
+// underlying client's reconnect budget. The PipelinedClient replays its
+// window across transient cuts, but once RetryMax consecutive redials
+// fail (server down, not flaky) it fails permanently — the right
+// behavior for the transport, since blocking ops during an unbounded
+// outage would wedge the runtime instead of letting its circuit breaker
+// degrade. Resilient adds the missing half: after a permanent client
+// failure, the next operation (typically the breaker's Ping probe)
+// dials a replacement client, so a restarted server resumes service
+// without the process restarting.
+//
+// Each replacement dial is a single attempt that fails fast; pacing
+// retries across the outage is the caller's job (the farmem breaker
+// probes on its own clock).
+type Resilient struct {
+	addr string
+	cfg  DialConfig
+
+	mu     sync.Mutex
+	cur    StoreConn
+	closed bool
+}
+
+// DialResilient connects like DialAutoOpts (the initial dial uses the
+// config's full retry budget) and keeps the connection replaceable
+// across permanent client failures.
+func DialResilient(addr string, cfg DialConfig) (*Resilient, error) {
+	c, err := DialAutoOpts(addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Resilient{addr: addr, cfg: cfg, cur: c}, nil
+}
+
+// client returns the live client, dialing a replacement if the previous
+// one was retired.
+func (r *Resilient) client() (StoreConn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClientClosed
+	}
+	if r.cur != nil {
+		return r.cur, nil
+	}
+	c, err := dialAutoOnce(r.addr, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.cur = c
+	return c, nil
+}
+
+// retire drops c if it can no longer serve operations. The serial
+// client redials lazily on its own and is never retired; a pipelined
+// client is retired once its reconnect budget is spent.
+func (r *Resilient) retire(c StoreConn) {
+	pc, ok := c.(*PipelinedClient)
+	if !ok || pc.Alive() {
+		return
+	}
+	r.mu.Lock()
+	if r.cur == c {
+		r.cur = nil
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+func (r *Resilient) do(op func(StoreConn) error) error {
+	c, err := r.client()
+	if err != nil {
+		return err
+	}
+	if err := op(c); err != nil {
+		r.retire(c)
+		return err
+	}
+	return nil
+}
+
+// ReadObj implements StoreConn.
+func (r *Resilient) ReadObj(ds, idx int, dst []byte) error {
+	return r.do(func(c StoreConn) error { return c.ReadObj(ds, idx, dst) })
+}
+
+// WriteObj implements StoreConn.
+func (r *Resilient) WriteObj(ds, idx int, src []byte) error {
+	return r.do(func(c StoreConn) error { return c.WriteObj(ds, idx, src) })
+}
+
+// Ping implements StoreConn; it is the usual path that detects a
+// recovered server and triggers the replacement dial.
+func (r *Resilient) Ping() error {
+	return r.do(func(c StoreConn) error { return c.Ping() })
+}
+
+// IssueRead preserves the async prefetch path when the underlying
+// client is pipelined, falling back to a synchronous read otherwise.
+func (r *Resilient) IssueRead(ds, idx int, dst []byte, done func(error)) {
+	c, err := r.client()
+	if err != nil {
+		done(err)
+		return
+	}
+	if pc, ok := c.(*PipelinedClient); ok {
+		pc.IssueRead(ds, idx, dst, func(err error) {
+			if err != nil {
+				r.retire(pc)
+			}
+			done(err)
+		})
+		return
+	}
+	done(r.do(func(sc StoreConn) error { return sc.ReadObj(ds, idx, dst) }))
+}
+
+// Close implements StoreConn.
+func (r *Resilient) Close() error {
+	r.mu.Lock()
+	c := r.cur
+	r.cur = nil
+	r.closed = true
+	r.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
