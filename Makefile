@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race chaos bench bench-smoke
+.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: formatting, static analysis, and the full test
+# check is the CI gate: formatting, static analysis, the full test
 # suite under the race detector (exercises the concurrent remote server
-# and the obs tracer/registry).
-check: fmt vet race
+# and the obs tracer/registry), and a short fuzzing smoke pass over the
+# wire-format decoders.
+check: fmt vet race fuzz-smoke
+
+# fuzz-smoke runs each native fuzzer briefly (seed corpus + a short
+# random exploration). Go allows one -fuzz pattern per invocation, so
+# each fuzzer gets its own.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/rdma
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime $(FUZZTIME) ./internal/faultnet
 
 # chaos runs the fault-tolerance suite: the e2e workloads over the chaos
 # proxy and the breaker outage demo (root), the transport's
@@ -45,3 +54,10 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/cardsbench -exp pipeline -scale quick -json > BENCH_pipeline.json
 	@cat BENCH_pipeline.json
+
+# bench-shard runs the sharded far-tier sweep (1→4 backends, real TCP
+# loopback with injected per-connection service latency) and records the
+# read-bandwidth scaling table.
+bench-shard:
+	$(GO) run ./cmd/cardsbench -exp shard -scale quick -json > BENCH_shard.json
+	@cat BENCH_shard.json

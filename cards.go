@@ -25,8 +25,10 @@ import (
 
 	"cards/internal/farmem"
 	"cards/internal/netsim"
+	"cards/internal/obs"
 	"cards/internal/prefetch"
 	"cards/internal/remote"
+	"cards/internal/shardmap"
 )
 
 // Pattern is the access-pattern hint for a data structure; it selects
@@ -93,6 +95,13 @@ type Config struct {
 	// RemoteAddr, when non-empty, backs far memory with a cardsd server
 	// at that TCP address instead of the in-process store.
 	RemoteAddr string
+	// RemoteAddrs backs far memory with N cardsd shards: objects are
+	// placed across the servers by rendezvous hashing (pointer-chasing
+	// structures pin whole to one shard, flat pools stripe), each shard
+	// gets its own pipelined connection and circuit breaker, and one
+	// dead server degrades only the objects it owns. A single address
+	// here is equivalent to RemoteAddr. Setting both is an error.
+	RemoteAddrs []string
 
 	// RemoteTimeout bounds each far-tier round trip; on expiry the
 	// connection is abandoned and redialed. 0 means 2s; negative
@@ -105,16 +114,18 @@ type Config struct {
 	// BreakerThreshold arms the runtime's circuit breaker: after this
 	// many consecutive far-tier failures it degrades to local memory,
 	// pinning the working set and probing for recovery in the
-	// background. 0 means 8; negative disables the breaker. Only
-	// meaningful with RemoteAddr set.
+	// background. With RemoteAddrs the same threshold also arms each
+	// shard's private breaker. 0 means 8; negative disables the
+	// breakers. Only meaningful with RemoteAddr/RemoteAddrs set.
 	BreakerThreshold int
 }
 
 // Runtime is a far-memory runtime instance.
 type Runtime struct {
-	rt     *farmem.Runtime
-	client remote.StoreConn
-	nextID int
+	rt      *farmem.Runtime
+	client  remote.StoreConn
+	sharded *shardmap.ShardedStore // non-nil in multi-backend mode
+	nextID  int
 }
 
 // New creates a runtime. With Config{} all memory budgets are zero, so
@@ -129,8 +140,16 @@ func New(cfg Config) (*Runtime, error) {
 		PinnedBudget:    cfg.PinnedMemory,
 		RemotableBudget: cfg.RemotableMemory,
 	}
-	var client remote.StoreConn
+	addrs := cfg.RemoteAddrs
 	if cfg.RemoteAddr != "" {
+		if len(addrs) > 0 {
+			return nil, fmt.Errorf("cards: set RemoteAddr or RemoteAddrs, not both")
+		}
+		addrs = []string{cfg.RemoteAddr}
+	}
+	var client remote.StoreConn
+	var sharded *shardmap.ShardedStore
+	if len(addrs) > 0 {
 		timeout := cfg.RemoteTimeout
 		if timeout == 0 {
 			timeout = 2 * time.Second
@@ -143,36 +162,74 @@ func New(cfg Config) (*Runtime, error) {
 		} else if retries < 0 {
 			retries = 0
 		}
-		// The resilient dialer replaces a client whose reconnect budget
-		// ran out during a long outage, so a restarted server resumes
-		// remoting without restarting this process (the breaker's Ping
-		// probes trigger the replacement dial).
-		c, err := remote.DialResilient(cfg.RemoteAddr, remote.DialConfig{
-			Timeout:  timeout,
-			RetryMax: retries,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("cards: connecting far tier: %w", err)
-		}
-		if err := c.Ping(); err != nil {
-			c.Close()
-			return nil, fmt.Errorf("cards: far tier not responding: %w", err)
-		}
-		fc.Store = c
-		client = c
-		// The transport never silently retries an unacknowledged write
-		// (it cannot know whether the server applied it); the runtime
-		// reissues instead — full-object write-backs are idempotent.
-		fc.RetryMax = retries
 		threshold := cfg.BreakerThreshold
 		if threshold == 0 {
 			threshold = 8
 		} else if threshold < 0 {
 			threshold = 0
 		}
+		dcfg := remote.DialConfig{Timeout: timeout, RetryMax: retries}
+		if len(addrs) == 1 {
+			// The resilient dialer replaces a client whose reconnect budget
+			// ran out during a long outage, so a restarted server resumes
+			// remoting without restarting this process (the breaker's Ping
+			// probes trigger the replacement dial).
+			c, err := remote.DialResilient(addrs[0], dcfg)
+			if err != nil {
+				return nil, fmt.Errorf("cards: connecting far tier: %w", err)
+			}
+			if err := c.Ping(); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cards: far tier not responding: %w", err)
+			}
+			fc.Store = c
+			client = c
+		} else {
+			// Multi-backend mode: every shard gets its own resilient
+			// pipelined connection, and the sharded store adds per-shard
+			// breakers on top so one dead server degrades only its keys.
+			// All shards must answer at construction — a fleet that starts
+			// degraded is a deployment error, not an outage.
+			reg := obs.NewRegistry()
+			backends := make([]farmem.Store, 0, len(addrs))
+			closeAll := func() {
+				for _, b := range backends {
+					b.(*remote.Resilient).Close()
+				}
+			}
+			for _, addr := range addrs {
+				c, err := remote.DialResilient(addr, dcfg)
+				if err != nil {
+					closeAll()
+					return nil, fmt.Errorf("cards: connecting far-tier shard %s: %w", addr, err)
+				}
+				if err := c.Ping(); err != nil {
+					c.Close()
+					closeAll()
+					return nil, fmt.Errorf("cards: far-tier shard %s not responding: %w", addr, err)
+				}
+				backends = append(backends, c)
+			}
+			ss, err := shardmap.NewSharded(backends, shardmap.Options{
+				BreakerThreshold: threshold,
+				Obs:              reg,
+			})
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("cards: far-tier shards: %w", err)
+			}
+			fc.Store = ss
+			fc.Obs = reg // runtime + per-shard series in one registry
+			client = ss
+			sharded = ss
+		}
+		// The transport never silently retries an unacknowledged write
+		// (it cannot know whether the server applied it); the runtime
+		// reissues instead — full-object write-backs are idempotent.
+		fc.RetryMax = retries
 		fc.BreakerThreshold = threshold
 	}
-	return &Runtime{rt: farmem.New(fc), client: client}, nil
+	return &Runtime{rt: farmem.New(fc), client: client, sharded: sharded}, nil
 }
 
 // Close stops the runtime's background work (the breaker's recovery
@@ -249,6 +306,12 @@ func (r *Runtime) register(name string, pattern Pattern, placement Placement,
 	r.nextID++
 	if err := r.rt.SetPlacement(id, placement.farmem()); err != nil {
 		return nil, err
+	}
+	if r.sharded != nil {
+		// Shard placement follows the access-pattern hint: structures
+		// whose prefetch batches follow pointers pin to one backend,
+		// flat pools stripe for aggregate bandwidth.
+		r.sharded.SetPolicy(id, shardmap.PolicyFor(recursive, meta.Pattern == farmem.PatternPointerChase))
 	}
 	if pf := prefetch.Select(prefetch.Hints{
 		Pattern:    meta.Pattern,

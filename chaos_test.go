@@ -20,28 +20,15 @@ import (
 	"cards/internal/ir"
 	"cards/internal/policy"
 	"cards/internal/remote"
+	"cards/internal/testutil"
 	"cards/internal/workloads"
 )
 
-// checkGoroutines polls until the goroutine count settles back to the
-// baseline: transport clients, servers, proxies and the breaker prober
-// must all have wound down.
+// checkGoroutines delegates to the shared leak checker (also applied in
+// the remote and faultnet suites).
 func checkGoroutines(t *testing.T, before int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		n := runtime.NumGoroutine()
-		if n <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutine leak: %d before, %d after\n%s",
-				before, n, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.CheckGoroutines(t, before)
 }
 
 // dialChaosPipelined dials through the fault proxy until the negotiation

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cards/internal/core"
 	"cards/internal/farmem"
@@ -31,6 +32,8 @@ import (
 	"cards/internal/netsim"
 	"cards/internal/obs"
 	"cards/internal/policy"
+	"cards/internal/remote"
+	"cards/internal/shardmap"
 	"cards/internal/workloads"
 )
 
@@ -73,6 +76,7 @@ func main() {
 	cacheKiB := flag.Uint64("cache", 512, "remotable local memory for -run, KiB")
 	retryMax := flag.Int("retry-max", 0, "with -run: reissue failed far-tier operations up to N times")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "with -run: trip the circuit breaker (degrade to local memory) after N consecutive far-tier failures (0 = off)")
+	remoteAddrs := flag.String("remote", "", "with -run: back far memory with cardsd server(s) at these comma-separated addresses; 2+ addresses shard objects across the fleet (pointer-chasing structures pin to one shard, flat pools stripe)")
 	flag.Parse()
 
 	var m *ir.Module
@@ -137,6 +141,15 @@ func main() {
 			RetryMax:         *retryMax,
 			BreakerThreshold: *breakerThreshold,
 		}
+		if *remoteAddrs != "" {
+			store, closeStore, serr := dialRemote(*remoteAddrs, *retryMax, *breakerThreshold)
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "cardsc: %v\n", serr)
+				os.Exit(1)
+			}
+			defer closeStore()
+			rc.Store = store
+		}
 		var res *core.RunResult
 		if *traceRun || *report {
 			res, err = runInstrumented(c, rc, *traceRun, *report)
@@ -161,6 +174,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cardsc: wrote %d trace events to %s (load in chrome://tracing)\n",
 			tracer.Len(), *traceOut)
 	}
+}
+
+// dialRemote connects the far tier for -run: one address yields a
+// resilient pipelined client, several yield a sharded store with one
+// client and one breaker per backend.
+func dialRemote(addrs string, retryMax, breakerThreshold int) (farmem.Store, func(), error) {
+	list := strings.Split(addrs, ",")
+	for i := range list {
+		list[i] = strings.TrimSpace(list[i])
+	}
+	if retryMax <= 0 {
+		retryMax = 6
+	}
+	dcfg := remote.DialConfig{Timeout: 2 * time.Second, RetryMax: retryMax}
+	backends := make([]farmem.Store, 0, len(list))
+	closeAll := func() {
+		for _, b := range backends {
+			b.(*remote.Resilient).Close()
+		}
+	}
+	for _, addr := range list {
+		c, err := remote.DialResilient(addr, dcfg)
+		if err == nil {
+			err = c.Ping()
+		}
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("far-tier shard %s: %w", addr, err)
+		}
+		backends = append(backends, c)
+	}
+	if len(backends) == 1 {
+		b := backends[0]
+		return b, func() { b.(*remote.Resilient).Close() }, nil
+	}
+	ss, err := shardmap.NewSharded(backends, shardmap.Options{BreakerThreshold: breakerThreshold})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	return ss, func() { ss.Close() }, nil
 }
 
 // writeTrace dumps the ring as Chrome trace_event JSON.

@@ -176,6 +176,7 @@ func Experiments() []Experiment {
 		{"netsweep", "Network sensitivity sweep (beyond the paper)", NetSweep},
 		{"guards", "Dynamic guard check census (paper §5.1 claim)", GuardCensus},
 		{"pipeline", "Pipelined vs serial remote reads × window depth, TCP loopback (beyond the paper)", Pipeline},
+		{"shard", "Sharded far-tier read bandwidth × backend count, TCP loopback (beyond the paper)", Shard},
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"cards/internal/policy"
 	"cards/internal/poolalloc"
 	"cards/internal/prefetch"
+	"cards/internal/shardmap"
 )
 
 // Compiled is a program that has been through the CaRDS pass pipeline.
@@ -238,6 +239,12 @@ func (c *Compiled) NewRuntime(cfg RunConfig) (*farmem.Runtime, []farmem.Placemen
 		}
 		if err := rt.SetPlacement(info.DS.ID, placements[i]); err != nil {
 			return nil, nil, err
+		}
+		if ss, ok := cfg.Store.(*shardmap.ShardedStore); ok {
+			// Multi-backend far tier: pointer-chasing structures pin to
+			// one shard (compiler-batched prefetches stay single-backend),
+			// flat pools stripe across all of them.
+			ss.SetPolicy(info.DS.ID, shardmap.PolicyFor(meta.Recursive, meta.Pattern == farmem.PatternPointerChase))
 		}
 		if !cfg.DisablePrefetch {
 			pf := prefetch.Select(prefetch.Hints{

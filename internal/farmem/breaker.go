@@ -42,6 +42,16 @@ type Pinger interface {
 	Ping() error
 }
 
+// Recoverable is the optional recovery-signal surface of a Store whose
+// failures are narrower than the whole tier (the sharded store). Its
+// epoch advances every time a previously degraded slice of the store
+// comes back; the runtime compares epochs after successful operations
+// and drains the dirty write-backs stranded by the outage exactly once
+// per recovery. Detected by type assertion.
+type Recoverable interface {
+	RecoveryEpoch() uint64
+}
+
 // BreakerState enumerates the circuit-breaker states.
 type BreakerState int32
 
@@ -189,7 +199,17 @@ func (r *Runtime) storeOp(op func() error) error {
 			if b != nil && b.onSuccess() {
 				r.recoverRemote()
 			}
+			r.maybeDrainShards()
 			return nil
+		}
+		if errors.Is(err, ErrDegraded) {
+			// A sharded store refused the operation because the one shard
+			// owning this object is down. The failure is already contained
+			// to that shard's breaker: retrying cannot help (the gate fails
+			// fast until the shard recovers) and counting it against the
+			// global breaker would wrongly degrade the healthy shards too.
+			r.stats.DegradedOps++
+			return err
 		}
 		if attempt >= r.retryMax {
 			break
@@ -220,6 +240,12 @@ func (r *Runtime) recoverRemote() {
 				continue
 			}
 			if err := r.storeWrite(d, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
+				if errors.Is(err, ErrDegraded) {
+					// The owning shard is still down; its objects stay
+					// pinned until that shard's own recovery epoch.
+					r.degradedDirty = true
+					continue
+				}
 				return // re-tripped (or transient): stop, stay pinned
 			}
 			r.link.WriteBack(d.Meta.ObjSize)
@@ -231,6 +257,50 @@ func (r *Runtime) recoverRemote() {
 	r.remotableBudget = r.baseRemotableBudget
 }
 
+// maybeDrainShards runs after every successful store operation: when the
+// store's recovery epoch has advanced (a shard came back) and dirty
+// objects were stranded by per-shard degradation, it drains them back to
+// the far tier and shrinks the remotable budget once nothing is left
+// pinned. Write-backs to shards that are still down fail fast with
+// ErrDegraded and stay pinned for the next epoch.
+func (r *Runtime) maybeDrainShards() {
+	if r.recoverable == nil || r.draining {
+		return
+	}
+	ep := r.recoverable.RecoveryEpoch()
+	if ep == r.lastRecoveryEpoch {
+		return
+	}
+	r.lastRecoveryEpoch = ep
+	if !r.degradedDirty {
+		return
+	}
+	r.draining = true
+	defer func() { r.draining = false }()
+	r.emit(EvBreakerRecover, -1, 0, false)
+	remain := false
+	for _, d := range r.dss {
+		for idx := range d.objs {
+			obj := &d.objs[idx]
+			if obj.state != objLocal || !obj.dirty {
+				continue
+			}
+			if err := r.storeWrite(d, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
+				remain = true
+				continue
+			}
+			r.link.WriteBack(d.Meta.ObjSize)
+			obj.dirty = false
+			d.stats.WriteBacks++
+			r.stats.DrainedWriteBacks++
+		}
+	}
+	r.degradedDirty = remain
+	if !remain {
+		r.remotableBudget = r.baseRemotableBudget
+	}
+}
+
 // growBudgetFor implements degraded-mode allocation: while the breaker
 // is open the remotable budget grows (up to the ceiling) instead of
 // evicting — dirty evictions are impossible and clean evictions would
@@ -239,6 +309,14 @@ func (r *Runtime) growBudgetFor(sz uint64) bool {
 	if !r.breakerIsOpen() {
 		return false
 	}
+	return r.growBudget(sz)
+}
+
+// growBudget grows the remotable budget up to the ceiling. It is the
+// unconditional half of degraded-mode allocation, also used when the
+// global breaker is closed but eviction found only victims whose dirty
+// write-backs are refused by a degraded shard.
+func (r *Runtime) growBudget(sz uint64) bool {
 	want := r.remotableUsed + sz
 	if want <= r.remotableBudget {
 		return true

@@ -1,6 +1,9 @@
 package farmem
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // DSAlloc services a dsalloc(size, handle) call (Listing 2): it allocates
 // n bytes belonging to data structure id and returns the address the
@@ -233,6 +236,12 @@ func (r *Runtime) allocFrame(d *DS, idx int) (uint64, error) {
 			break
 		}
 		if err := r.evictOne(); err != nil {
+			if errors.Is(err, ErrDegraded) && r.growBudget(sz) {
+				// Every remaining victim is dirty on a degraded shard:
+				// pin them (their frames hold the only copy) and grow
+				// the budget instead, exactly as under a global outage.
+				break
+			}
 			return 0, err
 		}
 	}
@@ -249,10 +258,14 @@ func (r *Runtime) allocFrame(d *DS, idx int) (uint64, error) {
 // the last few guards must stay resident.
 const recentWindow = 8
 
-// evictOne runs CLOCK pass steps until a victim is evicted.
+// evictOne runs CLOCK pass steps until a victim is evicted. When the
+// only evictable victims are dirty objects whose owning shard is
+// degraded (their write-back has nowhere to go), it returns an error
+// wrapping ErrDegraded so the allocator grows the budget instead.
 func (r *Runtime) evictOne() error {
 	scanned := 0
 	degraded := r.breakerIsOpen()
+	sawDegraded := false
 	// When every resident object is deref-scope protected (tiny budgets),
 	// fall back to evicting the least recently derefed protected object.
 	fallbackPos := -1
@@ -312,15 +325,34 @@ func (r *Runtime) evictOne() error {
 			r.hand++
 			scanned++
 		default:
-			return r.evictObject(e.ds, e.idx, r.hand)
+			err := r.evictObject(e.ds, e.idx, r.hand)
+			if err != nil && errors.Is(err, ErrDegraded) {
+				// The victim is dirty on a degraded shard: the write-back
+				// was refused, so this frame holds the only copy. Pin it
+				// and keep scanning for a victim on a healthy shard.
+				r.degradedDirty = true
+				sawDegraded = true
+				r.hand++
+				scanned++
+				continue
+			}
+			return err
 		}
 	}
 	if fallbackPos >= 0 && fallbackPos < len(r.ring) {
 		e := r.ring[fallbackPos]
 		obj := &e.ds.objs[e.idx]
 		if obj.epoch == e.epoch && obj.state == objLocal && !(degraded && obj.dirty) {
-			return r.evictObject(e.ds, e.idx, fallbackPos)
+			err := r.evictObject(e.ds, e.idx, fallbackPos)
+			if err == nil || !errors.Is(err, ErrDegraded) {
+				return err
+			}
+			r.degradedDirty = true
+			sawDegraded = true
 		}
+	}
+	if sawDegraded {
+		return fmt.Errorf("farmem: remotable memory exhausted (%d bytes), remaining victims dirty on degraded shards: %w", r.remotableBudget, ErrDegraded)
 	}
 	return fmt.Errorf("farmem: remotable memory exhausted (%d bytes) and nothing evictable", r.remotableBudget)
 }
@@ -440,9 +472,11 @@ func (r *Runtime) harvest(d *DS, idx int) error {
 		copy(r.arena.Bytes(obj.frame, d.Meta.ObjSize), p.buf)
 		return nil
 	}
-	// The async read failed: record it against the breaker, then reissue
-	// synchronously under the retry budget.
-	if r.breaker != nil && r.breaker.onFailure() {
+	// The async read failed: record it against the breaker — unless the
+	// failure is a contained per-shard degradation, which must not trip
+	// the global breaker — then reissue synchronously under the retry
+	// budget.
+	if r.breaker != nil && !errors.Is(p.err, ErrDegraded) && r.breaker.onFailure() {
 		r.stats.BreakerTrips++
 		r.emit(EvBreakerTrip, -1, 0, false)
 	}

@@ -369,6 +369,16 @@ type Runtime struct {
 	breakerStop         chan struct{}
 	closeOnce           sync.Once
 
+	// Per-shard fault domains (sharded stores; see Recoverable).
+	// degradedDirty records that some dirty object's write-back was
+	// refused with ErrDegraded — the cue that a later recovery epoch has
+	// work to drain. draining guards maybeDrainShards against reentry
+	// (its write-backs run through storeOp themselves).
+	recoverable       Recoverable
+	lastRecoveryEpoch uint64
+	degradedDirty     bool
+	draining          bool
+
 	stats RuntimeStats
 }
 
@@ -417,15 +427,22 @@ func New(cfg Config) *Runtime {
 	if as, ok := store.(AsyncStore); ok {
 		r.astore = as
 	}
+	if rec, ok := store.(Recoverable); ok {
+		r.recoverable = rec
+		r.lastRecoveryEpoch = rec.RecoveryEpoch()
+	}
 	r.defaultMaxInflight = mi
+	// The ceiling caps degraded-mode budget growth. It applies both to
+	// the global breaker and to per-shard degradation (which needs no
+	// breaker configured), so it is set unconditionally.
+	r.breakerCeiling = cfg.BreakerCeiling
+	if r.breakerCeiling == 0 {
+		r.breakerCeiling = 4 * cfg.RemotableBudget
+	}
 	if cfg.BreakerThreshold > 0 {
 		probe := cfg.BreakerProbe
 		if probe <= 0 {
 			probe = 250 * time.Millisecond
-		}
-		r.breakerCeiling = cfg.BreakerCeiling
-		if r.breakerCeiling == 0 {
-			r.breakerCeiling = 4 * cfg.RemotableBudget
 		}
 		p, hasPinger := store.(Pinger)
 		r.breaker = &breaker{

@@ -7,6 +7,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"cards/internal/testutil"
 )
 
 func TestParseSpec(t *testing.T) {
@@ -147,6 +149,7 @@ func TestLatencyDelaysReads(t *testing.T) {
 }
 
 func TestProxyPipesAndCuts(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	// Echo server as backend.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -198,6 +201,7 @@ func TestProxyPipesAndCuts(t *testing.T) {
 }
 
 func TestDeadlinePassthrough(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	a, b := pipePair()
 	defer b.Close()
 	w := Wrap(a, Config{})

@@ -1,0 +1,80 @@
+package faultnet
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec feeds arbitrary strings to the chaos-spec parser and
+// checks that it never panics, is deterministic (same input, same
+// Config and same error), and that accepted specs satisfy the
+// documented defaulting rule (stallp without stall implies the 50ms
+// default).
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("   ")
+	f.Add("cut=65536")
+	f.Add("cut=65536,corrupt=0.01,latency=200us,jitter=1ms,stall=50ms,stallp=0.001,trunc=0.002,seed=7")
+	f.Add("latency=1ms,jitter=500us")
+	f.Add("stallp=0.5")
+	f.Add("seed=-1")
+	f.Add("cut=")
+	f.Add("cut")
+	f.Add("=1")
+	f.Add("unknown=1")
+	f.Add("cut=abc")
+	f.Add("latency=7")           // duration without unit
+	f.Add("corrupt=1e308,cut=1") // extreme float
+	f.Add("cut=1,,cut=2")
+	f.Add("cut=1,cut=2")               // later key wins
+	f.Add("seed=99999999999999999999") // int64 overflow
+	f.Add("latency=-5ms")
+	f.Add(strings.Repeat("cut=1,", 100) + "cut=2")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg1, err1 := ParseSpec(spec)
+		cfg2, err2 := ParseSpec(spec)
+		// DeepEqual rather than ==: Config carries the OnFault func field
+		// (nil on both sides here — ParseSpec never sets it).
+		if !reflect.DeepEqual(cfg1, cfg2) {
+			t.Fatalf("non-deterministic parse: %+v != %+v", cfg1, cfg2)
+		}
+		if (err1 == nil) != (err2 == nil) ||
+			(err1 != nil && err1.Error() != err2.Error()) {
+			t.Fatalf("non-deterministic error: %v != %v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() == "" {
+				t.Fatalf("empty error message for spec %q", spec)
+			}
+			return
+		}
+		if cfg1.StallProb > 0 && cfg1.Stall == 0 {
+			t.Fatalf("stallp=%v accepted without stall default: %+v", cfg1.StallProb, cfg1)
+		}
+		// An accepted spec must stay accepted when fed back with the same
+		// key set (stability under re-parse of its own canonical form).
+		var parts []string
+		if cfg1.CutEveryBytes != 0 {
+			parts = append(parts, fmt.Sprintf("cut=%d", cfg1.CutEveryBytes))
+		}
+		if cfg1.Seed != 0 {
+			parts = append(parts, fmt.Sprintf("seed=%d", cfg1.Seed))
+		}
+		if cfg1.Latency != 0 {
+			parts = append(parts, fmt.Sprintf("latency=%s", cfg1.Latency))
+		}
+		if cfg1.Jitter != 0 {
+			parts = append(parts, fmt.Sprintf("jitter=%s", cfg1.Jitter))
+		}
+		if cfg1.Stall != 0 {
+			parts = append(parts, fmt.Sprintf("stall=%s", cfg1.Stall))
+		}
+		canon := strings.Join(parts, ",")
+		if _, err := ParseSpec(canon); err != nil {
+			t.Fatalf("canonical re-render %q of accepted spec %q rejected: %v", canon, spec, err)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 
 	"cards/internal/faultnet"
 	"cards/internal/rdma"
+	"cards/internal/testutil"
 )
 
 // TestSerialClientDeadline: a server that accepts and then never
@@ -56,6 +57,7 @@ func TestSerialClientDeadline(t *testing.T) {
 // TestSerialClientRetriesThroughCuts: reads and pings retry across
 // injected disconnects and all complete correctly.
 func TestSerialClientRetriesThroughCuts(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	srv := NewServer()
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -183,6 +185,7 @@ func TestSerialWriteUncertain(t *testing.T) {
 // still complete with correct data, transparently replayed across
 // reconnects.
 func TestPipelinedReconnectReplaysReads(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	srv := NewServer()
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -332,6 +335,7 @@ func TestPipelinedCloseDoorbellRace(t *testing.T) {
 // its redial backoff must abort the reconnect promptly and complete
 // everything outstanding with ErrClientClosed.
 func TestPipelinedCloseDuringReconnect(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	srv := NewServer()
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -380,6 +384,7 @@ func TestPipelinedCloseDuringReconnect(t *testing.T) {
 // TestServerDrain: a drain with nothing in flight reports success and
 // leaves the listener closed.
 func TestServerDrain(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	srv := NewServer()
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -409,6 +414,7 @@ func TestServerDrain(t *testing.T) {
 // feature and keep working — this pins the framing switch on both
 // sides.
 func TestCRCSessionEndToEnd(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	srv := NewServer()
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -438,5 +444,90 @@ func TestCRCSessionEndToEnd(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("CRC session read back %x, want %x", got, want)
 		}
+	}
+}
+
+// TestSerialClientCRCDowngradeAgainstLegacyServer: a fault-tolerant
+// serial client always asks for checksummed framing, but a legacy
+// server answers the feature PING with an empty OK — the session must
+// downgrade to plain framing and keep working. A forced disconnect then
+// makes redialLocked renegotiate on the fresh stream, which must reach
+// the same downgrade (not assume the old session's answer).
+func TestSerialClientCRCDowngradeAgainstLegacyServer(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+	store := NewObjectStore()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var (
+		connMu sync.Mutex
+		conns  []net.Conn
+	)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			connMu.Lock()
+			conns = append(conns, conn)
+			connMu.Unlock()
+			go legacyServe(conn, store)
+		}
+	}()
+	defer func() {
+		connMu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		connMu.Unlock()
+	}()
+	store.Write(1, 7, []byte{0xAB, 0xCD})
+
+	// Timeout+RetryMax make the client fault tolerant, which is what arms
+	// the CRC ask on every fresh connection.
+	c, err := DialOpts(ln.Addr().String(), ClientOpts{
+		Timeout: time.Second, RetryMax: 4, RetryBase: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.wantCRC {
+		t.Fatal("fault-tolerant serial client should request checksummed framing")
+	}
+	if c.crc {
+		t.Fatal("legacy server cannot checksum: session must downgrade to plain framing")
+	}
+
+	buf := make([]byte, 2)
+	if err := c.ReadObj(1, 7, buf); err != nil || buf[0] != 0xAB || buf[1] != 0xCD {
+		t.Fatalf("downgraded session read = %x, %v", buf, err)
+	}
+	if err := c.WriteObj(1, 8, []byte{0x11}); err != nil {
+		t.Fatalf("downgraded session write: %v", err)
+	}
+
+	// Kill the server side of the session: the next idempotent op breaks,
+	// redials, and renegotiates — landing on the same downgrade.
+	connMu.Lock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	conns = conns[:0]
+	connMu.Unlock()
+	if err := c.ReadObj(1, 7, buf); err != nil {
+		t.Fatalf("read after forced disconnect should retry through redial: %v", err)
+	}
+	if buf[0] != 0xAB || buf[1] != 0xCD {
+		t.Fatalf("post-redial read = %x", buf)
+	}
+	if c.crc {
+		t.Fatal("renegotiation against the legacy server must downgrade again")
+	}
+	if !c.wantCRC {
+		t.Fatal("the downgrade must not clear the per-connection CRC ask")
 	}
 }

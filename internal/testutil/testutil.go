@@ -1,0 +1,41 @@
+// Package testutil holds helpers shared by test suites across packages.
+// Only test code imports it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines polls until the goroutine count settles back to the
+// baseline: transport clients, servers, proxies, breaker probers and
+// shard probers must all have wound down. Polling (rather than one
+// sample) absorbs the teardown lag of goroutines that are mid-exit when
+// the test body returns.
+func CheckGoroutines(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// NoGoroutineLeaks snapshots the goroutine count now and registers a
+// cleanup that fails the test if the count has not settled back by the
+// end. Call it first thing, before any servers or clients start.
+func NoGoroutineLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() { CheckGoroutines(t, before) })
+}
