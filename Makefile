@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard fuzz-smoke
+.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard bench-writeback benchguard fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,17 @@ race:
 
 # check is the CI gate: formatting, static analysis, the full test
 # suite under the race detector (exercises the concurrent remote server
-# and the obs tracer/registry), and a short fuzzing smoke pass over the
-# wire-format decoders.
-check: fmt vet race fuzz-smoke
+# and the obs tracer/registry), a short fuzzing smoke pass over the
+# wire-format decoders, and the pipeline-sweep regression guard against
+# the checked-in baseline.
+check: fmt vet race fuzz-smoke benchguard
+
+# benchguard reruns the pipeline-depth sweep and fails if the best
+# pipelined speedup fell more than 15% below the checked-in
+# BENCH_pipeline.json baseline (speedups are in-run ratios, so host
+# speed cancels out).
+benchguard:
+	$(GO) run ./cmd/benchguard -baseline BENCH_pipeline.json
 
 # fuzz-smoke runs each native fuzzer briefly (seed corpus + a short
 # random exploration). Go allows one -fuzz pattern per invocation, so
@@ -49,11 +57,17 @@ chaos:
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .
 
-# bench-smoke runs the pipeline-depth sweep briefly (real TCP loopback)
-# and records the table for trend tracking.
-bench-smoke:
+# bench-smoke runs the real-socket sweeps briefly (TCP loopback) and
+# records their tables for trend tracking.
+bench-smoke: bench-writeback
 	$(GO) run ./cmd/cardsbench -exp pipeline -scale quick -json > BENCH_pipeline.json
 	@cat BENCH_pipeline.json
+
+# bench-writeback runs the sync-vs-async dirty write-back sweep (real
+# TCP loopback with injected per-frame RTT) and records the table.
+bench-writeback:
+	$(GO) run ./cmd/cardsbench -exp writeback -scale quick -json > BENCH_writeback.json
+	@cat BENCH_writeback.json
 
 # bench-shard runs the sharded far-tier sweep (1→4 backends, real TCP
 # loopback with injected per-connection service latency) and records the

@@ -92,6 +92,11 @@ type Config struct {
 	PinnedMemory uint64
 	// RemotableMemory is the local cache over the far tier, in bytes.
 	RemotableMemory uint64
+	// WriteBackMemory bounds the staging buffers holding dirty evictions
+	// whose asynchronous write-backs are still in flight, in bytes. 0
+	// means a quarter of RemotableMemory. Only meaningful when the far
+	// tier supports batched writes (DESIGN.md §9).
+	WriteBackMemory uint64
 	// RemoteAddr, when non-empty, backs far memory with a cardsd server
 	// at that TCP address instead of the in-process store.
 	RemoteAddr string
@@ -139,6 +144,7 @@ func New(cfg Config) (*Runtime, error) {
 	fc := farmem.Config{
 		PinnedBudget:    cfg.PinnedMemory,
 		RemotableBudget: cfg.RemotableMemory,
+		WriteBackBudget: cfg.WriteBackMemory,
 	}
 	addrs := cfg.RemoteAddrs
 	if cfg.RemoteAddr != "" {

@@ -8,6 +8,7 @@ package cards
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"runtime"
 	"strings"
@@ -107,7 +108,7 @@ func TestChaosWorkloadsRunToCompletion(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			before := runtime.NumGoroutine()
 
-			run := func(store farmem.Store) uint64 {
+			run := func(store farmem.Store) *core.RunResult {
 				m, err := build()
 				if err != nil {
 					t.Fatal(err)
@@ -126,9 +127,9 @@ func TestChaosWorkloadsRunToCompletion(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				return res.MainResult
+				return res
 			}
-			want := run(nil) // in-process store: the reference checksum
+			want := run(nil).MainResult // in-process store: the reference checksum
 
 			srv := remote.NewServer()
 			addr, err := srv.Listen("127.0.0.1:0")
@@ -145,9 +146,16 @@ func TestChaosWorkloadsRunToCompletion(t *testing.T) {
 			}
 			cl := dialChaosPipelined(t, proxy.Addr())
 
-			got := run(cl)
-			if got != want {
-				t.Errorf("chaos checksum %#x != in-process %#x", got, want)
+			res := run(cl)
+			if res.MainResult != want {
+				t.Errorf("chaos checksum %#x != in-process %#x", res.MainResult, want)
+			}
+			// The pipelined client is an AsyncWriteStore, so the checksums
+			// above were produced with dirty evictions staged off the deref
+			// path — the async write-back pipeline is what survived the
+			// schedule, not the legacy sync path.
+			if res.Runtime.StagedWriteBacks == 0 {
+				t.Error("StagedWriteBacks = 0: async write-back path never engaged under chaos")
 			}
 			cuts, corrupts, conns := proxy.Cuts(), proxy.Corruptions(), proxy.Conns()
 			if cuts < 50 {
@@ -298,5 +306,129 @@ func TestBreakerServerOutageAndRecovery(t *testing.T) {
 
 	rt.Close()
 	srv2.Close()
+	checkGoroutines(t, before)
+}
+
+// TestChaosMidFlushDisconnectReplaysStagedWrites cuts the connection
+// while WRITEBATCH flushes are on the wire: staged write-backs complete
+// with ErrUncertainWrite and the runtime must reissue them from the
+// staging snapshots (never the transport — it cannot know whether the
+// server applied the batch). Every element reads back exactly through
+// the runtime (read-your-writes + replay), and after the drain the far
+// tier holds only whole-object images — a torn or double-applied batch
+// would leave an object mixing values from different passes.
+func TestChaosMidFlushDisconnectReplaysStagedWrites(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const (
+		objSize = 4096
+		perObj  = objSize / 8
+		nObjs   = 64
+		n       = nObjs * perObj
+		pass1   = 7000
+		pass2   = 9000
+	)
+
+	srv := remote.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes dominate this workload's traffic (cyclic dirty walk over a
+	// working set 8x the cache), so a cut every ~24 KiB lands squarely on
+	// in-flight WRITEBATCH frames.
+	fcfg, err := faultnet.ParseSpec("cut=24576,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := faultnet.NewProxy("127.0.0.1:0", addr, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := New(Config{
+		PinnedMemory:    1 << 20,
+		RemotableMemory: 8 * objSize, // 8-object cache over a 64-object array
+		WriteBackMemory: nObjs * objSize,
+		RemoteAddr:      proxy.Addr(),
+		RemoteTimeout:   300 * time.Millisecond,
+		RemoteRetries:   64,
+		// No breaker: transient cuts must be survived by retry/replay
+		// alone, keeping the test about the write-back pipeline.
+		BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arr, err := NewArray[int64](rt, "wb", n, Remotable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass, base := range []int64{pass1, pass2} {
+		for i := 0; i < n; i++ {
+			if err := arr.Set(i, base+int64(i%perObj)); err != nil {
+				t.Fatalf("pass %d Set(%d): %v", pass, i, err)
+			}
+		}
+	}
+
+	// Read-your-writes across the replays: every element must come back
+	// with its pass-2 value, whether it is resident, staged for
+	// write-back, or already durable on the far tier.
+	for i := 0; i < n; i++ {
+		v, err := arr.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if want := pass2 + int64(i%perObj); v != want {
+			t.Fatalf("element %d = %d, want %d", i, v, want)
+		}
+	}
+
+	st := rt.rt.Stats()
+	if st.StagedWriteBacks == 0 {
+		t.Fatal("StagedWriteBacks = 0: evictions never took the async path")
+	}
+	if st.WriteBackReissues == 0 {
+		t.Fatal("WriteBackReissues = 0: no staged write was replayed — the cut schedule never caught a flush in flight")
+	}
+	if proxy.Cuts() < 5 {
+		t.Errorf("proxy forced %d disconnects, want >= 5", proxy.Cuts())
+	}
+
+	if err := rt.Close(); err != nil { // drains the staged write-backs
+		t.Fatalf("drain on close: %v", err)
+	}
+
+	// Far-tier images must be whole-object: every stored object is a
+	// complete pass-1 or pass-2 snapshot (an object evicted again after
+	// its pass-2 rewrite carries pass-2 throughout), never a mix.
+	stored := 0
+	for o := 0; o < nObjs; o++ {
+		buf := srv.Store.Read(0, uint32(o), objSize)
+		if bytes.Equal(buf, make([]byte, objSize)) {
+			continue // never evicted: only ever lived in local memory
+		}
+		stored++
+		base := int64(binary.LittleEndian.Uint64(buf)) // word 0 fixes the pass
+		if base != pass1 && base != pass2 {
+			t.Fatalf("object %d word 0 = %d, want %d or %d", o, base, pass1, pass2)
+		}
+		for w := 1; w < perObj; w++ {
+			got := int64(binary.LittleEndian.Uint64(buf[w*8:]))
+			if got != base+int64(w) {
+				t.Fatalf("object %d torn: word %d = %d, want %d (pass base %d)",
+					o, w, got, base+int64(w), base)
+			}
+		}
+	}
+	if stored == 0 {
+		t.Fatal("no objects reached the far tier")
+	}
+	t.Logf("replayed %d uncertain write-backs across %d cuts; %d/%d objects durable and whole",
+		st.WriteBackReissues, proxy.Cuts(), stored, nObjs)
+
+	proxy.Close()
+	srv.Close()
 	checkGoroutines(t, before)
 }

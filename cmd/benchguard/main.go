@@ -1,0 +1,116 @@
+// Command benchguard is the CI regression gate for the real-socket data
+// path: it reruns the pipeline-depth sweep and compares the best
+// pipelined speedup against the checked-in baseline table
+// (BENCH_pipeline.json). A fresh best-depth speedup below
+// threshold × baseline fails the build — the batched read path has
+// regressed relative to the serial client.
+//
+// The guard compares *speedups over the in-run serial baseline*, not
+// absolute reads/s: both sides of the ratio come from the same process
+// on the same machine, so host speed cancels out and the checked-in
+// numbers stay portable across CI hardware.
+//
+// The sweep is wall-clock over real sockets, so a single run is noisy;
+// the guard takes the best of -runs attempts, which tracks the machine's
+// attainable speedup rather than one draw's scheduling luck.
+//
+// Usage:
+//
+//	benchguard [-baseline BENCH_pipeline.json] [-threshold 0.85] [-runs 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cards/internal/bench"
+)
+
+// table mirrors bench.Table's JSON payload.
+type table struct {
+	ID     string     `json:"id"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pipeline.json", "checked-in pipeline sweep table")
+	threshold := flag.Float64("threshold", 0.85, "minimum fresh/baseline best-speedup ratio")
+	runs := flag.Int("runs", 3, "sweep attempts; the best one is compared")
+	flag.Parse()
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	var base table
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal("parse %s: %v", *baseline, err)
+	}
+	want, err := bestSpeedup(base.Header, base.Rows)
+	if err != nil {
+		fatal("%s: %v", *baseline, err)
+	}
+
+	got := 0.0
+	for i := 0; i < *runs; i++ {
+		fresh, err := bench.Pipeline(bench.Quick())
+		if err != nil {
+			fatal("pipeline sweep: %v", err)
+		}
+		v, err := bestSpeedup(fresh.Header, fresh.Rows)
+		if err != nil {
+			fatal("fresh sweep: %v", err)
+		}
+		if v > got {
+			got = v
+		}
+	}
+
+	fmt.Printf("benchguard: pipeline best speedup %.2fx fresh vs %.2fx baseline (floor %.2fx)\n",
+		got, want, want**threshold)
+	if got < want**threshold {
+		fatal("pipeline sweep regressed >%d%%: best speedup %.2fx, baseline %.2fx",
+			int((1-*threshold)*100), got, want)
+	}
+}
+
+// bestSpeedup extracts the maximum "vs serial" ratio over the pipelined
+// rows of a sweep table.
+func bestSpeedup(header []string, rows [][]string) (float64, error) {
+	col := -1
+	for i, h := range header {
+		if h == "vs serial" {
+			col = i
+		}
+	}
+	if col < 0 {
+		return 0, fmt.Errorf("no %q column", "vs serial")
+	}
+	best := 0.0
+	for _, row := range rows {
+		if len(row) <= col || row[0] != "pipelined" {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "x"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad ratio %q: %v", row[col], err)
+		}
+		if v > best {
+			best = v
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("no pipelined rows")
+	}
+	return best, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

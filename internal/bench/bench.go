@@ -100,6 +100,9 @@ type Config struct {
 	// PipelineReads is the number of remote reads per client in the
 	// pipeline-depth sweep (real TCP loopback, wall-clock).
 	PipelineReads int64
+	// WritebackWrites is the length of the dirty walk in the write-back
+	// sweep (real TCP loopback, wall-clock).
+	WritebackWrites int64
 	// Chaos, when non-empty, routes the pipeline sweep through a fault
 	// proxy with this schedule spec (see faultnet.ParseSpec) and dials
 	// the clients with deadlines + retry/reconnect enabled.
@@ -124,9 +127,10 @@ func Quick() Config {
 		TaxiTrips: 1 << 11, HotPasses: 4,
 		FDTDSize: 8, FDTDSteps: 2,
 		BFSVertices: 512, BFSDegree: 6, BFSTrials: 2,
-		ChaseN:        4096,
-		PipelineReads: 1024,
-		Seed:          42,
+		ChaseN:          4096,
+		PipelineReads:   1024,
+		WritebackWrites: 512,
+		Seed:            42,
 	}
 }
 
@@ -136,9 +140,10 @@ func Default() Config {
 		TaxiTrips: 1 << 14, HotPasses: 6,
 		FDTDSize: 16, FDTDSteps: 3,
 		BFSVertices: 2048, BFSDegree: 8, BFSTrials: 3,
-		ChaseN:        16384,
-		PipelineReads: 8192,
-		Seed:          42,
+		ChaseN:          16384,
+		PipelineReads:   8192,
+		WritebackWrites: 2048,
+		Seed:            42,
 	}
 }
 
@@ -177,6 +182,7 @@ func Experiments() []Experiment {
 		{"guards", "Dynamic guard check census (paper §5.1 claim)", GuardCensus},
 		{"pipeline", "Pipelined vs serial remote reads × window depth, TCP loopback (beyond the paper)", Pipeline},
 		{"shard", "Sharded far-tier read bandwidth × backend count, TCP loopback (beyond the paper)", Shard},
+		{"writeback", "Sync vs async batched dirty write-back, TCP loopback with injected RTT (beyond the paper)", Writeback},
 	}
 }
 

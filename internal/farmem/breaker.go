@@ -254,6 +254,11 @@ func (r *Runtime) recoverRemote() {
 			r.stats.DrainedWriteBacks++
 		}
 	}
+	// Staged write-backs parked while the tier was down hold the only
+	// copy of their objects outside any frame; reissue them too.
+	if r.drainParkedWB() {
+		r.degradedDirty = true
+	}
 	r.remotableBudget = r.baseRemotableBudget
 }
 
@@ -294,6 +299,11 @@ func (r *Runtime) maybeDrainShards() {
 			d.stats.WriteBacks++
 			r.stats.DrainedWriteBacks++
 		}
+	}
+	// Parked staged write-backs stranded by the same shard outage drain
+	// through the identical fail-fast path.
+	if r.drainParkedWB() {
+		remain = true
 	}
 	r.degradedDirty = remain
 	if !remain {
@@ -351,16 +361,19 @@ func (r *Runtime) probeLoop(p Pinger) {
 	}
 }
 
-// Close releases background resources (the breaker prober). Safe to
-// call multiple times; a Runtime without a breaker needs no Close but
-// tolerates one.
+// Close settles any staged write-backs still in flight (the far tier
+// must hold every dirty payload once the runtime is gone) and releases
+// background resources (the breaker prober). Safe to call multiple
+// times; a Runtime without a breaker needs no Close but tolerates one.
 func (r *Runtime) Close() error {
+	var err error
 	r.closeOnce.Do(func() {
+		err = r.DrainWriteBacks()
 		if r.breakerStop != nil {
 			close(r.breakerStop)
 		}
 	})
-	return nil
+	return err
 }
 
 // errDegradedDeref wraps ErrDegraded with the faulting object for

@@ -186,6 +186,17 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 		r.emit(EvMaterialize, d.ID, idx, false)
 
 	case objRemote:
+		// Read-your-writes coherence: while an asynchronous write-back of
+		// this object is staged (in flight or parked), its staging buffer
+		// holds the freshest bytes — a remote READ could race the write
+		// and observe the pre-write value. Serve the re-localization from
+		// staging, with no network and regardless of breaker state.
+		if hit, err := r.derefFromStaging(d, idx); err != nil {
+			return 0, err
+		} else if hit {
+			d.stats.Hits++
+			break
+		}
 		// Fail fast while degraded — and BEFORE allocFrame, so refused
 		// derefs cannot erode the clean resident set through evictions.
 		if r.breaker != nil && !r.breaker.gate() {
@@ -358,15 +369,20 @@ func (r *Runtime) evictOne() error {
 }
 
 // evictObject writes back (if dirty) and frees one resident object.
+// With an AsyncWriteStore the dirty payload is staged and written back
+// off the critical path (tryAsyncWriteBack); the synchronous store
+// round trip remains the fallback.
 func (r *Runtime) evictObject(d *DS, idx, ringPos int) error {
 	obj := &d.objs[idx]
 	start := r.clock.Now()
 	wasDirty := obj.dirty
 	if obj.dirty {
-		if err := r.storeWrite(d, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
-			return fmt.Errorf("farmem: write-back ds%d[%d]: %w", d.ID, idx, err)
+		if !r.tryAsyncWriteBack(d, idx) {
+			if err := r.storeWrite(d, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
+				return fmt.Errorf("farmem: write-back ds%d[%d]: %w", d.ID, idx, err)
+			}
+			r.link.WriteBack(d.Meta.ObjSize)
 		}
-		r.link.WriteBack(d.Meta.ObjSize)
 		d.stats.WriteBacks++
 	} else {
 		r.clock.Advance(r.model.EvictObject)
@@ -389,7 +405,14 @@ func (r *Runtime) removeRingEntry(pos int) {
 	last := len(r.ring) - 1
 	r.ring[pos] = r.ring[last]
 	r.ring = r.ring[:last]
-	if r.hand > last {
+	switch {
+	case r.hand == last && pos < last:
+		// Swap-delete moved the tail entry — the very one the hand was
+		// pointing at — to pos. Follow it: otherwise that entry silently
+		// loses its turn and is not scanned again until the next full
+		// CLOCK lap, perturbing eviction order.
+		r.hand = pos
+	case r.hand >= last:
 		r.hand = 0
 	}
 }
@@ -420,6 +443,12 @@ func (r *Runtime) PrefetchObj(d *DS, idx int) {
 	}
 	obj := &d.objs[idx]
 	if obj.state != objRemote {
+		return
+	}
+	// An object with a staged write-back must be served from its staging
+	// buffer (read-your-writes), never speculatively re-fetched: the
+	// remote copy may still be stale.
+	if _, ok := r.wbPending[wbKey{d.ID, idx}]; ok {
 		return
 	}
 	frame, err := r.allocFrame(d, idx)

@@ -48,6 +48,17 @@ const (
 	MetricBreakerState      = "cards_farmem_breaker_state"
 	MetricRemotableBudget   = "cards_farmem_remotable_budget_bytes"
 
+	// Asynchronous write-back pipeline (writeback.go): staged evictions,
+	// backpressure stalls, synchronous reissues of failed async writes,
+	// read-your-writes derefs served from staging, and the current
+	// staged payload occupancy.
+	MetricStagedWriteBacks       = "cards_farmem_staged_writebacks_total"
+	MetricWriteBackStalls        = "cards_farmem_writeback_stalls_total"
+	MetricWriteBackReissues      = "cards_farmem_writeback_reissues_total"
+	MetricWriteBackStagingHits   = "cards_farmem_writeback_staging_hits_total"
+	MetricWriteBackStagedBytes   = "cards_farmem_writeback_staged_bytes"
+	MetricWriteBackStagedEntries = "cards_farmem_writeback_staged_entries"
+
 	// Local memory occupancy gauges.
 	MetricArenaUsed     = "cards_farmem_arena_used_bytes"
 	MetricPinnedUsed    = "cards_farmem_pinned_used_bytes"
@@ -120,6 +131,13 @@ func (r *Runtime) PublishObs() {
 	reg.Counter(MetricDrainedWriteBacks).Store(s.DrainedWriteBacks)
 	reg.Gauge(MetricBreakerState).Set(int64(r.BreakerState()))
 	reg.Gauge(MetricRemotableBudget).Set(int64(r.remotableBudget))
+
+	reg.Counter(MetricStagedWriteBacks).Store(s.StagedWriteBacks)
+	reg.Counter(MetricWriteBackStalls).Store(s.WriteBackStalls)
+	reg.Counter(MetricWriteBackReissues).Store(s.WriteBackReissues)
+	reg.Counter(MetricWriteBackStagingHits).Store(s.WriteBackStagingHits)
+	reg.Gauge(MetricWriteBackStagedBytes).Set(int64(r.wbBytes))
+	reg.Gauge(MetricWriteBackStagedEntries).Set(int64(len(r.wbPending)))
 
 	reg.Gauge(MetricArenaUsed).Set(int64(r.arena.Used()))
 	reg.Gauge(MetricPinnedUsed).Set(int64(r.pinnedUsed))

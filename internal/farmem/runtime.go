@@ -305,6 +305,12 @@ type Config struct {
 	// BreakerProbe is the wall-clock interval between recovery probes
 	// while the breaker is open; 0 means 250ms.
 	BreakerProbe time.Duration
+
+	// WriteBackBudget bounds the bytes of dirty eviction payloads staged
+	// for asynchronous write-back (writeback.go); 0 means
+	// RemotableBudget/4. Once staged-but-unsettled payload exceeds the
+	// budget, the next dirty eviction blocks on the oldest staged write.
+	WriteBackBudget uint64
 }
 
 // clockEntry is one CLOCK ring slot.
@@ -333,6 +339,12 @@ type RuntimeStats struct {
 	BreakerTrips      uint64 // closed -> open transitions
 	BreakerRecoveries uint64 // half-open -> closed transitions
 	DrainedWriteBacks uint64 // dirty objects written back during recovery
+
+	// Asynchronous write-back pipeline counters (see writeback.go).
+	StagedWriteBacks     uint64 // dirty evictions staged for async write-back
+	WriteBackStalls      uint64 // evictions that blocked on the staging budget or per-object ordering
+	WriteBackReissues    uint64 // failed/uncertain async writes reissued synchronously
+	WriteBackStagingHits uint64 // derefs served read-your-writes from a staging buffer
 }
 
 // Runtime is the CaRDS far-memory runtime.
@@ -343,6 +355,15 @@ type Runtime struct {
 	arena  *Arena
 	store  Store
 	astore AsyncStore // non-nil iff store supports IssueRead
+
+	// Asynchronous write-back pipeline (writeback.go).
+	awstore   AsyncWriteStore // non-nil iff store supports IssueWrite
+	wbPending map[wbKey]*pendingWB
+	wbOrder   []*pendingWB // issue-order FIFO (entries validated lazily)
+	wbBytes   uint64       // staged-but-unsettled payload bytes
+	wbBudget  uint64
+	wbFree    map[int][][]byte // staging buffer free lists, by size
+	wbBusy    bool             // order-list scan reentrancy guard
 
 	pinnedBudget, remotableBudget uint64
 	pinnedUsed, remotableUsed     uint64
@@ -426,6 +447,15 @@ func New(cfg Config) *Runtime {
 	}
 	if as, ok := store.(AsyncStore); ok {
 		r.astore = as
+	}
+	if aw, ok := store.(AsyncWriteStore); ok {
+		r.awstore = aw
+		r.wbPending = make(map[wbKey]*pendingWB)
+		r.wbFree = make(map[int][][]byte)
+		r.wbBudget = cfg.WriteBackBudget
+		if r.wbBudget == 0 {
+			r.wbBudget = cfg.RemotableBudget / 4
+		}
 	}
 	if rec, ok := store.(Recoverable); ok {
 		r.recoverable = rec

@@ -214,10 +214,20 @@ func (l *Link) FetchAsync(size int) (readyAt Cycles) {
 // caller is charged the eviction CPU cost; the transfer occupies link
 // bandwidth but does not block.
 func (l *Link) WriteBack(size int) {
-	l.schedule(size)
+	l.WriteBackAsync(size)
+}
+
+// WriteBackAsync is WriteBack returning the cycle at which the payload
+// will have fully landed at the far tier — the virtual settle time a
+// staged write-back becomes durable and its staging buffer reclaimable.
+// A caller that must wait for durability (write-back backpressure,
+// per-object ordering) blocks with WaitUntil(doneAt).
+func (l *Link) WriteBackAsync(size int) (doneAt Cycles) {
+	arrival := l.schedule(size)
 	l.clock.Advance(l.model.EvictObject)
 	l.WriteBacks++
 	l.BytesOut += uint64(size)
+	return arrival
 }
 
 // Retry charges the cost of one failed-and-reissued remote operation:

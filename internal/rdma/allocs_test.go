@@ -1,0 +1,83 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReadPathSteadyStateAllocFree pins the zero-allocation property of
+// the pooled data path: once the frame buffer pool and wire buffers are
+// warm, a full READBATCH round trip — client encode, checksummed
+// framing both ways, server decode + in-place DATABATCH gather, client
+// segment decode — must not touch the heap. A regression here puts the
+// GC back on the per-frame critical path, which is exactly the
+// bandwidth tax the pool exists to remove.
+func TestReadPathSteadyStateAllocFree(t *testing.T) {
+	reqs := []ReadReq{
+		{DS: 1, Idx: 0, Size: 256},
+		{DS: 1, Idx: 1, Size: 256},
+		{DS: 2, Idx: 7, Size: 64},
+	}
+	obj := bytes.Repeat([]byte{0xCD}, 256)
+
+	var c2s, s2c bytes.Buffer // wire bytes, one buffer per direction
+	var rd bytes.Reader
+	decReqs := make([]ReadReq, 0, len(reqs))
+	segs := make([][]byte, 0, len(reqs))
+
+	iter := func() {
+		// Client: issue a READBATCH.
+		req := EncodeReadBatchPooled(42, reqs)
+		c2s.Reset()
+		if err := WriteFrameCRC(&c2s, req); err != nil {
+			t.Fatal(err)
+		}
+		PutBuf(req.Payload)
+
+		// Server: decode the batch and gather the reply in place.
+		rd.Reset(c2s.Bytes())
+		fr, err := ReadFrameCRCPooled(&rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decReqs, err = DecodeReadBatchInto(fr.Payload, decReqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply := GetBuf(DataBatchSize(decReqs))
+		w := BeginDataBatch(reply, len(decReqs))
+		for _, r := range decReqs {
+			copy(w.Next(int(r.Size)), obj)
+		}
+		PutBuf(fr.Payload)
+		s2c.Reset()
+		if err := WriteFrameCRC(&s2c, w.Frame(fr.Tag)); err != nil {
+			t.Fatal(err)
+		}
+		PutBuf(reply)
+
+		// Client: decode the reply segments.
+		rd.Reset(s2c.Bytes())
+		fr, err = ReadFrameCRCPooled(&rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs, err = DecodeDataBatchInto(fr.Payload, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) != len(reqs) || len(segs[0]) != 256 {
+			t.Fatalf("bad reply: %d segments", len(segs))
+		}
+		PutBuf(fr.Payload)
+	}
+
+	// Warm the size-class free lists and grow the wire buffers before
+	// measuring — first-use allocations are expected and amortized.
+	for i := 0; i < 8; i++ {
+		iter()
+	}
+	if avg := testing.AllocsPerRun(200, iter); avg >= 1 {
+		t.Fatalf("steady-state read path allocates %.2f times per round trip, want ~0", avg)
+	}
+}

@@ -31,21 +31,22 @@ var ErrCRC = errors.New("rdma: frame checksum mismatch")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// frameCRC sums opcode, tag (tagged frames) and payload.
+// frameCRC sums opcode, tag (tagged frames) and payload. It runs once
+// per frame on the data path, so it streams through crc32.Update rather
+// than allocating a hash.Hash32 digest per call.
 func frameCRC(f Frame) uint32 {
-	h := crc32.New(castagnoli)
-	var hdr [headerSize]byte
+	// Pooled scratch: the header slice reaches crc32's assembly kernels,
+	// so a stack array would escape and allocate on every frame.
+	hdr := GetBuf(headerSize)
+	defer PutBuf(hdr)
 	hdr[0] = byte(f.Op)
 	n := 1
 	if f.Op.Tagged() {
 		binary.LittleEndian.PutUint32(hdr[1:], f.Tag)
 		n += tagSize
 	}
-	h.Write(hdr[:n])
-	if len(f.Payload) > 0 {
-		h.Write(f.Payload)
-	}
-	return h.Sum32()
+	crc := crc32.Update(0, castagnoli, hdr[:n])
+	return crc32.Update(crc, castagnoli, f.Payload)
 }
 
 // crcSize is the per-frame overhead of checksummed framing.
@@ -56,9 +57,10 @@ func WriteFrameCRC(w io.Writer, f Frame) error {
 	if err := WriteFrame(w, f); err != nil {
 		return err
 	}
-	var tr [crcSize]byte
-	binary.LittleEndian.PutUint32(tr[:], frameCRC(f))
-	_, err := w.Write(tr[:])
+	tr := GetBuf(crcSize)
+	defer PutBuf(tr)
+	binary.LittleEndian.PutUint32(tr, frameCRC(f))
+	_, err := w.Write(tr)
 	return err
 }
 

@@ -47,6 +47,14 @@ func FuzzFrameDecode(f *testing.F) {
 		{Op: OpWriteTag, Tag: 9, Payload: EncodeWrite(1, 5, []byte("x")).Payload},
 		{Op: OpAckTag, Tag: 9},
 		ErrTagFrame(11, "boom"),
+		EncodeAckBatch(9, 2),
+	}
+	if wb, err := EncodeWriteBatch(8, []WriteReq{
+		{DS: 1, Idx: 2, Data: []byte("first object")},
+		{DS: 1, Idx: 3, Data: nil},
+		{DS: 2, Idx: 0, Data: bytes.Repeat([]byte{0x5A}, 64)},
+	}); err == nil {
+		seeds = append(seeds, wb)
 	}
 	if db, err := EncodeDataBatch(7, [][]byte{[]byte("aaaa"), []byte("bb"), nil}); err == nil {
 		seeds = append(seeds, db)
@@ -142,6 +150,22 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 				if !bytes.Equal(re.Payload, fr.Payload) {
 					t.Fatalf("DATABATCH re-encode mismatch")
+				}
+			}
+		case OpWriteBatch:
+			if reqs, err := DecodeWriteBatch(fr.Payload); err == nil {
+				re, err := EncodeWriteBatch(fr.Tag, reqs)
+				if err != nil {
+					t.Fatalf("WRITEBATCH re-encode: %v", err)
+				}
+				if !bytes.Equal(re.Payload, fr.Payload) {
+					t.Fatalf("WRITEBATCH re-encode mismatch")
+				}
+			}
+		case OpAckBatch:
+			if n, err := DecodeAckBatch(fr.Payload); err == nil {
+				if re := EncodeAckBatch(fr.Tag, n); !bytes.Equal(re.Payload, fr.Payload) {
+					t.Fatalf("ACKBATCH re-encode mismatch")
 				}
 			}
 		case OpPing, OpOK:

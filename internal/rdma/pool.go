@@ -1,0 +1,250 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Payload buffer pooling. The steady-state data path decodes and
+// encodes one payload per frame; allocating each from the heap makes
+// the GC a bandwidth tax at high frame rates. Buffers are recycled
+// through power-of-two size classes instead.
+//
+// The free lists are buffered channels rather than a sync.Pool: putting
+// a []byte into a sync.Pool allocates the slice header (it escapes into
+// the interface), which would put one malloc back on every frame — the
+// exact cost the pool exists to remove. Channel sends of slices do not
+// allocate, the lists are allocation-free in steady state, and the
+// per-class capacity bounds retained memory deterministically.
+
+const (
+	// minBufBits is the smallest pooled class (64 B); requests below it
+	// share that class.
+	minBufBits = 6
+	// maxBufBits is the largest class, sized to MaxFrame (16 MiB).
+	maxBufBits = 24
+)
+
+var bufClasses [maxBufBits - minBufBits + 1]chan []byte
+
+func init() {
+	for i := range bufClasses {
+		// Small classes ride the per-frame fast path and keep more
+		// spares; capping the >64 KiB classes low bounds worst-case
+		// retention to a few frames' worth.
+		n := 128
+		if i+minBufBits > 16 {
+			n = 4
+		}
+		bufClasses[i] = make(chan []byte, n)
+	}
+}
+
+// bufClass maps a requested length to the smallest class that fits it.
+func bufClass(n int) int {
+	if n <= 1<<minBufBits {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - minBufBits
+}
+
+// GetBuf returns a buffer of length n from the frame buffer pool
+// (capacity may exceed n). Contents are unspecified. GetBuf(0) is nil.
+func GetBuf(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	c := bufClass(n)
+	if c >= len(bufClasses) {
+		return make([]byte, n)
+	}
+	select {
+	case b := <-bufClasses[c]:
+		return b[:n]
+	default:
+		return make([]byte, n, 1<<(c+minBufBits))
+	}
+}
+
+// PutBuf returns a buffer to the pool. Callers must not retain any
+// reference into b afterwards. PutBuf(nil) is a no-op, and buffers of
+// foreign (non-pool) capacities are simply dropped for the GC.
+func PutBuf(b []byte) {
+	// A buffer parks in the largest class its capacity fully covers, so
+	// GetBuf never hands out a buffer shorter than the class promises.
+	c := bits.Len(uint(cap(b))) - 1 - minBufBits
+	if c < 0 {
+		return
+	}
+	if c >= len(bufClasses) {
+		c = len(bufClasses) - 1
+	}
+	select {
+	case bufClasses[c] <- b[:0]:
+	default:
+	}
+}
+
+// ReadFramePooled is ReadFrame with the payload drawn from the frame
+// buffer pool. The caller owns f.Payload and should PutBuf it once the
+// frame is fully consumed.
+func ReadFramePooled(r io.Reader) (Frame, error) {
+	// The header scratch comes from the pool as well: a stack array here
+	// escapes through the io.Reader interface call and would cost one
+	// heap allocation per frame.
+	hdr := GetBuf(headerSize + tagSize)
+	defer PutBuf(hdr)
+	if _, err := io.ReadFull(r, hdr[:headerSize]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("rdma: oversized frame (%d bytes)", n)
+	}
+	f := Frame{Op: Op(hdr[4])}
+	if f.Op.Tagged() {
+		if _, err := io.ReadFull(r, hdr[headerSize:]); err != nil {
+			return Frame{}, err
+		}
+		f.Tag = binary.LittleEndian.Uint32(hdr[headerSize:])
+	}
+	if n > 0 {
+		f.Payload = GetBuf(int(n))
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			PutBuf(f.Payload)
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// ReadFrameCRCPooled is ReadFrameCRC with a pooled payload; see
+// ReadFramePooled for the ownership rule.
+func ReadFrameCRCPooled(r io.Reader) (Frame, error) {
+	f, err := ReadFramePooled(r)
+	if err != nil {
+		return Frame{}, err
+	}
+	tr := GetBuf(crcSize)
+	defer PutBuf(tr)
+	if _, err := io.ReadFull(r, tr); err != nil {
+		PutBuf(f.Payload)
+		return Frame{}, err
+	}
+	if got := binary.LittleEndian.Uint32(tr); got != frameCRC(f) {
+		PutBuf(f.Payload)
+		return Frame{}, fmt.Errorf("%w (frame %s)", ErrCRC, f.Op)
+	}
+	return f, nil
+}
+
+// EncodeReadBatchPooled is EncodeReadBatch with the payload drawn from
+// the pool; the caller should PutBuf it after the frame is written.
+func EncodeReadBatchPooled(tag uint32, reqs []ReadReq) Frame {
+	p := GetBuf(4 + readReqSize*len(reqs))
+	binary.LittleEndian.PutUint32(p[0:], uint32(len(reqs)))
+	for i, r := range reqs {
+		off := 4 + i*readReqSize
+		binary.LittleEndian.PutUint32(p[off:], r.DS)
+		binary.LittleEndian.PutUint32(p[off+4:], r.Idx)
+		binary.LittleEndian.PutUint32(p[off+8:], r.Size)
+	}
+	return Frame{Op: OpReadBatch, Tag: tag, Payload: p}
+}
+
+// EncodeWriteBatchPooled is EncodeWriteBatch with a pooled payload;
+// same ownership rule as EncodeReadBatchPooled.
+func EncodeWriteBatchPooled(tag uint32, reqs []WriteReq) (Frame, error) {
+	n := WriteBatchSize(reqs)
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("rdma: WRITEBATCH too large (%d bytes)", n)
+	}
+	p := GetBuf(n)
+	encodeWriteBatchInto(p, reqs)
+	return Frame{Op: OpWriteBatch, Tag: tag, Payload: p}, nil
+}
+
+// DecodeReadBatchInto is DecodeReadBatch appending into a caller-owned
+// slice, letting a steady-state server reuse one across batches.
+func DecodeReadBatchInto(p []byte, reqs []ReadReq) ([]ReadReq, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("rdma: bad READBATCH payload length %d", len(p))
+	}
+	count := binary.LittleEndian.Uint32(p)
+	if uint64(len(p)) != 4+uint64(count)*readReqSize {
+		return nil, fmt.Errorf("rdma: READBATCH length mismatch: header %d tuples, payload %d bytes",
+			count, len(p))
+	}
+	reqs = reqs[:0]
+	for i := 0; i < int(count); i++ {
+		off := 4 + i*readReqSize
+		reqs = append(reqs, ReadReq{
+			DS:   binary.LittleEndian.Uint32(p[off:]),
+			Idx:  binary.LittleEndian.Uint32(p[off+4:]),
+			Size: binary.LittleEndian.Uint32(p[off+8:]),
+		})
+	}
+	return reqs, nil
+}
+
+// DecodeDataBatchInto is DecodeDataBatch appending into a caller-owned
+// slice (segments remain subslices of p).
+func DecodeDataBatchInto(p []byte, segs [][]byte) ([][]byte, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("rdma: bad DATABATCH payload length %d", len(p))
+	}
+	count := binary.LittleEndian.Uint32(p)
+	if uint64(count) > uint64(len(p)-4)/4 {
+		return nil, fmt.Errorf("rdma: DATABATCH count %d exceeds payload", count)
+	}
+	segs = segs[:0]
+	off := 4
+	for i := uint32(0); i < count; i++ {
+		if off+4 > len(p) {
+			return nil, fmt.Errorf("rdma: truncated DATABATCH at segment %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		if off+n > len(p) {
+			return nil, fmt.Errorf("rdma: truncated DATABATCH segment %d (%d bytes)", i, n)
+		}
+		segs = append(segs, p[off:off+n])
+		off += n
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("rdma: DATABATCH trailing garbage (%d bytes)", len(p)-off)
+	}
+	return segs, nil
+}
+
+// DataBatchWriter assembles a DATABATCH payload in place, letting a
+// server gather each object read directly into the (typically pooled)
+// reply buffer — no per-segment staging copies.
+type DataBatchWriter struct {
+	p   []byte
+	off int
+}
+
+// BeginDataBatch starts a batch of count segments over p, which must
+// hold exactly DataBatchSize of the requests being answered.
+func BeginDataBatch(p []byte, count int) DataBatchWriter {
+	binary.LittleEndian.PutUint32(p[0:], uint32(count))
+	return DataBatchWriter{p: p, off: 4}
+}
+
+// Next reserves the next segment's n-byte slot and returns it for the
+// caller to fill.
+func (w *DataBatchWriter) Next(n int) []byte {
+	binary.LittleEndian.PutUint32(w.p[w.off:], uint32(n))
+	w.off += 4
+	s := w.p[w.off : w.off+n : w.off+n]
+	w.off += n
+	return s
+}
+
+// Frame returns the assembled DATABATCH frame.
+func (w *DataBatchWriter) Frame(tag uint32) Frame {
+	return Frame{Op: OpDataBatch, Tag: tag, Payload: w.p[:w.off]}
+}

@@ -26,11 +26,13 @@
 //	DATA:      bytes
 //	OK:        (empty), or u32 features replying to a feature PING
 //	ERR:       utf-8 message
-//	READBATCH: u32 count | count x (u32 ds | u32 idx | u32 size)
-//	DATABATCH: u32 count | count x (u32 len | bytes)       (request order)
-//	WRITETAG:  as WRITE                                    -> ACKTAG frame
-//	ACKTAG:    (empty)
-//	ERRTAG:    utf-8 message (tagged reply to a failed tagged request)
+//	READBATCH:  u32 count | count x (u32 ds | u32 idx | u32 size)
+//	DATABATCH:  u32 count | count x (u32 len | bytes)      (request order)
+//	WRITETAG:   as WRITE                                   -> ACKTAG frame
+//	ACKTAG:     (empty)
+//	ERRTAG:     utf-8 message (tagged reply to a failed tagged request)
+//	WRITEBATCH: u32 count | count x (u32 ds | u32 idx | u32 len | bytes)
+//	ACKBATCH:   u32 count                                  (writes applied)
 //
 // Interoperability: untagged frames are byte-identical to the original
 // protocol. A client discovers whether its peer speaks the tagged/batch
@@ -76,6 +78,13 @@ const (
 	OpAckTag Op = TagBit | 0x04
 	// OpErrTag reports failure of the tagged request with the same tag.
 	OpErrTag Op = TagBit | 0x05
+	// OpWriteBatch carries count writes in one frame — the write-side
+	// doorbell coalescer. The reply is one OpAckBatch (same tag) once
+	// every write in the batch has been applied, in batch order.
+	OpWriteBatch Op = TagBit | 0x06
+	// OpAckBatch acknowledges a WRITEBATCH; its payload echoes the
+	// number of writes applied so the client can detect a torn batch.
+	OpAckBatch Op = TagBit | 0x07
 )
 
 // Tagged reports whether frames with this opcode carry a u32 tag.
@@ -105,6 +114,10 @@ func (o Op) String() string {
 		return "ACKTAG"
 	case OpErrTag:
 		return "ERRTAG"
+	case OpWriteBatch:
+		return "WRITEBATCH"
+	case OpAckBatch:
+		return "ACKBATCH"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -145,7 +158,10 @@ func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return fmt.Errorf("rdma: frame too large (%d bytes)", len(f.Payload))
 	}
-	var hdr [headerSize + tagSize]byte
+	// Pooled scratch: a stack array would escape through the io.Writer
+	// interface call, costing one heap allocation per frame.
+	hdr := GetBuf(headerSize + tagSize)
+	defer PutBuf(hdr)
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(f.Payload)))
 	hdr[4] = byte(f.Op)
 	n := headerSize
@@ -268,6 +284,11 @@ const (
 	// advertise it, every frame after the negotiation exchange carries
 	// the trailer.
 	FeatCRC uint32 = 1 << 1
+	// FeatWriteBatch: the peer understands the WRITEBATCH/ACKBATCH
+	// verbs. A client talking to a peer without this bit falls back to
+	// one WRITETAG frame per write — same wire bytes a legacy peer has
+	// always seen.
+	FeatWriteBatch uint32 = 1 << 2
 )
 
 // EncodeFeatures packs a feature word into a PING/OK payload.
@@ -391,4 +412,104 @@ func DecodeDataBatch(p []byte) ([][]byte, error) {
 		return nil, fmt.Errorf("rdma: DATABATCH trailing garbage (%d bytes)", len(p)-off)
 	}
 	return segs, nil
+}
+
+// writeReqHdrSize is the fixed prefix of one WRITEBATCH tuple:
+// u32 ds | u32 idx | u32 len.
+const writeReqHdrSize = 12
+
+// WriteBatchSize returns the WRITEBATCH payload size for reqs — the
+// value the flusher bounds against MaxFrame before closing a batch.
+func WriteBatchSize(reqs []WriteReq) int {
+	n := 4
+	for _, r := range reqs {
+		n += writeReqHdrSize + len(r.Data)
+	}
+	return n
+}
+
+// EncodeWriteBatch builds a WRITEBATCH frame for the given tuples. The
+// payload is the tuples' WRITE payloads concatenated behind a count, so
+// batching changes framing only — each write's bytes are identical to
+// the WRITETAG fallback a legacy peer receives.
+func EncodeWriteBatch(tag uint32, reqs []WriteReq) (Frame, error) {
+	n := WriteBatchSize(reqs)
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("rdma: WRITEBATCH too large (%d bytes)", n)
+	}
+	p := make([]byte, n)
+	encodeWriteBatchInto(p, reqs)
+	return Frame{Op: OpWriteBatch, Tag: tag, Payload: p}, nil
+}
+
+func encodeWriteBatchInto(p []byte, reqs []WriteReq) {
+	binary.LittleEndian.PutUint32(p[0:], uint32(len(reqs)))
+	off := 4
+	for _, r := range reqs {
+		binary.LittleEndian.PutUint32(p[off:], r.DS)
+		binary.LittleEndian.PutUint32(p[off+4:], r.Idx)
+		binary.LittleEndian.PutUint32(p[off+8:], uint32(len(r.Data)))
+		off += writeReqHdrSize
+		copy(p[off:], r.Data)
+		off += len(r.Data)
+	}
+}
+
+// DecodeWriteBatch parses a WRITEBATCH payload into per-write requests
+// (Data fields are subslices of p — valid while p is).
+func DecodeWriteBatch(p []byte) ([]WriteReq, error) {
+	return DecodeWriteBatchInto(p, nil)
+}
+
+// DecodeWriteBatchInto is DecodeWriteBatch appending into a caller-owned
+// slice, letting a steady-state server reuse one across batches.
+func DecodeWriteBatchInto(p []byte, reqs []WriteReq) ([]WriteReq, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("rdma: bad WRITEBATCH payload length %d", len(p))
+	}
+	count := binary.LittleEndian.Uint32(p)
+	// Each tuple needs at least its fixed header; a count beyond that is
+	// a forged header — reject before sizing any allocation by it.
+	if uint64(count) > uint64(len(p)-4)/writeReqHdrSize {
+		return nil, fmt.Errorf("rdma: WRITEBATCH count %d exceeds payload", count)
+	}
+	reqs = reqs[:0]
+	off := 4
+	for i := uint32(0); i < count; i++ {
+		if off+writeReqHdrSize > len(p) {
+			return nil, fmt.Errorf("rdma: truncated WRITEBATCH at tuple %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(p[off+8:]))
+		r := WriteReq{
+			DS:  binary.LittleEndian.Uint32(p[off:]),
+			Idx: binary.LittleEndian.Uint32(p[off+4:]),
+		}
+		off += writeReqHdrSize
+		if n < 0 || off+n > len(p) {
+			return nil, fmt.Errorf("rdma: truncated WRITEBATCH tuple %d (%d bytes)", i, n)
+		}
+		r.Data = p[off : off+n]
+		off += n
+		reqs = append(reqs, r)
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("rdma: WRITEBATCH trailing garbage (%d bytes)", len(p)-off)
+	}
+	return reqs, nil
+}
+
+// EncodeAckBatch builds the ACKBATCH reply to a WRITEBATCH of count
+// writes.
+func EncodeAckBatch(tag uint32, count int) Frame {
+	p := make([]byte, 4)
+	binary.LittleEndian.PutUint32(p, uint32(count))
+	return Frame{Op: OpAckBatch, Tag: tag, Payload: p}
+}
+
+// DecodeAckBatch parses an ACKBATCH payload.
+func DecodeAckBatch(p []byte) (int, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("rdma: bad ACKBATCH payload length %d", len(p))
+	}
+	return int(binary.LittleEndian.Uint32(p)), nil
 }

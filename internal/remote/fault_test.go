@@ -531,3 +531,60 @@ func TestSerialClientCRCDowngradeAgainstLegacyServer(t *testing.T) {
 		t.Fatal("the downgrade must not clear the per-connection CRC ask")
 	}
 }
+
+// TestPipelinedWriteOnlyStall is the stall-detector regression for the
+// write window: a server that negotiates the full feature set and then
+// goes mute leaves a WRITEBATCH unacknowledged with nothing in the
+// *read* window. The stall detector must count in-flight writes too,
+// cut the stream after Timeout, and complete the write with
+// ErrUncertainWrite — not wait forever for an ack that will never come.
+func TestPipelinedWriteOnlyStall(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				// Answer the feature ping so the pipelined session comes
+				// up, then swallow every frame without replying.
+				if _, err := rdma.ReadFrame(conn); err != nil {
+					return
+				}
+				rdma.WriteFrame(conn, rdma.Frame{Op: rdma.OpOK,
+					Payload: rdma.EncodeFeatures(rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch)})
+				io.Copy(io.Discard, conn)
+			}(conn)
+		}
+	}()
+
+	c, err := DialPipelined(ln.Addr().String(), PipelineOpts{
+		Timeout:   50 * time.Millisecond,
+		RetryMax:  2,
+		RetryBase: time.Millisecond,
+		RetryCap:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	err = c.WriteObj(1, 2, []byte("stalled write"))
+	if err == nil {
+		t.Fatal("write against a mute server must not succeed")
+	}
+	if !errors.Is(err, ErrUncertainWrite) {
+		t.Fatalf("err = %v, want ErrUncertainWrite", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("write unblocked only after %v: stall detector ignored the write window", d)
+	}
+}

@@ -51,6 +51,14 @@ const (
 	MetricClientInflight  = "cards_remote_client_inflight_ops"
 	MetricClientBatchSize = "cards_remote_client_batch_reads"
 
+	// Write-back pipeline: WRITEBATCH frames served and their sizes
+	// (writes per batch) on the server; the client's write-window depth
+	// and per-doorbell write batch sizes.
+	MetricWriteBatches         = "cards_remote_write_batches_total"
+	MetricBatchWrites          = "cards_remote_batch_writes"
+	MetricClientInflightWrites = "cards_remote_client_inflight_writes"
+	MetricClientWriteBatchSize = "cards_remote_client_batch_writes"
+
 	// Fault tolerance (both clients): idempotent retries, successful
 	// redials, round trips that hit their deadline, writes whose outcome
 	// the transport could not determine, and reads replayed onto a fresh
@@ -69,27 +77,31 @@ type serverMetrics struct {
 	bytesIn, bytesOut     *stats.Counter
 	connsTotal            *stats.Counter
 	readBatches           *stats.Counter
+	writeBatches          *stats.Counter
 	inflight, conns       *stats.Gauge
 	readNS, writeNS       *stats.Histogram
 	pingNS                *stats.Histogram
 	batchReads            *stats.Histogram
+	batchWrites           *stats.Histogram
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	return &serverMetrics{
-		reads:       reg.Counter(MetricReads),
-		writes:      reg.Counter(MetricWrites),
-		errors:      reg.Counter(MetricErrors),
-		bytesIn:     reg.Counter(MetricBytesIn),
-		bytesOut:    reg.Counter(MetricBytesOut),
-		connsTotal:  reg.Counter(MetricConnsTotal),
-		readBatches: reg.Counter(MetricReadBatches),
-		inflight:    reg.Gauge(MetricInflight),
-		conns:       reg.Gauge(MetricConns),
-		readNS:      reg.Histogram(MetricReadNS),
-		writeNS:     reg.Histogram(MetricWriteNS),
-		pingNS:      reg.Histogram(MetricPingNS),
-		batchReads:  reg.Histogram(MetricBatchReads),
+		reads:        reg.Counter(MetricReads),
+		writes:       reg.Counter(MetricWrites),
+		errors:       reg.Counter(MetricErrors),
+		bytesIn:      reg.Counter(MetricBytesIn),
+		bytesOut:     reg.Counter(MetricBytesOut),
+		connsTotal:   reg.Counter(MetricConnsTotal),
+		readBatches:  reg.Counter(MetricReadBatches),
+		writeBatches: reg.Counter(MetricWriteBatches),
+		inflight:     reg.Gauge(MetricInflight),
+		conns:        reg.Gauge(MetricConns),
+		readNS:       reg.Histogram(MetricReadNS),
+		writeNS:      reg.Histogram(MetricWriteNS),
+		pingNS:       reg.Histogram(MetricPingNS),
+		batchReads:   reg.Histogram(MetricBatchReads),
+		batchWrites:  reg.Histogram(MetricBatchWrites),
 	}
 }
 
@@ -155,6 +167,27 @@ func (s *Server) observeBatch(connID, n int, start time.Time, startUS uint64) {
 	}
 }
 
+// observeWriteBatch records one served WRITEBATCH: the batch-size
+// histogram, the per-write counters, and one trace span carrying the
+// batch size.
+func (s *Server) observeWriteBatch(connID, n int, start time.Time, startUS uint64) {
+	ns := uint64(time.Since(start).Nanoseconds())
+	s.metrics.writeBatches.Inc()
+	s.metrics.batchWrites.Observe(uint64(n))
+	s.metrics.writes.Add(uint64(n))
+	s.metrics.writeNS.Observe(ns)
+	if s.tracer != nil {
+		s.tracer.Emit(obs.TraceEvent{
+			TS:       startUS,
+			Dur:      ns / 1000,
+			Cat:      "remote",
+			Name:     rdma.OpWriteBatch.String(),
+			TID:      connID,
+			Arg1Name: "writes", Arg1: int64(n),
+		})
+	}
+}
+
 // clientMetrics caches the client-side registry series.
 type clientMetrics struct {
 	readNS, writeNS, pingNS *stats.Histogram
@@ -201,7 +234,9 @@ func (m *clientMetrics) observe(op rdma.Op, ns uint64) {
 type pipeMetrics struct {
 	readNS, writeNS   *stats.Histogram
 	batchReads        *stats.Histogram
+	batchWrites       *stats.Histogram
 	inflight          *stats.Gauge
+	inflightWrites    *stats.Gauge
 	bytesIn, bytesOut *stats.Counter
 	reconnects        *stats.Counter
 	timeouts          *stats.Counter
@@ -217,7 +252,9 @@ func newPipeMetrics(reg *obs.Registry) *pipeMetrics {
 		readNS:          reg.Histogram(MetricClientReadNS),
 		writeNS:         reg.Histogram(MetricClientWriteNS),
 		batchReads:      reg.Histogram(MetricClientBatchSize),
+		batchWrites:     reg.Histogram(MetricClientWriteBatchSize),
 		inflight:        reg.Gauge(MetricClientInflight),
+		inflightWrites:  reg.Gauge(MetricClientInflightWrites),
 		bytesIn:         reg.Counter(MetricBytesIn),
 		bytesOut:        reg.Counter(MetricBytesOut),
 		reconnects:      reg.Counter(MetricClientReconnects),

@@ -30,12 +30,17 @@ const DefaultReconnectAttempts = 6
 
 // PipelineOpts tunes a PipelinedClient.
 type PipelineOpts struct {
-	// Window bounds the operations in flight on the wire (default 64).
-	// This is the pipeline depth: higher hides more round trips but
+	// Window bounds the read operations in flight on the wire (default
+	// 64). This is the pipeline depth: higher hides more round trips but
 	// holds more completion state.
 	Window int
-	// MaxBatch bounds the reads coalesced into one READBATCH frame
-	// (default 32, clamped to Window).
+	// WriteWindow bounds the writes in flight on the wire (default
+	// Window). Writes have their own window so a backlog of write-backs
+	// never starves demand reads of in-flight slots, and vice versa.
+	WriteWindow int
+	// MaxBatch bounds the reads coalesced into one READBATCH frame and
+	// the writes coalesced into one WRITEBATCH (default 32, clamped to
+	// Window).
 	MaxBatch int
 	// Obs, when non-nil, receives per-op latencies, doorbell batch
 	// sizes, the live in-flight depth, and wire bytes. It must be set
@@ -69,6 +74,9 @@ type PipelineOpts struct {
 func (o PipelineOpts) withDefaults() PipelineOpts {
 	if o.Window <= 0 {
 		o.Window = 64
+	}
+	if o.WriteWindow <= 0 {
+		o.WriteWindow = o.Window
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 32
@@ -109,13 +117,16 @@ func (op *pipeOp) complete(err error) {
 // reader goroutine demultiplexes completions by tag, so replies may
 // arrive in any order.
 //
-// Ordering contract: operations are *issued* in enqueue order, but reads
-// complete in any order and the server may serve batches concurrently.
-// A write is acknowledged only after it is applied, so issue-after-ack
-// read-your-write ordering holds; callers must not read an object while
-// their own write to it is still unacknowledged (the farmem runtime
-// never does: in-flight frames are unevictable, and its write-backs are
-// synchronous).
+// Ordering contract: reads and writes flow through separate queues with
+// separate in-flight windows; each completes in any order and the
+// server may serve batches concurrently. A write is acknowledged only
+// after it is applied, so issue-after-ack read-your-write ordering
+// holds; callers must not read an object while their own write to it is
+// still unacknowledged, and must not have two unacknowledged writes to
+// the same object in flight (the farmem runtime guarantees both: reads
+// of an object with an in-flight write-back are served from its staging
+// buffer, and a new write-back of such an object first waits out the
+// old one).
 //
 // Fault model: with Redial configured, a transport fault (cut, checksum
 // mismatch, stalled stream) tears the connection down, replays every
@@ -130,12 +141,15 @@ type PipelinedClient struct {
 	conn         io.ReadWriteCloser // current connection; swapped on reconnect
 	bw           *bufio.Writer      // doorbell buffer for conn
 	crc          bool               // session uses checksummed framing
+	wbatch       bool               // peer speaks WRITEBATCH/ACKBATCH
 	gen          uint64             // connection generation
 	reconnecting bool               // a reconnect is in progress
 	lastWire     time.Time          // last successful wire activity
 	cond         *sync.Cond         // flusher waits for queue work / window space
-	queue        []*pipeOp          // enqueued, not yet on the wire
-	inflight     int                // operations on the wire
+	queue        []*pipeOp          // enqueued reads, not yet on the wire
+	wqueue       []*pipeOp          // enqueued writes, not yet on the wire
+	inflight     int                // read operations on the wire
+	inflightW    int                // write operations on the wire
 	nextTag      uint32
 	pending      map[uint32][]*pipeOp // tag -> ops awaiting the tagged reply
 	err          error                // sticky transport/close error
@@ -147,28 +161,29 @@ type PipelinedClient struct {
 	metrics *pipeMetrics
 }
 
-// negotiate runs the feature exchange on a fresh connection: request the
-// batch and CRC extensions, demand batching, and report whether the
-// session switched to checksummed framing. The exchange itself is always
-// legacy-framed; d bounds it when > 0.
-func negotiate(conn io.ReadWriteCloser, d time.Duration) (crc bool, err error) {
+// negotiate runs the feature exchange on a fresh connection: request
+// the batch, CRC, and write-batch extensions, demand batching, and
+// return the peer's feature word (the caller derives checksummed
+// framing and WRITEBATCH support from it). The exchange itself is
+// always legacy-framed; d bounds it when > 0.
+func negotiate(conn io.ReadWriteCloser, d time.Duration) (feats uint32, err error) {
 	g := guardIO(conn, d)
-	err = rdma.WriteFrame(conn, rdma.PingFeatures(rdma.FeatBatch|rdma.FeatCRC))
+	err = rdma.WriteFrame(conn, rdma.PingFeatures(rdma.FeatBatch|rdma.FeatCRC|rdma.FeatWriteBatch))
 	var resp rdma.Frame
 	if err == nil {
 		resp, err = rdma.ReadFrame(conn)
 	}
 	if err = g.finish(err); err != nil {
-		return false, fmt.Errorf("remote: feature ping: %w", err)
+		return 0, fmt.Errorf("remote: feature ping: %w", err)
 	}
 	if resp.Op != rdma.OpOK {
-		return false, fmt.Errorf("remote: unexpected ping response %s", resp.Op)
+		return 0, fmt.Errorf("remote: unexpected ping response %s", resp.Op)
 	}
 	feats, ok := rdma.DecodeFeatures(resp.Payload)
 	if !ok || feats&rdma.FeatBatch == 0 {
-		return false, ErrNoPipelining
+		return 0, ErrNoPipelining
 	}
-	return feats&rdma.FeatCRC != 0, nil
+	return feats, nil
 }
 
 // negotiateCRC asks the peer for checksummed framing only — no batching
@@ -196,7 +211,7 @@ func negotiateCRC(conn io.ReadWriteCloser, d time.Duration) (bool, error) {
 // returns a running pipelined client. Returns ErrNoPipelining (with conn
 // still usable for a serial Client) when the peer is a legacy server.
 func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient, error) {
-	crc, err := negotiate(conn, opts.Timeout)
+	feats, err := negotiate(conn, opts.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +222,8 @@ func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient,
 	c := &PipelinedClient{
 		conn:     conn,
 		bw:       bufio.NewWriterSize(conn, 64<<10),
-		crc:      crc,
+		crc:      feats&rdma.FeatCRC != 0,
+		wbatch:   feats&rdma.FeatWriteBatch != 0,
 		opts:     opts.withDefaults(),
 		lastWire: time.Now(),
 		pending:  make(map[uint32][]*pipeOp),
@@ -359,6 +375,7 @@ func dialAutoOnce(addr string, cfg DialConfig) (StoreConn, error) {
 }
 
 // enqueue hands an operation to the flusher (never blocks on the wire).
+// Reads and writes queue separately so each window fills independently.
 func (c *PipelinedClient) enqueue(op *pipeOp) {
 	c.mu.Lock()
 	if c.err != nil {
@@ -370,7 +387,11 @@ func (c *PipelinedClient) enqueue(op *pipeOp) {
 	if c.metrics != nil {
 		op.start = time.Now()
 	}
-	c.queue = append(c.queue, op)
+	if op.write {
+		c.wqueue = append(c.wqueue, op)
+	} else {
+		c.queue = append(c.queue, op)
+	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
 }
@@ -383,6 +404,21 @@ func (c *PipelinedClient) IssueRead(ds, idx int, dst []byte, done func(error)) {
 	c.enqueue(&pipeOp{
 		ds: uint32(ds), idx: uint32(idx), size: uint32(len(dst)),
 		dst: dst, done: done,
+	})
+}
+
+// IssueWrite implements farmem.AsyncWriteStore: it enqueues the write
+// and returns immediately; done is invoked exactly once (possibly on
+// the reader goroutine) when the server has acknowledged the write or
+// it failed. src must stay valid and unmodified until done runs; done
+// must not block. A connection fault before the ack completes the write
+// with ErrUncertainWrite — the transport never silently replays a write
+// that may already have been applied; the caller reissues if (as with
+// full-object write-backs) the write is idempotent.
+func (c *PipelinedClient) IssueWrite(ds, idx int, src []byte, done func(error)) {
+	c.enqueue(&pipeOp{
+		write: true, ds: uint32(ds), idx: uint32(idx),
+		data: src, done: done,
 	})
 }
 
@@ -448,14 +484,16 @@ func (c *PipelinedClient) fail(err error) {
 		return
 	}
 	c.err = err
-	queued := c.queue
-	c.queue = nil
+	queued := append(c.queue, c.wqueue...)
+	c.queue, c.wqueue = nil, nil
 	pend := c.pending
 	c.pending = make(map[uint32][]*pipeOp)
 	c.inflight = 0
+	c.inflightW = 0
 	conn := c.conn
 	if m := c.metrics; m != nil {
 		m.inflight.Set(0)
+		m.inflightWrites.Set(0)
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
@@ -489,10 +527,12 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 		return
 	}
 	c.reconnecting = true
-	// Harvest the in-flight window. Reads are idempotent: requeue them
+	// Harvest the in-flight windows. Reads are idempotent: requeue them
 	// ahead of newer work, to be reissued under fresh tags (the old tags
-	// died with the connection). Writes may or may not have been applied
-	// — complete them with ErrUncertainWrite and let the caller decide.
+	// died with the connection). In-flight writes may or may not have
+	// been applied — complete them with ErrUncertainWrite and let the
+	// caller decide. Writes still queued never touched the wire, so they
+	// simply stay queued for the fresh connection.
 	tags := make([]uint32, 0, len(c.pending))
 	for tag := range c.pending {
 		tags = append(tags, tag)
@@ -510,9 +550,11 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 	}
 	c.pending = make(map[uint32][]*pipeOp)
 	c.inflight = 0
+	c.inflightW = 0
 	c.queue = append(append(make([]*pipeOp, 0, len(reads)+len(c.queue)), reads...), c.queue...)
 	if m := c.metrics; m != nil {
 		m.inflight.Set(0)
+		m.inflightWrites.Set(0)
 		m.replayedReads.Add(uint64(len(reads)))
 		m.uncertainWrites.Add(uint64(len(writes)))
 	}
@@ -541,7 +583,7 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 			lastErr = err
 			continue
 		}
-		crc, err := negotiate(nc, c.opts.Timeout)
+		feats, err := negotiate(nc, c.opts.Timeout)
 		if err != nil {
 			nc.Close()
 			lastErr = err
@@ -555,7 +597,8 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 		}
 		c.conn = nc
 		c.bw = bufio.NewWriterSize(nc, 64<<10)
-		c.crc = crc
+		c.crc = feats&rdma.FeatCRC != 0
+		c.wbatch = feats&rdma.FeatWriteBatch != 0
 		c.gen++
 		c.reconnecting = false
 		c.lastWire = time.Now()
@@ -604,16 +647,28 @@ func (c *PipelinedClient) requeueOps(ops []*pipeOp, cause error) {
 	}
 }
 
+// flushable reports whether the flusher has work it can put on the wire
+// right now (caller holds mu).
+func (c *PipelinedClient) flushable() bool {
+	return (len(c.queue) > 0 && c.inflight < c.opts.Window) ||
+		(len(c.wqueue) > 0 && c.inflightW < c.opts.WriteWindow)
+}
+
 // flushLoop is the doorbell: it waits for queued work and window space,
-// moves as much of the queue as fits onto the wire as tagged frames —
-// consecutive reads coalesced into READBATCH — and flushes the buffered
+// moves as much of both queues as fits onto the wire as tagged frames —
+// reads coalesced into READBATCH, writes into WRITEBATCH (or one
+// WRITETAG each against a legacy peer) — and flushes the buffered
 // writer once per wakeup. It parks while a reconnect is in progress and
-// resumes against the fresh connection.
+// resumes against the fresh connection. Frame payloads come from the
+// rdma buffer pool and return to it once written.
 func (c *PipelinedClient) flushLoop() {
 	defer c.wg.Done()
+	var reqs []rdma.ReadReq   // scratch, reused across wakeups
+	var wreqs []rdma.WriteReq // scratch, reused across wakeups
+	var frames []rdma.Frame   // scratch, reused across wakeups
 	for {
 		c.mu.Lock()
-		for c.err == nil && (c.reconnecting || len(c.queue) == 0 || c.inflight >= c.opts.Window) {
+		for c.err == nil && (c.reconnecting || !c.flushable()) {
 			c.cond.Wait()
 		}
 		if c.err != nil {
@@ -623,24 +678,14 @@ func (c *PipelinedClient) flushLoop() {
 		gen := c.gen
 		bw := c.bw
 		crc := c.crc
+		frames = frames[:0]
 		space := c.opts.Window - c.inflight
-		var frames []rdma.Frame
 		for space > 0 && len(c.queue) > 0 {
-			if op := c.queue[0]; op.write {
-				tag := c.take(1)
-				c.pending[tag] = []*pipeOp{op}
-				frames = append(frames, rdma.Frame{
-					Op: rdma.OpWriteTag, Tag: tag,
-					Payload: rdma.EncodeWrite(op.ds, op.idx, op.data).Payload,
-				})
-				space--
-				continue
-			}
 			// Coalesce the run of reads at the head of the queue.
-			var reqs []rdma.ReadReq
+			reqs = reqs[:0]
 			var ops []*pipeOp
 			replySize := 4
-			for space > 0 && len(c.queue) > 0 && !c.queue[0].write && len(ops) < c.opts.MaxBatch {
+			for space > 0 && len(c.queue) > 0 && len(ops) < c.opts.MaxBatch {
 				op := c.queue[0]
 				if len(ops) > 0 && replySize+4+int(op.size) > rdma.MaxFrame {
 					break
@@ -651,8 +696,8 @@ func (c *PipelinedClient) flushLoop() {
 				c.queue = c.queue[1:]
 				space--
 			}
-			tag := c.tagFor(ops)
-			frames = append(frames, rdma.EncodeReadBatch(tag, reqs))
+			tag := c.tagFor(ops, false)
+			frames = append(frames, rdma.EncodeReadBatchPooled(tag, reqs))
 			if m := c.metrics; m != nil {
 				m.batchReads.Observe(uint64(len(ops)))
 			}
@@ -660,8 +705,57 @@ func (c *PipelinedClient) flushLoop() {
 		if len(c.queue) == 0 {
 			c.queue = nil // release the drained backing array
 		}
+		wspace := c.opts.WriteWindow - c.inflightW
+		for wspace > 0 && len(c.wqueue) > 0 {
+			if !c.wbatch {
+				// Legacy peer: one WRITETAG frame per write — byte-identical
+				// to what such a peer has always received.
+				op := c.wqueue[0]
+				c.wqueue = c.wqueue[1:]
+				wspace--
+				tag := c.tagFor([]*pipeOp{op}, true)
+				frames = append(frames, rdma.Frame{
+					Op: rdma.OpWriteTag, Tag: tag,
+					Payload: rdma.EncodeWrite(op.ds, op.idx, op.data).Payload,
+				})
+				continue
+			}
+			// Coalesce writes into one WRITEBATCH, bounded by MaxBatch and
+			// the frame limit.
+			wreqs = wreqs[:0]
+			var ops []*pipeOp
+			frameSize := 4
+			for wspace > 0 && len(c.wqueue) > 0 && len(ops) < c.opts.MaxBatch {
+				op := c.wqueue[0]
+				if len(ops) > 0 && frameSize+12+len(op.data) > rdma.MaxFrame {
+					break
+				}
+				frameSize += 12 + len(op.data)
+				wreqs = append(wreqs, rdma.WriteReq{DS: op.ds, Idx: op.idx, Data: op.data})
+				ops = append(ops, op)
+				c.wqueue = c.wqueue[1:]
+				wspace--
+			}
+			tag := c.tagFor(ops, true)
+			f, err := rdma.EncodeWriteBatchPooled(tag, wreqs)
+			if err != nil {
+				// Unreachable by construction (the loop bounds frameSize);
+				// fail loudly rather than drop writes on the floor.
+				c.mu.Unlock()
+				c.fail(err)
+				return
+			}
+			frames = append(frames, f)
+			if m := c.metrics; m != nil {
+				m.batchWrites.Observe(uint64(len(ops)))
+			}
+		}
+		if len(c.wqueue) == 0 {
+			c.wqueue = nil // release the drained backing array
+		}
 		if m := c.metrics; m != nil {
 			m.inflight.Set(int64(c.inflight))
+			m.inflightWrites.Set(int64(c.inflightW))
 		}
 		c.mu.Unlock()
 
@@ -671,12 +765,15 @@ func (c *PipelinedClient) flushLoop() {
 		}
 		var werr error
 		for _, f := range frames {
-			if werr = writeFrame(bw, f); werr != nil {
-				break
+			if werr == nil {
+				werr = writeFrame(bw, f)
 			}
-			if m := c.metrics; m != nil {
-				m.bytesOut.Add(f.WireSize())
+			if werr == nil {
+				if m := c.metrics; m != nil {
+					m.bytesOut.Add(f.WireSize())
+				}
 			}
+			rdma.PutBuf(f.Payload)
 		}
 		if werr == nil {
 			werr = bw.Flush()
@@ -694,19 +791,15 @@ func (c *PipelinedClient) flushLoop() {
 	}
 }
 
-// take pops n write ops off the queue head (caller holds mu, n==1) and
-// returns a fresh tag accounting them in flight.
-func (c *PipelinedClient) take(n int) uint32 {
-	c.queue = c.queue[n:]
-	c.inflight += n
-	c.nextTag++
-	return c.nextTag
-}
-
-// tagFor registers a read batch in flight (caller holds mu; ops already
-// popped) and returns its tag.
-func (c *PipelinedClient) tagFor(ops []*pipeOp) uint32 {
-	c.inflight += len(ops)
+// tagFor registers a batch of ops in flight under a fresh tag (caller
+// holds mu; ops already popped from their queue), charging the window
+// matching their direction.
+func (c *PipelinedClient) tagFor(ops []*pipeOp, write bool) uint32 {
+	if write {
+		c.inflightW += len(ops)
+	} else {
+		c.inflight += len(ops)
+	}
 	c.nextTag++
 	c.pending[c.nextTag] = ops
 	return c.nextTag
@@ -715,9 +808,12 @@ func (c *PipelinedClient) tagFor(ops []*pipeOp) uint32 {
 // readLoop demultiplexes completions by tag. Any transport-level
 // problem — read error, checksum mismatch, unknown tag, malformed
 // batch — reports the connection generation to connFail and parks until
-// reconnected (or until the client fails for good).
+// reconnected (or until the client fails for good). Frame payloads are
+// pooled: each is released back to the rdma buffer pool as soon as its
+// contents are copied out or formatted into an error.
 func (c *PipelinedClient) readLoop() {
 	defer c.wg.Done()
+	var segs [][]byte // scratch, reused across frames
 	for {
 		c.mu.Lock()
 		for c.err == nil && c.reconnecting {
@@ -740,9 +836,9 @@ func (c *PipelinedClient) readLoop() {
 		var f rdma.Frame
 		var err error
 		if crc {
-			f, err = rdma.ReadFrameCRC(conn)
+			f, err = rdma.ReadFrameCRCPooled(conn)
 		} else {
-			f, err = rdma.ReadFrame(conn)
+			f, err = rdma.ReadFramePooled(conn)
 		}
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
@@ -753,7 +849,7 @@ func (c *PipelinedClient) readLoop() {
 				// stream; the next read then fails the tag or checksum
 				// check and converges to the same reconnect.)
 				c.mu.Lock()
-				stalled := c.gen == gen && c.inflight > 0 &&
+				stalled := c.gen == gen && (c.inflight > 0 || c.inflightW > 0) &&
 					time.Since(c.lastWire) >= c.opts.Timeout
 				c.mu.Unlock()
 				if !stalled {
@@ -775,18 +871,22 @@ func (c *PipelinedClient) readLoop() {
 		}
 		ops, ok := c.takePending(f.Tag)
 		if !ok {
-			c.connFail(gen, fmt.Errorf("remote: unknown completion tag %d (%s)", f.Tag, f.Op))
+			err := fmt.Errorf("remote: unknown completion tag %d (%s)", f.Tag, f.Op)
+			rdma.PutBuf(f.Payload)
+			c.connFail(gen, err)
 			continue
 		}
 		switch f.Op {
 		case rdma.OpDataBatch:
-			segs, derr := rdma.DecodeDataBatch(f.Payload)
+			var derr error
+			segs, derr = rdma.DecodeDataBatchInto(f.Payload, segs)
 			if derr == nil && len(segs) != len(ops) {
 				derr = fmt.Errorf("remote: DATABATCH has %d segments, want %d", len(segs), len(ops))
 			}
 			if derr != nil {
 				// Framing is untrustworthy past this point: replay these
 				// reads on a fresh connection.
+				rdma.PutBuf(f.Payload)
 				c.requeueOps(ops, derr)
 				c.connFail(gen, derr)
 				continue
@@ -796,15 +896,38 @@ func (c *PipelinedClient) readLoop() {
 				c.observeOp(op)
 				op.complete(nil)
 			}
+			rdma.PutBuf(f.Payload)
+		case rdma.OpAckBatch:
+			n, derr := rdma.DecodeAckBatch(f.Payload)
+			rdma.PutBuf(f.Payload)
+			if derr == nil && n != len(ops) {
+				derr = fmt.Errorf("remote: ACKBATCH acknowledges %d writes, want %d", n, len(ops))
+			}
+			if derr != nil {
+				// A torn ack means the batch outcome is unknowable over this
+				// stream: the writes surface as uncertain for the caller to
+				// reissue.
+				c.requeueOps(ops, derr)
+				c.connFail(gen, derr)
+				continue
+			}
+			for _, op := range ops {
+				c.observeOp(op)
+				op.complete(nil)
+			}
 		case rdma.OpAckTag:
+			rdma.PutBuf(f.Payload)
 			c.observeOp(ops[0])
 			ops[0].complete(nil)
 		case rdma.OpErrTag:
 			// Definitive server-level rejection: the connection is fine
 			// and the answer is final — never retried.
-			c.completeAll(ops, fmt.Errorf("remote: server error: %s", f.Payload))
+			err := fmt.Errorf("remote: server error: %s", f.Payload)
+			rdma.PutBuf(f.Payload)
+			c.completeAll(ops, err)
 		default:
 			err := fmt.Errorf("remote: unexpected frame %s in pipelined stream", f.Op)
+			rdma.PutBuf(f.Payload)
 			c.requeueOps(ops, err)
 			c.connFail(gen, err)
 			continue
@@ -813,7 +936,8 @@ func (c *PipelinedClient) readLoop() {
 }
 
 // takePending removes and returns the ops registered under tag, freeing
-// their window slots.
+// their window slots (a tag's ops are homogeneous: all reads or all
+// writes, so one op decides which window drains).
 func (c *PipelinedClient) takePending(tag uint32) ([]*pipeOp, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -822,9 +946,16 @@ func (c *PipelinedClient) takePending(tag uint32) ([]*pipeOp, bool) {
 		return nil, false
 	}
 	delete(c.pending, tag)
-	c.inflight -= len(ops)
-	if m := c.metrics; m != nil {
-		m.inflight.Set(int64(c.inflight))
+	if len(ops) > 0 && ops[0].write {
+		c.inflightW -= len(ops)
+		if m := c.metrics; m != nil {
+			m.inflightWrites.Set(int64(c.inflightW))
+		}
+	} else {
+		c.inflight -= len(ops)
+		if m := c.metrics; m != nil {
+			m.inflight.Set(int64(c.inflight))
+		}
 	}
 	c.cond.Broadcast()
 	return ops, true

@@ -41,11 +41,21 @@ func NewObjectStore() *ObjectStore {
 // Read copies the object into a fresh buffer of the requested size
 // (zero-filled when absent or shorter).
 func (s *ObjectStore) Read(ds, idx, size uint32) []byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]byte, size)
-	copy(out, s.m[[2]uint32{ds, idx}])
+	s.ReadInto(ds, idx, out)
 	return out
+}
+
+// ReadInto copies the object into dst (zero-filling the tail when the
+// object is absent or shorter) — the allocation-free gather path the
+// batch workers use to fill reply buffers in place.
+func (s *ObjectStore) ReadInto(ds, idx uint32, dst []byte) {
+	s.mu.RLock()
+	n := copy(dst, s.m[[2]uint32{ds, idx}])
+	s.mu.RUnlock()
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
 }
 
 // Write stores a copy of data.
@@ -95,9 +105,9 @@ type Server struct {
 const DefaultBatchWorkers = 4
 
 // ServerFeatures is the feature word the server answers to a feature
-// PING: this server speaks the tagged/batch extension and can switch
-// the session to checksummed frames.
-const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC
+// PING: this server speaks the tagged/batch extension (reads and
+// writes) and can switch the session to checksummed frames.
+const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch
 
 // NewServer creates a server with an empty store and a private metric
 // registry.
@@ -172,13 +182,17 @@ func (s *Server) trackConn(conn io.ReadWriteCloser, add bool) {
 // ServeConn handles one connection until EOF or error. Exported so tests
 // and in-process pairs (net.Pipe) can drive it directly.
 //
-// Serial verbs are handled inline, in arrival order. READBATCH frames
-// are dispatched to a small per-connection worker pool and answered
-// whenever they complete — possibly out of order relative to each other
-// and to later serial verbs; the tag routes each reply. Callers that
-// need write-then-read ordering for an object get it from the write
-// acknowledgement: ACKTAG/OK is sent only after the store mutation, so a
-// read issued after the ack observes it.
+// Serial verbs are handled inline, in arrival order. READBATCH and
+// WRITEBATCH frames are dispatched to a small per-connection worker
+// pool and answered whenever they complete — possibly out of order
+// relative to each other and to later serial verbs; the tag routes each
+// reply. Callers that need write-then-read ordering for an object get
+// it from the write acknowledgement: ACKBATCH/ACKTAG/OK is sent only
+// after the store mutation, so a read issued after the ack observes it.
+// Symmetrically, two batches carrying writes to the same object may be
+// applied in either order — clients must not have two unacknowledged
+// writes to one object in flight (the pipelined client's runtime caller
+// serializes per-object write-backs).
 func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	defer conn.Close()
 	connID := int(s.nextCon.Add(1))
@@ -212,8 +226,18 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer bwg.Done()
+			// Per-worker scratch keeps the steady-state batch path free of
+			// per-frame allocations (the request slices are reused; reply
+			// payloads come from the frame buffer pool).
+			var rscratch []rdma.ReadReq
+			var wscratch []rdma.WriteReq
 			for f := range jobs {
-				s.serveBatch(f, connID, send)
+				if f.Op == rdma.OpWriteBatch {
+					wscratch = s.serveWriteBatch(f, connID, send, wscratch)
+				} else {
+					rscratch = s.serveBatch(f, connID, send, rscratch)
+				}
+				rdma.PutBuf(f.Payload)
 			}
 		}()
 	}
@@ -225,15 +249,15 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		var f rdma.Frame
 		var err error
 		if crcIn {
-			f, err = rdma.ReadFrameCRC(conn)
+			f, err = rdma.ReadFrameCRCPooled(conn)
 		} else {
-			f, err = rdma.ReadFrame(conn)
+			f, err = rdma.ReadFramePooled(conn)
 		}
 		if err != nil {
 			return
 		}
 		s.metrics.bytesIn.Add(f.WireSize())
-		if f.Op == rdma.OpReadBatch {
+		if f.Op == rdma.OpReadBatch || f.Op == rdma.OpWriteBatch {
 			s.metrics.inflight.Add(1)
 			jobs <- f // reply sent by a worker, possibly out of order
 			continue
@@ -266,7 +290,9 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 				break
 			}
 			ds, idx = int64(req.DS), int64(req.Idx)
-			resp = rdma.Frame{Op: rdma.OpData, Payload: s.Store.Read(req.DS, req.Idx, req.Size)}
+			out := rdma.GetBuf(int(req.Size))
+			s.Store.ReadInto(req.DS, req.Idx, out)
+			resp = rdma.Frame{Op: rdma.OpData, Payload: out}
 		case rdma.OpWrite, rdma.OpWriteTag:
 			req, err := rdma.DecodeWrite(f.Payload)
 			if err != nil {
@@ -298,7 +324,10 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 			s.observeVerb(f.Op, connID, start, startUS, ds, idx)
 		}
 		s.metrics.inflight.Add(-1)
-		if err := send(resp); err != nil {
+		rdma.PutBuf(f.Payload) // request fully consumed (Store.Write copies)
+		err = send(resp)
+		rdma.PutBuf(resp.Payload)
+		if err != nil {
 			return
 		}
 		if enableCRC {
@@ -309,37 +338,62 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 }
 
 // serveBatch handles one READBATCH frame on a worker goroutine: gather
-// every requested object and answer with a single DATABATCH.
-func (s *Server) serveBatch(f rdma.Frame, connID int, send func(rdma.Frame) error) {
+// every requested object directly into one pooled DATABATCH reply. The
+// request scratch slice is returned for the worker to reuse.
+func (s *Server) serveBatch(f rdma.Frame, connID int, send func(rdma.Frame) error, scratch []rdma.ReadReq) []rdma.ReadReq {
 	defer s.metrics.inflight.Add(-1)
 	start := time.Now()
 	var startUS uint64
 	if s.tracer != nil {
 		startUS = s.tracer.Now()
 	}
-	reqs, err := rdma.DecodeReadBatch(f.Payload)
+	reqs, err := rdma.DecodeReadBatchInto(f.Payload, scratch)
 	if err != nil {
 		s.metrics.errors.Inc()
 		send(rdma.ErrTagFrame(f.Tag, err.Error()))
-		return
+		return scratch
 	}
-	if rdma.DataBatchSize(reqs) > rdma.MaxFrame {
+	size := rdma.DataBatchSize(reqs)
+	if size > rdma.MaxFrame {
 		s.metrics.errors.Inc()
 		send(rdma.ErrTagFrame(f.Tag, "batch reply exceeds frame limit"))
-		return
+		return reqs
 	}
-	segs := make([][]byte, len(reqs))
-	for i, r := range reqs {
-		segs[i] = s.Store.Read(r.DS, r.Idx, r.Size)
+	p := rdma.GetBuf(size)
+	w := rdma.BeginDataBatch(p, len(reqs))
+	for _, r := range reqs {
+		s.Store.ReadInto(r.DS, r.Idx, w.Next(int(r.Size)))
 	}
-	resp, err := rdma.EncodeDataBatch(f.Tag, segs)
+	s.observeBatch(connID, len(reqs), start, startUS)
+	send(w.Frame(f.Tag))
+	rdma.PutBuf(p)
+	return reqs
+}
+
+// serveWriteBatch handles one WRITEBATCH frame on a worker goroutine:
+// apply every write in batch order, then acknowledge the whole batch
+// with one ACKBATCH. Writes within a batch are ordered; two batches may
+// be applied in either order (see the ServeConn contract).
+func (s *Server) serveWriteBatch(f rdma.Frame, connID int, send func(rdma.Frame) error, scratch []rdma.WriteReq) []rdma.WriteReq {
+	defer s.metrics.inflight.Add(-1)
+	start := time.Now()
+	var startUS uint64
+	if s.tracer != nil {
+		startUS = s.tracer.Now()
+	}
+	reqs, err := rdma.DecodeWriteBatchInto(f.Payload, scratch)
 	if err != nil {
 		s.metrics.errors.Inc()
 		send(rdma.ErrTagFrame(f.Tag, err.Error()))
-		return
+		return scratch
 	}
-	s.observeBatch(connID, len(reqs), start, startUS)
+	for _, r := range reqs {
+		s.Store.Write(r.DS, r.Idx, r.Data)
+	}
+	s.observeWriteBatch(connID, len(reqs), start, startUS)
+	resp := rdma.EncodeAckBatch(f.Tag, len(reqs))
 	send(resp)
+	return reqs
 }
 
 // Counts returns (reads, writes) served. The values are the registry's

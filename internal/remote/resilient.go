@@ -119,6 +119,28 @@ func (r *Resilient) IssueRead(ds, idx int, dst []byte, done func(error)) {
 	done(r.do(func(sc StoreConn) error { return sc.ReadObj(ds, idx, dst) }))
 }
 
+// IssueWrite preserves the async write-back path when the underlying
+// client is pipelined, falling back to a synchronous write otherwise.
+// A failed async write retires the dead client like any other failure,
+// so the caller's reissue finds a fresh connection.
+func (r *Resilient) IssueWrite(ds, idx int, src []byte, done func(error)) {
+	c, err := r.client()
+	if err != nil {
+		done(err)
+		return
+	}
+	if pc, ok := c.(*PipelinedClient); ok {
+		pc.IssueWrite(ds, idx, src, func(err error) {
+			if err != nil {
+				r.retire(pc)
+			}
+			done(err)
+		})
+		return
+	}
+	done(r.do(func(sc StoreConn) error { return sc.WriteObj(ds, idx, src) }))
+}
+
 // Close implements StoreConn.
 func (r *Resilient) Close() error {
 	r.mu.Lock()

@@ -48,9 +48,10 @@ type Options struct {
 // one (closed / open / half-open) but at shard scope — one dead backend
 // degrades exactly the keys it owns.
 type shard struct {
-	store  farmem.Store
-	astore farmem.AsyncStore // non-nil iff the backend supports IssueRead
-	pinger farmem.Pinger     // non-nil iff the backend supports Ping
+	store   farmem.Store
+	astore  farmem.AsyncStore      // non-nil iff the backend supports IssueRead
+	awstore farmem.AsyncWriteStore // non-nil iff the backend supports IssueWrite
+	pinger  farmem.Pinger          // non-nil iff the backend supports Ping
 
 	mu       sync.Mutex
 	state    farmem.BreakerState
@@ -128,7 +129,8 @@ func (s *shard) breakerState() farmem.BreakerState {
 
 // ShardedStore multiplexes farmem store traffic across N backends using
 // rendezvous placement (see Map). It implements farmem.Store,
-// farmem.AsyncStore, farmem.Pinger and farmem.Recoverable.
+// farmem.AsyncStore, farmem.AsyncWriteStore, farmem.Pinger and
+// farmem.Recoverable.
 //
 // Fault domains are per shard: operations against a tripped shard fail
 // fast with an error wrapping farmem.ErrDegraded while the other shards
@@ -193,6 +195,9 @@ func NewSharded(backends []farmem.Store, opts Options) (*ShardedStore, error) {
 		}
 		if as, ok := b.(farmem.AsyncStore); ok {
 			s.astore = as
+		}
+		if aw, ok := b.(farmem.AsyncWriteStore); ok {
+			s.awstore = aw
 		}
 		if p, ok := b.(farmem.Pinger); ok {
 			s.pinger = p
@@ -344,6 +349,37 @@ func (ss *ShardedStore) IssueRead(ds, idx int, dst []byte, done func(error)) {
 		return
 	}
 	finish(s.store.ReadObj(ds, idx, dst))
+}
+
+// IssueWrite implements farmem.AsyncWriteStore, fanning staged
+// write-backs out to each shard's own pipelined write window. A tripped
+// shard fails fast — the runtime parks the staged payload until this
+// shard's recovery epoch — and a backend without async support serves
+// the write synchronously before returning.
+func (ss *ShardedStore) IssueWrite(ds, idx int, src []byte, done func(error)) {
+	i := ss.ShardOf(ds, idx)
+	s := ss.shards[i]
+	if !s.gate(ss.opts.ProbeEvery) {
+		done(ss.degradedErr(i))
+		return
+	}
+	finish := func(err error) {
+		if err != nil {
+			ss.fail(s)
+			done(fmt.Errorf("shardmap: shard %d write: %w", i, err))
+			return
+		}
+		ss.ok(s)
+		s.writes.Inc()
+		s.bytesOut.Add(uint64(len(src)))
+		s.noteObject(ds, idx)
+		done(nil)
+	}
+	if s.awstore != nil {
+		s.awstore.IssueWrite(ds, idx, src, finish)
+		return
+	}
+	finish(s.store.WriteObj(ds, idx, src))
 }
 
 // Ping implements farmem.Pinger at cluster scope: it succeeds while at
