@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard bench-writeback benchguard fuzz-smoke
+.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard bench-writeback benchguard fuzz-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -23,16 +23,24 @@ race:
 # check is the CI gate: formatting, static analysis, the full test
 # suite under the race detector (exercises the concurrent remote server
 # and the obs tracer/registry), a short fuzzing smoke pass over the
-# wire-format decoders, and the pipeline-sweep regression guard against
-# the checked-in baseline.
-check: fmt vet race fuzz-smoke benchguard
+# wire-format decoders, the distributed-tracing smoke, and the sweep
+# regression guards against the checked-in baselines.
+check: fmt vet race fuzz-smoke trace-smoke benchguard
 
-# benchguard reruns the pipeline-depth sweep and fails if the best
-# pipelined speedup fell more than 15% below the checked-in
-# BENCH_pipeline.json baseline (speedups are in-run ratios, so host
-# speed cancels out).
+# trace-smoke runs a traced pointer chase over a real TCP far tier with
+# injected RTT and validates the tentpole end to end: the merged Chrome
+# trace carries causally linked client and server spans, and every op's
+# four-component latency decomposition sums to its wall time.
+trace-smoke:
+	$(GO) test -run '^TestTraceSmoke$$' -count=1 -v .
+
+# benchguard reruns the pipeline-depth and dirty write-back sweeps and
+# fails if either best speedup fell below its floor relative to the
+# checked-in BENCH_pipeline.json / BENCH_writeback.json baselines
+# (speedups are in-run ratios, so host speed cancels out). Pass or
+# fail, it prints the per-row measured-vs-baseline delta tables.
 benchguard:
-	$(GO) run ./cmd/benchguard -baseline BENCH_pipeline.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_pipeline.json -writeback-baseline BENCH_writeback.json
 
 # fuzz-smoke runs each native fuzzer briefly (seed corpus + a short
 # random exploration). Go allows one -fuzz pattern per invocation, so

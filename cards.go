@@ -21,6 +21,8 @@ package cards
 import (
 	"fmt"
 	"io"
+	"net/http"
+	"strconv"
 	"time"
 
 	"cards/internal/farmem"
@@ -123,14 +125,32 @@ type Config struct {
 	// shard's private breaker. 0 means 8; negative disables the
 	// breakers. Only meaningful with RemoteAddr/RemoteAddrs set.
 	BreakerThreshold int
+
+	// Trace enables cross-process distributed tracing. Span contexts
+	// ride the wire on every pipelined frame (negotiated with the
+	// server; legacy servers fall back transparently), the server stamps
+	// each reply with its receive/dispatch/complete times, and every
+	// remote operation is decomposed into clock-offset-free client-queue
+	// / wire / server-queue / server-service components feeding the
+	// cards_attrib_* metric series. Head-sampled span trees accumulate
+	// in an in-process ring (WriteChromeTrace); the slowest ops of the
+	// last two 10s windows are always retained by the flight recorder
+	// (DebugHandler's /debug/slow), however sampling falls.
+	Trace bool
+	// TraceTarget caps head sampling at about this many sampled root
+	// traces per second; 0 means 500. Negative samples every root — for
+	// tests and bounded smoke runs only. Ignored unless Trace is set.
+	TraceTarget float64
 }
 
 // Runtime is a far-memory runtime instance.
 type Runtime struct {
-	rt      *farmem.Runtime
-	client  remote.StoreConn
-	sharded *shardmap.ShardedStore // non-nil in multi-backend mode
-	nextID  int
+	rt       *farmem.Runtime
+	client   remote.StoreConn
+	sharded  *shardmap.ShardedStore // non-nil in multi-backend mode
+	tracer   *obs.Tracer            // non-nil iff Config.Trace
+	recorder *obs.FlightRecorder    // non-nil iff Config.Trace
+	nextID   int
 }
 
 // New creates a runtime. With Config{} all memory budgets are zero, so
@@ -145,6 +165,29 @@ func New(cfg Config) (*Runtime, error) {
 		PinnedBudget:    cfg.PinnedMemory,
 		RemotableBudget: cfg.RemotableMemory,
 		WriteBackBudget: cfg.WriteBackMemory,
+	}
+	var (
+		tracer   *obs.Tracer
+		recorder *obs.FlightRecorder
+		hub      *obs.TraceHub
+		reg      *obs.Registry
+	)
+	if cfg.Trace {
+		// One ring and one registry shared by every layer: the runtime's
+		// virtual-time spans, the transport's wall-clock spans and the
+		// server-stamped components all land in the same export, linked
+		// by trace ID.
+		tracer = obs.NewTracer(0)
+		recorder = obs.NewFlightRecorder(0, 0)
+		target := cfg.TraceTarget
+		if target < 0 {
+			target = obs.SampleAll
+		}
+		hub = obs.NewTraceHub(tracer, recorder, target)
+		reg = obs.NewRegistry()
+		fc.Tracer = tracer
+		fc.TraceHub = hub
+		fc.Obs = reg
 	}
 	addrs := cfg.RemoteAddrs
 	if cfg.RemoteAddr != "" {
@@ -174,7 +217,7 @@ func New(cfg Config) (*Runtime, error) {
 		} else if threshold < 0 {
 			threshold = 0
 		}
-		dcfg := remote.DialConfig{Timeout: timeout, RetryMax: retries}
+		dcfg := remote.DialConfig{Timeout: timeout, RetryMax: retries, Obs: reg, Trace: hub}
 		if len(addrs) == 1 {
 			// The resilient dialer replaces a client whose reconnect budget
 			// ran out during a long outage, so a restarted server resumes
@@ -196,15 +239,22 @@ func New(cfg Config) (*Runtime, error) {
 			// breakers on top so one dead server degrades only its keys.
 			// All shards must answer at construction — a fleet that starts
 			// degraded is a deployment error, not an outage.
-			reg := obs.NewRegistry()
+			if reg == nil {
+				reg = obs.NewRegistry()
+			}
 			backends := make([]farmem.Store, 0, len(addrs))
 			closeAll := func() {
 				for _, b := range backends {
 					b.(*remote.Resilient).Close()
 				}
 			}
-			for _, addr := range addrs {
-				c, err := remote.DialResilient(addr, dcfg)
+			for i, addr := range addrs {
+				scfg := dcfg
+				scfg.Obs = reg
+				// Label each shard's attribution series and slow-op
+				// records with its index.
+				scfg.Shard = strconv.Itoa(i)
+				c, err := remote.DialResilient(addr, scfg)
 				if err != nil {
 					closeAll()
 					return nil, fmt.Errorf("cards: connecting far-tier shard %s: %w", addr, err)
@@ -235,7 +285,13 @@ func New(cfg Config) (*Runtime, error) {
 		fc.RetryMax = retries
 		fc.BreakerThreshold = threshold
 	}
-	return &Runtime{rt: farmem.New(fc), client: client, sharded: sharded}, nil
+	return &Runtime{
+		rt:       farmem.New(fc),
+		client:   client,
+		sharded:  sharded,
+		tracer:   tracer,
+		recorder: recorder,
+	}, nil
 }
 
 // Close stops the runtime's background work (the breaker's recovery
@@ -356,4 +412,42 @@ func (r *Runtime) WriteMetrics(w io.Writer) error {
 // exposition format (the shape cardsd serves on /metrics).
 func (r *Runtime) WritePrometheus(w io.Writer) error {
 	return r.rt.ObsSnapshot().WritePrometheus(w)
+}
+
+// WriteChromeTrace writes the sampled span trees — runtime events,
+// transport spans and server-stamped queue/service components, linked
+// per operation by args.trace — as Chrome trace_event JSON, loadable in
+// chrome://tracing or Perfetto. Requires Config.Trace.
+func (r *Runtime) WriteChromeTrace(w io.Writer) error {
+	if r.tracer == nil {
+		return fmt.Errorf("cards: tracing is not enabled (set Config.Trace)")
+	}
+	return r.tracer.WriteChromeTrace(w)
+}
+
+// SlowOps returns the flight recorder's current retention — the
+// slowest remote operations of the last two windows, slowest first,
+// each with its latency decomposition and attempt count. Empty unless
+// Config.Trace is set and a remote tier is attached.
+func (r *Runtime) SlowOps() []SlowOp {
+	ops := r.recorder.Snapshot()
+	out := make([]SlowOp, len(ops))
+	for i, op := range ops {
+		out[i] = SlowOp(op)
+	}
+	return out
+}
+
+// SlowOp is one retained slow-operation record. All duration fields
+// are microseconds; ClientQueueUS + WireUS + ServerQueueUS +
+// ServerServiceUS == TotalUS by construction, and Attempts > 1 marks
+// ops retried or replayed across reconnects.
+type SlowOp = obs.SlowOp
+
+// DebugHandler returns the HTTP introspection handler the cmd/ binaries
+// mount: /metrics (Prometheus text), /stats (JSON), /debug/slow (the
+// flight recorder's span trees) and /debug/pprof/*. Safe without
+// Config.Trace — /debug/slow then reports an empty recorder.
+func (r *Runtime) DebugHandler() http.Handler {
+	return obs.DebugHandler(r.rt.ObsSnapshot, r.recorder)
 }

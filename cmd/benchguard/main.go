@@ -1,22 +1,26 @@
 // Command benchguard is the CI regression gate for the real-socket data
-// path: it reruns the pipeline-depth sweep and compares the best
-// pipelined speedup against the checked-in baseline table
-// (BENCH_pipeline.json). A fresh best-depth speedup below
-// threshold × baseline fails the build — the batched read path has
-// regressed relative to the serial client.
+// path: it reruns the pipeline-depth sweep and the dirty write-back
+// sweep and compares each best speedup against the checked-in baseline
+// tables (BENCH_pipeline.json, BENCH_writeback.json). A fresh best
+// speedup below threshold × baseline fails the build — the batched
+// read path (or the staged write-back path) has regressed relative to
+// its in-run serial/sync baseline.
 //
-// The guard compares *speedups over the in-run serial baseline*, not
-// absolute reads/s: both sides of the ratio come from the same process
-// on the same machine, so host speed cancels out and the checked-in
-// numbers stay portable across CI hardware.
+// The guard compares *speedups over the in-run baseline row*, not
+// absolute throughput: both sides of the ratio come from the same
+// process on the same machine, so host speed cancels out and the
+// checked-in numbers stay portable across CI hardware.
 //
-// The sweep is wall-clock over real sockets, so a single run is noisy;
-// the guard takes the best of -runs attempts, which tracks the machine's
-// attainable speedup rather than one draw's scheduling luck.
+// The sweeps are wall-clock over real sockets, so a single run is
+// noisy; the guard takes the best of -runs attempts, which tracks the
+// machine's attainable speedup rather than one draw's scheduling luck.
+// Pass or fail, it prints the per-row measured-vs-baseline delta table,
+// so a green build still leaves the drift on record.
 //
 // Usage:
 //
 //	benchguard [-baseline BENCH_pipeline.json] [-threshold 0.85] [-runs 3]
+//	           [-writeback-baseline BENCH_writeback.json] [-writeback-threshold 0.7]
 package main
 
 import (
@@ -37,66 +41,161 @@ type table struct {
 	Rows   [][]string `json:"rows"`
 }
 
+// gate is one guarded sweep: a checked-in baseline table, the fresh
+// sweep that regenerates it, and the shape of its speedup column.
+type gate struct {
+	name      string
+	baseline  string
+	threshold float64
+	ratioCol  string // header of the in-run speedup column
+	rowKey    string // first column value of the accelerated rows
+	run       func() (*bench.Table, error)
+}
+
 func main() {
-	baseline := flag.String("baseline", "BENCH_pipeline.json", "checked-in pipeline sweep table")
-	threshold := flag.Float64("threshold", 0.85, "minimum fresh/baseline best-speedup ratio")
-	runs := flag.Int("runs", 3, "sweep attempts; the best one is compared")
+	pipeBase := flag.String("baseline", "BENCH_pipeline.json", "checked-in pipeline sweep table")
+	pipeThresh := flag.Float64("threshold", 0.85, "minimum fresh/baseline best-speedup ratio (pipeline)")
+	wbBase := flag.String("writeback-baseline", "BENCH_writeback.json", "checked-in write-back sweep table (empty disables the gate)")
+	wbThresh := flag.Float64("writeback-threshold", 0.7, "minimum fresh/baseline best-speedup ratio (write-back; looser, the sync denominator is one long RTT chain)")
+	runs := flag.Int("runs", 3, "sweep attempts per gate; the best one is compared")
 	flag.Parse()
 
-	data, err := os.ReadFile(*baseline)
+	gates := []gate{{
+		name:      "pipeline",
+		baseline:  *pipeBase,
+		threshold: *pipeThresh,
+		ratioCol:  "vs serial",
+		rowKey:    "pipelined",
+		run:       func() (*bench.Table, error) { return bench.Pipeline(bench.Quick()) },
+	}}
+	if *wbBase != "" {
+		gates = append(gates, gate{
+			name:      "writeback",
+			baseline:  *wbBase,
+			threshold: *wbThresh,
+			ratioCol:  "vs sync",
+			rowKey:    "async",
+			run:       func() (*bench.Table, error) { return bench.Writeback(bench.Quick()) },
+		})
+	}
+
+	failed := false
+	for _, g := range gates {
+		if !g.check(*runs) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// check runs one gate and reports whether it passed, printing the
+// per-row delta table either way.
+func (g gate) check(runs int) bool {
+	data, err := os.ReadFile(g.baseline)
 	if err != nil {
 		fatal("read baseline: %v", err)
 	}
 	var base table
 	if err := json.Unmarshal(data, &base); err != nil {
-		fatal("parse %s: %v", *baseline, err)
+		fatal("parse %s: %v", g.baseline, err)
 	}
-	want, err := bestSpeedup(base.Header, base.Rows)
+	want, err := bestSpeedup(base.Header, base.Rows, g.ratioCol, g.rowKey)
 	if err != nil {
-		fatal("%s: %v", *baseline, err)
+		fatal("%s: %v", g.baseline, err)
 	}
 
 	got := 0.0
-	for i := 0; i < *runs; i++ {
-		fresh, err := bench.Pipeline(bench.Quick())
+	var bestRun *bench.Table
+	for i := 0; i < runs; i++ {
+		fresh, err := g.run()
 		if err != nil {
-			fatal("pipeline sweep: %v", err)
+			fatal("%s sweep: %v", g.name, err)
 		}
-		v, err := bestSpeedup(fresh.Header, fresh.Rows)
+		v, err := bestSpeedup(fresh.Header, fresh.Rows, g.ratioCol, g.rowKey)
 		if err != nil {
-			fatal("fresh sweep: %v", err)
+			fatal("fresh %s sweep: %v", g.name, err)
 		}
 		if v > got {
-			got = v
+			got, bestRun = v, fresh
 		}
 	}
 
-	fmt.Printf("benchguard: pipeline best speedup %.2fx fresh vs %.2fx baseline (floor %.2fx)\n",
-		got, want, want**threshold)
-	if got < want**threshold {
-		fatal("pipeline sweep regressed >%d%%: best speedup %.2fx, baseline %.2fx",
-			int((1-*threshold)*100), got, want)
+	printDelta(g, base, bestRun)
+	fmt.Printf("benchguard: %s best speedup %.2fx fresh vs %.2fx baseline (floor %.2fx)\n",
+		g.name, got, want, want*g.threshold)
+	if got < want*g.threshold {
+		fmt.Fprintf(os.Stderr, "benchguard: %s sweep regressed >%d%%: best speedup %.2fx, baseline %.2fx\n",
+			g.name, int((1-g.threshold)*100), got, want)
+		return false
+	}
+	return true
+}
+
+// printDelta renders the measured-vs-baseline speedup per sweep row,
+// matched on the first two columns (client/mode + depth/batch).
+func printDelta(g gate, base table, fresh *bench.Table) {
+	col := colIndex(base.Header, g.ratioCol)
+	fcol := colIndex(fresh.Header, g.ratioCol)
+	if col < 0 || fcol < 0 {
+		return
+	}
+	baseRatio := make(map[string]float64)
+	for _, row := range base.Rows {
+		if v, err := parseRatio(row[col]); err == nil {
+			baseRatio[rowID(row)] = v
+		}
+	}
+	fmt.Printf("benchguard: %s measured vs baseline (%s):\n", g.name, g.ratioCol)
+	fmt.Printf("  %-12s %-8s %9s %9s %8s\n", fresh.Header[0], fresh.Header[1], "baseline", "measured", "delta")
+	for _, row := range fresh.Rows {
+		v, err := parseRatio(row[fcol])
+		if err != nil {
+			continue
+		}
+		b, ok := baseRatio[rowID(row)]
+		if !ok || b == 0 {
+			fmt.Printf("  %-12s %-8s %9s %8.2fx %8s\n", row[0], row[1], "-", v, "-")
+			continue
+		}
+		fmt.Printf("  %-12s %-8s %8.2fx %8.2fx %+7.1f%%\n", row[0], row[1], b, v, 100*(v/b-1))
 	}
 }
 
-// bestSpeedup extracts the maximum "vs serial" ratio over the pipelined
-// rows of a sweep table.
-func bestSpeedup(header []string, rows [][]string) (float64, error) {
-	col := -1
+func rowID(row []string) string {
+	if len(row) < 2 {
+		return strings.Join(row, "|")
+	}
+	return row[0] + "|" + row[1]
+}
+
+func colIndex(header []string, name string) int {
 	for i, h := range header {
-		if h == "vs serial" {
-			col = i
+		if h == name {
+			return i
 		}
 	}
+	return -1
+}
+
+func parseRatio(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+}
+
+// bestSpeedup extracts the maximum ratioCol ratio over the rowKey rows
+// of a sweep table.
+func bestSpeedup(header []string, rows [][]string, ratioCol, rowKey string) (float64, error) {
+	col := colIndex(header, ratioCol)
 	if col < 0 {
-		return 0, fmt.Errorf("no %q column", "vs serial")
+		return 0, fmt.Errorf("no %q column", ratioCol)
 	}
 	best := 0.0
 	for _, row := range rows {
-		if len(row) <= col || row[0] != "pipelined" {
+		if len(row) <= col || row[0] != rowKey {
 			continue
 		}
-		v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "x"), 64)
+		v, err := parseRatio(row[col])
 		if err != nil {
 			return 0, fmt.Errorf("bad ratio %q: %v", row[col], err)
 		}
@@ -105,7 +204,7 @@ func bestSpeedup(header []string, rows [][]string) (float64, error) {
 		}
 	}
 	if best == 0 {
-		return 0, fmt.Errorf("no pipelined rows")
+		return 0, fmt.Errorf("no %s rows", rowKey)
 	}
 	return best, nil
 }

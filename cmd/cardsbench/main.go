@@ -8,6 +8,7 @@
 //	cardsbench [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|pipeline|...]
 //	           [-scale quick|default] [-markdown] [-seed N]
 //	           [-metrics-out metrics.json] [-trace-out trace.json]
+//	           [-debug-addr :9091]
 //
 // -metrics-out writes the shared metric registry every run published
 // into (JSON snapshot; a .prom suffix selects the Prometheus text
@@ -23,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -39,6 +41,7 @@ func main() {
 	chaos := flag.String("chaos", "", "run the pipeline sweep through a fault proxy with this schedule, e.g. cut=65536,corrupt=0.01,seed=7")
 	metricsOut := flag.String("metrics-out", "", "write the final metric snapshot to this file (JSON; .prom suffix: Prometheus text)")
 	traceOut := flag.String("trace-out", "", "write runtime events as Chrome trace JSON to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /stats and /debug/pprof/* on this address while experiments run")
 	flag.Parse()
 
 	var cfg bench.Config
@@ -55,15 +58,25 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Chaos = *chaos
-	if *metricsOut != "" {
+	if *metricsOut != "" || *debugAddr != "" {
 		cfg.Obs = obs.NewRegistry()
 	}
 	if *traceOut != "" {
 		cfg.Tracer = obs.NewTracer(0)
 	}
+	if *debugAddr != "" {
+		// Live introspection while the sweeps run — most usefully the
+		// pprof profiles, for attributing where a regression's CPU goes.
+		ln := *debugAddr
+		go func() {
+			if err := http.ListenAndServe(ln, obs.DebugHandler(cfg.Obs.Snapshot, nil)); err != nil {
+				fmt.Fprintf(os.Stderr, "cardsbench: debug server: %v\n", err)
+			}
+		}()
+	}
 	// flush writes the observability exports once every experiment ran.
 	flush := func() {
-		if cfg.Obs != nil {
+		if cfg.Obs != nil && *metricsOut != "" {
 			if err := writeSnapshot(*metricsOut, cfg.Obs.Snapshot()); err != nil {
 				fmt.Fprintf(os.Stderr, "cardsbench: %v\n", err)
 				os.Exit(1)

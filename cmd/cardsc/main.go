@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -97,8 +98,16 @@ func main() {
 	}
 
 	var tracer *obs.Tracer
+	var hub *obs.TraceHub
 	if *traceOut != "" {
 		tracer = obs.NewTracer(0)
+		if *remoteAddrs != "" && *run {
+			// Real far tier + trace export: turn on distributed tracing,
+			// so the written trace carries the wire and server-stamped
+			// spans alongside the runtime's events, linked by trace ID.
+			// A compile-and-run is a bounded batch, so sample every root.
+			hub = obs.NewTraceHub(tracer, obs.NewFlightRecorder(0, 0), obs.SampleAll)
+		}
 	}
 
 	c, err := core.Compile(m, core.CompileOptions{Optimize: *optimize, Tracer: tracer})
@@ -138,11 +147,12 @@ func main() {
 			PinnedBudget:     *pinnedKiB << 10,
 			RemotableBudget:  *cacheKiB << 10,
 			Tracer:           tracer,
+			TraceHub:         hub,
 			RetryMax:         *retryMax,
 			BreakerThreshold: *breakerThreshold,
 		}
 		if *remoteAddrs != "" {
-			store, closeStore, serr := dialRemote(*remoteAddrs, *retryMax, *breakerThreshold)
+			store, closeStore, serr := dialRemote(*remoteAddrs, *retryMax, *breakerThreshold, hub)
 			if serr != nil {
 				fmt.Fprintf(os.Stderr, "cardsc: %v\n", serr)
 				os.Exit(1)
@@ -179,7 +189,7 @@ func main() {
 // dialRemote connects the far tier for -run: one address yields a
 // resilient pipelined client, several yield a sharded store with one
 // client and one breaker per backend.
-func dialRemote(addrs string, retryMax, breakerThreshold int) (farmem.Store, func(), error) {
+func dialRemote(addrs string, retryMax, breakerThreshold int, hub *obs.TraceHub) (farmem.Store, func(), error) {
 	list := strings.Split(addrs, ",")
 	for i := range list {
 		list[i] = strings.TrimSpace(list[i])
@@ -187,15 +197,19 @@ func dialRemote(addrs string, retryMax, breakerThreshold int) (farmem.Store, fun
 	if retryMax <= 0 {
 		retryMax = 6
 	}
-	dcfg := remote.DialConfig{Timeout: 2 * time.Second, RetryMax: retryMax}
+	dcfg := remote.DialConfig{Timeout: 2 * time.Second, RetryMax: retryMax, Trace: hub}
 	backends := make([]farmem.Store, 0, len(list))
 	closeAll := func() {
 		for _, b := range backends {
 			b.(*remote.Resilient).Close()
 		}
 	}
-	for _, addr := range list {
-		c, err := remote.DialResilient(addr, dcfg)
+	for i, addr := range list {
+		scfg := dcfg
+		if len(list) > 1 {
+			scfg.Shard = strconv.Itoa(i)
+		}
+		c, err := remote.DialResilient(addr, scfg)
 		if err == nil {
 			err = c.Ping()
 		}

@@ -10,7 +10,8 @@
 // With -metrics-addr the node also serves live introspection over HTTP:
 // GET /metrics returns the Prometheus text exposition of the server's
 // registry (verb latency histograms, wire bytes, connection and
-// in-flight gauges); GET /stats the same snapshot as JSON. On shutdown
+// in-flight gauges); GET /stats the same snapshot as JSON; GET
+// /debug/pprof/* the standard net/http/pprof profiles. On shutdown
 // (SIGINT/SIGTERM) the final snapshot is dumped to stderr.
 //
 // With -chaos every accepted connection is wrapped in the deterministic
@@ -46,7 +47,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7770", "address to serve on")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /stats (JSON) on this address")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /stats (JSON) and /debug/pprof/* on this address")
 	batchWorkers := flag.Int("batch-workers", remote.DefaultBatchWorkers,
 		"concurrent READBATCH handlers per connection (replies may be reordered)")
 	chaos := flag.String("chaos", "", "inject faults on every connection, e.g. cut=65536,corrupt=0.01,seed=7 (see internal/faultnet)")
@@ -82,8 +83,8 @@ func main() {
 	if *metricsAddr != "" {
 		ln := *metricsAddr
 		go func() {
-			log.Printf("cardsd: metrics on http://%s/metrics (JSON on /stats)", ln)
-			if err := http.ListenAndServe(ln, obs.Handler(srv.ObsSnapshot)); err != nil {
+			log.Printf("cardsd: metrics on http://%s/metrics (JSON on /stats, profiles on /debug/pprof/)", ln)
+			if err := http.ListenAndServe(ln, obs.DebugHandler(srv.ObsSnapshot, nil)); err != nil {
 				log.Printf("cardsd: metrics server: %v", err)
 			}
 		}()

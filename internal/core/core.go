@@ -140,6 +140,12 @@ type RunConfig struct {
 	// evict, spill) into the bounded ring for Chrome-trace export.
 	Tracer *obs.Tracer
 
+	// TraceHub, when non-nil, makes the runtime open distributed root
+	// spans on misses/prefetches/write-backs; share it with the far-tier
+	// clients (remote.DialConfig.Trace) so their wire spans join the
+	// same traces.
+	TraceHub *obs.TraceHub
+
 	// RetryMax reissues failed store operations (charged to the link as
 	// wasted round trips plus backoff); 0 disables retries.
 	RetryMax int
@@ -207,6 +213,7 @@ func (c *Compiled) NewRuntime(cfg RunConfig) (*farmem.Runtime, []farmem.Placemen
 		Store:            cfg.Store,
 		Obs:              cfg.Obs,
 		Tracer:           cfg.Tracer,
+		TraceHub:         cfg.TraceHub,
 		RetryMax:         cfg.RetryMax,
 		BreakerThreshold: cfg.BreakerThreshold,
 	})

@@ -152,6 +152,7 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 	}
 
 	missed := false
+	rootMine := false
 	switch obj.state {
 	case objLocal:
 		d.stats.Hits++
@@ -204,11 +205,17 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 			return 0, errDegradedDeref(d.ID, idx)
 		}
 		missed = true
+		// The guard miss is the root cause of everything below it: the
+		// fetch, any evictions allocFrame triggers, their staged
+		// write-backs, and the prefetches OnAccess issues at the end of
+		// this deref all join this trace.
+		rootMine = r.beginRoot()
 		d.stats.Misses++
 		r.stats.RemoteFetches++
 		start := r.clock.Now()
 		frame, err := r.allocFrame(d, idx)
 		if err != nil {
+			r.endRoot(rootMine)
 			return 0, err
 		}
 		if err := r.storeRead(d, idx, r.arena.Bytes(frame, d.Meta.ObjSize)); err != nil {
@@ -218,6 +225,7 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 			r.arena.Free(frame, d.Meta.ObjSize)
 			r.remotableUsed -= uint64(d.Meta.ObjSize)
 			obj.epoch++
+			r.endRoot(rootMine)
 			return 0, fmt.Errorf("farmem: remote read ds%d[%d]: %w", d.ID, idx, err)
 		}
 		r.link.FetchSync(d.Meta.ObjSize)
@@ -232,6 +240,7 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 		obj.dirty = true
 	}
 	d.prefetcher.OnAccess(r, d, idx, missed)
+	r.endRoot(rootMine)
 	return obj.frame + (off & (uint64(d.Meta.ObjSize) - 1)), nil
 }
 
@@ -374,11 +383,15 @@ func (r *Runtime) evictOne() error {
 // round trip remains the fallback.
 func (r *Runtime) evictObject(d *DS, idx, ringPos int) error {
 	obj := &d.objs[idx]
+	// Usually joins the root of the miss/prefetch whose allocFrame forced
+	// this eviction; materialize-driven evictions open their own.
+	rootMine := r.beginRoot()
 	start := r.clock.Now()
 	wasDirty := obj.dirty
 	if obj.dirty {
 		if !r.tryAsyncWriteBack(d, idx) {
 			if err := r.storeWrite(d, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
+				r.endRoot(rootMine)
 				return fmt.Errorf("farmem: write-back ds%d[%d]: %w", d.ID, idx, err)
 			}
 			r.link.WriteBack(d.Meta.ObjSize)
@@ -398,6 +411,7 @@ func (r *Runtime) evictObject(d *DS, idx, ringPos int) error {
 	d.stats.Evictions++
 	r.stats.Evictions++
 	r.removeRingEntry(ringPos)
+	r.endRoot(rootMine)
 	return nil
 }
 
@@ -451,8 +465,10 @@ func (r *Runtime) PrefetchObj(d *DS, idx int) {
 	if _, ok := r.wbPending[wbKey{d.ID, idx}]; ok {
 		return
 	}
+	rootMine := r.beginRoot()
 	frame, err := r.allocFrame(d, idx)
 	if err != nil {
+		r.endRoot(rootMine)
 		return // no capacity: drop the hint
 	}
 	if r.astore != nil {
@@ -473,6 +489,7 @@ func (r *Runtime) PrefetchObj(d *DS, idx int) {
 		r.arena.Free(frame, d.Meta.ObjSize)
 		r.remotableUsed -= uint64(d.Meta.ObjSize)
 		obj.epoch++
+		r.endRoot(rootMine)
 		return
 	}
 	obj.frame = frame
@@ -483,6 +500,7 @@ func (r *Runtime) PrefetchObj(d *DS, idx int) {
 	r.inflightBytes += uint64(d.Meta.ObjSize)
 	d.stats.PrefetchIssued++
 	r.emit(EvPrefetch, d.ID, idx, false)
+	r.endRoot(rootMine)
 }
 
 // harvest consumes the pending async completion of an in-flight object,

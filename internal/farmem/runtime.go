@@ -290,6 +290,12 @@ type Config struct {
 	// Tracer receives runtime events into the bounded ring (in addition
 	// to any legacy SetEventHook subscriber); nil disables ring tracing.
 	Tracer *obs.Tracer
+	// TraceHub, when non-nil, makes the runtime the root of distributed
+	// traces: every remote miss, prefetch issue, and eviction write-back
+	// opens a root span context that the transport (when sharing the
+	// hub) picks up synchronously and carries across the wire, and
+	// runtime trace events are labeled with the sampled trace ID.
+	TraceHub *obs.TraceHub
 
 	// RetryMax is the number of times a failed store operation is
 	// reissued before the failure propagates (each reissue charges a
@@ -381,6 +387,14 @@ type Runtime struct {
 	tracing            bool // hook != nil || tracer != nil
 	reg                *obs.Registry
 
+	// Distributed tracing (see beginRoot/endRoot in trace.go). The
+	// runtime is single-threaded, so the active-root bookkeeping needs
+	// no synchronization; curTrace is the sampled trace ID attached to
+	// runtime events while a root is open (0 otherwise).
+	hub        *obs.TraceHub
+	rootActive bool
+	curTrace   uint64
+
 	// Fault tolerance (breaker.go). baseRemotableBudget is the configured
 	// budget the breaker restores after degraded-mode growth.
 	retryMax            int
@@ -443,6 +457,7 @@ func New(cfg Config) *Runtime {
 		tracer:              cfg.Tracer,
 		tracing:             cfg.Tracer != nil,
 		reg:                 reg,
+		hub:                 cfg.TraceHub,
 		retryMax:            cfg.RetryMax,
 	}
 	if as, ok := store.(AsyncStore); ok {

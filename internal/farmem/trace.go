@@ -129,10 +129,45 @@ func (r *Runtime) deliver(kind EventKind, ds, obj int, dirty bool, start, dur ui
 			Cat:      "farmem",
 			Name:     kind.String(),
 			TID:      ds,
+			Trace:    r.curTrace,
 			Arg1Name: "obj", Arg1: int64(obj),
 			Arg2Name: "dirty", Arg2: d,
 		})
 	}
+}
+
+// beginRoot opens a distributed root span context if a hub is
+// configured and no root is already open. Transports sharing the hub
+// pick the context up synchronously (the runtime is single-threaded,
+// so every enqueue below the caller runs inside the window) and carry
+// it across the wire; runtime events emitted inside the window are
+// labeled with the sampled trace ID. Nested causes — a prefetch issued
+// while handling a miss, an eviction write-back triggered by a
+// prefetch's frame allocation — join the enclosing root, which is what
+// makes the exported span tree causal rather than flat. Returns true
+// when this call opened the root; pass that to endRoot.
+func (r *Runtime) beginRoot() bool {
+	if r.hub == nil || r.rootActive {
+		return false
+	}
+	ctx := r.hub.StartTrace()
+	r.hub.SetActive(ctx)
+	r.rootActive = true
+	if ctx.Sampled {
+		r.curTrace = ctx.TraceID
+	}
+	return true
+}
+
+// endRoot closes the root span window opened by the beginRoot call
+// that returned mine=true; a no-op otherwise.
+func (r *Runtime) endRoot(mine bool) {
+	if !mine {
+		return
+	}
+	r.hub.ClearActive()
+	r.rootActive = false
+	r.curTrace = 0
 }
 
 // TraceWriter returns an EventHook that renders each event to w, one

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler returns an http.Handler serving live introspection endpoints
@@ -28,5 +29,34 @@ func Handler(snap func() *Snapshot) http.Handler {
 			fmt.Fprintf(w, `{"error":%q}`, err.Error())
 		}
 	})
+	return mux
+}
+
+// DebugHandler is Handler plus the deep-introspection endpoints:
+//
+//	GET /debug/slow    — the slow-op flight recorder's span trees (JSON)
+//	GET /debug/pprof/* — net/http/pprof profiles (heap, goroutine, CPU, …)
+//
+// slow may be nil; /debug/slow then reports an empty recorder. The
+// pprof routes are registered explicitly (not via the package's
+// DefaultServeMux side effect) so they exist only on listeners that
+// asked for them.
+func DebugHandler(snap func() *Snapshot, slow *FlightRecorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(snap))
+	mux.Handle("/stats", Handler(snap))
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, req *http.Request) {
+		if slow == nil {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"slow_ops":[]}`)
+			return
+		}
+		slow.ServeHTTP(w, req)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Slow-op flight recorder. Head sampling keeps tracing cheap but throws
+// away exactly the ops an operator greps for after an incident — the
+// tail. The recorder is the always-on complement: every completed
+// remote op is offered with its latency decomposition, and only the
+// top-K slowest per rotating wall-clock window are retained (current +
+// previous window, so a fresh window never erases the recent past). The
+// non-slow fast path is one atomic load against the current window's
+// admission threshold; no goroutines, no timers — windows rotate lazily
+// on offer/snapshot.
+
+// SlowOp is one completed remote operation's record: identity, retry
+// history, and the clock-offset-free latency decomposition
+// (client-queue + on-wire + server-queue + server-service == total by
+// construction; wire is the residual of the measured RTT minus the
+// server-reported busy time, so it includes both flight directions).
+type SlowOp struct {
+	TraceID uint64 `json:"trace"`
+	SpanID  uint64 `json:"span"`
+	Op      string `json:"op"` // "read" | "write"
+	DS      int    `json:"ds"`
+	Idx     int    `json:"idx"`
+	Shard   string `json:"shard,omitempty"`
+	// Attempts counts wire attempts: 1 = completed first try, >1 = the
+	// op was retried/replayed across reconnects before completing.
+	Attempts int  `json:"attempts"`
+	Sampled  bool `json:"sampled"` // also head-sampled into the ring
+
+	StartUS         uint64 `json:"start_us"` // client epoch µs at enqueue
+	TotalUS         uint64 `json:"total_us"`
+	ClientQueueUS   uint64 `json:"client_queue_us"`
+	WireUS          uint64 `json:"wire_us"`
+	ServerQueueUS   uint64 `json:"server_queue_us"`
+	ServerServiceUS uint64 `json:"server_service_us"`
+}
+
+// DefaultSlowK is the per-window retention when NewFlightRecorder is
+// given a non-positive K.
+const DefaultSlowK = 32
+
+// DefaultSlowWindow is the rotation period when NewFlightRecorder is
+// given a non-positive window.
+const DefaultSlowWindow = 10 * time.Second
+
+// FlightRecorder retains the top-K slowest ops per rotating window.
+// Offer is safe for concurrent use; the struct owns no goroutines.
+type FlightRecorder struct {
+	k      int
+	window time.Duration
+
+	// threshold is the admission bar in µs: ops at or below it cannot
+	// enter the current window (it holds the window's K-th slowest total
+	// once the window is full, 0 otherwise). The one-atomic-load reject
+	// is what keeps the recorder off the hot path's profile.
+	threshold atomic.Uint64
+
+	offers   atomic.Uint64
+	rejected atomic.Uint64
+
+	mu       sync.Mutex
+	curStart time.Time
+	cur      []SlowOp
+	prev     []SlowOp
+}
+
+// NewFlightRecorder builds a recorder keeping the k slowest ops per
+// window (non-positive arguments select the defaults).
+func NewFlightRecorder(k int, window time.Duration) *FlightRecorder {
+	if k <= 0 {
+		k = DefaultSlowK
+	}
+	if window <= 0 {
+		window = DefaultSlowWindow
+	}
+	return &FlightRecorder{
+		k:        k,
+		window:   window,
+		curStart: time.Now(),
+		cur:      make([]SlowOp, 0, k),
+	}
+}
+
+// Offer submits one completed op. Ops too fast for the current window
+// are rejected with a single atomic load and no lock.
+func (r *FlightRecorder) Offer(op SlowOp) {
+	if r == nil {
+		return
+	}
+	r.offers.Add(1)
+	if op.TotalUS <= r.threshold.Load() {
+		r.rejected.Add(1)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rotateLocked(time.Now())
+	if len(r.cur) < r.k {
+		r.cur = append(r.cur, op)
+		if len(r.cur) == r.k {
+			r.threshold.Store(r.minLocked())
+		}
+		return
+	}
+	// Full window: replace the minimum (Offer rechecks under the lock —
+	// the threshold may have moved since the lock-free test).
+	minI := 0
+	for i := 1; i < len(r.cur); i++ {
+		if r.cur[i].TotalUS < r.cur[minI].TotalUS {
+			minI = i
+		}
+	}
+	if op.TotalUS <= r.cur[minI].TotalUS {
+		r.rejected.Add(1)
+		return
+	}
+	r.cur[minI] = op
+	r.threshold.Store(r.minLocked())
+}
+
+func (r *FlightRecorder) minLocked() uint64 {
+	min := r.cur[0].TotalUS
+	for _, op := range r.cur[1:] {
+		if op.TotalUS < min {
+			min = op.TotalUS
+		}
+	}
+	return min
+}
+
+// rotateLocked retires the current window once its period has elapsed.
+// A gap longer than two windows clears both (everything is stale).
+func (r *FlightRecorder) rotateLocked(now time.Time) {
+	elapsed := now.Sub(r.curStart)
+	if elapsed < r.window {
+		return
+	}
+	if elapsed >= 2*r.window {
+		r.prev = nil
+	} else {
+		r.prev = r.cur
+	}
+	r.cur = make([]SlowOp, 0, r.k)
+	r.curStart = now
+	r.threshold.Store(0)
+}
+
+// Len reports the number of retained ops (both windows); the bound is
+// 2*K by construction.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cur) + len(r.prev)
+}
+
+// Offers and Rejected report the lifetime offer/fast-reject counts.
+func (r *FlightRecorder) Offers() uint64   { return r.offers.Load() }
+func (r *FlightRecorder) Rejected() uint64 { return r.rejected.Load() }
+
+// Snapshot returns the retained ops (current + previous window),
+// slowest first.
+func (r *FlightRecorder) Snapshot() []SlowOp {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.rotateLocked(time.Now())
+	out := make([]SlowOp, 0, len(r.cur)+len(r.prev))
+	out = append(out, r.cur...)
+	out = append(out, r.prev...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalUS > out[j].TotalUS })
+	return out
+}
+
+// slowSpan is one component of a slow op's rendered span tree.
+type slowSpan struct {
+	Name     string `json:"name"`
+	OffsetUS uint64 `json:"offset_us"` // from the op's enqueue
+	DurUS    uint64 `json:"dur_us"`
+}
+
+// slowTree is the JSON rendering of one retained op: the root op plus
+// its four decomposition components as child spans. The wire component
+// covers both flight directions (the decomposition cannot split them
+// without synchronized clocks), so it brackets the two server spans.
+type slowTree struct {
+	SlowOp
+	Spans []slowSpan `json:"spans"`
+}
+
+func (op SlowOp) tree() slowTree {
+	cq, wire := op.ClientQueueUS, op.WireUS
+	sq, ss := op.ServerQueueUS, op.ServerServiceUS
+	return slowTree{
+		SlowOp: op,
+		Spans: []slowSpan{
+			{Name: "client_queue", OffsetUS: 0, DurUS: cq},
+			{Name: "wire", OffsetUS: cq, DurUS: wire + sq + ss},
+			{Name: "server_queue", OffsetUS: cq + wire/2, DurUS: sq},
+			{Name: "server_service", OffsetUS: cq + wire/2 + sq, DurUS: ss},
+		},
+	}
+}
+
+// ServeHTTP renders the recorder state as JSON for /debug/slow.
+func (r *FlightRecorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	ops := r.Snapshot()
+	trees := make([]slowTree, len(ops))
+	for i, op := range ops {
+		trees[i] = op.tree()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		WindowSeconds float64    `json:"window_seconds"`
+		K             int        `json:"k"`
+		Offers        uint64     `json:"offers"`
+		Rejected      uint64     `json:"rejected"`
+		SlowOps       []slowTree `json:"slow_ops"`
+	}{
+		WindowSeconds: r.window.Seconds(),
+		K:             r.k,
+		Offers:        r.Offers(),
+		Rejected:      r.Rejected(),
+		SlowOps:       trees,
+	})
+}

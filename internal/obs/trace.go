@@ -22,6 +22,7 @@ type TraceEvent struct {
 	Cat                string // layer: "farmem", "remote", "compile", ...
 	Name               string // event name: "fetch", "READ", pass name, ...
 	TID                int    // track within the category: DS id, connection id, ...
+	Trace              uint64 // distributed trace ID; 0 = not part of a trace
 	Arg1Name, Arg2Name string
 	Arg1, Arg2         int64
 }
@@ -240,10 +241,19 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		} else {
 			ce.Ph, ce.Scope = "i", "t"
 		}
-		if ev.Arg1Name != "" {
-			ce.Args = map[string]int64{ev.Arg1Name: ev.Arg1}
-			if ev.Arg2Name != "" {
-				ce.Args[ev.Arg2Name] = ev.Arg2
+		if ev.Arg1Name != "" || ev.Trace != 0 {
+			ce.Args = make(map[string]int64, 3)
+			if ev.Arg1Name != "" {
+				ce.Args[ev.Arg1Name] = ev.Arg1
+				if ev.Arg2Name != "" {
+					ce.Args[ev.Arg2Name] = ev.Arg2
+				}
+			}
+			// The trace ID links causally-related spans across timebases
+			// (virtual-clock farmem events vs wall-clock remote/server
+			// spans), where a shared timeline position is meaningless.
+			if ev.Trace != 0 {
+				ce.Args["trace"] = int64(ev.Trace)
 			}
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)

@@ -81,3 +81,86 @@ func TestReadPathSteadyStateAllocFree(t *testing.T) {
 		t.Fatalf("steady-state read path allocates %.2f times per round trip, want ~0", avg)
 	}
 }
+
+// TestTracedReadPathSteadyStateAllocFree is the same guard for a
+// FeatTrace session: the fixed 20-byte trace block — span context on
+// the request, server stamp on the reply — must ride every tagged frame
+// without putting the heap back on the critical path. Tracing is always
+// on once negotiated (sampling only gates span *emission*), so an
+// allocation here taxes every op, not just the sampled ones.
+func TestTracedReadPathSteadyStateAllocFree(t *testing.T) {
+	reqs := []ReadReq{
+		{DS: 1, Idx: 0, Size: 256},
+		{DS: 1, Idx: 1, Size: 256},
+		{DS: 2, Idx: 7, Size: 64},
+	}
+	obj := bytes.Repeat([]byte{0xCD}, 256)
+
+	var c2s, s2c bytes.Buffer
+	var rd bytes.Reader
+	decReqs := make([]ReadReq, 0, len(reqs))
+	segs := make([][]byte, 0, len(reqs))
+
+	iter := func() {
+		// Client: issue a READBATCH stamped with the op's span context.
+		req := EncodeReadBatchPooled(42, reqs)
+		req.SetTraceCtx(0xA11CE, 0xB0B, true)
+		c2s.Reset()
+		if err := WriteFrameCRC(&c2s, req); err != nil {
+			t.Fatal(err)
+		}
+		PutBuf(req.Payload)
+
+		// Server: decode under trace framing, gather, stamp the reply.
+		rd.Reset(c2s.Bytes())
+		fr, err := ReadFramePooledOpts(&rd, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, _, sampled := fr.TraceCtx(); id != 0xA11CE || !sampled {
+			t.Fatalf("trace ctx lost on the wire: id %#x sampled %v", id, sampled)
+		}
+		decReqs, err = DecodeReadBatchInto(fr.Payload, decReqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply := GetBuf(DataBatchSize(decReqs))
+		w := BeginDataBatch(reply, len(decReqs))
+		for _, r := range decReqs {
+			copy(w.Next(int(r.Size)), obj)
+		}
+		PutBuf(fr.Payload)
+		out := w.Frame(fr.Tag)
+		out.SetServerStamp(123456, 3, 17)
+		s2c.Reset()
+		if err := WriteFrameCRC(&s2c, out); err != nil {
+			t.Fatal(err)
+		}
+		PutBuf(reply)
+
+		// Client: decode the stamped reply.
+		rd.Reset(s2c.Bytes())
+		fr, err = ReadFramePooledOpts(&rd, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, q, sv := fr.ServerStamp(); q != 3 || sv != 17 {
+			t.Fatalf("server stamp lost on the wire: queue %d service %d", q, sv)
+		}
+		segs, err = DecodeDataBatchInto(fr.Payload, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) != len(reqs) || len(segs[0]) != 256 {
+			t.Fatalf("bad reply: %d segments", len(segs))
+		}
+		PutBuf(fr.Payload)
+	}
+
+	for i := 0; i < 8; i++ {
+		iter()
+	}
+	if avg := testing.AllocsPerRun(200, iter); avg >= 1 {
+		t.Fatalf("steady-state traced read path allocates %.2f times per round trip, want ~0", avg)
+	}
+}

@@ -31,19 +31,23 @@ var ErrCRC = errors.New("rdma: frame checksum mismatch")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// frameCRC sums opcode, tag (tagged frames) and payload. It runs once
-// per frame on the data path, so it streams through crc32.Update rather
-// than allocating a hash.Hash32 digest per call.
+// frameCRC sums opcode, tag (tagged frames), the trace block (extended
+// frames) and payload. It runs once per frame on the data path, so it
+// streams through crc32.Update rather than allocating a hash.Hash32
+// digest per call.
 func frameCRC(f Frame) uint32 {
 	// Pooled scratch: the header slice reaches crc32's assembly kernels,
 	// so a stack array would escape and allocate on every frame.
-	hdr := GetBuf(headerSize)
+	hdr := GetBuf(headerSize + traceExtSize)
 	defer PutBuf(hdr)
 	hdr[0] = byte(f.Op)
 	n := 1
 	if f.Op.Tagged() {
 		binary.LittleEndian.PutUint32(hdr[1:], f.Tag)
 		n += tagSize
+		if f.HasExt {
+			n += copy(hdr[n:], f.Ext[:])
+		}
 	}
 	crc := crc32.Update(0, castagnoli, hdr[:n])
 	return crc32.Update(crc, castagnoli, f.Payload)

@@ -91,53 +91,13 @@ func PutBuf(b []byte) {
 // buffer pool. The caller owns f.Payload and should PutBuf it once the
 // frame is fully consumed.
 func ReadFramePooled(r io.Reader) (Frame, error) {
-	// The header scratch comes from the pool as well: a stack array here
-	// escapes through the io.Reader interface call and would cost one
-	// heap allocation per frame.
-	hdr := GetBuf(headerSize + tagSize)
-	defer PutBuf(hdr)
-	if _, err := io.ReadFull(r, hdr[:headerSize]); err != nil {
-		return Frame{}, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[0:4])
-	if n > MaxFrame {
-		return Frame{}, fmt.Errorf("rdma: oversized frame (%d bytes)", n)
-	}
-	f := Frame{Op: Op(hdr[4])}
-	if f.Op.Tagged() {
-		if _, err := io.ReadFull(r, hdr[headerSize:]); err != nil {
-			return Frame{}, err
-		}
-		f.Tag = binary.LittleEndian.Uint32(hdr[headerSize:])
-	}
-	if n > 0 {
-		f.Payload = GetBuf(int(n))
-		if _, err := io.ReadFull(r, f.Payload); err != nil {
-			PutBuf(f.Payload)
-			return Frame{}, err
-		}
-	}
-	return f, nil
+	return ReadFramePooledOpts(r, false, false)
 }
 
 // ReadFrameCRCPooled is ReadFrameCRC with a pooled payload; see
 // ReadFramePooled for the ownership rule.
 func ReadFrameCRCPooled(r io.Reader) (Frame, error) {
-	f, err := ReadFramePooled(r)
-	if err != nil {
-		return Frame{}, err
-	}
-	tr := GetBuf(crcSize)
-	defer PutBuf(tr)
-	if _, err := io.ReadFull(r, tr); err != nil {
-		PutBuf(f.Payload)
-		return Frame{}, err
-	}
-	if got := binary.LittleEndian.Uint32(tr); got != frameCRC(f) {
-		PutBuf(f.Payload)
-		return Frame{}, fmt.Errorf("%w (frame %s)", ErrCRC, f.Op)
-	}
-	return f, nil
+	return ReadFramePooledOpts(r, true, false)
 }
 
 // EncodeReadBatchPooled is EncodeReadBatch with the payload drawn from

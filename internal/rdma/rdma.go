@@ -127,10 +127,15 @@ func (o Op) String() string {
 const MaxFrame = 16 << 20
 
 // Frame is one decoded protocol message. Tag is meaningful only for
-// tagged opcodes (Op.Tagged) and is zero otherwise.
+// tagged opcodes (Op.Tagged) and is zero otherwise. HasExt marks a
+// tagged frame carrying the fixed trace block of a FeatTrace session
+// (see trace.go); Ext is its raw bytes, decoded via TraceCtx or
+// ServerStamp. Both are value fields so the frame stays allocation-free.
 type Frame struct {
 	Op      Op
 	Tag     uint32
+	HasExt  bool
+	Ext     [traceExtSize]byte
 	Payload []byte
 }
 
@@ -147,6 +152,9 @@ func (f Frame) WireSize() uint64 {
 	n := headerSize + uint64(len(f.Payload))
 	if f.Op.Tagged() {
 		n += tagSize
+		if f.HasExt {
+			n += traceExtSize
+		}
 	}
 	return n
 }
@@ -160,7 +168,7 @@ func WriteFrame(w io.Writer, f Frame) error {
 	}
 	// Pooled scratch: a stack array would escape through the io.Writer
 	// interface call, costing one heap allocation per frame.
-	hdr := GetBuf(headerSize + tagSize)
+	hdr := GetBuf(headerSize + tagSize + traceExtSize)
 	defer PutBuf(hdr)
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(f.Payload)))
 	hdr[4] = byte(f.Op)
@@ -168,6 +176,9 @@ func WriteFrame(w io.Writer, f Frame) error {
 	if f.Op.Tagged() {
 		binary.LittleEndian.PutUint32(hdr[headerSize:], f.Tag)
 		n += tagSize
+		if f.HasExt {
+			n += copy(hdr[n:], f.Ext[:])
+		}
 	}
 	if _, err := w.Write(hdr[:n]); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"strconv"
 	"time"
 
 	"cards/internal/obs"
@@ -68,6 +69,24 @@ const (
 	MetricClientTimeouts        = "cards_remote_client_timeouts_total"
 	MetricClientUncertainWrites = "cards_remote_client_uncertain_writes_total"
 	MetricClientReplayedReads   = "cards_remote_client_replayed_reads_total"
+
+	// Latency attribution (FeatTrace sessions only). Every completed op
+	// decomposes into four clock-offset-free durations — client queue
+	// (enqueue to doorbell), wire (RTT minus the server-reported busy
+	// time, both flight directions), server queue (receive to worker
+	// dispatch), and server service — one histogram per (ds, shard,
+	// component), all in microseconds, plus the op count the
+	// decomposition covers.
+	MetricAttribUS  = "cards_attrib_us"
+	MetricAttribOps = "cards_attrib_ops_total"
+)
+
+// Attribution component label values.
+const (
+	AttribClientQueue   = "client_queue"
+	AttribWire          = "wire"
+	AttribServerQueue   = "server_queue"
+	AttribServerService = "server_service"
 )
 
 // serverMetrics caches the registry series the hot request loop touches,
@@ -121,8 +140,10 @@ func (s *Server) ObsSnapshot() *obs.Snapshot {
 
 // observeVerb records one served request: latency into the per-verb
 // histogram and a span into the trace ring (category "remote", one trace
-// thread per connection).
-func (s *Server) observeVerb(op rdma.Op, connID int, start time.Time, startUS uint64, ds, idx int64) {
+// thread per connection). trace, when non-zero, is the sampled
+// distributed trace ID the request carried; it links the server span to
+// the client's tree.
+func (s *Server) observeVerb(op rdma.Op, connID int, start time.Time, startUS uint64, ds, idx int64, trace uint64) {
 	ns := uint64(time.Since(start).Nanoseconds())
 	switch op {
 	case rdma.OpRead:
@@ -141,6 +162,7 @@ func (s *Server) observeVerb(op rdma.Op, connID int, start time.Time, startUS ui
 			Cat:      "remote",
 			Name:     op.String(),
 			TID:      connID,
+			Trace:    trace,
 			Arg1Name: "ds", Arg1: ds,
 			Arg2Name: "obj", Arg2: idx,
 		})
@@ -148,8 +170,9 @@ func (s *Server) observeVerb(op rdma.Op, connID int, start time.Time, startUS ui
 }
 
 // observeBatch records one served READBATCH: the batch-size histogram,
-// the per-read counters, and one trace span carrying the batch size.
-func (s *Server) observeBatch(connID, n int, start time.Time, startUS uint64) {
+// the per-read counters, and one trace span carrying the batch size and
+// the distributed trace ID (0 when the batch carried none).
+func (s *Server) observeBatch(connID, n int, start time.Time, startUS uint64, trace uint64) {
 	ns := uint64(time.Since(start).Nanoseconds())
 	s.metrics.readBatches.Inc()
 	s.metrics.batchReads.Observe(uint64(n))
@@ -162,6 +185,7 @@ func (s *Server) observeBatch(connID, n int, start time.Time, startUS uint64) {
 			Cat:      "remote",
 			Name:     rdma.OpReadBatch.String(),
 			TID:      connID,
+			Trace:    trace,
 			Arg1Name: "reads", Arg1: int64(n),
 		})
 	}
@@ -169,8 +193,9 @@ func (s *Server) observeBatch(connID, n int, start time.Time, startUS uint64) {
 
 // observeWriteBatch records one served WRITEBATCH: the batch-size
 // histogram, the per-write counters, and one trace span carrying the
-// batch size.
-func (s *Server) observeWriteBatch(connID, n int, start time.Time, startUS uint64) {
+// batch size and the distributed trace ID (0 when the batch carried
+// none).
+func (s *Server) observeWriteBatch(connID, n int, start time.Time, startUS uint64, trace uint64) {
 	ns := uint64(time.Since(start).Nanoseconds())
 	s.metrics.writeBatches.Inc()
 	s.metrics.batchWrites.Observe(uint64(n))
@@ -183,6 +208,7 @@ func (s *Server) observeWriteBatch(connID, n int, start time.Time, startUS uint6
 			Cat:      "remote",
 			Name:     rdma.OpWriteBatch.String(),
 			TID:      connID,
+			Trace:    trace,
 			Arg1Name: "writes", Arg1: int64(n),
 		})
 	}
@@ -242,6 +268,74 @@ type pipeMetrics struct {
 	timeouts          *stats.Counter
 	uncertainWrites   *stats.Counter
 	replayedReads     *stats.Counter
+}
+
+// attribCache holds the per-DS attribution series of one pipelined
+// client. It is owned by the reader goroutine — the only writer — so
+// the steady state is a lock-free, allocation-free map hit; the
+// registry lock is taken once per data structure, at first sight.
+type attribCache struct {
+	reg   *obs.Registry
+	shard string
+	m     map[uint32]*dsAttrib
+}
+
+// dsAttrib caches one data structure's four component histograms and
+// its op counter.
+type dsAttrib struct {
+	ops           *stats.Counter
+	clientQueue   *stats.Histogram
+	wire          *stats.Histogram
+	serverQueue   *stats.Histogram
+	serverService *stats.Histogram
+}
+
+// newAttribCache builds the cache; nil when reg is nil (attribution
+// then disabled).
+func newAttribCache(reg *obs.Registry, shard string) *attribCache {
+	if reg == nil {
+		return nil
+	}
+	return &attribCache{reg: reg, shard: shard, m: make(map[uint32]*dsAttrib)}
+}
+
+func (a *attribCache) get(ds uint32) *dsAttrib {
+	if da, ok := a.m[ds]; ok {
+		return da
+	}
+	dss := strconv.FormatUint(uint64(ds), 10)
+	lbl := func(component string) []string {
+		if a.shard == "" {
+			return []string{"ds", dss, "component", component}
+		}
+		return []string{"ds", dss, "shard", a.shard, "component", component}
+	}
+	ops := []string{"ds", dss}
+	if a.shard != "" {
+		ops = append(ops, "shard", a.shard)
+	}
+	da := &dsAttrib{
+		ops:           a.reg.Counter(MetricAttribOps, ops...),
+		clientQueue:   a.reg.Histogram(MetricAttribUS, lbl(AttribClientQueue)...),
+		wire:          a.reg.Histogram(MetricAttribUS, lbl(AttribWire)...),
+		serverQueue:   a.reg.Histogram(MetricAttribUS, lbl(AttribServerQueue)...),
+		serverService: a.reg.Histogram(MetricAttribUS, lbl(AttribServerService)...),
+	}
+	a.m[ds] = da
+	return da
+}
+
+// observe feeds one completed op's decomposition into the DS's series.
+func (a *attribCache) observe(ds uint32, cqUS, wireUS, sqUS, ssUS uint64) {
+	if a == nil {
+		return
+	}
+	da := a.get(ds)
+	da.ops.Inc()
+	da.clientQueue.Observe(cqUS)
+	da.wire.Observe(wireUS)
+	da.serverQueue.Observe(sqUS)
+	da.serverService.Observe(ssUS)
 }
 
 func newPipeMetrics(reg *obs.Registry) *pipeMetrics {

@@ -47,6 +47,21 @@ type PipelineOpts struct {
 	// here (not after construction) so the background goroutines see it.
 	Obs *obs.Registry
 
+	// Trace, when non-nil, turns on distributed tracing: the client
+	// requests the FeatTrace frame extension, stamps active span
+	// contexts onto outgoing tagged frames, decomposes every completed
+	// op into client-queue / wire / server-queue / server-service from
+	// the server's reply stamps, feeds the cards_attrib_* series (when
+	// Obs is also set) and the hub's slow-op flight recorder, and emits
+	// merged client+server spans for sampled ops. Nil keeps the session
+	// byte-identical to a non-tracing client.
+	Trace *obs.TraceHub
+
+	// Shard labels this client's attribution series and slow-op records
+	// (sharded deployments set it to the shard index); empty omits the
+	// label.
+	Shard string
+
 	// Timeout bounds negotiation and, on deadline-capable connections,
 	// detects a stalled stream: no reply within Timeout while operations
 	// are in flight abandons the connection. 0 disables.
@@ -96,7 +111,10 @@ type pipeOp struct {
 	data          []byte // write payload (valid until completion)
 	done          func(error)
 	ch            chan error
-	start         time.Time // set when metrics are attached
+	start         time.Time       // set when metrics or tracing are attached
+	sentAt        time.Time       // doorbell time (tracing sessions only)
+	ctx           obs.SpanContext // root span context captured at enqueue
+	attempts      int             // reconnect replays beyond the first attempt
 }
 
 func (op *pipeOp) complete(err error) {
@@ -142,6 +160,7 @@ type PipelinedClient struct {
 	bw           *bufio.Writer      // doorbell buffer for conn
 	crc          bool               // session uses checksummed framing
 	wbatch       bool               // peer speaks WRITEBATCH/ACKBATCH
+	trace        bool               // session carries the trace extension
 	gen          uint64             // connection generation
 	reconnecting bool               // a reconnect is in progress
 	lastWire     time.Time          // last successful wire activity
@@ -159,16 +178,20 @@ type PipelinedClient struct {
 	wg   sync.WaitGroup
 
 	metrics *pipeMetrics
+	hub     *obs.TraceHub // immutable after construction; nil = no tracing
+	shard   string        // attribution/slow-op shard label
+	featReq uint32        // feature word requested on every negotiation
+	attrib  *attribCache  // reader-goroutine-owned; nil without Obs+Trace
 }
 
 // negotiate runs the feature exchange on a fresh connection: request
-// the batch, CRC, and write-batch extensions, demand batching, and
-// return the peer's feature word (the caller derives checksummed
-// framing and WRITEBATCH support from it). The exchange itself is
-// always legacy-framed; d bounds it when > 0.
-func negotiate(conn io.ReadWriteCloser, d time.Duration) (feats uint32, err error) {
+// the features in req, demand batching, and return the peer's feature
+// word (the caller derives checksummed framing, WRITEBATCH support, and
+// the trace extension from it). The exchange itself is always
+// legacy-framed; d bounds it when > 0.
+func negotiate(conn io.ReadWriteCloser, d time.Duration, req uint32) (feats uint32, err error) {
 	g := guardIO(conn, d)
-	err = rdma.WriteFrame(conn, rdma.PingFeatures(rdma.FeatBatch|rdma.FeatCRC|rdma.FeatWriteBatch))
+	err = rdma.WriteFrame(conn, rdma.PingFeatures(req))
 	var resp rdma.Frame
 	if err == nil {
 		resp, err = rdma.ReadFrame(conn)
@@ -211,7 +234,11 @@ func negotiateCRC(conn io.ReadWriteCloser, d time.Duration) (bool, error) {
 // returns a running pipelined client. Returns ErrNoPipelining (with conn
 // still usable for a serial Client) when the peer is a legacy server.
 func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient, error) {
-	feats, err := negotiate(conn, opts.Timeout)
+	req := rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch
+	if opts.Trace != nil {
+		req |= rdma.FeatTrace
+	}
+	feats, err := negotiate(conn, opts.Timeout, req)
 	if err != nil {
 		return nil, err
 	}
@@ -224,12 +251,19 @@ func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient,
 		bw:       bufio.NewWriterSize(conn, 64<<10),
 		crc:      feats&rdma.FeatCRC != 0,
 		wbatch:   feats&rdma.FeatWriteBatch != 0,
+		trace:    opts.Trace != nil && feats&rdma.FeatTrace != 0,
 		opts:     opts.withDefaults(),
 		lastWire: time.Now(),
 		pending:  make(map[uint32][]*pipeOp),
 		rng:      rand.New(rand.NewSource(seed)),
 		stop:     make(chan struct{}),
 		metrics:  newPipeMetrics(opts.Obs),
+		hub:      opts.Trace,
+		shard:    opts.Shard,
+		featReq:  req,
+	}
+	if opts.Trace != nil {
+		c.attrib = newAttribCache(opts.Obs, opts.Shard)
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.wg.Add(2)
@@ -297,6 +331,12 @@ type DialConfig struct {
 	MaxBatch int
 
 	Obs *obs.Registry
+
+	// Trace/Shard pass through to PipelineOpts. The serial fallback
+	// ignores them: only the pipelined client speaks the trace
+	// extension.
+	Trace *obs.TraceHub
+	Shard string
 }
 
 // faultTolerant reports whether the config asks for any fault handling,
@@ -341,6 +381,7 @@ func dialAutoOnce(addr string, cfg DialConfig) (StoreConn, error) {
 	}
 	popts := PipelineOpts{
 		Window: cfg.Window, MaxBatch: cfg.MaxBatch, Obs: cfg.Obs,
+		Trace: cfg.Trace, Shard: cfg.Shard,
 		Timeout: cfg.Timeout, RetryMax: cfg.RetryMax,
 		RetryBase: cfg.RetryBase, RetryCap: cfg.RetryCap, Seed: cfg.Seed,
 	}
@@ -384,8 +425,14 @@ func (c *PipelinedClient) enqueue(op *pipeOp) {
 		op.complete(err)
 		return
 	}
-	if c.metrics != nil {
+	if c.metrics != nil || c.hub != nil {
 		op.start = time.Now()
+	}
+	if c.hub != nil {
+		// The root layer (a deref miss, a prefetcher, the write-back
+		// stager) installs its span context synchronously around the call
+		// that lands here; picking it up is one atomic load.
+		op.ctx = c.hub.Active()
 	}
 	if op.write {
 		c.wqueue = append(c.wqueue, op)
@@ -544,6 +591,7 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 			if op.write {
 				writes = append(writes, op)
 			} else {
+				op.attempts++
 				reads = append(reads, op)
 			}
 		}
@@ -583,7 +631,7 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 			lastErr = err
 			continue
 		}
-		feats, err := negotiate(nc, c.opts.Timeout)
+		feats, err := negotiate(nc, c.opts.Timeout, c.featReq)
 		if err != nil {
 			nc.Close()
 			lastErr = err
@@ -599,6 +647,7 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 		c.bw = bufio.NewWriterSize(nc, 64<<10)
 		c.crc = feats&rdma.FeatCRC != 0
 		c.wbatch = feats&rdma.FeatWriteBatch != 0
+		c.trace = c.hub != nil && feats&rdma.FeatTrace != 0
 		c.gen++
 		c.reconnecting = false
 		c.lastWire = time.Now()
@@ -622,6 +671,7 @@ func (c *PipelinedClient) requeueOps(ops []*pipeOp, cause error) {
 		if op.write {
 			writes = append(writes, op)
 		} else {
+			op.attempts++
 			reads = append(reads, op)
 		}
 	}
@@ -678,6 +728,11 @@ func (c *PipelinedClient) flushLoop() {
 		gen := c.gen
 		bw := c.bw
 		crc := c.crc
+		trace := c.trace
+		var now time.Time
+		if trace {
+			now = time.Now() // doorbell timestamp shared by this wakeup's ops
+		}
 		frames = frames[:0]
 		space := c.opts.Window - c.inflight
 		for space > 0 && len(c.queue) > 0 {
@@ -697,7 +752,11 @@ func (c *PipelinedClient) flushLoop() {
 				space--
 			}
 			tag := c.tagFor(ops, false)
-			frames = append(frames, rdma.EncodeReadBatchPooled(tag, reqs))
+			f := rdma.EncodeReadBatchPooled(tag, reqs)
+			if trace {
+				stampTraceFrame(&f, ops, now)
+			}
+			frames = append(frames, f)
 			if m := c.metrics; m != nil {
 				m.batchReads.Observe(uint64(len(ops)))
 			}
@@ -713,11 +772,16 @@ func (c *PipelinedClient) flushLoop() {
 				op := c.wqueue[0]
 				c.wqueue = c.wqueue[1:]
 				wspace--
-				tag := c.tagFor([]*pipeOp{op}, true)
-				frames = append(frames, rdma.Frame{
+				ops := []*pipeOp{op}
+				tag := c.tagFor(ops, true)
+				f := rdma.Frame{
 					Op: rdma.OpWriteTag, Tag: tag,
 					Payload: rdma.EncodeWrite(op.ds, op.idx, op.data).Payload,
-				})
+				}
+				if trace {
+					stampTraceFrame(&f, ops, now)
+				}
+				frames = append(frames, f)
 				continue
 			}
 			// Coalesce writes into one WRITEBATCH, bounded by MaxBatch and
@@ -744,6 +808,9 @@ func (c *PipelinedClient) flushLoop() {
 				c.mu.Unlock()
 				c.fail(err)
 				return
+			}
+			if trace {
+				stampTraceFrame(&f, ops, now)
 			}
 			frames = append(frames, f)
 			if m := c.metrics; m != nil {
@@ -791,6 +858,32 @@ func (c *PipelinedClient) flushLoop() {
 	}
 }
 
+// stampTraceFrame stamps an outgoing tagged frame of a FeatTrace
+// session with its batch's span context and records each op's doorbell
+// time. Every tagged frame of such a session carries the fixed-size
+// extension — an all-zero context when nothing in the batch is traced —
+// so both sides' framing stays deterministic. When the batch mixes
+// traces, the first sampled op's context wins (the server can label its
+// span with only one).
+func stampTraceFrame(f *rdma.Frame, ops []*pipeOp, now time.Time) {
+	var ctx obs.SpanContext
+	for _, op := range ops {
+		op.sentAt = now
+		if op.ctx.Sampled && !ctx.Sampled {
+			ctx = op.ctx
+		}
+	}
+	if !ctx.Sampled {
+		for _, op := range ops {
+			if op.ctx.TraceID != 0 {
+				ctx = op.ctx
+				break
+			}
+		}
+	}
+	f.SetTraceCtx(ctx.TraceID, ctx.SpanID, ctx.Sampled)
+}
+
 // tagFor registers a batch of ops in flight under a fresh tag (caller
 // holds mu; ops already popped from their queue), charging the window
 // matching their direction.
@@ -826,6 +919,7 @@ func (c *PipelinedClient) readLoop() {
 		gen := c.gen
 		conn := c.conn
 		crc := c.crc
+		trace := c.trace
 		c.mu.Unlock()
 
 		if d := c.opts.Timeout; d > 0 {
@@ -833,13 +927,7 @@ func (c *PipelinedClient) readLoop() {
 				dl.SetReadDeadline(time.Now().Add(d))
 			}
 		}
-		var f rdma.Frame
-		var err error
-		if crc {
-			f, err = rdma.ReadFrameCRCPooled(conn)
-		} else {
-			f, err = rdma.ReadFramePooled(conn)
-		}
+		f, err := rdma.ReadFramePooledOpts(conn, crc, trace)
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				// An idle connection hitting the read deadline is benign:
@@ -876,6 +964,12 @@ func (c *PipelinedClient) readLoop() {
 			c.connFail(gen, err)
 			continue
 		}
+		var sQueueUS, sServiceUS uint32
+		stamped := false
+		if trace && f.HasExt {
+			_, sQueueUS, sServiceUS = f.ServerStamp()
+			stamped = true
+		}
 		switch f.Op {
 		case rdma.OpDataBatch:
 			var derr error
@@ -893,7 +987,7 @@ func (c *PipelinedClient) readLoop() {
 			}
 			for i, op := range ops {
 				copy(op.dst, segs[i])
-				c.observeOp(op)
+				c.finishOp(op, stamped, sQueueUS, sServiceUS)
 				op.complete(nil)
 			}
 			rdma.PutBuf(f.Payload)
@@ -912,12 +1006,12 @@ func (c *PipelinedClient) readLoop() {
 				continue
 			}
 			for _, op := range ops {
-				c.observeOp(op)
+				c.finishOp(op, stamped, sQueueUS, sServiceUS)
 				op.complete(nil)
 			}
 		case rdma.OpAckTag:
 			rdma.PutBuf(f.Payload)
-			c.observeOp(ops[0])
+			c.finishOp(ops[0], stamped, sQueueUS, sServiceUS)
 			ops[0].complete(nil)
 		case rdma.OpErrTag:
 			// Definitive server-level rejection: the connection is fine
@@ -978,4 +1072,83 @@ func (c *PipelinedClient) observeOp(op *pipeOp) {
 	} else {
 		m.readNS.Observe(ns)
 	}
+}
+
+// Op label values for slow-op records and merged spans.
+const (
+	opNameRead  = "read"
+	opNameWrite = "write"
+)
+
+// finishOp accounts one successfully completed op. Beyond the latency
+// histograms, on a FeatTrace session with a stamped reply it decomposes
+// the op into its four clock-offset-free components —
+//
+//	total        = complete − enqueue
+//	client_queue = doorbell − enqueue
+//	rtt          = complete − doorbell
+//	server busy  = queue + service        (from the server's stamp)
+//	wire         = rtt − busy, clamped ≥ 0 (the residual: both directions)
+//
+// so client_queue + wire + server_queue + server_service == total by
+// construction — then feeds the cards_attrib_* series and the slow-op
+// flight recorder, and (for sampled ops) emits the merged client+server
+// spans, placing the server's busy time midway through the wire
+// residual (the unbiased placement without synchronized clocks). Runs
+// on the reader goroutine; off the sampled path it allocates nothing.
+func (c *PipelinedClient) finishOp(op *pipeOp, stamped bool, queueUS, serviceUS uint32) {
+	c.observeOp(op)
+	if c.hub == nil || !stamped || op.start.IsZero() || op.sentAt.IsZero() {
+		return
+	}
+	now := time.Now()
+	totalUS := uint64(now.Sub(op.start).Microseconds())
+	cqUS := uint64(op.sentAt.Sub(op.start).Microseconds())
+	rttUS := uint64(now.Sub(op.sentAt).Microseconds())
+	busyUS := uint64(queueUS) + uint64(serviceUS)
+	var wireUS uint64
+	if rttUS > busyUS {
+		wireUS = rttUS - busyUS
+	}
+	c.attrib.observe(op.ds, cqUS, wireUS, uint64(queueUS), uint64(serviceUS))
+	name := opNameRead
+	if op.write {
+		name = opNameWrite
+	}
+	var nowUS uint64
+	if t := c.hub.Tracer; t != nil {
+		nowUS = t.Now()
+	}
+	startUS := nowUS - totalUS
+	if totalUS > nowUS {
+		startUS = 0
+	}
+	c.hub.Offer(obs.SlowOp{
+		TraceID: op.ctx.TraceID, SpanID: op.ctx.SpanID,
+		Op: name, DS: int(op.ds), Idx: int(op.idx), Shard: c.shard,
+		Attempts: op.attempts + 1, Sampled: op.ctx.Sampled,
+		StartUS: startUS, TotalUS: totalUS,
+		ClientQueueUS: cqUS, WireUS: wireUS,
+		ServerQueueUS: uint64(queueUS), ServerServiceUS: uint64(serviceUS),
+	})
+	if !op.ctx.Sampled || c.hub.Tracer == nil {
+		return
+	}
+	sentUS := nowUS - rttUS
+	c.hub.Emit(obs.TraceEvent{
+		TS: startUS, Dur: totalUS, Cat: "remote", Name: name,
+		TID: int(op.ds), Trace: op.ctx.TraceID,
+		Arg1Name: "attempts", Arg1: int64(op.attempts + 1),
+		Arg2Name: "obj", Arg2: int64(op.idx),
+	})
+	c.hub.Emit(obs.TraceEvent{
+		TS: sentUS + wireUS/2, Dur: uint64(queueUS),
+		Cat: "server", Name: "queue",
+		TID: int(op.ds), Trace: op.ctx.TraceID,
+	})
+	c.hub.Emit(obs.TraceEvent{
+		TS: sentUS + wireUS/2 + uint64(queueUS), Dur: uint64(serviceUS),
+		Cat: "server", Name: "service",
+		TID: int(op.ds), Trace: op.ctx.TraceID,
+	})
 }

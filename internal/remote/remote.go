@@ -99,6 +99,7 @@ type Server struct {
 	tracer  *obs.Tracer
 	metrics *serverMetrics
 	nextCon atomic.Int64
+	epoch   time.Time // base for the RecvUS server stamps
 }
 
 // DefaultBatchWorkers is the per-connection READBATCH concurrency.
@@ -106,8 +107,10 @@ const DefaultBatchWorkers = 4
 
 // ServerFeatures is the feature word the server answers to a feature
 // PING: this server speaks the tagged/batch extension (reads and
-// writes) and can switch the session to checksummed frames.
-const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch
+// writes), can switch the session to checksummed frames, and can carry
+// the trace extension (span context in, server timestamps out) on every
+// tagged frame.
+const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatTrace
 
 // NewServer creates a server with an empty store and a private metric
 // registry.
@@ -125,7 +128,32 @@ func NewServerWith(reg *obs.Registry, tr *obs.Tracer) *Server {
 		reg:     reg,
 		tracer:  tr,
 		metrics: newServerMetrics(reg),
+		epoch:   time.Now(),
 	}
+}
+
+// batchJob carries one READBATCH/WRITEBATCH frame to the worker pool
+// together with its socket receive time, so the reply stamp can split
+// queue wait (receive to worker pickup) from service time.
+type batchJob struct {
+	f    rdma.Frame
+	recv time.Time
+}
+
+// stamp fills a tagged reply's trace extension with the server-side
+// timestamps when the session negotiated FeatTrace (no-op otherwise).
+// Every tagged reply of such a session must carry the fixed-size
+// extension — the client's framing depends on it — so error replies get
+// stamped too.
+func (s *Server) stamp(resp *rdma.Frame, trace bool, recv, dispatch time.Time) {
+	if !trace {
+		return
+	}
+	resp.SetServerStamp(
+		uint64(recv.Sub(s.epoch).Microseconds()),
+		uint32(dispatch.Sub(recv).Microseconds()),
+		uint32(time.Since(dispatch).Microseconds()),
+	)
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
@@ -202,11 +230,11 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 
 	// Batch workers reply concurrently with the inline loop: every
 	// response frame goes through send so frames never interleave.
-	// crcOut flips after the negotiation reply is sent; no batch can be
-	// in flight then (clients wait for the feature OK first), so the
-	// switch is ordered with every checksummed frame.
+	// crcOut/traceOut flip after the negotiation reply is sent; no batch
+	// can be in flight then (clients wait for the feature OK first), so
+	// each switch is ordered with every extended frame.
 	var wmu sync.Mutex
-	var crcOut atomic.Bool
+	var crcOut, traceOut atomic.Bool
 	send := func(resp rdma.Frame) error {
 		wmu.Lock()
 		defer wmu.Unlock()
@@ -220,7 +248,7 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	if workers <= 0 {
 		workers = DefaultBatchWorkers
 	}
-	jobs := make(chan rdma.Frame)
+	jobs := make(chan batchJob)
 	var bwg sync.WaitGroup
 	bwg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -231,35 +259,30 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 			// payloads come from the frame buffer pool).
 			var rscratch []rdma.ReadReq
 			var wscratch []rdma.WriteReq
-			for f := range jobs {
-				if f.Op == rdma.OpWriteBatch {
-					wscratch = s.serveWriteBatch(f, connID, send, wscratch)
+			for j := range jobs {
+				trace := traceOut.Load()
+				if j.f.Op == rdma.OpWriteBatch {
+					wscratch = s.serveWriteBatch(j, connID, send, trace, wscratch)
 				} else {
-					rscratch = s.serveBatch(f, connID, send, rscratch)
+					rscratch = s.serveBatch(j, connID, send, trace, rscratch)
 				}
-				rdma.PutBuf(f.Payload)
+				rdma.PutBuf(j.f.Payload)
 			}
 		}()
 	}
 	defer bwg.Wait()
 	defer close(jobs)
 
-	crcIn := false
+	crcIn, traceIn := false, false
 	for {
-		var f rdma.Frame
-		var err error
-		if crcIn {
-			f, err = rdma.ReadFrameCRCPooled(conn)
-		} else {
-			f, err = rdma.ReadFramePooled(conn)
-		}
+		f, err := rdma.ReadFramePooledOpts(conn, crcIn, traceIn)
 		if err != nil {
 			return
 		}
 		s.metrics.bytesIn.Add(f.WireSize())
 		if f.Op == rdma.OpReadBatch || f.Op == rdma.OpWriteBatch {
 			s.metrics.inflight.Add(1)
-			jobs <- f // reply sent by a worker, possibly out of order
+			jobs <- batchJob{f: f, recv: time.Now()} // reply sent by a worker, possibly out of order
 			continue
 		}
 		s.metrics.inflight.Add(1)
@@ -270,16 +293,17 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		}
 		var resp rdma.Frame
 		var ds, idx int64
-		enableCRC := false
+		enableCRC, enableTrace := false, false
 		switch f.Op {
 		case rdma.OpPing:
 			if feats, ok := rdma.DecodeFeatures(f.Payload); ok {
 				// Feature negotiation: answer with our feature word. A
 				// legacy client never sends one and gets the empty OK. The
-				// reply itself is always legacy-framed; checksummed framing
-				// starts with the next frame in each direction.
+				// reply itself is always legacy-framed; checksummed and
+				// trace framing start with the next frame in each direction.
 				resp = rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(ServerFeatures)}
 				enableCRC = feats&rdma.FeatCRC != 0
+				enableTrace = feats&rdma.FeatTrace != 0
 			} else {
 				resp = rdma.Frame{Op: rdma.OpOK}
 			}
@@ -321,10 +345,15 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		if resp.Op == rdma.OpErr || resp.Op == rdma.OpErrTag {
 			s.metrics.errors.Inc()
 		} else {
-			s.observeVerb(f.Op, connID, start, startUS, ds, idx)
+			s.observeVerb(f.Op, connID, start, startUS, ds, idx, reqTrace(f))
 		}
 		s.metrics.inflight.Add(-1)
 		rdma.PutBuf(f.Payload) // request fully consumed (Store.Write copies)
+		if resp.Op.Tagged() {
+			// Inline verbs dispatch immediately: receive == dispatch, the
+			// whole handle is service time.
+			s.stamp(&resp, traceOut.Load(), start, start)
+		}
 		err = send(resp)
 		rdma.PutBuf(resp.Payload)
 		if err != nil {
@@ -334,13 +363,31 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 			crcIn = true
 			crcOut.Store(true)
 		}
+		if enableTrace {
+			traceIn = true
+			traceOut.Store(true)
+		}
 	}
+}
+
+// reqTrace extracts the sampled trace ID riding a request's trace
+// extension; 0 when the frame carries none (or the root was unsampled).
+func reqTrace(f rdma.Frame) uint64 {
+	if !f.HasExt {
+		return 0
+	}
+	traceID, _, sampled := f.TraceCtx()
+	if !sampled {
+		return 0
+	}
+	return traceID
 }
 
 // serveBatch handles one READBATCH frame on a worker goroutine: gather
 // every requested object directly into one pooled DATABATCH reply. The
 // request scratch slice is returned for the worker to reuse.
-func (s *Server) serveBatch(f rdma.Frame, connID int, send func(rdma.Frame) error, scratch []rdma.ReadReq) []rdma.ReadReq {
+func (s *Server) serveBatch(j batchJob, connID int, send func(rdma.Frame) error, trace bool, scratch []rdma.ReadReq) []rdma.ReadReq {
+	f := j.f
 	defer s.metrics.inflight.Add(-1)
 	start := time.Now()
 	var startUS uint64
@@ -350,13 +397,17 @@ func (s *Server) serveBatch(f rdma.Frame, connID int, send func(rdma.Frame) erro
 	reqs, err := rdma.DecodeReadBatchInto(f.Payload, scratch)
 	if err != nil {
 		s.metrics.errors.Inc()
-		send(rdma.ErrTagFrame(f.Tag, err.Error()))
+		resp := rdma.ErrTagFrame(f.Tag, err.Error())
+		s.stamp(&resp, trace, j.recv, start)
+		send(resp)
 		return scratch
 	}
 	size := rdma.DataBatchSize(reqs)
 	if size > rdma.MaxFrame {
 		s.metrics.errors.Inc()
-		send(rdma.ErrTagFrame(f.Tag, "batch reply exceeds frame limit"))
+		resp := rdma.ErrTagFrame(f.Tag, "batch reply exceeds frame limit")
+		s.stamp(&resp, trace, j.recv, start)
+		send(resp)
 		return reqs
 	}
 	p := rdma.GetBuf(size)
@@ -364,8 +415,10 @@ func (s *Server) serveBatch(f rdma.Frame, connID int, send func(rdma.Frame) erro
 	for _, r := range reqs {
 		s.Store.ReadInto(r.DS, r.Idx, w.Next(int(r.Size)))
 	}
-	s.observeBatch(connID, len(reqs), start, startUS)
-	send(w.Frame(f.Tag))
+	s.observeBatch(connID, len(reqs), start, startUS, reqTrace(f))
+	resp := w.Frame(f.Tag)
+	s.stamp(&resp, trace, j.recv, start)
+	send(resp)
 	rdma.PutBuf(p)
 	return reqs
 }
@@ -374,7 +427,8 @@ func (s *Server) serveBatch(f rdma.Frame, connID int, send func(rdma.Frame) erro
 // apply every write in batch order, then acknowledge the whole batch
 // with one ACKBATCH. Writes within a batch are ordered; two batches may
 // be applied in either order (see the ServeConn contract).
-func (s *Server) serveWriteBatch(f rdma.Frame, connID int, send func(rdma.Frame) error, scratch []rdma.WriteReq) []rdma.WriteReq {
+func (s *Server) serveWriteBatch(j batchJob, connID int, send func(rdma.Frame) error, trace bool, scratch []rdma.WriteReq) []rdma.WriteReq {
+	f := j.f
 	defer s.metrics.inflight.Add(-1)
 	start := time.Now()
 	var startUS uint64
@@ -384,14 +438,17 @@ func (s *Server) serveWriteBatch(f rdma.Frame, connID int, send func(rdma.Frame)
 	reqs, err := rdma.DecodeWriteBatchInto(f.Payload, scratch)
 	if err != nil {
 		s.metrics.errors.Inc()
-		send(rdma.ErrTagFrame(f.Tag, err.Error()))
+		resp := rdma.ErrTagFrame(f.Tag, err.Error())
+		s.stamp(&resp, trace, j.recv, start)
+		send(resp)
 		return scratch
 	}
 	for _, r := range reqs {
 		s.Store.Write(r.DS, r.Idx, r.Data)
 	}
-	s.observeWriteBatch(connID, len(reqs), start, startUS)
+	s.observeWriteBatch(connID, len(reqs), start, startUS, reqTrace(f))
 	resp := rdma.EncodeAckBatch(f.Tag, len(reqs))
+	s.stamp(&resp, trace, j.recv, start)
 	send(resp)
 	return reqs
 }

@@ -1,0 +1,139 @@
+package cards
+
+// Trace smoke (make trace-smoke): a pointer-chase workload over a real
+// TCP far tier with ~200µs injected RTT, distributed tracing on and
+// every root sampled. Asserts the two tentpole end-to-end properties:
+// the merged Chrome trace validates and carries causally-linked client
+// and server spans, and every recorded op's four-component latency
+// decomposition sums to (within 10% of) its measured wall time.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+
+	"cards/internal/faultnet"
+	"cards/internal/remote"
+	"cards/internal/testutil"
+)
+
+const traceSmokeRTT = 200 * time.Microsecond
+
+func TestTraceSmoke(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+
+	srv := remote.NewServer()
+	srv.ConnWrap = func(c io.ReadWriteCloser) io.ReadWriteCloser {
+		return faultnet.Wrap(c, faultnet.Config{Latency: traceSmokeRTT, Seed: 1})
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rt, err := New(Config{
+		RemotableMemory: 16 << 10, // far smaller than the data: every step misses or prefetches
+		RemoteAddr:      addr,
+		Trace:           true,
+		TraceTarget:     -1, // bounded run: sample every root
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const n = 2048
+	l, err := NewList[int64](rt, "chase", Remotable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := l.PushBack(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum int64
+	if err := l.Each(func(v int64) bool { sum += v; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("chase sum = %d, want %d", sum, want)
+	}
+
+	// The flight recorder saw every completed remote op's decomposition.
+	ops := rt.SlowOps()
+	if len(ops) == 0 {
+		t.Fatal("flight recorder retained no ops")
+	}
+	sawWire := uint64(0)
+	for _, op := range ops {
+		parts := op.ClientQueueUS + op.WireUS + op.ServerQueueUS + op.ServerServiceUS
+		diff := parts - op.TotalUS
+		if parts < op.TotalUS {
+			diff = op.TotalUS - parts
+		}
+		if diff > op.TotalUS/10 {
+			t.Errorf("op %s ds%d[%d]: components sum to %dµs, wall time %dµs (>10%% apart)",
+				op.Op, op.DS, op.Idx, parts, op.TotalUS)
+		}
+		if op.TraceID == 0 {
+			t.Errorf("op %s ds%d[%d]: no trace ID", op.Op, op.DS, op.Idx)
+		}
+		if op.Attempts < 1 {
+			t.Errorf("op %s ds%d[%d]: attempts = %d", op.Op, op.DS, op.Idx, op.Attempts)
+		}
+		if op.WireUS > sawWire {
+			sawWire = op.WireUS
+		}
+	}
+	// The injected server-side read latency must show up as wire time,
+	// not be misattributed to the server's queue/service stamps.
+	if sawWire < uint64(traceSmokeRTT.Microseconds()) {
+		t.Errorf("max wire component %dµs, want >= injected %v", sawWire, traceSmokeRTT)
+	}
+
+	// The merged Chrome trace validates and links runtime, transport and
+	// server spans of one op through a shared args.trace ID.
+	var buf bytes.Buffer
+	if err := rt.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Cat  string           `json:"cat"`
+			Ph   string           `json:"ph"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace does not validate: %v", err)
+	}
+	traceIDs := func(cat string) map[int64]bool {
+		ids := make(map[int64]bool)
+		for _, ev := range tr.TraceEvents {
+			if ev.Cat == cat && ev.Args["trace"] != 0 {
+				ids[ev.Args["trace"]] = true
+			}
+		}
+		return ids
+	}
+	farm, rem, sv := traceIDs("farmem"), traceIDs("remote"), traceIDs("server")
+	if len(farm) == 0 || len(rem) == 0 || len(sv) == 0 {
+		t.Fatalf("merged trace missing a layer: farmem=%d remote=%d server=%d traced IDs",
+			len(farm), len(rem), len(sv))
+	}
+	linked := false
+	for id := range sv {
+		if rem[id] && farm[id] {
+			linked = true
+			break
+		}
+	}
+	if !linked {
+		t.Error("no trace ID shared across farmem, remote and server spans")
+	}
+}
