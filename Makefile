@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard bench-writeback benchguard fuzz-smoke trace-smoke
+.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard bench-writeback bench-replica benchguard fuzz-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -34,13 +34,14 @@ check: fmt vet race fuzz-smoke trace-smoke benchguard
 trace-smoke:
 	$(GO) test -run '^TestTraceSmoke$$' -count=1 -v .
 
-# benchguard reruns the pipeline-depth and dirty write-back sweeps and
-# fails if either best speedup fell below its floor relative to the
-# checked-in BENCH_pipeline.json / BENCH_writeback.json baselines
-# (speedups are in-run ratios, so host speed cancels out). Pass or
-# fail, it prints the per-row measured-vs-baseline delta tables.
+# benchguard reruns the pipeline-depth, dirty write-back and
+# replication sweeps and fails if any best ratio fell below its floor
+# relative to the checked-in BENCH_pipeline.json / BENCH_writeback.json
+# / BENCH_replica.json baselines (the guarded values are in-run ratios,
+# so host speed cancels out). Pass or fail, it prints the per-row
+# measured-vs-baseline delta tables.
 benchguard:
-	$(GO) run ./cmd/benchguard -baseline BENCH_pipeline.json -writeback-baseline BENCH_writeback.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_pipeline.json -writeback-baseline BENCH_writeback.json -replica-baseline BENCH_replica.json
 
 # fuzz-smoke runs each native fuzzer briefly (seed corpus + a short
 # random exploration). Go allows one -fuzz pattern per invocation, so
@@ -76,6 +77,15 @@ bench-smoke: bench-writeback
 bench-writeback:
 	$(GO) run ./cmd/cardsbench -exp writeback -scale quick -json > BENCH_writeback.json
 	@cat BENCH_writeback.json
+
+# bench-replica runs the replicated far-tier sweep (R=1/2/3 over the
+# same 3-backend TCP fleet with injected per-op service latency):
+# write amplification, write-throughput retention vs the unreplicated
+# baseline, and the failover latency of a read stream whose primary is
+# killed mid-run.
+bench-replica:
+	$(GO) run ./cmd/cardsbench -exp replica -scale quick -json > BENCH_replica.json
+	@cat BENCH_replica.json
 
 # bench-shard runs the sharded far-tier sweep (1→4 backends, real TCP
 # loopback with injected per-connection service latency) and records the

@@ -30,6 +30,7 @@ import (
 	"cards/internal/obs"
 	"cards/internal/prefetch"
 	"cards/internal/remote"
+	"cards/internal/replica"
 	"cards/internal/shardmap"
 )
 
@@ -109,6 +110,20 @@ type Config struct {
 	// dead server degrades only the objects it owns. A single address
 	// here is equivalent to RemoteAddr. Setting both is an error.
 	RemoteAddrs []string
+	// Replicas, when > 1, turns the multi-backend far tier into a
+	// replicated store: each object's shard maps onto a group of R
+	// backends (the top R of the same rendezvous ranking the sharded
+	// store uses), every write fans out to the whole group with a
+	// monotonically increasing epoch stamp, and reads fail over to the
+	// highest-epoch surviving replica when a backend dies. A backend
+	// returning from an outage is resynced in the background before it
+	// serves reads again. Requires at least Replicas addresses in
+	// RemoteAddrs and servers that speak the epoch feature.
+	Replicas int
+	// WriteQuorum is the number of replica acks a write needs before it
+	// is reported durable; 0 means 1 (writes ride out R-1 dead
+	// backends). Only meaningful with Replicas > 1.
+	WriteQuorum int
 
 	// RemoteTimeout bounds each far-tier round trip; on expiry the
 	// connection is abandoned and redialed. 0 means 2s; negative
@@ -143,13 +158,19 @@ type Config struct {
 	TraceTarget float64
 }
 
+// policyStore is the placement surface shared by the sharded and
+// replicated multi-backend stores.
+type policyStore interface {
+	SetPolicy(ds int, p shardmap.Policy)
+}
+
 // Runtime is a far-memory runtime instance.
 type Runtime struct {
 	rt       *farmem.Runtime
 	client   remote.StoreConn
-	sharded  *shardmap.ShardedStore // non-nil in multi-backend mode
-	tracer   *obs.Tracer            // non-nil iff Config.Trace
-	recorder *obs.FlightRecorder    // non-nil iff Config.Trace
+	policies policyStore         // non-nil in multi-backend mode
+	tracer   *obs.Tracer         // non-nil iff Config.Trace
+	recorder *obs.FlightRecorder // non-nil iff Config.Trace
 	nextID   int
 }
 
@@ -197,7 +218,11 @@ func New(cfg Config) (*Runtime, error) {
 		addrs = []string{cfg.RemoteAddr}
 	}
 	var client remote.StoreConn
-	var sharded *shardmap.ShardedStore
+	var policies policyStore
+	if cfg.Replicas > 1 && len(addrs) < cfg.Replicas {
+		return nil, fmt.Errorf("cards: Replicas=%d needs at least that many RemoteAddrs (have %d)",
+			cfg.Replicas, len(addrs))
+	}
 	if len(addrs) > 0 {
 		timeout := cfg.RemoteTimeout
 		if timeout == 0 {
@@ -266,18 +291,36 @@ func New(cfg Config) (*Runtime, error) {
 				}
 				backends = append(backends, c)
 			}
-			ss, err := shardmap.NewSharded(backends, shardmap.Options{
-				BreakerThreshold: threshold,
-				Obs:              reg,
-			})
-			if err != nil {
-				closeAll()
-				return nil, fmt.Errorf("cards: far-tier shards: %w", err)
+			if cfg.Replicas > 1 {
+				rs, err := replica.New(backends, replica.Options{
+					Replicas:         cfg.Replicas,
+					WriteQuorum:      cfg.WriteQuorum,
+					BreakerThreshold: threshold,
+					Obs:              reg,
+					Trace:            hub,
+				})
+				if err != nil {
+					closeAll()
+					return nil, fmt.Errorf("cards: far-tier replica groups: %w", err)
+				}
+				fc.Store = rs
+				fc.Obs = reg
+				client = rs
+				policies = rs
+			} else {
+				ss, err := shardmap.NewSharded(backends, shardmap.Options{
+					BreakerThreshold: threshold,
+					Obs:              reg,
+				})
+				if err != nil {
+					closeAll()
+					return nil, fmt.Errorf("cards: far-tier shards: %w", err)
+				}
+				fc.Store = ss
+				fc.Obs = reg // runtime + per-shard series in one registry
+				client = ss
+				policies = ss
 			}
-			fc.Store = ss
-			fc.Obs = reg // runtime + per-shard series in one registry
-			client = ss
-			sharded = ss
 		}
 		// The transport never silently retries an unacknowledged write
 		// (it cannot know whether the server applied it); the runtime
@@ -288,7 +331,7 @@ func New(cfg Config) (*Runtime, error) {
 	return &Runtime{
 		rt:       farmem.New(fc),
 		client:   client,
-		sharded:  sharded,
+		policies: policies,
 		tracer:   tracer,
 		recorder: recorder,
 	}, nil
@@ -369,11 +412,11 @@ func (r *Runtime) register(name string, pattern Pattern, placement Placement,
 	if err := r.rt.SetPlacement(id, placement.farmem()); err != nil {
 		return nil, err
 	}
-	if r.sharded != nil {
+	if r.policies != nil {
 		// Shard placement follows the access-pattern hint: structures
-		// whose prefetch batches follow pointers pin to one backend,
-		// flat pools stripe for aggregate bandwidth.
-		r.sharded.SetPolicy(id, shardmap.PolicyFor(recursive, meta.Pattern == farmem.PatternPointerChase))
+		// whose prefetch batches follow pointers pin to one backend (or
+		// one replica group), flat pools stripe for aggregate bandwidth.
+		r.policies.SetPolicy(id, shardmap.PolicyFor(recursive, meta.Pattern == farmem.PatternPointerChase))
 	}
 	if pf := prefetch.Select(prefetch.Hints{
 		Pattern:    meta.Pattern,

@@ -1,10 +1,11 @@
 // Command benchguard is the CI regression gate for the real-socket data
-// path: it reruns the pipeline-depth sweep and the dirty write-back
-// sweep and compares each best speedup against the checked-in baseline
-// tables (BENCH_pipeline.json, BENCH_writeback.json). A fresh best
-// speedup below threshold × baseline fails the build — the batched
-// read path (or the staged write-back path) has regressed relative to
-// its in-run serial/sync baseline.
+// path: it reruns the pipeline-depth sweep, the dirty write-back sweep
+// and the replicated-write sweep and compares each guarded ratio
+// against the checked-in baseline tables (BENCH_pipeline.json,
+// BENCH_writeback.json, BENCH_replica.json). A fresh best ratio below
+// threshold × baseline fails the build — the batched read path, the
+// staged write-back path, or the replicated fan-out's throughput
+// retention over its in-run R=1 baseline has regressed.
 //
 // The guard compares *speedups over the in-run baseline row*, not
 // absolute throughput: both sides of the ratio come from the same
@@ -21,6 +22,7 @@
 //
 //	benchguard [-baseline BENCH_pipeline.json] [-threshold 0.85] [-runs 3]
 //	           [-writeback-baseline BENCH_writeback.json] [-writeback-threshold 0.7]
+//	           [-replica-baseline BENCH_replica.json] [-replica-threshold 0.6]
 package main
 
 import (
@@ -57,6 +59,8 @@ func main() {
 	pipeThresh := flag.Float64("threshold", 0.85, "minimum fresh/baseline best-speedup ratio (pipeline)")
 	wbBase := flag.String("writeback-baseline", "BENCH_writeback.json", "checked-in write-back sweep table (empty disables the gate)")
 	wbThresh := flag.Float64("writeback-threshold", 0.7, "minimum fresh/baseline best-speedup ratio (write-back; looser, the sync denominator is one long RTT chain)")
+	repBase := flag.String("replica-baseline", "BENCH_replica.json", "checked-in replication sweep table (empty disables the gate)")
+	repThresh := flag.Float64("replica-threshold", 0.6, "minimum fresh/baseline throughput-retention ratio (replica R=2 row; loosest, two windows' scheduling noise)")
 	runs := flag.Int("runs", 3, "sweep attempts per gate; the best one is compared")
 	flag.Parse()
 
@@ -76,6 +80,16 @@ func main() {
 			ratioCol:  "vs sync",
 			rowKey:    "async",
 			run:       func() (*bench.Table, error) { return bench.Writeback(bench.Quick()) },
+		})
+	}
+	if *repBase != "" {
+		gates = append(gates, gate{
+			name:      "replica",
+			baseline:  *repBase,
+			threshold: *repThresh,
+			ratioCol:  "vs R=1",
+			rowKey:    "2",
+			run:       func() (*bench.Table, error) { return bench.Replica(bench.Quick()) },
 		})
 	}
 

@@ -34,6 +34,7 @@ import (
 	"cards/internal/obs"
 	"cards/internal/policy"
 	"cards/internal/remote"
+	"cards/internal/replica"
 	"cards/internal/shardmap"
 	"cards/internal/workloads"
 )
@@ -78,6 +79,7 @@ func main() {
 	retryMax := flag.Int("retry-max", 0, "with -run: reissue failed far-tier operations up to N times")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "with -run: trip the circuit breaker (degrade to local memory) after N consecutive far-tier failures (0 = off)")
 	remoteAddrs := flag.String("remote", "", "with -run: back far memory with cardsd server(s) at these comma-separated addresses; 2+ addresses shard objects across the fleet (pointer-chasing structures pin to one shard, flat pools stripe)")
+	replicas := flag.Int("replicas", 1, "with -run and 2+ -remote addresses: replicate each object across R backends with epoch-stamped writes and read failover")
 	flag.Parse()
 
 	var m *ir.Module
@@ -152,7 +154,7 @@ func main() {
 			BreakerThreshold: *breakerThreshold,
 		}
 		if *remoteAddrs != "" {
-			store, closeStore, serr := dialRemote(*remoteAddrs, *retryMax, *breakerThreshold, hub)
+			store, closeStore, serr := dialRemote(*remoteAddrs, *retryMax, *breakerThreshold, *replicas, hub)
 			if serr != nil {
 				fmt.Fprintf(os.Stderr, "cardsc: %v\n", serr)
 				os.Exit(1)
@@ -188,8 +190,9 @@ func main() {
 
 // dialRemote connects the far tier for -run: one address yields a
 // resilient pipelined client, several yield a sharded store with one
-// client and one breaker per backend.
-func dialRemote(addrs string, retryMax, breakerThreshold int, hub *obs.TraceHub) (farmem.Store, func(), error) {
+// client and one breaker per backend — or, with replicas > 1, a
+// replicated store fanning each object across R backends.
+func dialRemote(addrs string, retryMax, breakerThreshold, replicas int, hub *obs.TraceHub) (farmem.Store, func(), error) {
 	list := strings.Split(addrs, ",")
 	for i := range list {
 		list[i] = strings.TrimSpace(list[i])
@@ -220,8 +223,24 @@ func dialRemote(addrs string, retryMax, breakerThreshold int, hub *obs.TraceHub)
 		backends = append(backends, c)
 	}
 	if len(backends) == 1 {
+		if replicas > 1 {
+			closeAll()
+			return nil, nil, fmt.Errorf("-replicas=%d needs at least that many -remote addresses", replicas)
+		}
 		b := backends[0]
 		return b, func() { b.(*remote.Resilient).Close() }, nil
+	}
+	if replicas > 1 {
+		rs, err := replica.New(backends, replica.Options{
+			Replicas:         replicas,
+			BreakerThreshold: breakerThreshold,
+			Trace:            hub,
+		})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		return rs, func() { rs.Close() }, nil
 	}
 	ss, err := shardmap.NewSharded(backends, shardmap.Options{BreakerThreshold: breakerThreshold})
 	if err != nil {

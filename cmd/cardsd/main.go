@@ -1,7 +1,12 @@
 // Command cardsd is the remote memory node: it owns the far tier of
 // objects and serves the CaRDS wire protocol — serial READ/WRITE verbs
 // over length-prefixed TCP frames, plus the tagged pipelined verbs
-// (READBATCH scatter-gather reads, tagged writes) negotiated on PING.
+// (READBATCH scatter-gather reads, tagged writes) negotiated on PING,
+// and the epoch-stamped variants (WRITEEPOCHBATCH / READEPOCHBATCH,
+// feature bit FeatEpoch) the replicated client uses: writes carry a
+// monotonically increasing per-object epoch and apply only when at
+// least as new as the stored image, so replica resync and reissued
+// write-backs are idempotent.
 // Point a runtime at it with
 // cards.Config{RemoteAddr: ...} or run examples/cluster against it —
 // this is the "memory server machine" of the paper's two-node CloudLab

@@ -183,6 +183,7 @@ func Experiments() []Experiment {
 		{"pipeline", "Pipelined vs serial remote reads × window depth, TCP loopback (beyond the paper)", Pipeline},
 		{"shard", "Sharded far-tier read bandwidth × backend count, TCP loopback (beyond the paper)", Shard},
 		{"writeback", "Sync vs async batched dirty write-back, TCP loopback with injected RTT (beyond the paper)", Writeback},
+		{"replica", "Replicated far-tier write amplification + failover latency, TCP loopback with injected RTT (beyond the paper)", Replica},
 	}
 }
 

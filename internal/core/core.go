@@ -247,10 +247,13 @@ func (c *Compiled) NewRuntime(cfg RunConfig) (*farmem.Runtime, []farmem.Placemen
 		if err := rt.SetPlacement(info.DS.ID, placements[i]); err != nil {
 			return nil, nil, err
 		}
-		if ss, ok := cfg.Store.(*shardmap.ShardedStore); ok {
-			// Multi-backend far tier: pointer-chasing structures pin to
-			// one shard (compiler-batched prefetches stay single-backend),
-			// flat pools stripe across all of them.
+		if ss, ok := cfg.Store.(interface {
+			SetPolicy(ds int, p shardmap.Policy)
+		}); ok {
+			// Multi-backend far tier (sharded or replicated):
+			// pointer-chasing structures pin to one shard / replica group
+			// (compiler-batched prefetches stay single-backend), flat
+			// pools stripe across all of them.
 			ss.SetPolicy(info.DS.ID, shardmap.PolicyFor(meta.Recursive, meta.Pattern == farmem.PatternPointerChase))
 		}
 		if !cfg.DisablePrefetch {

@@ -52,6 +52,26 @@ type Recoverable interface {
 	RecoveryEpoch() uint64
 }
 
+// DrainScoper is the optional drain-scoping surface of a Recoverable
+// store. Without it, a recovery-epoch advance drains every dirty
+// object and parked write-back in the cache — including objects owned
+// by slices that never failed, and fail-fast attempts against slices
+// still down. With it, the runtime asks per object:
+//
+//   - ShouldDrain: did the slice owning (ds, idx) recover after
+//     sinceEpoch (and is it serving again)? Only then is the object's
+//     write-back reissued on this epoch advance.
+//   - Stranded: is the owning slice still refusing writes? Such
+//     objects stay pinned (degradedDirty stays armed) for a future
+//     epoch; objects on healthy slices that never failed are neither
+//     drained nor counted as stranded.
+//
+// Detected by type assertion.
+type DrainScoper interface {
+	ShouldDrain(ds, idx int, sinceEpoch uint64) bool
+	Stranded(ds, idx int) bool
+}
+
 // BreakerState enumerates the circuit-breaker states.
 type BreakerState int32
 
@@ -276,6 +296,7 @@ func (r *Runtime) maybeDrainShards() {
 	if ep == r.lastRecoveryEpoch {
 		return
 	}
+	prev := r.lastRecoveryEpoch
 	r.lastRecoveryEpoch = ep
 	if !r.degradedDirty {
 		return
@@ -283,11 +304,22 @@ func (r *Runtime) maybeDrainShards() {
 	r.draining = true
 	defer func() { r.draining = false }()
 	r.emit(EvBreakerRecover, -1, 0, false)
+	// With a DrainScoper the drain touches only objects whose owning
+	// slice recovered in (prev, ep]; objects on slices still down stay
+	// pinned without a wasted fail-fast write, and objects on healthy
+	// slices that were never stranded are not re-written at all.
+	scope := r.drainScoper
 	remain := false
 	for _, d := range r.dss {
 		for idx := range d.objs {
 			obj := &d.objs[idx]
 			if obj.state != objLocal || !obj.dirty {
+				continue
+			}
+			if scope != nil && !scope.ShouldDrain(d.ID, idx, prev) {
+				if scope.Stranded(d.ID, idx) {
+					remain = true
+				}
 				continue
 			}
 			if err := r.storeWrite(d, idx, r.arena.Bytes(obj.frame, d.Meta.ObjSize)); err != nil {
@@ -301,8 +333,8 @@ func (r *Runtime) maybeDrainShards() {
 		}
 	}
 	// Parked staged write-backs stranded by the same shard outage drain
-	// through the identical fail-fast path.
-	if r.drainParkedWB() {
+	// through the identical fail-fast path, under the same scope.
+	if r.drainParkedWBScoped(prev) {
 		remain = true
 	}
 	r.degradedDirty = remain

@@ -1,0 +1,240 @@
+package farmem
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// scopedFake models a three-shard store (idx%3) implementing
+// Recoverable + DrainScoper, with per-shard degradation toggles and
+// per-shard write counters, so the tests can prove a recovery-epoch
+// drain touches only the recovering shard's objects.
+type scopedFake struct {
+	inner    *MapStore
+	degraded [3]bool
+	epoch    uint64
+	lastRec  [3]uint64
+
+	writes      [3]int
+	degradedOps int
+}
+
+func (s *scopedFake) shardOf(idx int) int { return idx % 3 }
+
+func (s *scopedFake) gate(idx int) error {
+	if s.degraded[s.shardOf(idx)] {
+		s.degradedOps++
+		return fmt.Errorf("shard %d: %w", s.shardOf(idx), ErrDegraded)
+	}
+	return nil
+}
+
+func (s *scopedFake) ReadObj(ds, idx int, dst []byte) error {
+	if err := s.gate(idx); err != nil {
+		return err
+	}
+	return s.inner.ReadObj(ds, idx, dst)
+}
+
+func (s *scopedFake) WriteObj(ds, idx int, src []byte) error {
+	if err := s.gate(idx); err != nil {
+		return err
+	}
+	s.writes[s.shardOf(idx)]++
+	return s.inner.WriteObj(ds, idx, src)
+}
+
+func (s *scopedFake) IssueWrite(ds, idx int, src []byte, done func(error)) {
+	done(s.WriteObj(ds, idx, src))
+}
+
+func (s *scopedFake) down(i int) { s.degraded[i] = true }
+
+func (s *scopedFake) recover(i int) {
+	s.degraded[i] = false
+	s.epoch++
+	s.lastRec[i] = s.epoch
+}
+
+func (s *scopedFake) RecoveryEpoch() uint64 { return s.epoch }
+
+func (s *scopedFake) ShouldDrain(ds, idx int, since uint64) bool {
+	i := s.shardOf(idx)
+	return s.lastRec[i] > since && !s.degraded[i]
+}
+
+func (s *scopedFake) Stranded(ds, idx int) bool {
+	return s.degraded[s.shardOf(idx)]
+}
+
+// TestScopedDrainTouchesOnlyRecoveredShard is the regression test for
+// the over-broad epoch drain: with shards 1 and 2 down and parked
+// write-backs on both, recovering shard 1 must drain shard-1 objects
+// only — no fail-fast attempts against still-down shard 2, and no
+// rewrite of a merely-dirty resident owned by never-failed shard 0.
+func TestScopedDrainTouchesOnlyRecoveredShard(t *testing.T) {
+	store := &scopedFake{inner: NewMapStore()}
+	const objSize = 4096
+	r := New(Config{
+		PinnedBudget:    1 << 20,
+		RemotableBudget: 4 * objSize,
+		// Room to stage all four stranded objects' parked write-backs.
+		WriteBackBudget: 8 * objSize,
+		Store:           store,
+	})
+	defer r.Close()
+	if _, err := r.RegisterDS(0, DSMeta{Name: "a", ObjSize: objSize, ElemSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetPlacement(0, PlaceRemotable); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := r.DSAlloc(0, 16*objSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed a shard-0 object the store will hold at a known value, so we
+	// can later prove the scoped drain did not rewrite it.
+	writeObj(t, r, addr, 3, 303)
+
+	// Dirty two objects on shard 1 (idx 1, 4) and two on shard 2
+	// (idx 2, 5), then take both shards down: their write-backs now
+	// have nowhere to go and park on eviction.
+	for _, idx := range []int{1, 4, 2, 5} {
+		writeObj(t, r, addr, idx, uint64(100+idx))
+	}
+	store.down(1)
+	store.down(2)
+
+	// One write round then read rounds over shard-0 objects: the reads
+	// churn frames past the 4-object budget, evicting the stranded
+	// dirty objects (their staged write-backs park) while leaving only
+	// clean shard-0 residents behind.
+	for idx := 0; idx < 16; idx += 3 {
+		writeObj(t, r, addr, idx, uint64(1000+idx))
+	}
+	for round := 0; round < 3; round++ {
+		for idx := 0; idx < 16; idx += 3 {
+			if _, err := readObj(t, r, addr, idx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if parked := r.StagedWriteBackEntries(); parked < 4 {
+		t.Fatalf("%d write-backs parked, want the 4 stranded objects", parked)
+	}
+	// Re-dirty the shard-0 object in place (a cache hit — the store
+	// keeps 1003): if the drain wrongly touched healthy shards, the
+	// store would now see 2003.
+	writeObj(t, r, addr, 3, 2003)
+
+	preW2, preDeg := store.writes[2], store.degradedOps
+
+	// Recover shard 1 only; the next successful store op (idx 0 was
+	// evicted by the read churn, so this read misses to shard 0)
+	// triggers the epoch drain.
+	store.recover(1)
+	if _, err := readObj(t, r, addr, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard-1 values drained to the store.
+	buf := make([]byte, 8)
+	for _, idx := range []int{1, 4} {
+		if err := store.inner.ReadObj(0, idx, buf); err != nil {
+			t.Fatalf("shard-1 obj %d not drained: %v", idx, err)
+		}
+		if got := uint64(buf[0]) | uint64(buf[1])<<8; got != uint64(100+idx) {
+			t.Fatalf("shard-1 obj %d drained %d, want %d", idx, got, 100+idx)
+		}
+	}
+	// No fail-fast attempt against still-down shard 2.
+	if store.degradedOps != preDeg {
+		t.Fatalf("drain issued %d fail-fast ops against a still-down shard", store.degradedOps-preDeg)
+	}
+	if store.writes[2] != preW2 {
+		t.Fatal("drain wrote to a still-down shard")
+	}
+	// The healthy shard-0 dirty resident was not rewritten: the store
+	// still holds the pre-dirty value.
+	if err := store.inner.ReadObj(0, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := uint64(buf[0]) | uint64(buf[1])<<8; got == 2003 {
+		t.Fatal("drain rewrote a healthy-shard dirty resident")
+	}
+
+	// Recovering shard 2 drains the rest (the explicit barrier reissues
+	// whatever the next epoch drain has not already picked up).
+	store.recover(2)
+	if err := r.DrainWriteBacks(); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{2, 5} {
+		if err := store.inner.ReadObj(0, idx, buf); err != nil {
+			t.Fatalf("shard-2 obj %d not drained after recovery: %v", idx, err)
+		}
+		if got := uint64(buf[0]) | uint64(buf[1])<<8; got != uint64(100+idx) {
+			t.Fatalf("shard-2 obj %d drained %d, want %d", idx, got, 100+idx)
+		}
+	}
+	if r.StagedWriteBackEntries() != 0 {
+		t.Fatalf("%d write-backs still parked after full recovery", r.StagedWriteBackEntries())
+	}
+}
+
+// TestScopedDrainKeepsStrandedArmed proves degradedDirty survives a
+// partial recovery: after draining shard 1, the runtime must still
+// drain shard 2's objects on shard 2's own later epoch (a lost arm
+// here would leave them parked forever).
+func TestScopedDrainKeepsStrandedArmed(t *testing.T) {
+	store := &scopedFake{inner: NewMapStore()}
+	const objSize = 4096
+	r := New(Config{
+		PinnedBudget:    1 << 20,
+		RemotableBudget: 4 * objSize,
+		Store:           store,
+	})
+	defer r.Close()
+	if _, err := r.RegisterDS(0, DSMeta{Name: "a", ObjSize: objSize, ElemSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetPlacement(0, PlaceRemotable); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := r.DSAlloc(0, 16*objSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writeObj(t, r, addr, 2, 42) // shard 2
+	store.down(1)
+	store.down(2)
+	for round := 0; round < 4; round++ {
+		for idx := 0; idx < 16; idx += 3 {
+			writeObj(t, r, addr, idx, uint64(idx))
+		}
+	}
+	// Shard 1 recovers with nothing of its own stranded; shard 2's
+	// object must remain armed, then drain on shard 2's epoch.
+	store.recover(1)
+	if _, err := readObj(t, r, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	store.recover(2)
+	if _, err := readObj(t, r, addr, 5); err != nil && !errors.Is(err, ErrDegraded) {
+		t.Fatal(err)
+	}
+	if err := r.DrainWriteBacks(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if err := store.inner.ReadObj(0, 2, buf); err != nil {
+		t.Fatalf("shard-2 obj never drained: %v", err)
+	}
+	if got := uint64(buf[0]) | uint64(buf[1])<<8; got != 42 {
+		t.Fatalf("shard-2 obj drained %d, want 42", got)
+	}
+}

@@ -410,6 +410,7 @@ type Runtime struct {
 	// work to drain. draining guards maybeDrainShards against reentry
 	// (its write-backs run through storeOp themselves).
 	recoverable       Recoverable
+	drainScoper       DrainScoper
 	lastRecoveryEpoch uint64
 	degradedDirty     bool
 	draining          bool
@@ -475,6 +476,9 @@ func New(cfg Config) *Runtime {
 	if rec, ok := store.(Recoverable); ok {
 		r.recoverable = rec
 		r.lastRecoveryEpoch = rec.RecoveryEpoch()
+		if sc, ok := store.(DrainScoper); ok {
+			r.drainScoper = sc
+		}
 	}
 	r.defaultMaxInflight = mi
 	// The ceiling caps degraded-mode budget growth. It applies both to

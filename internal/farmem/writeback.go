@@ -288,6 +288,18 @@ func (r *Runtime) derefFromStaging(d *DS, idx int) (bool, error) {
 // recovery epoch says their shards may be back). Returns true when some
 // entries are still refused and remain parked.
 func (r *Runtime) drainParkedWB() (remain bool) {
+	return r.drainParked(nil, 0)
+}
+
+// drainParkedWBScoped is drainParkedWB restricted by the store's
+// DrainScoper (when it has one): only entries whose owning slice
+// recovered after sinceEpoch are reissued; the rest stay parked
+// without a fail-fast attempt.
+func (r *Runtime) drainParkedWBScoped(sinceEpoch uint64) (remain bool) {
+	return r.drainParked(r.drainScoper, sinceEpoch)
+}
+
+func (r *Runtime) drainParked(scope DrainScoper, sinceEpoch uint64) (remain bool) {
 	if r.wbBusy {
 		// An order-list scan is active above us; leave its list alone and
 		// report work remaining so degradedDirty stays armed.
@@ -301,6 +313,13 @@ func (r *Runtime) drainParkedWB() (remain bool) {
 			continue
 		}
 		if !p.parked {
+			kept = append(kept, p)
+			continue
+		}
+		if scope != nil && !scope.ShouldDrain(p.d.ID, p.idx, sinceEpoch) {
+			// Parked entries are stranded by definition; keep this one
+			// armed for a future recovery epoch.
+			remain = true
 			kept = append(kept, p)
 			continue
 		}

@@ -35,6 +35,10 @@ type SlowOp struct {
 	// op was retried/replayed across reconnects before completing.
 	Attempts int  `json:"attempts"`
 	Sampled  bool `json:"sampled"` // also head-sampled into the ring
+	// Failover marks an op the replica layer completed on a backend
+	// other than the one it first tried (Shard names the backend that
+	// finally served it; Attempts counts the replicas tried).
+	Failover bool `json:"failover,omitempty"`
 
 	StartUS         uint64 `json:"start_us"` // client epoch µs at enqueue
 	TotalUS         uint64 `json:"total_us"`

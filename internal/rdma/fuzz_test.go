@@ -59,6 +59,24 @@ func FuzzFrameDecode(f *testing.F) {
 	if db, err := EncodeDataBatch(7, [][]byte{[]byte("aaaa"), []byte("bb"), nil}); err == nil {
 		seeds = append(seeds, db)
 	}
+	// Epoch-stamped verbs (the FeatEpoch extension): write tuples with
+	// the u64 stamp spliced in, the READBATCH-shaped request under its
+	// own opcode, and the stamped scatter-gather reply — including a
+	// zero-epoch (absent object) segment and an empty payload.
+	seeds = append(seeds, EncodeReadEpochBatch(13, []ReadReq{{DS: 2, Idx: 7, Size: 16}, {DS: 2, Idx: 8, Size: 0}}))
+	if wb, err := EncodeWriteEpochBatch(14, []WriteEpochReq{
+		{DS: 1, Idx: 2, Epoch: 1, Data: []byte("epoch one")},
+		{DS: 1, Idx: 3, Epoch: 1<<63 + 42, Data: nil},
+		{DS: 3, Idx: 0, Epoch: 7, Data: bytes.Repeat([]byte{0xC3}, 48)},
+	}); err == nil {
+		seeds = append(seeds, wb)
+	}
+	if db, err := EncodeDataEpochBatch(15, []EpochSeg{
+		{Epoch: 9, Data: []byte("stamped")},
+		{Epoch: 0, Data: nil},
+	}); err == nil {
+		seeds = append(seeds, db)
+	}
 	for _, fr := range seeds {
 		f.Add(frameBytes(f, fr, false))
 		f.Add(frameBytes(f, fr, true))
@@ -160,6 +178,32 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 				if !bytes.Equal(re.Payload, fr.Payload) {
 					t.Fatalf("WRITEBATCH re-encode mismatch")
+				}
+			}
+		case OpWriteEpochBatch:
+			if reqs, err := DecodeWriteEpochBatch(fr.Payload); err == nil {
+				re, err := EncodeWriteEpochBatch(fr.Tag, reqs)
+				if err != nil {
+					t.Fatalf("WRITEEPOCHBATCH re-encode: %v", err)
+				}
+				if !bytes.Equal(re.Payload, fr.Payload) {
+					t.Fatalf("WRITEEPOCHBATCH re-encode mismatch")
+				}
+			}
+		case OpReadEpochBatch:
+			if reqs, err := DecodeReadEpochBatch(fr.Payload); err == nil {
+				if re := EncodeReadEpochBatch(fr.Tag, reqs); !bytes.Equal(re.Payload, fr.Payload) {
+					t.Fatalf("READEPOCHBATCH re-encode mismatch")
+				}
+			}
+		case OpDataEpochBatch:
+			if segs, err := DecodeDataEpochBatch(fr.Payload); err == nil {
+				re, err := EncodeDataEpochBatch(fr.Tag, segs)
+				if err != nil {
+					t.Fatalf("DATAEPOCHBATCH re-encode: %v", err)
+				}
+				if !bytes.Equal(re.Payload, fr.Payload) {
+					t.Fatalf("DATAEPOCHBATCH re-encode mismatch")
 				}
 			}
 		case OpAckBatch:

@@ -85,6 +85,15 @@ const (
 	// OpAckBatch acknowledges a WRITEBATCH; its payload echoes the
 	// number of writes applied so the client can detect a torn batch.
 	OpAckBatch Op = TagBit | 0x07
+	// OpWriteEpochBatch is WRITEBATCH with a u64 epoch stamp per tuple
+	// (the replication extension — see epoch.go). Acked by OpAckBatch.
+	OpWriteEpochBatch Op = TagBit | 0x08
+	// OpReadEpochBatch is READBATCH whose reply carries each object's
+	// stored epoch; answered by OpDataEpochBatch.
+	OpReadEpochBatch Op = TagBit | 0x09
+	// OpDataEpochBatch is the epoch-stamped scatter-gather reply to
+	// OpReadEpochBatch.
+	OpDataEpochBatch Op = TagBit | 0x0A
 )
 
 // Tagged reports whether frames with this opcode carry a u32 tag.
@@ -118,6 +127,12 @@ func (o Op) String() string {
 		return "WRITEBATCH"
 	case OpAckBatch:
 		return "ACKBATCH"
+	case OpWriteEpochBatch:
+		return "WRITEEPOCHBATCH"
+	case OpReadEpochBatch:
+		return "READEPOCHBATCH"
+	case OpDataEpochBatch:
+		return "DATAEPOCHBATCH"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -300,6 +315,12 @@ const (
 	// one WRITETAG frame per write — same wire bytes a legacy peer has
 	// always seen.
 	FeatWriteBatch uint32 = 1 << 2
+	// FeatEpoch: the peer understands the epoch-stamped verbs
+	// (WRITEEPOCHBATCH/READEPOCHBATCH/DATAEPOCHBATCH) that the
+	// replication layer uses to version whole-object images. Sessions
+	// without the bit never see an epoch frame, so legacy peers stay
+	// byte-identical. (FeatTrace = 1<<3 lives in trace.go.)
+	FeatEpoch uint32 = 1 << 4
 )
 
 // EncodeFeatures packs a feature word into a PING/OK payload.

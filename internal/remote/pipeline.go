@@ -106,10 +106,13 @@ func (o PipelineOpts) withDefaults() PipelineOpts {
 // exactly once: through done when set (async reads), else through ch.
 type pipeOp struct {
 	write         bool
+	wantEp        bool // ride the epoch-stamped verbs (FeatEpoch sessions)
 	ds, idx, size uint32
+	epoch         uint64 // write: stamp to apply; read: stamp received
 	dst           []byte // read destination
 	data          []byte // write payload (valid until completion)
 	done          func(error)
+	edone         func(uint64, error) // epoch-read completion (exclusive with done/ch)
 	ch            chan error
 	start         time.Time       // set when metrics or tracing are attached
 	sentAt        time.Time       // doorbell time (tracing sessions only)
@@ -118,6 +121,10 @@ type pipeOp struct {
 }
 
 func (op *pipeOp) complete(err error) {
+	if op.edone != nil {
+		op.edone(op.epoch, err)
+		return
+	}
 	if op.done != nil {
 		op.done(err)
 		return
@@ -160,6 +167,7 @@ type PipelinedClient struct {
 	bw           *bufio.Writer      // doorbell buffer for conn
 	crc          bool               // session uses checksummed framing
 	wbatch       bool               // peer speaks WRITEBATCH/ACKBATCH
+	epochOK      bool               // peer speaks the epoch-stamped verbs
 	trace        bool               // session carries the trace extension
 	gen          uint64             // connection generation
 	reconnecting bool               // a reconnect is in progress
@@ -234,7 +242,7 @@ func negotiateCRC(conn io.ReadWriteCloser, d time.Duration) (bool, error) {
 // returns a running pipelined client. Returns ErrNoPipelining (with conn
 // still usable for a serial Client) when the peer is a legacy server.
 func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient, error) {
-	req := rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch
+	req := rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatEpoch
 	if opts.Trace != nil {
 		req |= rdma.FeatTrace
 	}
@@ -251,6 +259,7 @@ func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient,
 		bw:       bufio.NewWriterSize(conn, 64<<10),
 		crc:      feats&rdma.FeatCRC != 0,
 		wbatch:   feats&rdma.FeatWriteBatch != 0,
+		epochOK:  feats&rdma.FeatEpoch != 0,
 		trace:    opts.Trace != nil && feats&rdma.FeatTrace != 0,
 		opts:     opts.withDefaults(),
 		lastWire: time.Now(),
@@ -647,6 +656,7 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 		c.bw = bufio.NewWriterSize(nc, 64<<10)
 		c.crc = feats&rdma.FeatCRC != 0
 		c.wbatch = feats&rdma.FeatWriteBatch != 0
+		c.epochOK = feats&rdma.FeatEpoch != 0
 		c.trace = c.hub != nil && feats&rdma.FeatTrace != 0
 		c.gen++
 		c.reconnecting = false
@@ -713,9 +723,11 @@ func (c *PipelinedClient) flushable() bool {
 // rdma buffer pool and return to it once written.
 func (c *PipelinedClient) flushLoop() {
 	defer c.wg.Done()
-	var reqs []rdma.ReadReq   // scratch, reused across wakeups
-	var wreqs []rdma.WriteReq // scratch, reused across wakeups
-	var frames []rdma.Frame   // scratch, reused across wakeups
+	var reqs []rdma.ReadReq        // scratch, reused across wakeups
+	var wreqs []rdma.WriteReq      // scratch, reused across wakeups
+	var ereqs []rdma.WriteEpochReq // scratch, reused across wakeups
+	var frames []rdma.Frame        // scratch, reused across wakeups
+	var doomed []*pipeOp           // epoch ops against a non-epoch peer
 	for {
 		c.mu.Lock()
 		for c.err == nil && (c.reconnecting || !c.flushable()) {
@@ -734,25 +746,49 @@ func (c *PipelinedClient) flushLoop() {
 			now = time.Now() // doorbell timestamp shared by this wakeup's ops
 		}
 		frames = frames[:0]
+		doomed = doomed[:0]
 		space := c.opts.Window - c.inflight
 		for space > 0 && len(c.queue) > 0 {
-			// Coalesce the run of reads at the head of the queue.
+			// Coalesce the run of reads at the head of the queue. Epoch
+			// reads ride their own frames (the reply shape differs), so a
+			// batch never mixes the two kinds.
 			reqs = reqs[:0]
 			var ops []*pipeOp
 			replySize := 4
 			for space > 0 && len(c.queue) > 0 && len(ops) < c.opts.MaxBatch {
 				op := c.queue[0]
-				if len(ops) > 0 && replySize+4+int(op.size) > rdma.MaxFrame {
+				if op.wantEp && !c.epochOK {
+					// The session never negotiated the epoch verbs (a legacy
+					// peer, possibly after a reconnect): fail definitively
+					// rather than send a frame the peer cannot parse.
+					doomed = append(doomed, op)
+					c.queue = c.queue[1:]
+					continue
+				}
+				segHdr := 4
+				if op.wantEp {
+					segHdr = epochRespHdrSize
+				}
+				if len(ops) > 0 && (op.wantEp != ops[0].wantEp ||
+					replySize+segHdr+int(op.size) > rdma.MaxFrame) {
 					break
 				}
-				replySize += 4 + int(op.size)
+				replySize += segHdr + int(op.size)
 				reqs = append(reqs, rdma.ReadReq{DS: op.ds, Idx: op.idx, Size: op.size})
 				ops = append(ops, op)
 				c.queue = c.queue[1:]
 				space--
 			}
+			if len(ops) == 0 {
+				continue // everything inspected was doomed
+			}
 			tag := c.tagFor(ops, false)
-			f := rdma.EncodeReadBatchPooled(tag, reqs)
+			var f rdma.Frame
+			if ops[0].wantEp {
+				f = rdma.EncodeReadEpochBatchPooled(tag, reqs)
+			} else {
+				f = rdma.EncodeReadBatchPooled(tag, reqs)
+			}
 			if trace {
 				stampTraceFrame(&f, ops, now)
 			}
@@ -768,10 +804,15 @@ func (c *PipelinedClient) flushLoop() {
 		for wspace > 0 && len(c.wqueue) > 0 {
 			if !c.wbatch {
 				// Legacy peer: one WRITETAG frame per write — byte-identical
-				// to what such a peer has always received.
+				// to what such a peer has always received. Such a peer has no
+				// epoch verbs either, so epoch writes fail definitively.
 				op := c.wqueue[0]
 				c.wqueue = c.wqueue[1:]
 				wspace--
+				if op.wantEp {
+					doomed = append(doomed, op)
+					continue
+				}
 				ops := []*pipeOp{op}
 				tag := c.tagFor(ops, true)
 				f := rdma.Frame{
@@ -784,24 +825,48 @@ func (c *PipelinedClient) flushLoop() {
 				frames = append(frames, f)
 				continue
 			}
-			// Coalesce writes into one WRITEBATCH, bounded by MaxBatch and
-			// the frame limit.
+			// Coalesce writes into one WRITEBATCH (or WRITEEPOCHBATCH —
+			// never mixed), bounded by MaxBatch and the frame limit.
 			wreqs = wreqs[:0]
+			ereqs = ereqs[:0]
 			var ops []*pipeOp
 			frameSize := 4
 			for wspace > 0 && len(c.wqueue) > 0 && len(ops) < c.opts.MaxBatch {
 				op := c.wqueue[0]
-				if len(ops) > 0 && frameSize+12+len(op.data) > rdma.MaxFrame {
+				if op.wantEp && !c.epochOK {
+					doomed = append(doomed, op)
+					c.wqueue = c.wqueue[1:]
+					continue
+				}
+				tupleHdr := 12
+				if op.wantEp {
+					tupleHdr = epochTupleHdrSize
+				}
+				if len(ops) > 0 && (op.wantEp != ops[0].wantEp ||
+					frameSize+tupleHdr+len(op.data) > rdma.MaxFrame) {
 					break
 				}
-				frameSize += 12 + len(op.data)
-				wreqs = append(wreqs, rdma.WriteReq{DS: op.ds, Idx: op.idx, Data: op.data})
+				frameSize += tupleHdr + len(op.data)
+				if op.wantEp {
+					ereqs = append(ereqs, rdma.WriteEpochReq{DS: op.ds, Idx: op.idx, Epoch: op.epoch, Data: op.data})
+				} else {
+					wreqs = append(wreqs, rdma.WriteReq{DS: op.ds, Idx: op.idx, Data: op.data})
+				}
 				ops = append(ops, op)
 				c.wqueue = c.wqueue[1:]
 				wspace--
 			}
+			if len(ops) == 0 {
+				continue // everything inspected was doomed
+			}
 			tag := c.tagFor(ops, true)
-			f, err := rdma.EncodeWriteBatchPooled(tag, wreqs)
+			var f rdma.Frame
+			var err error
+			if ops[0].wantEp {
+				f, err = rdma.EncodeWriteEpochBatchPooled(tag, ereqs)
+			} else {
+				f, err = rdma.EncodeWriteBatchPooled(tag, wreqs)
+			}
 			if err != nil {
 				// Unreachable by construction (the loop bounds frameSize);
 				// fail loudly rather than drop writes on the floor.
@@ -825,6 +890,10 @@ func (c *PipelinedClient) flushLoop() {
 			m.inflightWrites.Set(int64(c.inflightW))
 		}
 		c.mu.Unlock()
+
+		for _, op := range doomed {
+			op.complete(ErrEpochUnsupported)
+		}
 
 		writeFrame := rdma.WriteFrame
 		if crc {
@@ -906,7 +975,8 @@ func (c *PipelinedClient) tagFor(ops []*pipeOp, write bool) uint32 {
 // contents are copied out or formatted into an error.
 func (c *PipelinedClient) readLoop() {
 	defer c.wg.Done()
-	var segs [][]byte // scratch, reused across frames
+	var segs [][]byte         // scratch, reused across frames
+	var esegs []rdma.EpochSeg // scratch, reused across frames
 	for {
 		c.mu.Lock()
 		for c.err == nil && c.reconnecting {
@@ -987,6 +1057,27 @@ func (c *PipelinedClient) readLoop() {
 			}
 			for i, op := range ops {
 				copy(op.dst, segs[i])
+				c.finishOp(op, stamped, sQueueUS, sServiceUS)
+				op.complete(nil)
+			}
+			rdma.PutBuf(f.Payload)
+		case rdma.OpDataEpochBatch:
+			var derr error
+			esegs, derr = rdma.DecodeDataEpochBatchInto(f.Payload, esegs)
+			if derr == nil && len(esegs) != len(ops) {
+				derr = fmt.Errorf("remote: DATAEPOCHBATCH has %d segments, want %d", len(esegs), len(ops))
+			}
+			if derr != nil {
+				// Framing is untrustworthy past this point: replay these
+				// reads on a fresh connection.
+				rdma.PutBuf(f.Payload)
+				c.requeueOps(ops, derr)
+				c.connFail(gen, derr)
+				continue
+			}
+			for i, op := range ops {
+				copy(op.dst, esegs[i].Data)
+				op.epoch = esegs[i].Epoch
 				c.finishOp(op, stamped, sQueueUS, sServiceUS)
 				op.complete(nil)
 			}

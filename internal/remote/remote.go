@@ -27,15 +27,21 @@ import (
 	"cards/internal/rdma"
 )
 
-// ObjectStore is the server-side keyed object storage.
+// ObjectStore is the server-side keyed object storage. Every object
+// optionally carries a u64 epoch stamp (the FeatEpoch replication
+// extension): epoch-stamped writes apply conditionally so a resync
+// replaying stale images can never clobber a newer write, and
+// epoch-stamped reads report the stored stamp so a client can tell a
+// current image from a stale backup.
 type ObjectStore struct {
 	mu sync.RWMutex
 	m  map[[2]uint32][]byte
+	ep map[[2]uint32]uint64
 }
 
 // NewObjectStore creates an empty store.
 func NewObjectStore() *ObjectStore {
-	return &ObjectStore{m: make(map[[2]uint32][]byte)}
+	return &ObjectStore{m: make(map[[2]uint32][]byte), ep: make(map[[2]uint32]uint64)}
 }
 
 // Read copies the object into a fresh buffer of the requested size
@@ -65,6 +71,62 @@ func (s *ObjectStore) Write(ds, idx uint32, data []byte) {
 	s.mu.Lock()
 	s.m[[2]uint32{ds, idx}] = cp
 	s.mu.Unlock()
+}
+
+// WriteEpoch stores a copy of data stamped with epoch iff epoch is at
+// least the stored stamp, and reports whether it applied. Equal epochs
+// apply (write-back reissues after an uncertain ack carry the same
+// stamp and must land); older epochs are stale resync images and are
+// dropped. The compare-and-store is atomic under the store lock, so a
+// live write and a concurrent anti-entropy replay serialize correctly
+// whichever order they arrive.
+func (s *ObjectStore) WriteEpoch(ds, idx uint32, epoch uint64, data []byte) bool {
+	k := [2]uint32{ds, idx}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch < s.ep[k] {
+		return false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.m[k] = cp
+	s.ep[k] = epoch
+	return true
+}
+
+// ReadEpochInto is ReadInto returning the object's stored epoch stamp
+// (0 when absent or never epoch-stamped). The copy and the stamp read
+// happen under one lock acquisition so the pair is a consistent
+// snapshot.
+func (s *ObjectStore) ReadEpochInto(ds, idx uint32, dst []byte) uint64 {
+	k := [2]uint32{ds, idx}
+	s.mu.RLock()
+	n := copy(dst, s.m[k])
+	epoch := s.ep[k]
+	s.mu.RUnlock()
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return epoch
+}
+
+// Epoch returns the stored epoch stamp for an object (0 when absent).
+func (s *ObjectStore) Epoch(ds, idx uint32) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ep[[2]uint32{ds, idx}]
+}
+
+// Keys returns every stored object key — test and resync-verification
+// support.
+func (s *ObjectStore) Keys() [][2]uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([][2]uint32, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	return keys
 }
 
 // Len returns the number of stored objects.
@@ -107,10 +169,11 @@ const DefaultBatchWorkers = 4
 
 // ServerFeatures is the feature word the server answers to a feature
 // PING: this server speaks the tagged/batch extension (reads and
-// writes), can switch the session to checksummed frames, and can carry
+// writes), can switch the session to checksummed frames, can carry
 // the trace extension (span context in, server timestamps out) on every
-// tagged frame.
-const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatTrace
+// tagged frame, and serves the epoch-stamped verbs the replication
+// layer uses.
+const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatTrace | rdma.FeatEpoch
 
 // NewServer creates a server with an empty store and a private metric
 // registry.
@@ -259,11 +322,17 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 			// payloads come from the frame buffer pool).
 			var rscratch []rdma.ReadReq
 			var wscratch []rdma.WriteReq
+			var escratch []rdma.WriteEpochReq
 			for j := range jobs {
 				trace := traceOut.Load()
-				if j.f.Op == rdma.OpWriteBatch {
+				switch j.f.Op {
+				case rdma.OpWriteBatch:
 					wscratch = s.serveWriteBatch(j, connID, send, trace, wscratch)
-				} else {
+				case rdma.OpWriteEpochBatch:
+					escratch = s.serveWriteEpochBatch(j, connID, send, trace, escratch)
+				case rdma.OpReadEpochBatch:
+					rscratch = s.serveReadEpochBatch(j, connID, send, trace, rscratch)
+				default:
 					rscratch = s.serveBatch(j, connID, send, trace, rscratch)
 				}
 				rdma.PutBuf(j.f.Payload)
@@ -280,7 +349,8 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 			return
 		}
 		s.metrics.bytesIn.Add(f.WireSize())
-		if f.Op == rdma.OpReadBatch || f.Op == rdma.OpWriteBatch {
+		if f.Op == rdma.OpReadBatch || f.Op == rdma.OpWriteBatch ||
+			f.Op == rdma.OpReadEpochBatch || f.Op == rdma.OpWriteEpochBatch {
 			s.metrics.inflight.Add(1)
 			jobs <- batchJob{f: f, recv: time.Now()} // reply sent by a worker, possibly out of order
 			continue

@@ -68,7 +68,27 @@ func (r *Resilient) retire(c StoreConn) {
 		r.cur = nil
 	}
 	r.mu.Unlock()
-	c.Close()
+	// The client has already failed permanently: its connection is closed
+	// and its loops are exiting, so Close only waits for them. That wait
+	// must not run inline — retire is reached from async completion
+	// callbacks that fail() invokes on the dying client's own reader
+	// goroutine, where a synchronous Close would wait on itself.
+	go c.Close()
+}
+
+// retireFallback drops a serial fallback client because the caller
+// needs the epoch verbs only a pipelined session carries. The serial
+// fallback exists for legacy peers, but it is also where a garbled
+// feature handshake lands against a fully capable server — a state a
+// redial fixes and staying put never does. The epoch caller's retry
+// (after ErrEpochUnsupported) then renegotiates on a fresh connection.
+func (r *Resilient) retireFallback(c StoreConn) {
+	r.mu.Lock()
+	if r.cur == c {
+		r.cur = nil
+	}
+	r.mu.Unlock()
+	go c.Close()
 }
 
 func (r *Resilient) do(op func(StoreConn) error) error {

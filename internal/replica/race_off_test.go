@@ -1,0 +1,8 @@
+//go:build !race
+
+package replica
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// guards skip under it (instrumentation defeats escape analysis, so
+// closures that live on the stack in normal builds get heap-counted).
+const raceEnabled = false

@@ -43,22 +43,24 @@ type Options struct {
 	Obs *obs.Registry
 }
 
-// shard is one backend plus its private fault domain: breaker state,
-// probe bookkeeping and metric series. The breaker mirrors the farmem
-// one (closed / open / half-open) but at shard scope — one dead backend
-// degrades exactly the keys it owns.
+// shard is one backend plus its private fault domain (a Domain — the
+// breaker/probe state machine shared with the replica layer) and metric
+// series. One dead backend degrades exactly the keys it owns.
 type shard struct {
 	store   farmem.Store
 	astore  farmem.AsyncStore      // non-nil iff the backend supports IssueRead
 	awstore farmem.AsyncWriteStore // non-nil iff the backend supports IssueWrite
 	pinger  farmem.Pinger          // non-nil iff the backend supports Ping
 
-	mu       sync.Mutex
-	state    farmem.BreakerState
-	consec   int
-	openedAt time.Time
-	probing  bool
-	objects  map[uint64]struct{} // keys ever written, for the objects gauge
+	dom Domain
+
+	// lastRecovery is the RecoveryEpoch value stamped when this shard
+	// last recovered — the drain-scoping cue that lets the runtime drain
+	// only the recovering shard's stranded write-backs.
+	lastRecovery atomic.Uint64
+
+	mu      sync.Mutex
+	objects map[uint64]struct{} // keys ever written, for the objects gauge
 
 	reads, writes, bytesIn, bytesOut *stats.Counter
 	failures, degraded               *stats.Counter
@@ -66,66 +68,11 @@ type shard struct {
 	objGauge, stateGauge             *stats.Gauge
 }
 
-// gate reports whether an operation may proceed. While open it self-arms
-// half-open after ProbeEvery when the backend has no Ping method (the
-// prober handles pingable backends).
 func (s *shard) gate(probeEvery time.Duration) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.state != farmem.BreakerOpen {
-		return true
-	}
-	if s.pinger == nil && time.Since(s.openedAt) >= probeEvery {
-		s.state = farmem.BreakerHalfOpen
-		return true
-	}
-	return false
+	return s.dom.Gate(probeEvery, s.pinger != nil)
 }
 
-// onSuccess reports true when this success closed a half-open breaker.
-func (s *shard) onSuccess() (recovered bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.consec = 0
-	if s.state == farmem.BreakerClosed {
-		return false
-	}
-	s.state = farmem.BreakerClosed
-	return true
-}
-
-// onFailure reports true when this failure tripped the breaker open.
-func (s *shard) onFailure(threshold int) (tripped bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.consec++
-	switch s.state {
-	case farmem.BreakerHalfOpen:
-		s.state = farmem.BreakerOpen
-		s.openedAt = time.Now()
-	case farmem.BreakerClosed:
-		if threshold > 0 && s.consec >= threshold {
-			s.state = farmem.BreakerOpen
-			s.openedAt = time.Now()
-			return true
-		}
-	}
-	return false
-}
-
-func (s *shard) armHalfOpen() {
-	s.mu.Lock()
-	if s.state == farmem.BreakerOpen {
-		s.state = farmem.BreakerHalfOpen
-	}
-	s.mu.Unlock()
-}
-
-func (s *shard) breakerState() farmem.BreakerState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state
-}
+func (s *shard) breakerState() farmem.BreakerState { return s.dom.State() }
 
 // ShardedStore multiplexes farmem store traffic across N backends using
 // rendezvous placement (see Map). It implements farmem.Store,
@@ -258,8 +205,12 @@ func (ss *ShardedStore) degradedErr(i int) error {
 }
 
 func (ss *ShardedStore) ok(s *shard) {
-	if s.onSuccess() {
+	if s.dom.OnSuccess() {
 		s.recoveries.Inc()
+		// Stamp before publishing the epoch advance: when the runtime
+		// observes the new epoch, the recovered shard's stamp is already
+		// in place for ShouldDrain.
+		s.lastRecovery.Store(ss.recoveryEpoch.Load() + 1)
 		ss.recoveryEpoch.Add(1)
 	}
 	s.stateGauge.Set(int64(farmem.BreakerClosed))
@@ -267,10 +218,26 @@ func (ss *ShardedStore) ok(s *shard) {
 
 func (ss *ShardedStore) fail(s *shard) {
 	s.failures.Inc()
-	if s.onFailure(ss.opts.BreakerThreshold) {
+	if s.dom.OnFailure(ss.opts.BreakerThreshold) {
 		s.trips.Inc()
 	}
 	s.stateGauge.Set(int64(s.breakerState()))
+}
+
+// ShouldDrain implements farmem.DrainScoper: after observing a
+// recovery-epoch advance past sinceEpoch, the runtime drains only
+// objects whose owning shard recovered in that window and is serving
+// again — not every dirty object in the cache.
+func (ss *ShardedStore) ShouldDrain(ds, idx int, sinceEpoch uint64) bool {
+	s := ss.shards[ss.ShardOf(ds, idx)]
+	return s.lastRecovery.Load() > sinceEpoch && s.breakerState() == farmem.BreakerClosed
+}
+
+// Stranded implements farmem.DrainScoper: the owning shard is still
+// refusing traffic, so the object must stay pinned for a future
+// recovery epoch rather than be drained now.
+func (ss *ShardedStore) Stranded(ds, idx int) bool {
+	return ss.shards[ss.ShardOf(ds, idx)].breakerState() != farmem.BreakerClosed
 }
 
 // ReadObj implements farmem.Store, routing to the owning shard.
@@ -423,24 +390,16 @@ func (ss *ShardedStore) probeLoop() {
 			return
 		case <-t.C:
 			for _, s := range ss.shards {
-				s.mu.Lock()
-				skip := s.state != farmem.BreakerOpen || s.pinger == nil || s.probing
-				if !skip {
-					s.probing = true
-				}
-				s.mu.Unlock()
-				if skip {
+				if s.pinger == nil || !s.dom.TryProbe() {
 					continue
 				}
 				ss.wg.Add(1)
 				go func(s *shard) {
 					defer ss.wg.Done()
 					err := s.pinger.Ping()
-					s.mu.Lock()
-					s.probing = false
-					s.mu.Unlock()
+					s.dom.ProbeDone()
 					if err == nil {
-						s.armHalfOpen()
+						s.dom.ArmHalfOpen()
 					}
 				}(s)
 			}

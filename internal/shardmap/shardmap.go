@@ -101,3 +101,54 @@ func (m *Map) OwnerDS(ds int) int {
 func (m *Map) OwnerObj(ds, idx int) int {
 	return m.Owner(uint64(ds)<<32 | uint64(uint32(idx)))
 }
+
+// Owners appends the top-r shards for key in descending rendezvous
+// rank into dst (reused when its capacity allows — the replica hot
+// path passes a scratch slice to stay allocation-free). dst[0] is
+// Owner(key); the rest are the failover order. Rendezvous ranking
+// makes the list stable under membership churn: removing one shard
+// promotes exactly the next-ranked shard for the keys it owned.
+func (m *Map) Owners(key uint64, r int, dst []int) []int {
+	n := len(m.salts)
+	if r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	dst = dst[:0]
+	for len(dst) < r {
+		best, bestScore, found := -1, uint64(0), false
+		for i := 0; i < n; i++ {
+			taken := false
+			for _, d := range dst {
+				if d == i {
+					taken = true
+					break
+				}
+			}
+			if taken {
+				continue
+			}
+			// Strict > keeps the tie-break toward the lower index, matching
+			// Owner exactly.
+			if s := mix64(key ^ m.salts[i]); !found || s > bestScore {
+				best, bestScore, found = i, s, true
+			}
+		}
+		dst = append(dst, best)
+	}
+	return dst
+}
+
+// OwnersDS returns the top-r ranked shards for a pinned data
+// structure; see Owners.
+func (m *Map) OwnersDS(ds, r int, dst []int) []int {
+	return m.Owners(mix64(uint64(ds)+0x0D5), r, dst)
+}
+
+// OwnersObj returns the top-r ranked shards for one object of a
+// striped structure; see Owners.
+func (m *Map) OwnersObj(ds, idx, r int, dst []int) []int {
+	return m.Owners(uint64(ds)<<32|uint64(uint32(idx)), r, dst)
+}
