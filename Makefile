@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard bench-writeback bench-replica benchguard fuzz-smoke trace-smoke
+.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard bench-writeback bench-replica bench-chase benchguard difftest fuzz-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,21 @@ race:
 
 # check is the CI gate: formatting, static analysis, the full test
 # suite under the race detector (exercises the concurrent remote server
-# and the obs tracer/registry), a short fuzzing smoke pass over the
-# wire-format decoders, the distributed-tracing smoke, and the sweep
-# regression guards against the checked-in baselines.
-check: fmt vet race fuzz-smoke trace-smoke benchguard
+# and the obs tracer/registry), the differential-testing suite (oracle
+# vs per-hop vs offloaded traversal, byte-exact under seeded chaos), a
+# short fuzzing smoke pass over the wire-format decoders, the
+# distributed-tracing smoke, and the sweep regression guards against
+# the checked-in baselines.
+check: fmt vet race difftest fuzz-smoke trace-smoke benchguard
+
+# difftest runs the differential harness verbosely: every traversal
+# workload three ways (in-process oracle, per-hop remote, offloaded
+# chase) with checksums compared byte-for-byte, on clean links and
+# under seeded fault schedules. The race target above already runs
+# these once; this target pins them by name so the suite cannot be
+# silently lost to a test rename.
+difftest:
+	$(GO) test -v -count=1 ./internal/difftest
 
 # trace-smoke runs a traced pointer chase over a real TCP far tier with
 # injected RTT and validates the tentpole end to end: the merged Chrome
@@ -34,14 +45,15 @@ check: fmt vet race fuzz-smoke trace-smoke benchguard
 trace-smoke:
 	$(GO) test -run '^TestTraceSmoke$$' -count=1 -v .
 
-# benchguard reruns the pipeline-depth, dirty write-back and
-# replication sweeps and fails if any best ratio fell below its floor
-# relative to the checked-in BENCH_pipeline.json / BENCH_writeback.json
-# / BENCH_replica.json baselines (the guarded values are in-run ratios,
-# so host speed cancels out). Pass or fail, it prints the per-row
-# measured-vs-baseline delta tables.
+# benchguard reruns the pipeline-depth, dirty write-back, replication
+# and traversal-offload sweeps and fails if any guarded ratio fell
+# below its floor relative to the checked-in BENCH_pipeline.json /
+# BENCH_writeback.json / BENCH_replica.json / BENCH_chase.json
+# baselines (the guarded values are in-run ratios, so host speed
+# cancels out; the chase gate pins the hop-budget-16 speedup). Pass or
+# fail, it prints the per-row measured-vs-baseline delta tables.
 benchguard:
-	$(GO) run ./cmd/benchguard -baseline BENCH_pipeline.json -writeback-baseline BENCH_writeback.json -replica-baseline BENCH_replica.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_pipeline.json -writeback-baseline BENCH_writeback.json -replica-baseline BENCH_replica.json -chase-baseline BENCH_chase.json
 
 # fuzz-smoke runs each native fuzzer briefly (seed corpus + a short
 # random exploration). Go allows one -fuzz pattern per invocation, so
@@ -86,6 +98,14 @@ bench-writeback:
 bench-replica:
 	$(GO) run ./cmd/cardsbench -exp replica -scale quick -json > BENCH_replica.json
 	@cat BENCH_replica.json
+
+# bench-chase runs the server-side traversal-offload sweep (dependent
+# per-hop reads vs one CHASEBATCH per hop-budget window, real TCP
+# loopback with 200µs injected per-frame RTT, hop budgets 2..64) and
+# records the table.
+bench-chase:
+	$(GO) run ./cmd/cardsbench -exp chase -scale quick -json > BENCH_chase.json
+	@cat BENCH_chase.json
 
 # bench-shard runs the sharded far-tier sweep (1→4 backends, real TCP
 # loopback with injected per-connection service latency) and records the

@@ -1,11 +1,13 @@
 // Command benchguard is the CI regression gate for the real-socket data
-// path: it reruns the pipeline-depth sweep, the dirty write-back sweep
-// and the replicated-write sweep and compares each guarded ratio
-// against the checked-in baseline tables (BENCH_pipeline.json,
-// BENCH_writeback.json, BENCH_replica.json). A fresh best ratio below
-// threshold × baseline fails the build — the batched read path, the
-// staged write-back path, or the replicated fan-out's throughput
-// retention over its in-run R=1 baseline has regressed.
+// path: it reruns the pipeline-depth sweep, the dirty write-back sweep,
+// the replicated-write sweep and the traversal-offload sweep and
+// compares each guarded ratio against the checked-in baseline tables
+// (BENCH_pipeline.json, BENCH_writeback.json, BENCH_replica.json,
+// BENCH_chase.json). A fresh best ratio below threshold × baseline
+// fails the build — the batched read path, the staged write-back path,
+// the replicated fan-out's throughput retention over its in-run R=1
+// baseline, or the offloaded pointer chase's speedup over dependent
+// per-hop reads (pinned at hop budget 16) has regressed.
 //
 // The guard compares *speedups over the in-run baseline row*, not
 // absolute throughput: both sides of the ratio come from the same
@@ -23,6 +25,7 @@
 //	benchguard [-baseline BENCH_pipeline.json] [-threshold 0.85] [-runs 3]
 //	           [-writeback-baseline BENCH_writeback.json] [-writeback-threshold 0.7]
 //	           [-replica-baseline BENCH_replica.json] [-replica-threshold 0.6]
+//	           [-chase-baseline BENCH_chase.json] [-chase-threshold 0.7]
 package main
 
 import (
@@ -51,6 +54,7 @@ type gate struct {
 	threshold float64
 	ratioCol  string // header of the in-run speedup column
 	rowKey    string // first column value of the accelerated rows
+	rowKey2   string // optional second column value (pins one sweep point)
 	run       func() (*bench.Table, error)
 }
 
@@ -61,6 +65,8 @@ func main() {
 	wbThresh := flag.Float64("writeback-threshold", 0.7, "minimum fresh/baseline best-speedup ratio (write-back; looser, the sync denominator is one long RTT chain)")
 	repBase := flag.String("replica-baseline", "BENCH_replica.json", "checked-in replication sweep table (empty disables the gate)")
 	repThresh := flag.Float64("replica-threshold", 0.6, "minimum fresh/baseline throughput-retention ratio (replica R=2 row; loosest, two windows' scheduling noise)")
+	chaseBase := flag.String("chase-baseline", "BENCH_chase.json", "checked-in traversal-offload sweep table (empty disables the gate)")
+	chaseThresh := flag.Float64("chase-threshold", 0.7, "minimum fresh/baseline speedup ratio (chase offload, hop budget 16)")
 	runs := flag.Int("runs", 3, "sweep attempts per gate; the best one is compared")
 	flag.Parse()
 
@@ -92,6 +98,17 @@ func main() {
 			run:       func() (*bench.Table, error) { return bench.Replica(bench.Quick()) },
 		})
 	}
+	if *chaseBase != "" {
+		gates = append(gates, gate{
+			name:      "chase",
+			baseline:  *chaseBase,
+			threshold: *chaseThresh,
+			ratioCol:  "vs per-hop",
+			rowKey:    "offload",
+			rowKey2:   "16",
+			run:       func() (*bench.Table, error) { return bench.Chase(bench.Quick()) },
+		})
+	}
 
 	failed := false
 	for _, g := range gates {
@@ -115,7 +132,7 @@ func (g gate) check(runs int) bool {
 	if err := json.Unmarshal(data, &base); err != nil {
 		fatal("parse %s: %v", g.baseline, err)
 	}
-	want, err := bestSpeedup(base.Header, base.Rows, g.ratioCol, g.rowKey)
+	want, err := bestSpeedup(base.Header, base.Rows, g.ratioCol, g.rowKey, g.rowKey2)
 	if err != nil {
 		fatal("%s: %v", g.baseline, err)
 	}
@@ -127,7 +144,7 @@ func (g gate) check(runs int) bool {
 		if err != nil {
 			fatal("%s sweep: %v", g.name, err)
 		}
-		v, err := bestSpeedup(fresh.Header, fresh.Rows, g.ratioCol, g.rowKey)
+		v, err := bestSpeedup(fresh.Header, fresh.Rows, g.ratioCol, g.rowKey, g.rowKey2)
 		if err != nil {
 			fatal("fresh %s sweep: %v", g.name, err)
 		}
@@ -198,8 +215,9 @@ func parseRatio(s string) (float64, error) {
 }
 
 // bestSpeedup extracts the maximum ratioCol ratio over the rowKey rows
-// of a sweep table.
-func bestSpeedup(header []string, rows [][]string, ratioCol, rowKey string) (float64, error) {
+// of a sweep table; a non-empty rowKey2 further pins the second column
+// so a gate can guard one sweep point instead of the sweep's best.
+func bestSpeedup(header []string, rows [][]string, ratioCol, rowKey, rowKey2 string) (float64, error) {
 	col := colIndex(header, ratioCol)
 	if col < 0 {
 		return 0, fmt.Errorf("no %q column", ratioCol)
@@ -207,6 +225,9 @@ func bestSpeedup(header []string, rows [][]string, ratioCol, rowKey string) (flo
 	best := 0.0
 	for _, row := range rows {
 		if len(row) <= col || row[0] != rowKey {
+			continue
+		}
+		if rowKey2 != "" && (len(row) < 2 || row[1] != rowKey2) {
 			continue
 		}
 		v, err := parseRatio(row[col])

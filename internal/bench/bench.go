@@ -103,6 +103,9 @@ type Config struct {
 	// WritebackWrites is the length of the dirty walk in the write-back
 	// sweep (real TCP loopback, wall-clock).
 	WritebackWrites int64
+	// ChaseWalk is the number of dependent hops walked per mode in the
+	// traversal-offload sweep (real TCP loopback, wall-clock).
+	ChaseWalk int64
 	// Chaos, when non-empty, routes the pipeline sweep through a fault
 	// proxy with this schedule spec (see faultnet.ParseSpec) and dials
 	// the clients with deadlines + retry/reconnect enabled.
@@ -130,6 +133,7 @@ func Quick() Config {
 		ChaseN:          4096,
 		PipelineReads:   1024,
 		WritebackWrites: 512,
+		ChaseWalk:       1024,
 		Seed:            42,
 	}
 }
@@ -143,6 +147,7 @@ func Default() Config {
 		ChaseN:          16384,
 		PipelineReads:   8192,
 		WritebackWrites: 2048,
+		ChaseWalk:       4096,
 		Seed:            42,
 	}
 }
@@ -184,6 +189,7 @@ func Experiments() []Experiment {
 		{"shard", "Sharded far-tier read bandwidth × backend count, TCP loopback (beyond the paper)", Shard},
 		{"writeback", "Sync vs async batched dirty write-back, TCP loopback with injected RTT (beyond the paper)", Writeback},
 		{"replica", "Replicated far-tier write amplification + failover latency, TCP loopback with injected RTT (beyond the paper)", Replica},
+		{"chase", "Server-side traversal offload vs per-hop pointer chasing, TCP loopback with injected RTT (beyond the paper)", Chase},
 	}
 }
 

@@ -1,0 +1,65 @@
+package dsa
+
+import "cards/internal/ir"
+
+// maskWords is the object span a CHASEBATCH field-filter mask can
+// describe: one bit per 8-byte word. Mirrors the wire constant in
+// internal/rdma (the compiler derives masks; the protocol enforces the
+// same bound independently).
+const maskWords = 64
+
+// TraversalMask derives the CHASEBATCH field-filter mask for a
+// server-side traversal over d's elements: the set of 8-byte words a
+// pure pointer chase needs, i.e. every word holding a pointer field of
+// the element type, replicated across each element packed into one
+// objSize-byte object. keepOffsets names additional payload byte
+// offsets (per element) the traversal reads — a list-sum keeps its
+// value field, a key lookup its key field — and each named offset
+// keeps the word containing it.
+//
+// The second result is false when no mask can describe the object:
+// objSize exceeds the 64-word filter span, is not positive, or the
+// element type is unknown. A false return means the caller must ship
+// the program unfiltered (Mask=0, full objects) — which is also what a
+// zero first result denotes, so the degenerate "mask keeps every word"
+// case is canonicalised to 0.
+func TraversalMask(d *DataStructure, objSize int, keepOffsets ...int) (uint64, bool) {
+	if d == nil || d.Elem == nil {
+		return 0, false
+	}
+	if objSize <= 0 || objSize > maskWords*8 {
+		return 0, false
+	}
+	elemSize := d.Elem.Size()
+	if elemSize <= 0 || elemSize > objSize {
+		return 0, false
+	}
+	perElem := ir.PointerFieldOffsets(d.Elem)
+	var mask uint64
+	keep := func(off int) bool {
+		// A word straddle (off%8 != 0 near the end) keeps both words.
+		for w := off / 8; w <= (off+7)/8 && w < maskWords; w++ {
+			mask |= uint64(1) << w
+		}
+		return true
+	}
+	for elemBase := 0; elemBase+elemSize <= objSize; elemBase += elemSize {
+		for _, off := range perElem {
+			keep(elemBase + off)
+		}
+		for _, off := range keepOffsets {
+			if off < 0 || off+8 > elemSize {
+				return 0, false
+			}
+			keep(elemBase + off)
+		}
+	}
+	// Every word kept: the filter is a no-op — canonicalise to the wire's
+	// "unfiltered" encoding so servers skip the masking pass entirely.
+	words := (objSize + 7) / 8
+	full := ^uint64(0) >> (maskWords - words)
+	if mask == full {
+		return 0, true
+	}
+	return mask, true
+}

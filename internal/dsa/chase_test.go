@@ -1,0 +1,87 @@
+package dsa
+
+import (
+	"testing"
+
+	"cards/internal/ir"
+)
+
+// node { int64 val; node *next } — the canonical list element: 16 bytes,
+// pointer in word 1.
+func listElem() ir.Type {
+	return ir.NewStruct("node",
+		ir.Field{Name: "val", Type: ir.IntType{}},
+		ir.Field{Name: "next", Type: &ir.PtrType{Elem: ir.IntType{}}},
+	)
+}
+
+func TestTraversalMaskPointerWordsOnly(t *testing.T) {
+	d := &DataStructure{Elem: listElem()}
+	// One element per 16-byte object: keep word 1 (the next pointer).
+	mask, ok := TraversalMask(d, 16)
+	if !ok {
+		t.Fatal("TraversalMask refused a 16B list element")
+	}
+	if want := uint64(1) << 1; mask != want {
+		t.Fatalf("mask = %#x, want %#x (next-pointer word only)", mask, want)
+	}
+}
+
+func TestTraversalMaskKeepPayload(t *testing.T) {
+	d := &DataStructure{Elem: listElem()}
+	// A traversal that also reads the value field keeps word 0 too —
+	// which covers the full 16-byte object, so the helper canonicalises
+	// to the wire's unfiltered encoding.
+	mask, ok := TraversalMask(d, 16, 0)
+	if !ok || mask != 0 {
+		t.Fatalf("mask = %#x ok=%v, want 0 (full object canonicalised)", mask, ok)
+	}
+}
+
+func TestTraversalMaskPackedElements(t *testing.T) {
+	// wide { int64 k; int64 a; int64 b; wide *next }: 32 bytes, pointer
+	// in word 3. Two elements packed into a 64-byte object keep words 3
+	// and 7; adding the key field keeps words 0 and 4 as well.
+	elem := ir.NewStruct("wide",
+		ir.Field{Name: "k", Type: ir.IntType{}},
+		ir.Field{Name: "a", Type: ir.IntType{}},
+		ir.Field{Name: "b", Type: ir.IntType{}},
+		ir.Field{Name: "next", Type: &ir.PtrType{Elem: ir.IntType{}}},
+	)
+	d := &DataStructure{Elem: elem}
+	mask, ok := TraversalMask(d, 64)
+	if !ok {
+		t.Fatal("TraversalMask refused packed elements")
+	}
+	if want := uint64(1)<<3 | uint64(1)<<7; mask != want {
+		t.Fatalf("mask = %#x, want %#x", mask, want)
+	}
+	mask, ok = TraversalMask(d, 64, 0)
+	if !ok {
+		t.Fatal("TraversalMask refused keepOffsets")
+	}
+	if want := uint64(1)<<0 | uint64(1)<<3 | uint64(1)<<4 | uint64(1)<<7; mask != want {
+		t.Fatalf("mask with key = %#x, want %#x", mask, want)
+	}
+}
+
+func TestTraversalMaskRefusals(t *testing.T) {
+	d := &DataStructure{Elem: listElem()}
+	if _, ok := TraversalMask(nil, 16); ok {
+		t.Error("nil structure accepted")
+	}
+	if _, ok := TraversalMask(&DataStructure{}, 16); ok {
+		t.Error("unknown element type accepted")
+	}
+	if _, ok := TraversalMask(d, 0); ok {
+		t.Error("zero objSize accepted")
+	}
+	// 1 KiB objects exceed the 64-word filter span.
+	if _, ok := TraversalMask(d, 1024); ok {
+		t.Error("objSize past the mask span accepted")
+	}
+	// keepOffsets past the element end.
+	if _, ok := TraversalMask(d, 16, 16); ok {
+		t.Error("out-of-range keep offset accepted")
+	}
+}

@@ -198,6 +198,15 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 			d.stats.Hits++
 			break
 		}
+		// A chase-delivered path object (or an in-flight chase that
+		// started here) serves the re-localization without a round trip
+		// — also before the breaker gate: staged bytes are local.
+		if hit, err := r.derefFromChase(d, idx); err != nil {
+			return 0, err
+		} else if hit {
+			d.stats.Hits++
+			break
+		}
 		// Fail fast while degraded — and BEFORE allocFrame, so refused
 		// derefs cannot erode the clean resident set through evictions.
 		if r.breaker != nil && !r.breaker.gate() {
@@ -402,6 +411,13 @@ func (r *Runtime) evictObject(d *DS, idx, ringPos int) error {
 	}
 	d.evictHist.Observe(r.clock.Now() - start)
 	r.emitSpan(EvEvict, d.ID, idx, wasDirty, start)
+	// The evicted frame's bytes supersede any chase-staged snapshot of
+	// this object; and a write-back invalidates every in-flight chase of
+	// the structure (the server may walk a pre-write image).
+	r.invalidateChase(d, idx)
+	if wasDirty {
+		d.chaseGen++
+	}
 	r.arena.Free(obj.frame, d.Meta.ObjSize)
 	r.remotableUsed -= uint64(d.Meta.ObjSize)
 	obj.state = objRemote
@@ -463,6 +479,11 @@ func (r *Runtime) PrefetchObj(d *DS, idx int) {
 	// buffer (read-your-writes), never speculatively re-fetched: the
 	// remote copy may still be stale.
 	if _, ok := r.wbPending[wbKey{d.ID, idx}]; ok {
+		return
+	}
+	// A chase already delivered this object's bytes; the deref path
+	// consumes them without a round trip.
+	if _, ok := r.chaseStaged[wbKey{d.ID, idx}]; ok {
 		return
 	}
 	rootMine := r.beginRoot()

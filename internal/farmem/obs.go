@@ -59,6 +59,17 @@ const (
 	MetricWriteBackStagedBytes   = "cards_farmem_writeback_staged_bytes"
 	MetricWriteBackStagedEntries = "cards_farmem_writeback_staged_entries"
 
+	// Traversal offload (chase.go): programs shipped, path objects
+	// delivered ahead of demand, derefs served from the chase staging
+	// area, stale results dropped by the write-back generation guard,
+	// and chases that degraded to per-hop reads.
+	MetricChasesIssued     = "cards_chase_issued_total"
+	MetricChaseHopsStaged  = "cards_chase_offloaded_hops_total"
+	MetricChaseStagingHits = "cards_chase_staging_hits_total"
+	MetricChaseStale       = "cards_chase_stale_total"
+	MetricChaseFallbacks   = "cards_chase_fallbacks_total"
+	MetricChaseStagedBytes = "cards_chase_staged_bytes"
+
 	// Local memory occupancy gauges.
 	MetricArenaUsed     = "cards_farmem_arena_used_bytes"
 	MetricPinnedUsed    = "cards_farmem_pinned_used_bytes"
@@ -138,6 +149,13 @@ func (r *Runtime) PublishObs() {
 	reg.Counter(MetricWriteBackStagingHits).Store(s.WriteBackStagingHits)
 	reg.Gauge(MetricWriteBackStagedBytes).Set(int64(r.wbBytes))
 	reg.Gauge(MetricWriteBackStagedEntries).Set(int64(len(r.wbPending)))
+
+	reg.Counter(MetricChasesIssued).Store(s.ChasesIssued)
+	reg.Counter(MetricChaseHopsStaged).Store(s.ChaseHopsStaged)
+	reg.Counter(MetricChaseStagingHits).Store(s.ChaseStagingHits)
+	reg.Counter(MetricChaseStale).Store(s.ChaseStale)
+	reg.Counter(MetricChaseFallbacks).Store(s.ChaseFallbacks)
+	reg.Gauge(MetricChaseStagedBytes).Set(int64(r.chaseStagedBytes))
 
 	reg.Gauge(MetricArenaUsed).Set(int64(r.arena.Used()))
 	reg.Gauge(MetricPinnedUsed).Set(int64(r.pinnedUsed))

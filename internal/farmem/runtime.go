@@ -160,6 +160,11 @@ type DS struct {
 	maxInflight int
 	inflight    int
 
+	// chaseGen invalidates in-flight traversal offloads: it advances on
+	// every dirty eviction (write-back) of the structure, and a chase
+	// result issued under an older generation is dropped (see chase.go).
+	chaseGen uint64
+
 	// label is the ds="<id>" metric label.
 	label string
 
@@ -351,6 +356,13 @@ type RuntimeStats struct {
 	WriteBackStalls      uint64 // evictions that blocked on the staging budget or per-object ordering
 	WriteBackReissues    uint64 // failed/uncertain async writes reissued synchronously
 	WriteBackStagingHits uint64 // derefs served read-your-writes from a staging buffer
+
+	// Traversal-offload counters (see chase.go).
+	ChasesIssued     uint64 // traversal programs shipped to the far tier
+	ChaseHopsStaged  uint64 // path objects delivered and staged for deref
+	ChaseStagingHits uint64 // derefs served from chase-staged objects
+	ChaseStale       uint64 // chase results dropped by the generation guard
+	ChaseFallbacks   uint64 // chases that failed; traversal fell back to per-hop reads
 }
 
 // Runtime is the CaRDS far-memory runtime.
@@ -370,6 +382,14 @@ type Runtime struct {
 	wbBudget  uint64
 	wbFree    map[int][][]byte // staging buffer free lists, by size
 	wbBusy    bool             // order-list scan reentrancy guard
+
+	// Traversal offload (chase.go).
+	chaser           AsyncChaseStore // non-nil iff store supports IssueChase
+	chaseStaged      map[wbKey][]byte
+	chaseStarts      map[wbKey]*pendingChase // in-flight programs by start object
+	chaseInflight    []*pendingChase
+	chaseStagedBytes uint64
+	chaseHarvesting  bool // reentrancy guard (settle can issue, issue harvests)
 
 	pinnedBudget, remotableBudget uint64
 	pinnedUsed, remotableUsed     uint64
@@ -472,6 +492,11 @@ func New(cfg Config) *Runtime {
 		if r.wbBudget == 0 {
 			r.wbBudget = cfg.RemotableBudget / 4
 		}
+	}
+	if cs, ok := store.(AsyncChaseStore); ok {
+		r.chaser = cs
+		r.chaseStaged = make(map[wbKey][]byte)
+		r.chaseStarts = make(map[wbKey]*pendingChase)
 	}
 	if rec, ok := store.(Recoverable); ok {
 		r.recoverable = rec

@@ -190,6 +190,48 @@ func (j *Jump) OnAccess(r *farmem.Runtime, d *farmem.DS, idx int, miss bool) {
 	}
 }
 
+// Chase is the traversal-offload prefetcher: for single-successor
+// linked structures over a far tier that speaks the chase verbs, it
+// ships a compact traversal program (next-pointer offset + hop budget)
+// and lets the server walk the chain — one round trip delivers the
+// whole lookahead window instead of one object per dependent RTT. When
+// offload is unavailable (plain store, downgraded session, open
+// breaker, cross-structure edge) it degrades to the wrapped per-hop
+// fallback, so a chase-capable and a chase-less deployment run the same
+// policy selection.
+type Chase struct {
+	hops     int
+	fallback farmem.Prefetcher
+}
+
+// NewChase creates a traversal-offload prefetcher shipping programs
+// with the given hop budget, degrading to fallback when offload cannot
+// cover the traversal. A nil fallback disables per-hop degradation.
+func NewChase(hops int, fallback farmem.Prefetcher) *Chase {
+	if hops <= 0 {
+		hops = farmem.DefaultChaseHops
+	}
+	return &Chase{hops: hops, fallback: fallback}
+}
+
+// Name implements farmem.Prefetcher.
+func (c *Chase) Name() string {
+	if c.fallback != nil {
+		return "chase-offload(" + c.fallback.Name() + ")"
+	}
+	return "chase-offload"
+}
+
+// OnAccess implements farmem.Prefetcher.
+func (c *Chase) OnAccess(r *farmem.Runtime, d *farmem.DS, idx int, miss bool) {
+	if r.ChasePrefetch(d, idx, c.hops) {
+		return
+	}
+	if c.fallback != nil {
+		c.fallback.OnAccess(r, d, idx, miss)
+	}
+}
+
 // Adaptive wraps a prefetcher and monitors the standard prefetching
 // metrics (accuracy and coverage, paper §4.2); if accuracy drops below
 // the threshold after a trial window, prefetching is disabled for a
@@ -278,6 +320,13 @@ func Select(h Hints) farmem.Prefetcher {
 			// Multiple out-pointers per element: tree/graph node —
 			// greedy recursive expansion.
 			inner = NewGreedy(h.ElemSize, h.PtrOffsets)
+		} else if h.Recursive && len(h.PtrOffsets) == 1 {
+			// Single successor: the shape a server-side traversal
+			// program can describe. Offload the chase when the far tier
+			// speaks the verbs; the wrapped jump prefetcher is the
+			// per-hop degradation for chase-less deployments.
+			return NewChase(farmem.DefaultChaseHops,
+				NewAdaptive(NewJump(4, Depth)))
 		} else {
 			// Single successor: list — jump pointers hide full chain
 			// latency.

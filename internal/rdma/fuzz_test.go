@@ -77,6 +77,24 @@ func FuzzFrameDecode(f *testing.F) {
 	}); err == nil {
 		seeds = append(seeds, db)
 	}
+	// Traversal-offload verbs (the FeatChase extension): programs with
+	// and without field masks, and replies across the status space —
+	// multi-hop done, budget-exhausted, and an empty path.
+	seeds = append(seeds, EncodeChaseBatch(16, []ChaseReq{
+		{DS: 1, Start: 0, ObjSize: 64, NextOff: 8, Hops: 16},
+		{DS: 2, Start: 7, ObjSize: 32, NextOff: 24, Hops: 1, Mask: 0x9},
+	}))
+	if cd, err := EncodeChaseData(17, []ChaseResult{
+		{Status: ChaseDone, Final: 0xFEED, Hops: []ChaseHop{
+			{Idx: 0, Data: bytes.Repeat([]byte{0x6C}, 64)},
+			{Idx: 3, Data: bytes.Repeat([]byte{0x6D}, 64)},
+		}},
+		{Status: ChaseHops, Final: chaseAddrTagBit | 2<<chaseAddrDSShift | 96,
+			Hops: []ChaseHop{{Idx: 9, Data: bytes.Repeat([]byte{0x6E}, 32)}}},
+		{Status: ChaseDone, Final: 0, Hops: nil},
+	}); err == nil {
+		seeds = append(seeds, cd)
+	}
 	for _, fr := range seeds {
 		f.Add(frameBytes(f, fr, false))
 		f.Add(frameBytes(f, fr, true))
@@ -210,6 +228,29 @@ func FuzzFrameDecode(f *testing.F) {
 			if n, err := DecodeAckBatch(fr.Payload); err == nil {
 				if re := EncodeAckBatch(fr.Tag, n); !bytes.Equal(re.Payload, fr.Payload) {
 					t.Fatalf("ACKBATCH re-encode mismatch")
+				}
+			}
+		case OpChaseBatch:
+			if reqs, err := DecodeChaseBatch(fr.Payload); err == nil {
+				if re := EncodeChaseBatch(fr.Tag, reqs); !bytes.Equal(re.Payload, fr.Payload) {
+					t.Fatalf("CHASEBATCH re-encode mismatch")
+				}
+				// Programs a server would run must survive Validate without
+				// panicking; accepted ones must carry a bounded walk.
+				for _, r := range reqs {
+					if r.Validate() == nil && r.Hops == 0 {
+						t.Fatalf("validated program with zero hop budget: %+v", r)
+					}
+				}
+			}
+		case OpChaseData:
+			if res, err := DecodeChaseData(fr.Payload); err == nil {
+				re, err := EncodeChaseData(fr.Tag, res)
+				if err != nil {
+					t.Fatalf("CHASEDATA re-encode: %v", err)
+				}
+				if !bytes.Equal(re.Payload, fr.Payload) {
+					t.Fatalf("CHASEDATA re-encode mismatch")
 				}
 			}
 		case OpPing, OpOK:

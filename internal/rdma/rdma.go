@@ -33,6 +33,10 @@
 //	ERRTAG:     utf-8 message (tagged reply to a failed tagged request)
 //	WRITEBATCH: u32 count | count x (u32 ds | u32 idx | u32 len | bytes)
 //	ACKBATCH:   u32 count                                  (writes applied)
+//	CHASEBATCH: u32 count | count x (u32 ds | u32 start | u32 objSize |
+//	            u32 nextOff | u32 hops | u64 mask)         -> CHASEDATA
+//	CHASEDATA:  u32 count | count x (u32 status | u64 final | u32 hopCount |
+//	            hopCount x (u32 idx | u32 len | bytes))    (request order)
 //
 // Interoperability: untagged frames are byte-identical to the original
 // protocol. A client discovers whether its peer speaks the tagged/batch
@@ -94,6 +98,13 @@ const (
 	// OpDataEpochBatch is the epoch-stamped scatter-gather reply to
 	// OpReadEpochBatch.
 	OpDataEpochBatch Op = TagBit | 0x0A
+	// OpChaseBatch carries count traversal programs in one frame (the
+	// server-side pointer-chase offload — see chase.go). Answered by one
+	// OpChaseData (same tag).
+	OpChaseBatch Op = TagBit | 0x0B
+	// OpChaseData is the per-program path reply to OpChaseBatch: every
+	// object visited plus the terminal status and final address.
+	OpChaseData Op = TagBit | 0x0C
 )
 
 // Tagged reports whether frames with this opcode carry a u32 tag.
@@ -133,6 +144,10 @@ func (o Op) String() string {
 		return "READEPOCHBATCH"
 	case OpDataEpochBatch:
 		return "DATAEPOCHBATCH"
+	case OpChaseBatch:
+		return "CHASEBATCH"
+	case OpChaseData:
+		return "CHASEDATA"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -321,6 +336,12 @@ const (
 	// without the bit never see an epoch frame, so legacy peers stay
 	// byte-identical. (FeatTrace = 1<<3 lives in trace.go.)
 	FeatEpoch uint32 = 1 << 4
+	// FeatChase: the peer understands the traversal-offload verbs
+	// (CHASEBATCH/CHASEDATA) that collapse a K-hop pointer chase into
+	// one round trip. Clients talking to peers without the bit fall back
+	// to per-hop reads — the same wire bytes a legacy peer has always
+	// seen.
+	FeatChase uint32 = 1 << 5
 )
 
 // EncodeFeatures packs a feature word into a PING/OK payload.

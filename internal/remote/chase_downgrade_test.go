@@ -1,0 +1,392 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cards/internal/rdma"
+	"cards/internal/testutil"
+)
+
+// preChaseServe answers the full batch protocol — batching, CRC,
+// WRITEBATCH, epochs — but not the traversal-offload extension: the
+// feature reply omits FeatChase, exactly like a server built before the
+// chase verbs existed. Chase programs therefore never reach the wire;
+// the client must doom them locally and fall back to per-hop reads.
+func preChaseServe(conn net.Conn, store *ObjectStore) {
+	defer conn.Close()
+	crc := false
+	for {
+		f, err := rdma.ReadFrameOpts(conn, crc, false)
+		if err != nil {
+			return
+		}
+		var resp rdma.Frame
+		enableCRC := false
+		switch f.Op {
+		case rdma.OpPing:
+			if feats, ok := rdma.DecodeFeatures(f.Payload); ok {
+				resp = rdma.Frame{Op: rdma.OpOK,
+					Payload: rdma.EncodeFeatures(rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch)}
+				enableCRC = feats&rdma.FeatCRC != 0
+			} else {
+				resp = rdma.Frame{Op: rdma.OpOK}
+			}
+		case rdma.OpReadBatch:
+			reqs, derr := rdma.DecodeReadBatch(f.Payload)
+			if derr != nil {
+				resp = rdma.ErrTagFrame(f.Tag, derr.Error())
+				break
+			}
+			segs := make([][]byte, len(reqs))
+			for i, r := range reqs {
+				segs[i] = store.Read(r.DS, r.Idx, r.Size)
+			}
+			if resp, derr = rdma.EncodeDataBatch(f.Tag, segs); derr != nil {
+				resp = rdma.ErrTagFrame(f.Tag, derr.Error())
+			}
+		case rdma.OpChaseBatch:
+			// A correct client never sends this to us; fail loudly if one does.
+			resp = rdma.ErrTagFrame(f.Tag, "unknown op CHASEBATCH")
+		default:
+			resp = rdma.ErrFrame("unexpected op")
+		}
+		if crc {
+			err = rdma.WriteFrameCRC(conn, resp)
+		} else {
+			err = rdma.WriteFrame(conn, resp)
+		}
+		if err != nil {
+			return
+		}
+		if enableCRC {
+			crc = true
+		}
+	}
+}
+
+// chainStore builds a 4-node linked list in ds1: 64-byte objects with
+// the successor's tagged address at offset 8, terminated by an untagged
+// sentinel word. Returns the store and the per-object payload bytes.
+func chainStore() (*ObjectStore, [][]byte) {
+	store := NewObjectStore()
+	const objSize = 64
+	order := []uint32{0, 2, 1, 3} // traversal order != allocation order
+	objs := make([][]byte, 4)
+	for pos, idx := range order {
+		b := make([]byte, objSize)
+		for i := range b {
+			b[i] = byte(0x40 + int(idx)*7 + i)
+		}
+		var next uint64 = 0xDEAD_BEEF // terminal sentinel, untagged
+		if pos+1 < len(order) {
+			next = 1<<63 | uint64(1)<<48 | uint64(order[pos+1])*objSize
+		}
+		binary.LittleEndian.PutUint64(b[8:], next)
+		store.Write(1, idx, b)
+		objs[idx] = b
+	}
+	return store, objs
+}
+
+// preChaseListener starts a pre-chase server over the 4-node chain that
+// records every byte its clients send.
+func preChaseListener(t *testing.T) (addr string, mu *sync.Mutex, capture *bytes.Buffer, conns *[]net.Conn) {
+	t.Helper()
+	store, _ := chainStore()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	mu = &sync.Mutex{}
+	capture = &bytes.Buffer{}
+	conns = &[]net.Conn{}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			*conns = append(*conns, conn)
+			mu.Unlock()
+			go preChaseServe(recordConn{Conn: conn, mu: mu, buf: capture}, store)
+		}
+	}()
+	t.Cleanup(func() {
+		mu.Lock()
+		for _, c := range *conns {
+			c.Close()
+		}
+		mu.Unlock()
+	})
+	return ln.Addr().String(), mu, capture, conns
+}
+
+// TestPipelinedChaseDowngradeAgainstPreChaseServer mirrors the trace
+// downgrade test for the traversal-offload extension: a chase-capable
+// client always asks for FeatChase, but a pre-chase server's feature
+// reply omits it — chase programs must fail locally with
+// ErrChaseUnsupported (no chase opcode ever reaches the wire), the
+// per-hop fallback must read the chain byte-identically to a session
+// that never attempted offload, and a forced disconnect must
+// renegotiate to the same downgrade on the fresh stream.
+func TestPipelinedChaseDowngradeAgainstPreChaseServer(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+
+	chaseAddr, chaseMu, chaseCap, chaseConns := preChaseListener(t)
+	plainAddr, plainMu, plainCap, _ := preChaseListener(t)
+	_, objs := chainStore() // the expected chain payloads
+
+	opts := PipelineOpts{
+		Timeout:   time.Second,
+		RetryMax:  4,
+		RetryBase: 5 * time.Millisecond,
+	}
+	offload, err := DialPipelined(chaseAddr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer offload.Close()
+	plain, err := DialPipelined(plainAddr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	if offload.featReq&rdma.FeatChase == 0 {
+		t.Fatal("pipelined client should request FeatChase on every negotiation")
+	}
+	if offload.ChaseCapable() {
+		t.Fatal("pre-chase server cannot serve programs: session must downgrade")
+	}
+
+	// The offload attempt fails definitively and locally.
+	res, err := offload.Chase(rdma.ChaseReq{DS: 1, Start: 0, ObjSize: 64, NextOff: 8, Hops: 8})
+	if !errors.Is(err, ErrChaseUnsupported) {
+		t.Fatalf("chase on a downgraded session: res %+v err %v, want ErrChaseUnsupported", res, err)
+	}
+
+	// Per-hop fallback: walk the chain the pre-chase way on both clients
+	// and check the payloads.
+	walk := func(c *PipelinedClient) {
+		t.Helper()
+		idx := 0
+		for hop := 0; ; hop++ {
+			buf := make([]byte, 64)
+			if err := c.ReadObj(1, idx, buf); err != nil {
+				t.Fatalf("per-hop read of node %d: %v", idx, err)
+			}
+			if !bytes.Equal(buf, objs[idx]) {
+				t.Fatalf("node %d payload mismatch", idx)
+			}
+			word := binary.LittleEndian.Uint64(buf[8:])
+			if !rdma.ChaseAddrTagged(word) {
+				if word != 0xDEAD_BEEF {
+					t.Fatalf("terminal word %#x, want sentinel", word)
+				}
+				if hop != 3 {
+					t.Fatalf("chain ended after %d hops, want 3", hop)
+				}
+				return
+			}
+			idx = int(rdma.ChaseAddrOff(word) / 64)
+		}
+	}
+	walk(offload)
+	walk(plain)
+
+	// Byte-exactness: past the feature PING, the downgraded session's
+	// wire bytes are identical to a session that never tried to offload —
+	// the doomed chase left no trace on the wire.
+	chaseMu.Lock()
+	offloadBytes := append([]byte(nil), chaseCap.Bytes()...)
+	chaseMu.Unlock()
+	plainMu.Lock()
+	plainBytes := append([]byte(nil), plainCap.Bytes()...)
+	plainMu.Unlock()
+	offloadOps := skipFirstFrame(t, offloadBytes)
+	plainOps := skipFirstFrame(t, plainBytes)
+	if !bytes.Equal(offloadOps, plainOps) {
+		t.Fatalf("downgraded session not byte-exact with chase-less session:\n offload %x\n   plain %x",
+			offloadOps, plainOps)
+	}
+
+	// Kill the server side: the next read breaks, redials, and
+	// renegotiates with the full ask — landing on the same downgrade.
+	chaseMu.Lock()
+	for _, c := range *chaseConns {
+		c.Close()
+	}
+	*chaseConns = (*chaseConns)[:0]
+	chaseMu.Unlock()
+	buf := make([]byte, 64)
+	if err := offload.ReadObj(1, 0, buf); err != nil {
+		t.Fatalf("read after forced disconnect should retry through redial: %v", err)
+	}
+	if !bytes.Equal(buf, objs[0]) {
+		t.Fatal("post-redial read returned wrong payload")
+	}
+	if offload.ChaseCapable() {
+		t.Fatal("renegotiation against the pre-chase server must downgrade again")
+	}
+	if offload.featReq&rdma.FeatChase == 0 {
+		t.Fatal("the downgrade must not clear the per-connection chase ask")
+	}
+}
+
+// TestPipelinedChaseRenegotiatesUpgrade is the downgrade's mirror image:
+// a session that starts against a chase-capable server keeps the verbs
+// across a forced redial to the same server — the capability ask rides
+// every negotiation, not just the first.
+func TestPipelinedChaseRenegotiatesUpgrade(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+
+	store, objs := chainStore()
+	srv := NewServer()
+	srv.Store = store
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialPipelined(addr, PipelineOpts{
+		Timeout: time.Second, RetryMax: 4, RetryBase: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.ChaseCapable() {
+		t.Fatal("chase-capable server should negotiate FeatChase")
+	}
+
+	res, err := c.Chase(rdma.ChaseReq{DS: 1, Start: 0, ObjSize: 64, NextOff: 8, Hops: 8})
+	if err != nil {
+		t.Fatalf("chase: %v", err)
+	}
+	if res.Status != rdma.ChaseDone || res.Final != 0xDEAD_BEEF || len(res.Hops) != 4 {
+		t.Fatalf("chase result: status %d final %#x hops %d", res.Status, res.Final, len(res.Hops))
+	}
+	// The offloaded path is byte-identical to the store's chain, in
+	// traversal order.
+	order := []uint32{0, 2, 1, 3}
+	for i, h := range res.Hops {
+		if h.Idx != order[i] || !bytes.Equal(h.Data, objs[order[i]]) {
+			t.Fatalf("hop %d: idx %d, want %d (or payload mismatch)", i, h.Idx, order[i])
+		}
+	}
+
+	// Cut the transport; the next chase must redial, renegotiate, and
+	// offload again.
+	c.conn.Close()
+	res, err = c.Chase(rdma.ChaseReq{DS: 1, Start: 0, ObjSize: 64, NextOff: 8, Hops: 2})
+	if err != nil {
+		t.Fatalf("chase after forced disconnect: %v", err)
+	}
+	if res.Status != rdma.ChaseHops || len(res.Hops) != 2 {
+		t.Fatalf("budget-bounded chase: status %d hops %d, want ChaseHops/2", res.Status, len(res.Hops))
+	}
+	// Final must point at the first unvisited node (idx 1).
+	if !rdma.ChaseAddrTagged(res.Final) || rdma.ChaseAddrOff(res.Final)/64 != 1 {
+		t.Fatalf("resume address %#x does not point at node 1", res.Final)
+	}
+	if !c.ChaseCapable() {
+		t.Fatal("renegotiation against the chase-capable server must restore the verbs")
+	}
+}
+
+// TestChaseCyclicChainBounded pins the server's walk bound: an
+// unterminated (cyclic) chain must be cut off after exactly the hop
+// budget — the server never loops, whatever the chain shape.
+func TestChaseCyclicChainBounded(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+
+	srv := NewServer()
+	// Two 64-byte nodes pointing at each other: 0 -> 1 -> 0 -> ...
+	for idx := uint32(0); idx < 2; idx++ {
+		b := make([]byte, 64)
+		binary.LittleEndian.PutUint64(b[8:], 1<<63|uint64(1)<<48|uint64(1-idx)*64)
+		srv.Store.Write(1, idx, b)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialPipelined(addr, PipelineOpts{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const budget = 63
+	res, err := c.Chase(rdma.ChaseReq{DS: 1, Start: 0, ObjSize: 64, NextOff: 8, Hops: budget})
+	if err != nil {
+		t.Fatalf("chase over a cycle: %v", err)
+	}
+	if res.Status != rdma.ChaseHops || len(res.Hops) != budget {
+		t.Fatalf("cycle walk: status %d hops %d, want ChaseHops/%d", res.Status, len(res.Hops), budget)
+	}
+	for i, h := range res.Hops {
+		if h.Idx != uint32(i%2) {
+			t.Fatalf("hop %d visited node %d, want %d", i, h.Idx, i%2)
+		}
+	}
+	// Budget odd: the resume address points back at node 1.
+	if !rdma.ChaseAddrTagged(res.Final) || rdma.ChaseAddrOff(res.Final)/64 != 1 {
+		t.Fatalf("resume address %#x does not point at node 1", res.Final)
+	}
+}
+
+// TestChaseFieldMaskFilters pins the wire mask semantics end to end:
+// cleared words come back zeroed, kept words intact, and a masked
+// next-pointer field still steers the server's walk (the successor word
+// is read before the filter applies).
+func TestChaseFieldMaskFilters(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+
+	store, objs := chainStore()
+	srv := NewServer()
+	srv.Store = store
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialPipelined(addr, PipelineOpts{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Keep only word 0; word 1 holds the next pointer and is filtered —
+	// the walk must still follow the whole chain.
+	res, err := c.Chase(rdma.ChaseReq{DS: 1, Start: 0, ObjSize: 64, NextOff: 8, Hops: 8, Mask: 1})
+	if err != nil {
+		t.Fatalf("masked chase: %v", err)
+	}
+	if res.Status != rdma.ChaseDone || len(res.Hops) != 4 {
+		t.Fatalf("masked chase: status %d hops %d, want ChaseDone/4", res.Status, len(res.Hops))
+	}
+	for i, h := range res.Hops {
+		want := objs[h.Idx]
+		if !bytes.Equal(h.Data[:8], want[:8]) {
+			t.Fatalf("hop %d kept word mangled", i)
+		}
+		for j := 8; j < 64; j++ {
+			if h.Data[j] != 0 {
+				t.Fatalf("hop %d filtered byte %d = %#x, want 0", i, j, h.Data[j])
+			}
+		}
+	}
+}

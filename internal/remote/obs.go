@@ -60,6 +60,14 @@ const (
 	MetricClientInflightWrites = "cards_remote_client_inflight_writes"
 	MetricClientWriteBatchSize = "cards_remote_client_batch_writes"
 
+	// Traversal offload: CHASEBATCH frames served, traversal programs
+	// executed, and the hops walked on the client's behalf — each hop is
+	// a round trip the session did not pay.
+	MetricChaseBatches = "cards_remote_chase_batches_total"
+	MetricChases       = "cards_remote_chases_total"
+	MetricChaseHops    = "cards_remote_chase_hops_total"
+	MetricChaseNS      = "cards_remote_chase_ns"
+
 	// Fault tolerance (both clients): idempotent retries, successful
 	// redials, round trips that hit their deadline, writes whose outcome
 	// the transport could not determine, and reads replayed onto a fresh
@@ -97,11 +105,14 @@ type serverMetrics struct {
 	connsTotal            *stats.Counter
 	readBatches           *stats.Counter
 	writeBatches          *stats.Counter
+	chaseBatches          *stats.Counter
+	chases, chaseHops     *stats.Counter
 	inflight, conns       *stats.Gauge
 	readNS, writeNS       *stats.Histogram
 	pingNS                *stats.Histogram
 	batchReads            *stats.Histogram
 	batchWrites           *stats.Histogram
+	chaseNS               *stats.Histogram
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -114,6 +125,9 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		connsTotal:   reg.Counter(MetricConnsTotal),
 		readBatches:  reg.Counter(MetricReadBatches),
 		writeBatches: reg.Counter(MetricWriteBatches),
+		chaseBatches: reg.Counter(MetricChaseBatches),
+		chases:       reg.Counter(MetricChases),
+		chaseHops:    reg.Counter(MetricChaseHops),
 		inflight:     reg.Gauge(MetricInflight),
 		conns:        reg.Gauge(MetricConns),
 		readNS:       reg.Histogram(MetricReadNS),
@@ -121,6 +135,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		pingNS:       reg.Histogram(MetricPingNS),
 		batchReads:   reg.Histogram(MetricBatchReads),
 		batchWrites:  reg.Histogram(MetricBatchWrites),
+		chaseNS:      reg.Histogram(MetricChaseNS),
 	}
 }
 

@@ -107,12 +107,17 @@ func (o PipelineOpts) withDefaults() PipelineOpts {
 type pipeOp struct {
 	write         bool
 	wantEp        bool // ride the epoch-stamped verbs (FeatEpoch sessions)
+	chase         bool // ride the traversal-offload verbs (FeatChase sessions)
+	probe         bool // liveness ping: not workload, kept out of tracing
 	ds, idx, size uint32
-	epoch         uint64 // write: stamp to apply; read: stamp received
-	dst           []byte // read destination
-	data          []byte // write payload (valid until completion)
+	epoch         uint64           // write: stamp to apply; read: stamp received
+	dst           []byte           // read destination
+	data          []byte           // write payload (valid until completion)
+	creq          rdma.ChaseReq    // chase: the traversal program
+	cres          rdma.ChaseResult // chase: decoded path (hop data caller-owned)
 	done          func(error)
-	edone         func(uint64, error) // epoch-read completion (exclusive with done/ch)
+	edone         func(uint64, error)           // epoch-read completion (exclusive with done/ch)
+	cdone         func(rdma.ChaseResult, error) // chase completion (exclusive with done/ch)
 	ch            chan error
 	start         time.Time       // set when metrics or tracing are attached
 	sentAt        time.Time       // doorbell time (tracing sessions only)
@@ -121,6 +126,10 @@ type pipeOp struct {
 }
 
 func (op *pipeOp) complete(err error) {
+	if op.cdone != nil {
+		op.cdone(op.cres, err)
+		return
+	}
 	if op.edone != nil {
 		op.edone(op.epoch, err)
 		return
@@ -130,6 +139,28 @@ func (op *pipeOp) complete(err error) {
 		return
 	}
 	op.ch <- err
+}
+
+// readKind partitions read-window ops into frame families that must
+// never share a batch frame: plain reads, epoch reads, and chases each
+// have their own request/reply shapes.
+func (op *pipeOp) readKind() int {
+	switch {
+	case op.chase:
+		return 2
+	case op.wantEp:
+		return 1
+	}
+	return 0
+}
+
+// unsupportedErr is the definitive error for an op doomed by a session
+// that lacks its verb family.
+func (op *pipeOp) unsupportedErr() error {
+	if op.chase {
+		return ErrChaseUnsupported
+	}
+	return ErrEpochUnsupported
 }
 
 // PipelinedClient is a farmem.Store/AsyncStore over one connection that
@@ -168,6 +199,7 @@ type PipelinedClient struct {
 	crc          bool               // session uses checksummed framing
 	wbatch       bool               // peer speaks WRITEBATCH/ACKBATCH
 	epochOK      bool               // peer speaks the epoch-stamped verbs
+	chaseOK      bool               // peer speaks the traversal-offload verbs
 	trace        bool               // session carries the trace extension
 	gen          uint64             // connection generation
 	reconnecting bool               // a reconnect is in progress
@@ -242,7 +274,7 @@ func negotiateCRC(conn io.ReadWriteCloser, d time.Duration) (bool, error) {
 // returns a running pipelined client. Returns ErrNoPipelining (with conn
 // still usable for a serial Client) when the peer is a legacy server.
 func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient, error) {
-	req := rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatEpoch
+	req := rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatEpoch | rdma.FeatChase
 	if opts.Trace != nil {
 		req |= rdma.FeatTrace
 	}
@@ -260,6 +292,7 @@ func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient,
 		crc:      feats&rdma.FeatCRC != 0,
 		wbatch:   feats&rdma.FeatWriteBatch != 0,
 		epochOK:  feats&rdma.FeatEpoch != 0,
+		chaseOK:  feats&rdma.FeatChase != 0,
 		trace:    opts.Trace != nil && feats&rdma.FeatTrace != 0,
 		opts:     opts.withDefaults(),
 		lastWire: time.Now(),
@@ -505,9 +538,14 @@ func (c *PipelinedClient) WriteObj(ds, idx int, src []byte) error {
 
 // Ping checks liveness by round-tripping an empty read batch through the
 // full pipeline — it doubles as a fence: when it returns, every
-// operation enqueued before it has been issued.
+// operation enqueued before it has been issued. Probes are transport
+// plumbing, not workload: they skip the slow-op recorder and the
+// attribution series, which otherwise report a rootless ds0[0] "read"
+// for every connection setup and breaker probe.
 func (c *PipelinedClient) Ping() error {
-	return c.ReadObj(0, 0, nil)
+	op := &pipeOp{probe: true, ch: make(chan error, 1)}
+	c.enqueue(op)
+	return <-op.ch
 }
 
 // Close fails all queued and in-flight operations with ErrClientClosed,
@@ -657,6 +695,7 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 		c.crc = feats&rdma.FeatCRC != 0
 		c.wbatch = feats&rdma.FeatWriteBatch != 0
 		c.epochOK = feats&rdma.FeatEpoch != 0
+		c.chaseOK = feats&rdma.FeatChase != 0
 		c.trace = c.hub != nil && feats&rdma.FeatTrace != 0
 		c.gen++
 		c.reconnecting = false
@@ -726,8 +765,9 @@ func (c *PipelinedClient) flushLoop() {
 	var reqs []rdma.ReadReq        // scratch, reused across wakeups
 	var wreqs []rdma.WriteReq      // scratch, reused across wakeups
 	var ereqs []rdma.WriteEpochReq // scratch, reused across wakeups
+	var creqs []rdma.ChaseReq      // scratch, reused across wakeups
 	var frames []rdma.Frame        // scratch, reused across wakeups
-	var doomed []*pipeOp           // epoch ops against a non-epoch peer
+	var doomed []*pipeOp           // epoch/chase ops against a peer without the verbs
 	for {
 		c.mu.Lock()
 		for c.err == nil && (c.reconnecting || !c.flushable()) {
@@ -750,31 +790,43 @@ func (c *PipelinedClient) flushLoop() {
 		space := c.opts.Window - c.inflight
 		for space > 0 && len(c.queue) > 0 {
 			// Coalesce the run of reads at the head of the queue. Epoch
-			// reads ride their own frames (the reply shape differs), so a
-			// batch never mixes the two kinds.
+			// reads and chases ride their own frames (the reply shapes
+			// differ), so a batch never mixes kinds.
 			reqs = reqs[:0]
+			creqs = creqs[:0]
 			var ops []*pipeOp
 			replySize := 4
 			for space > 0 && len(c.queue) > 0 && len(ops) < c.opts.MaxBatch {
 				op := c.queue[0]
-				if op.wantEp && !c.epochOK {
-					// The session never negotiated the epoch verbs (a legacy
+				if (op.wantEp && !c.epochOK) || (op.chase && !c.chaseOK) {
+					// The session never negotiated the op's verbs (a legacy
 					// peer, possibly after a reconnect): fail definitively
 					// rather than send a frame the peer cannot parse.
 					doomed = append(doomed, op)
 					c.queue = c.queue[1:]
 					continue
 				}
-				segHdr := 4
-				if op.wantEp {
-					segHdr = epochRespHdrSize
+				var seg int
+				switch {
+				case op.chase:
+					// Charge the worst case: the reply's size is unknown
+					// until the server runs the program.
+					seg = chaseReplySize(op.creq)
+				case op.wantEp:
+					seg = epochRespHdrSize + int(op.size)
+				default:
+					seg = 4 + int(op.size)
 				}
-				if len(ops) > 0 && (op.wantEp != ops[0].wantEp ||
-					replySize+segHdr+int(op.size) > rdma.MaxFrame) {
+				if len(ops) > 0 && (op.readKind() != ops[0].readKind() ||
+					replySize+seg > rdma.MaxFrame) {
 					break
 				}
-				replySize += segHdr + int(op.size)
-				reqs = append(reqs, rdma.ReadReq{DS: op.ds, Idx: op.idx, Size: op.size})
+				replySize += seg
+				if op.chase {
+					creqs = append(creqs, op.creq)
+				} else {
+					reqs = append(reqs, rdma.ReadReq{DS: op.ds, Idx: op.idx, Size: op.size})
+				}
 				ops = append(ops, op)
 				c.queue = c.queue[1:]
 				space--
@@ -784,9 +836,12 @@ func (c *PipelinedClient) flushLoop() {
 			}
 			tag := c.tagFor(ops, false)
 			var f rdma.Frame
-			if ops[0].wantEp {
+			switch {
+			case ops[0].chase:
+				f = rdma.EncodeChaseBatchPooled(tag, creqs)
+			case ops[0].wantEp:
 				f = rdma.EncodeReadEpochBatchPooled(tag, reqs)
-			} else {
+			default:
 				f = rdma.EncodeReadBatchPooled(tag, reqs)
 			}
 			if trace {
@@ -892,7 +947,7 @@ func (c *PipelinedClient) flushLoop() {
 		c.mu.Unlock()
 
 		for _, op := range doomed {
-			op.complete(ErrEpochUnsupported)
+			op.complete(op.unsupportedErr())
 		}
 
 		writeFrame := rdma.WriteFrame
@@ -975,8 +1030,9 @@ func (c *PipelinedClient) tagFor(ops []*pipeOp, write bool) uint32 {
 // contents are copied out or formatted into an error.
 func (c *PipelinedClient) readLoop() {
 	defer c.wg.Done()
-	var segs [][]byte         // scratch, reused across frames
-	var esegs []rdma.EpochSeg // scratch, reused across frames
+	var segs [][]byte            // scratch, reused across frames
+	var esegs []rdma.EpochSeg    // scratch, reused across frames
+	var cress []rdma.ChaseResult // scratch, reused across frames
 	for {
 		c.mu.Lock()
 		for c.err == nil && c.reconnecting {
@@ -1078,6 +1134,26 @@ func (c *PipelinedClient) readLoop() {
 			for i, op := range ops {
 				copy(op.dst, esegs[i].Data)
 				op.epoch = esegs[i].Epoch
+				c.finishOp(op, stamped, sQueueUS, sServiceUS)
+				op.complete(nil)
+			}
+			rdma.PutBuf(f.Payload)
+		case rdma.OpChaseData:
+			var derr error
+			cress, derr = rdma.DecodeChaseDataInto(f.Payload, cress)
+			if derr == nil && len(cress) != len(ops) {
+				derr = fmt.Errorf("remote: CHASEDATA has %d results, want %d", len(cress), len(ops))
+			}
+			if derr != nil {
+				// Framing is untrustworthy past this point: chases are
+				// read-only, so replay them on a fresh connection.
+				rdma.PutBuf(f.Payload)
+				c.requeueOps(ops, derr)
+				c.connFail(gen, derr)
+				continue
+			}
+			for i, op := range ops {
+				op.cres = copyChaseResult(cress[i])
 				c.finishOp(op, stamped, sQueueUS, sServiceUS)
 				op.complete(nil)
 			}
@@ -1189,7 +1265,7 @@ const (
 // on the reader goroutine; off the sampled path it allocates nothing.
 func (c *PipelinedClient) finishOp(op *pipeOp, stamped bool, queueUS, serviceUS uint32) {
 	c.observeOp(op)
-	if c.hub == nil || !stamped || op.start.IsZero() || op.sentAt.IsZero() {
+	if c.hub == nil || !stamped || op.probe || op.start.IsZero() || op.sentAt.IsZero() {
 		return
 	}
 	now := time.Now()

@@ -171,9 +171,9 @@ const DefaultBatchWorkers = 4
 // PING: this server speaks the tagged/batch extension (reads and
 // writes), can switch the session to checksummed frames, can carry
 // the trace extension (span context in, server timestamps out) on every
-// tagged frame, and serves the epoch-stamped verbs the replication
-// layer uses.
-const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatTrace | rdma.FeatEpoch
+// tagged frame, serves the epoch-stamped verbs the replication layer
+// uses, and executes offloaded pointer-chase traversal programs.
+const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatTrace | rdma.FeatEpoch | rdma.FeatChase
 
 // NewServer creates a server with an empty store and a private metric
 // registry.
@@ -323,6 +323,7 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 			var rscratch []rdma.ReadReq
 			var wscratch []rdma.WriteReq
 			var escratch []rdma.WriteEpochReq
+			var cscratch []rdma.ChaseReq
 			for j := range jobs {
 				trace := traceOut.Load()
 				switch j.f.Op {
@@ -332,6 +333,8 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 					escratch = s.serveWriteEpochBatch(j, connID, send, trace, escratch)
 				case rdma.OpReadEpochBatch:
 					rscratch = s.serveReadEpochBatch(j, connID, send, trace, rscratch)
+				case rdma.OpChaseBatch:
+					cscratch = s.serveChaseBatch(j, connID, send, trace, cscratch)
 				default:
 					rscratch = s.serveBatch(j, connID, send, trace, rscratch)
 				}
@@ -350,7 +353,8 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		}
 		s.metrics.bytesIn.Add(f.WireSize())
 		if f.Op == rdma.OpReadBatch || f.Op == rdma.OpWriteBatch ||
-			f.Op == rdma.OpReadEpochBatch || f.Op == rdma.OpWriteEpochBatch {
+			f.Op == rdma.OpReadEpochBatch || f.Op == rdma.OpWriteEpochBatch ||
+			f.Op == rdma.OpChaseBatch {
 			s.metrics.inflight.Add(1)
 			jobs <- batchJob{f: f, recv: time.Now()} // reply sent by a worker, possibly out of order
 			continue

@@ -61,6 +61,13 @@ const (
 	MetricReplicaQuorumFailures = "cards_replica_quorum_failures_total"
 	MetricReplicaResyncedObjs   = "cards_replica_resynced_objects_total"
 	MetricReplicaResyncSkipped  = "cards_replica_resync_skipped_total"
+
+	// MetricChaseFailovers counts traversal-offload programs rerouted to
+	// a lower-ranked in-sync replica after the serving member failed
+	// mid-chase (part of the cards_chase_* family the runtime publishes;
+	// the failover count lives here because only the replica layer can
+	// reroute).
+	MetricChaseFailovers = "cards_chase_failovers_total"
 )
 
 // EpochBackend is what each backend must provide: the plain store
@@ -107,7 +114,8 @@ type Options struct {
 // member misses further writes mid-sweep.
 type member struct {
 	eb     EpochBackend
-	pinger farmem.Pinger // non-nil iff the backend supports Ping
+	chaser farmem.AsyncChaseStore // non-nil iff the backend supports IssueChase
+	pinger farmem.Pinger          // non-nil iff the backend supports Ping
 	label  string
 
 	dom shardmap.Domain
@@ -161,6 +169,7 @@ type Store struct {
 
 	failovers, quorumFailures   *stats.Counter
 	resyncedObjs, resyncSkipped *stats.Counter
+	chaseFailovers              *stats.Counter
 
 	recoveryEpoch atomic.Uint64
 
@@ -211,6 +220,7 @@ func New(backends []farmem.Store, opts Options) (*Store, error) {
 		quorumFailures: reg.Counter(MetricReplicaQuorumFailures),
 		resyncedObjs:   reg.Counter(MetricReplicaResyncedObjs),
 		resyncSkipped:  reg.Counter(MetricReplicaResyncSkipped),
+		chaseFailovers: reg.Counter(MetricChaseFailovers),
 		stop:           make(chan struct{}),
 	}
 	for i, b := range backends {
@@ -231,6 +241,9 @@ func New(backends []farmem.Store, opts Options) (*Store, error) {
 			resyncs:     reg.Counter(MetricReplicaResyncs, "backend", l),
 			stateGauge:  reg.Gauge(MetricReplicaState, "backend", l),
 			insyncGauge: reg.Gauge(MetricReplicaInSync, "backend", l),
+		}
+		if cs, ok := b.(farmem.AsyncChaseStore); ok {
+			m.chaser = cs
 		}
 		if p, ok := b.(farmem.Pinger); ok {
 			m.pinger = p

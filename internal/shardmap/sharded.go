@@ -11,6 +11,7 @@ import (
 
 	"cards/internal/farmem"
 	"cards/internal/obs"
+	"cards/internal/rdma"
 	"cards/internal/stats"
 )
 
@@ -50,6 +51,7 @@ type shard struct {
 	store   farmem.Store
 	astore  farmem.AsyncStore      // non-nil iff the backend supports IssueRead
 	awstore farmem.AsyncWriteStore // non-nil iff the backend supports IssueWrite
+	chaser  farmem.AsyncChaseStore // non-nil iff the backend supports IssueChase
 	pinger  farmem.Pinger          // non-nil iff the backend supports Ping
 
 	dom Domain
@@ -145,6 +147,9 @@ func NewSharded(backends []farmem.Store, opts Options) (*ShardedStore, error) {
 		}
 		if aw, ok := b.(farmem.AsyncWriteStore); ok {
 			s.awstore = aw
+		}
+		if cs, ok := b.(farmem.AsyncChaseStore); ok {
+			s.chaser = cs
 		}
 		if p, ok := b.(farmem.Pinger); ok {
 			s.pinger = p
@@ -347,6 +352,104 @@ func (ss *ShardedStore) IssueWrite(ds, idx int, src []byte, done func(error)) {
 		return
 	}
 	finish(s.store.WriteObj(ds, idx, src))
+}
+
+// ChaseCapable implements farmem.ChaseStore. A traversal program walks
+// entirely on one backend, so the sharded store only offers offload
+// when every shard speaks the chase verbs on its live session — a
+// structure's pinned owner is decided by placement, not capability, and
+// flipping capability per shard would make offload behaviour depend on
+// which shard a structure happened to hash to.
+func (ss *ShardedStore) ChaseCapable() bool {
+	for _, s := range ss.shards {
+		if s.chaser == nil || !s.chaser.ChaseCapable() {
+			return false
+		}
+	}
+	return true
+}
+
+// chaseShard resolves the single shard a traversal program may run on:
+// the walk follows pointers server-side, so every object of the
+// structure must live on that shard — true for PolicyPin structures
+// (and trivially for a one-shard fleet). Striped structures are
+// refused: their successors live on other shards, and the serving shard
+// would zero-fill them mid-walk.
+func (ss *ShardedStore) chaseShard(ds int) (int, error) {
+	if ss.m.Shards() == 1 {
+		return ss.ShardOf(ds, 0), nil
+	}
+	ss.policyMu.RLock()
+	p := ss.policy[ds]
+	ss.policyMu.RUnlock()
+	if p != PolicyPin {
+		return 0, fmt.Errorf("shardmap: chase on striped ds%d (traversal programs need a pinned structure)", ds)
+	}
+	return ss.m.OwnerDS(ds), nil
+}
+
+// Chase implements farmem.ChaseStore, routing the whole program to the
+// pinned owner of its structure.
+func (ss *ShardedStore) Chase(req rdma.ChaseReq) (rdma.ChaseResult, error) {
+	i, err := ss.chaseShard(int(req.DS))
+	if err != nil {
+		return rdma.ChaseResult{}, err
+	}
+	s := ss.shards[i]
+	if s.chaser == nil {
+		return rdma.ChaseResult{}, fmt.Errorf("shardmap: shard %d does not speak the chase verbs", i)
+	}
+	if !s.gate(ss.opts.ProbeEvery) {
+		return rdma.ChaseResult{}, ss.degradedErr(i)
+	}
+	res, err := s.chaser.Chase(req)
+	if err != nil {
+		ss.fail(s)
+		return res, fmt.Errorf("shardmap: shard %d chase: %w", i, err)
+	}
+	ss.ok(s)
+	s.reads.Inc()
+	for _, h := range res.Hops {
+		s.bytesIn.Add(uint64(len(h.Data)))
+	}
+	return res, nil
+}
+
+// IssueChase implements farmem.AsyncChaseStore, riding the pinned
+// shard's own pipelined chase window.
+func (ss *ShardedStore) IssueChase(req rdma.ChaseReq, done func(rdma.ChaseResult, error)) {
+	i, err := ss.chaseShard(int(req.DS))
+	if err != nil {
+		done(rdma.ChaseResult{}, err)
+		return
+	}
+	s := ss.shards[i]
+	if s.chaser == nil {
+		done(rdma.ChaseResult{}, fmt.Errorf("shardmap: shard %d does not speak the chase verbs", i))
+		return
+	}
+	if !s.gate(ss.opts.ProbeEvery) {
+		done(ss.degradedChaseErr(i))
+		return
+	}
+	s.chaser.IssueChase(req, func(res rdma.ChaseResult, err error) {
+		if err != nil {
+			ss.fail(s)
+			done(res, fmt.Errorf("shardmap: shard %d chase: %w", i, err))
+			return
+		}
+		ss.ok(s)
+		s.reads.Inc()
+		for _, h := range res.Hops {
+			s.bytesIn.Add(uint64(len(h.Data)))
+		}
+		done(res, nil)
+	})
+}
+
+// degradedChaseErr adapts degradedErr to the chase completion shape.
+func (ss *ShardedStore) degradedChaseErr(i int) (rdma.ChaseResult, error) {
+	return rdma.ChaseResult{}, ss.degradedErr(i)
 }
 
 // Ping implements farmem.Pinger at cluster scope: it succeeds while at
