@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard bench-writeback bench-replica bench-chase benchguard difftest fuzz-smoke trace-smoke
+.PHONY: build test check fmt vet race chaos bench bench-smoke bench-shard bench-writeback bench-replica bench-chase bench-wire benchguard difftest fuzz-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -45,15 +45,17 @@ difftest:
 trace-smoke:
 	$(GO) test -run '^TestTraceSmoke$$' -count=1 -v .
 
-# benchguard reruns the pipeline-depth, dirty write-back, replication
-# and traversal-offload sweeps and fails if any guarded ratio fell
-# below its floor relative to the checked-in BENCH_pipeline.json /
-# BENCH_writeback.json / BENCH_replica.json / BENCH_chase.json
-# baselines (the guarded values are in-run ratios, so host speed
-# cancels out; the chase gate pins the hop-budget-16 speedup). Pass or
-# fail, it prints the per-row measured-vs-baseline delta tables.
+# benchguard reruns the pipeline-depth, dirty write-back, replication,
+# traversal-offload and wire-efficiency sweeps and fails if any guarded
+# ratio fell below its floor relative to the checked-in
+# BENCH_pipeline.json / BENCH_writeback.json / BENCH_replica.json /
+# BENCH_chase.json / BENCH_wire.json baselines (the guarded values are
+# in-run ratios, so host speed cancels out; the chase gate pins the
+# hop-budget-16 speedup, the wire gate pins the analytics workload's
+# bytes-per-op reduction over the legacy protocol). Pass or fail, it
+# prints the per-row measured-vs-baseline delta tables.
 benchguard:
-	$(GO) run ./cmd/benchguard -baseline BENCH_pipeline.json -writeback-baseline BENCH_writeback.json -replica-baseline BENCH_replica.json -chase-baseline BENCH_chase.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_pipeline.json -writeback-baseline BENCH_writeback.json -replica-baseline BENCH_replica.json -chase-baseline BENCH_chase.json -wire-baseline BENCH_wire.json
 
 # fuzz-smoke runs each native fuzzer briefly (seed corpus + a short
 # random exploration). Go allows one -fuzz pattern per invocation, so
@@ -106,6 +108,14 @@ bench-replica:
 bench-chase:
 	$(GO) run ./cmd/cardsbench -exp chase -scale quick -json > BENCH_chase.json
 	@cat BENCH_chase.json
+
+# bench-wire runs the wire-efficiency ladder (legacy tagged batches →
+# compact encoding → +adaptive LZ compression → +compiler-aided
+# dirty-range write-back) over a bandwidth-shaped TCP loopback and
+# records bytes-on-wire per op and end-to-end throughput per rung.
+bench-wire:
+	$(GO) run ./cmd/cardsbench -exp wire -scale quick -json > BENCH_wire.json
+	@cat BENCH_wire.json
 
 # bench-shard runs the sharded far-tier sweep (1→4 backends, real TCP
 # loopback with injected per-connection service latency) and records the

@@ -141,6 +141,21 @@ type Config struct {
 	// breakers. Only meaningful with RemoteAddr/RemoteAddrs set.
 	BreakerThreshold int
 
+	// Compression controls adaptive per-object compression on the
+	// compact wire tier (negotiated with the server; legacy servers are
+	// unaffected): "" or "adaptive" compresses objects whose observed
+	// compressibility pays for the CPU, sampling incompressible
+	// structures only occasionally; "off" ships every object raw.
+	Compression string
+	// DirtyRangeWriteback ships only the modified byte ranges of a dirty
+	// object at eviction when the far tier speaks the compact range
+	// verb: the runtime tracks a per-object dirty rectangle from the
+	// write guards and the server splices the extents into its stored
+	// image. Falls back to full-object write-backs transparently (legacy
+	// servers, wide rectangles, unknown coverage). Only meaningful with
+	// RemoteAddr/RemoteAddrs set.
+	DirtyRangeWriteback bool
+
 	// Trace enables cross-process distributed tracing. Span contexts
 	// ride the wire on every pipelined frame (negotiated with the
 	// server; legacy servers fall back transparently), the server stamps
@@ -242,7 +257,11 @@ func New(cfg Config) (*Runtime, error) {
 		} else if threshold < 0 {
 			threshold = 0
 		}
-		dcfg := remote.DialConfig{Timeout: timeout, RetryMax: retries, Obs: reg, Trace: hub}
+		dcfg := remote.DialConfig{
+			Timeout: timeout, RetryMax: retries, Obs: reg, Trace: hub,
+			Compression: cfg.Compression,
+		}
+		fc.RangeWriteback = cfg.DirtyRangeWriteback
 		if len(addrs) == 1 {
 			// The resilient dialer replaces a client whose reconnect budget
 			// ran out during a long outage, so a restarted server resumes

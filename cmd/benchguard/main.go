@@ -1,13 +1,15 @@
 // Command benchguard is the CI regression gate for the real-socket data
 // path: it reruns the pipeline-depth sweep, the dirty write-back sweep,
-// the replicated-write sweep and the traversal-offload sweep and
-// compares each guarded ratio against the checked-in baseline tables
-// (BENCH_pipeline.json, BENCH_writeback.json, BENCH_replica.json,
-// BENCH_chase.json). A fresh best ratio below threshold × baseline
-// fails the build — the batched read path, the staged write-back path,
-// the replicated fan-out's throughput retention over its in-run R=1
-// baseline, or the offloaded pointer chase's speedup over dependent
-// per-hop reads (pinned at hop budget 16) has regressed.
+// the replicated-write sweep, the traversal-offload sweep and the
+// wire-efficiency ladder and compares each guarded ratio against the
+// checked-in baseline tables (BENCH_pipeline.json, BENCH_writeback.json,
+// BENCH_replica.json, BENCH_chase.json, BENCH_wire.json). A fresh best
+// ratio below threshold × baseline fails the build — the batched read
+// path, the staged write-back path, the replicated fan-out's throughput
+// retention over its in-run R=1 baseline, the offloaded pointer chase's
+// speedup over dependent per-hop reads (pinned at hop budget 16), or the
+// compact+compression+range tier's bytes-on-wire reduction over the
+// legacy protocol (pinned at the analytics workload) has regressed.
 //
 // The guard compares *speedups over the in-run baseline row*, not
 // absolute throughput: both sides of the ratio come from the same
@@ -26,6 +28,7 @@
 //	           [-writeback-baseline BENCH_writeback.json] [-writeback-threshold 0.7]
 //	           [-replica-baseline BENCH_replica.json] [-replica-threshold 0.6]
 //	           [-chase-baseline BENCH_chase.json] [-chase-threshold 0.7]
+//	           [-wire-baseline BENCH_wire.json] [-wire-threshold 0.8]
 package main
 
 import (
@@ -67,6 +70,8 @@ func main() {
 	repThresh := flag.Float64("replica-threshold", 0.6, "minimum fresh/baseline throughput-retention ratio (replica R=2 row; loosest, two windows' scheduling noise)")
 	chaseBase := flag.String("chase-baseline", "BENCH_chase.json", "checked-in traversal-offload sweep table (empty disables the gate)")
 	chaseThresh := flag.Float64("chase-threshold", 0.7, "minimum fresh/baseline speedup ratio (chase offload, hop budget 16)")
+	wireBase := flag.String("wire-baseline", "BENCH_wire.json", "checked-in wire-efficiency ladder table (empty disables the gate)")
+	wireThresh := flag.Float64("wire-threshold", 0.8, "minimum fresh/baseline bytes-per-op reduction ratio (analytics, full ladder; byte counts are near-deterministic)")
 	runs := flag.Int("runs", 3, "sweep attempts per gate; the best one is compared")
 	flag.Parse()
 
@@ -107,6 +112,17 @@ func main() {
 			rowKey:    "offload",
 			rowKey2:   "16",
 			run:       func() (*bench.Table, error) { return bench.Chase(bench.Quick()) },
+		})
+	}
+	if *wireBase != "" {
+		gates = append(gates, gate{
+			name:      "wire",
+			baseline:  *wireBase,
+			threshold: *wireThresh,
+			ratioCol:  "bytes vs legacy",
+			rowKey:    "analytics",
+			rowKey2:   "compact+lz+range",
+			run:       func() (*bench.Table, error) { return bench.Wire(bench.Quick()) },
 		})
 	}
 

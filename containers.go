@@ -103,7 +103,7 @@ func (a *Array[T]) Set(i int, v T) error {
 	if err != nil {
 		return err
 	}
-	p, err := a.h.r.rt.Guard(addr, true)
+	p, err := a.h.r.rt.GuardSpan(addr, true, 0, 8)
 	if err != nil {
 		return err
 	}
@@ -144,14 +144,14 @@ func (l *List[T]) PushBack(v T) error {
 	if err != nil {
 		return err
 	}
-	p, err := rt.Guard(node, true)
+	p, err := rt.GuardSpan(node, true, 0, 8)
 	if err != nil {
 		return err
 	}
 	if err := rt.WriteWord(p, toBits(v)); err != nil {
 		return err
 	}
-	pn, err := rt.Guard(node+8, true)
+	pn, err := rt.GuardSpan(node+8, true, 0, 8)
 	if err != nil {
 		return err
 	}
@@ -161,7 +161,7 @@ func (l *List[T]) PushBack(v T) error {
 	if l.tail == 0 {
 		l.head, l.tail = node, node
 	} else {
-		pt, err := rt.Guard(l.tail+8, true)
+		pt, err := rt.GuardSpan(l.tail+8, true, 0, 8)
 		if err != nil {
 			return err
 		}
@@ -277,7 +277,7 @@ func (m *Map[T]) Put(k int64, v T) error {
 			return err
 		}
 		if int64(key) == k {
-			pv, err := rt.Guard(cur+8, true)
+			pv, err := rt.GuardSpan(cur+8, true, 0, 8)
 			if err != nil {
 				return err
 			}
@@ -301,7 +301,7 @@ func (m *Map[T]) Put(k int64, v T) error {
 		off  uint64
 		bits uint64
 	}{{0, uint64(k)}, {8, toBits(v)}, {16, head}} {
-		p, err := rt.Guard(node+w.off, true)
+		p, err := rt.GuardSpan(node+w.off, true, 0, 8)
 		if err != nil {
 			return err
 		}
@@ -309,7 +309,7 @@ func (m *Map[T]) Put(k int64, v T) error {
 			return err
 		}
 	}
-	pw, err := rt.Guard(slot, true)
+	pw, err := rt.GuardSpan(slot, true, 0, 8)
 	if err != nil {
 		return err
 	}

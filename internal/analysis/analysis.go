@@ -88,6 +88,12 @@ type DSInfo struct {
 
 	// AccessingFuncs lists functions touching the structure (sorted).
 	AccessingFuncs []string
+
+	// WriteFootprint lists the [lo, hi) byte ranges within one element
+	// that stores to the structure may modify, coalesced and sorted.
+	// Nil when a store's target bytes could not be bounded statically
+	// (the structure then write-backs whole objects).
+	WriteFootprint [][2]int
 }
 
 // Result is the output of the analysis pass.
@@ -150,7 +156,126 @@ func Analyze(m *ir.Module, ds *dsa.Result) *Result {
 	res.propagateThroughCalls(m, ds)
 	res.computeLoopDS(m)
 	res.score(m, ds)
+	res.computeWriteFootprints(m)
 	return res
+}
+
+// computeWriteFootprints derives, per data structure, the byte ranges
+// within one element that stores may modify — the static fallback the
+// runtime's dirty-range write-back uses when a guard carries no span.
+// A store whose target offset cannot be bounded (unresolvable address,
+// offset outside the element) voids the footprint of every structure it
+// may touch: nil means "assume the whole object".
+func (res *Result) computeWriteFootprints(m *ir.Module) {
+	ranges := make(map[int][][2]int)
+	unknown := make(map[int]bool)
+	for _, f := range m.Funcs {
+		// Single-definition map for address decomposition; registers
+		// with multiple defs resolve to nil (give up on that store).
+		defs := make(map[*ir.Reg]*ir.Instr)
+		multi := make(map[*ir.Reg]bool)
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			if in.Dst != nil {
+				if _, seen := defs[in.Dst]; seen {
+					multi[in.Dst] = true
+				}
+				defs[in.Dst] = in
+			}
+			return true
+		})
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			if in.Op != ir.OpStore {
+				return true
+			}
+			ids := res.InstrDS[in]
+			if len(ids) == 0 {
+				return true
+			}
+			lo, ok := storeFieldOffset(in, defs, multi)
+			width := 0
+			if in.Elem != nil {
+				width = in.Elem.Size()
+			}
+			for _, id := range ids {
+				if !ok || width <= 0 {
+					unknown[id] = true
+					continue
+				}
+				info := res.Infos[id]
+				es := 0
+				if info.DS.Elem != nil {
+					es = info.DS.Elem.Size()
+				}
+				if es <= 0 {
+					unknown[id] = true
+					continue
+				}
+				off := lo % es
+				if off+width > es {
+					// Straddles an element boundary (or a mis-modelled
+					// layout): no safe per-element bound.
+					unknown[id] = true
+					continue
+				}
+				ranges[id] = append(ranges[id], [2]int{off, off + width})
+			}
+			return true
+		})
+	}
+	for id, rs := range ranges {
+		if unknown[id] {
+			continue
+		}
+		res.Infos[id].WriteFootprint = coalesceRanges(rs)
+	}
+}
+
+// storeFieldOffset resolves the constant byte offset of a store's
+// address relative to its element base: the ConstOff of a single
+// indexed GEP, or the raw offset of a base+const GEP. Returns false
+// when the address is not a single resolvable GEP.
+func storeFieldOffset(in *ir.Instr, defs map[*ir.Reg]*ir.Instr, multi map[*ir.Reg]bool) (int, bool) {
+	r, ok := in.Addr.(*ir.Reg)
+	if !ok {
+		return 0, false
+	}
+	def := defs[r]
+	if def == nil || multi[r] || def.Op != ir.OpGEP {
+		return 0, false
+	}
+	off := def.ConstOff
+	// Nested GEP (array-of-structs): fold the inner field offset.
+	if br, isReg := def.Base.(*ir.Reg); isReg && def.Index == nil {
+		if bdef := defs[br]; bdef != nil && !multi[br] && bdef.Op == ir.OpGEP {
+			off += bdef.ConstOff
+		}
+	}
+	if off < 0 {
+		return 0, false
+	}
+	return off, true
+}
+
+// coalesceRanges sorts and merges overlapping or adjacent [lo, hi)
+// ranges.
+func coalesceRanges(rs [][2]int) [][2]int {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i][0] != rs[j][0] {
+			return rs[i][0] < rs[j][0]
+		}
+		return rs[i][1] < rs[j][1]
+	})
+	out := rs[:0]
+	for _, r := range rs {
+		if n := len(out); n > 0 && r[0] <= out[n-1][1] {
+			if r[1] > out[n-1][1] {
+				out[n-1][1] = r[1]
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // findInductionVars detects basic IVs: registers updated exactly once in

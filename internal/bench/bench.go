@@ -190,6 +190,7 @@ func Experiments() []Experiment {
 		{"writeback", "Sync vs async batched dirty write-back, TCP loopback with injected RTT (beyond the paper)", Writeback},
 		{"replica", "Replicated far-tier write amplification + failover latency, TCP loopback with injected RTT (beyond the paper)", Replica},
 		{"chase", "Server-side traversal offload vs per-hop pointer chasing, TCP loopback with injected RTT (beyond the paper)", Chase},
+		{"wire", "Bytes-on-wire and throughput across the compact/compression/range-writeback ladder, bandwidth-shaped TCP loopback (beyond the paper)", Wire},
 	}
 }
 

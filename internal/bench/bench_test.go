@@ -195,7 +195,7 @@ func TestFig9PointerChasersFavourCaRDS(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	ids := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "hybrid", "netsweep", "guards", "pipeline", "shard", "writeback", "replica", "chase"}
+	ids := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "hybrid", "netsweep", "guards", "pipeline", "shard", "writeback", "replica", "chase", "wire"}
 	if got := len(Experiments()); got != len(ids) {
 		t.Fatalf("experiments = %d, want %d", got, len(ids))
 	}

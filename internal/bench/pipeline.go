@@ -156,7 +156,12 @@ func runSerial(addr string, reads, objSize, nObjs int, chaos bool) (time.Duratio
 }
 
 func runPipelined(addr string, reads, objSize, nObjs, depth int, chaos bool) (time.Duration, error) {
-	opts := remote.PipelineOpts{Window: depth}
+	// Compression is pinned off: the sweep isolates window-depth scaling
+	// against the serial client, which always ships raw bytes, and the
+	// seeded ramp objects are maximally compressible — adaptive LZ would
+	// turn the measurement into a CPU benchmark of the compressor. The
+	// wire ladder (bench -exp wire) measures that trade-off explicitly.
+	opts := remote.PipelineOpts{Window: depth, Compression: "off"}
 	if chaos {
 		co := chaosClientOpts()
 		opts.Timeout, opts.RetryMax = co.Timeout, co.RetryMax

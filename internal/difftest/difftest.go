@@ -49,6 +49,17 @@ type Config struct {
 	// Window and MaxBatch shape the pipelined session. Chaos runs keep
 	// batches small so coalesced reply frames fit the cut budget.
 	Window, MaxBatch int
+	// RangeWriteback turns on compiler-aided dirty-range write-back for
+	// the remote modes: evicted dirty objects ship only their modified
+	// extents over the compact WRITERANGE verb (the per-hop control
+	// hides the range surface, so it stays on full-object writes). The
+	// differential then also proves range splices exact across replayed
+	// and duplicated writes: a lost or misapplied extent would surface
+	// as a checksum divergence on the next fetch of that object.
+	RangeWriteback bool
+	// Compression sets the compact tier's compression mode for the
+	// remote modes ("" = adaptive, "off" = raw).
+	Compression string
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +113,7 @@ func run(t testing.TB, build func() (*ir.Module, error), cfg Config, store farme
 		RemotableBudget: cfg.RemotableBudget,
 		Store:           store,
 		RetryMax:        cfg.RetryMax,
+		RangeWriteback:  cfg.RangeWriteback,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -117,12 +129,13 @@ func run(t testing.TB, build func() (*ir.Module, error), cfg Config, store farme
 func dialPipelined(t testing.TB, addr string, cfg Config) *remote.PipelinedClient {
 	t.Helper()
 	dc := remote.DialConfig{
-		Timeout:   300 * time.Millisecond,
-		RetryMax:  64,
-		RetryBase: time.Millisecond,
-		RetryCap:  20 * time.Millisecond,
-		Window:    cfg.Window,
-		MaxBatch:  cfg.MaxBatch,
+		Timeout:     300 * time.Millisecond,
+		RetryMax:    64,
+		RetryBase:   time.Millisecond,
+		RetryCap:    20 * time.Millisecond,
+		Window:      cfg.Window,
+		MaxBatch:    cfg.MaxBatch,
+		Compression: cfg.Compression,
 	}
 	for i := 0; i < 50; i++ {
 		c, err := remote.DialAutoOpts(addr, dc)

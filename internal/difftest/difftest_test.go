@@ -71,6 +71,40 @@ func TestOffloadExactUnderChaos(t *testing.T) {
 		offload.Stats.ChaseStagingHits, offload.Stats.ChaseFallbacks)
 }
 
+// TestRangeWritebackExactUnderChaos is the dirty-range differential:
+// the BFS workload with compiler-aided range write-back live on the
+// offloaded mode, under a cut+corruption schedule. Cuts kill range
+// writes in uncertain states (issued, outcome unknown); the runtime's
+// synchronous reissue replays the FULL staged image, so a double-
+// applied or lost splice would surface as a checksum divergence on the
+// next fetch of that object. The per-hop control hides the range
+// surface and stays on full-object writes — same server code, range
+// path off.
+func TestRangeWritebackExactUnderChaos(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+	build := func() (*ir.Module, error) {
+		return workloads.BuildBFS(workloads.BFSConfig{
+			Vertices: 512, Degree: 6, Trials: 2, Seed: 11}).Module, nil
+	}
+	perhop, offload := Run(t, build, Config{
+		Spec:           "cut=32768,corrupt=0.01,seed=13",
+		RetryMax:       8,
+		Window:         8,
+		MaxBatch:       2,
+		RangeWriteback: true,
+	})
+	if perhop.Stats.RangeWriteBacks != 0 {
+		t.Errorf("per-hop control took %d range write-backs; its store hides the range surface",
+			perhop.Stats.RangeWriteBacks)
+	}
+	if offload.Stats.RangeWriteBacks == 0 {
+		t.Error("range-writeback mode shipped no extents: the range path never engaged")
+	}
+	t.Logf("range chaos: %d range write-backs, %d bytes saved, %d cuts/%d corruptions",
+		offload.Stats.RangeWriteBacks, offload.Stats.RangeBytesSaved,
+		offload.Cuts, offload.Corruptions)
+}
+
 // TestBFSExactUnderChaos reuses the harness for the BFS e2e suite: a
 // graph traversal whose adjacency structure is not a single-successor
 // chain, so offload may engage only partially (or not at all) — but

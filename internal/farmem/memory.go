@@ -103,6 +103,15 @@ func (r *Runtime) AllocLocal(n int64) (uint64, error) {
 // addresses, the cards_deref slow path. It returns the localized
 // (directly dereferenceable) address.
 func (r *Runtime) Guard(addr uint64, write bool) (uint64, error) {
+	return r.GuardSpan(addr, write, 0, 0)
+}
+
+// GuardSpan is Guard carrying the compiler-derived written byte span
+// [gLo, gHi) relative to addr (ir.Instr.GLo/GHi): the bytes this guard's
+// store — and every store elided onto it — may modify. gHi <= gLo means
+// the span is unknown and a write dirties conservatively (the whole
+// object, or the structure's static write footprint).
+func (r *Runtime) GuardSpan(addr uint64, write bool, gLo, gHi int) (uint64, error) {
 	r.stats.GuardChecks++
 	if r.trackFM {
 		// TrackFM's guards run the full lookup on every access —
@@ -120,13 +129,19 @@ func (r *Runtime) Guard(addr uint64, write bool) (uint64, error) {
 		r.stats.FastPathHits++
 		return addr, nil
 	}
-	return r.Deref(addr, write)
+	return r.DerefSpan(addr, write, gLo, gHi)
 }
 
 // Deref is the cards_deref slow path (Listing 4): map the tagged address
 // to its data structure and object, localize the object if necessary,
 // and return the physical (arena) address.
 func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
+	return r.DerefSpan(addr, write, 0, 0)
+}
+
+// DerefSpan is Deref carrying a write span for the dirty rectangle; see
+// GuardSpan.
+func (r *Runtime) DerefSpan(addr uint64, write bool, gLo, gHi int) (uint64, error) {
 	r.stats.DerefCalls++
 	id := DSOf(addr)
 	d := r.DSByID(id)
@@ -246,7 +261,7 @@ func (r *Runtime) Deref(addr uint64, write bool) (uint64, error) {
 
 	obj.ref = true
 	if write {
-		obj.dirty = true
+		r.markDirty(d, obj, int(off&(uint64(d.Meta.ObjSize)-1)), gLo, gHi)
 	}
 	d.prefetcher.OnAccess(r, d, idx, missed)
 	r.endRoot(rootMine)
@@ -422,6 +437,7 @@ func (r *Runtime) evictObject(d *DS, idx, ringPos int) error {
 	r.remotableUsed -= uint64(d.Meta.ObjSize)
 	obj.state = objRemote
 	obj.dirty = false
+	obj.rect = dirtyRect{}
 	obj.ref = false
 	obj.epoch++
 	d.stats.Evictions++
@@ -555,6 +571,7 @@ func (r *Runtime) harvest(d *DS, idx int) error {
 	r.remotableUsed -= uint64(d.Meta.ObjSize)
 	obj.state = objRemote
 	obj.dirty = false
+	obj.rect = dirtyRect{}
 	obj.ref = false
 	obj.epoch++
 	return fmt.Errorf("farmem: async fetch ds%d[%d]: %w", d.ID, idx, p.err)

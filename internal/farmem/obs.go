@@ -59,6 +59,12 @@ const (
 	MetricWriteBackStagedBytes   = "cards_farmem_writeback_staged_bytes"
 	MetricWriteBackStagedEntries = "cards_farmem_writeback_staged_entries"
 
+	// Dirty-range write-back (dirtyrange.go): evictions that shipped
+	// only the modified extents, and the object bytes that elision kept
+	// off the wire.
+	MetricRangeWriteBacks = "cards_farmem_range_writebacks_total"
+	MetricRangeBytesSaved = "cards_farmem_range_bytes_saved_total"
+
 	// Traversal offload (chase.go): programs shipped, path objects
 	// delivered ahead of demand, derefs served from the chase staging
 	// area, stale results dropped by the write-back generation guard,
@@ -147,6 +153,8 @@ func (r *Runtime) PublishObs() {
 	reg.Counter(MetricWriteBackStalls).Store(s.WriteBackStalls)
 	reg.Counter(MetricWriteBackReissues).Store(s.WriteBackReissues)
 	reg.Counter(MetricWriteBackStagingHits).Store(s.WriteBackStagingHits)
+	reg.Counter(MetricRangeWriteBacks).Store(s.RangeWriteBacks)
+	reg.Counter(MetricRangeBytesSaved).Store(s.RangeBytesSaved)
 	reg.Gauge(MetricWriteBackStagedBytes).Set(int64(r.wbBytes))
 	reg.Gauge(MetricWriteBackStagedEntries).Set(int64(len(r.wbPending)))
 

@@ -8,6 +8,7 @@ import (
 
 	"cards/internal/netsim"
 	"cards/internal/obs"
+	"cards/internal/rdma"
 	"cards/internal/stats"
 )
 
@@ -36,6 +37,11 @@ type DSMeta struct {
 	PtrOffsets []int // pointer-field offsets within one element
 	UseScore   int   // eq. 1 score
 	ReachScore int   // caller/callee chain score
+	// WriteFootprint lists the [lo, hi) byte ranges within one element
+	// that stores through this structure may modify (compiler-derived).
+	// It bounds the dirty rectangle of a spanless write so range
+	// write-back stays available when a guard carries no span.
+	WriteFootprint [][2]int
 }
 
 // Placement is the remoting decision for a data structure.
@@ -83,6 +89,9 @@ type FarObj struct {
 	dirty   bool
 	ref     bool // CLOCK reference bit
 	epoch   uint32
+	// rect is the accumulated written region while dirty (dirtyrange.go);
+	// reset when the object ceases to be dirty.
+	rect dirtyRect
 	// pending carries the staging state of an AsyncStore read while the
 	// object is in flight; nil on the sync path.
 	pending *pendingFetch
@@ -322,6 +331,11 @@ type Config struct {
 	// RemotableBudget/4. Once staged-but-unsettled payload exceeds the
 	// budget, the next dirty eviction blocks on the oldest staged write.
 	WriteBackBudget uint64
+
+	// RangeWriteback enables dirty-range write-back (dirtyrange.go):
+	// evictions of objects whose writes the guards bounded ship only the
+	// modified byte ranges when the store supports it (RangeWriteStore).
+	RangeWriteback bool
 }
 
 // clockEntry is one CLOCK ring slot.
@@ -357,6 +371,10 @@ type RuntimeStats struct {
 	WriteBackReissues    uint64 // failed/uncertain async writes reissued synchronously
 	WriteBackStagingHits uint64 // derefs served read-your-writes from a staging buffer
 
+	// Dirty-range write-back counters (see dirtyrange.go).
+	RangeWriteBacks uint64 // evictions that shipped extents instead of the full object
+	RangeBytesSaved uint64 // object bytes elided from the wire by range write-backs
+
 	// Traversal-offload counters (see chase.go).
 	ChasesIssued     uint64 // traversal programs shipped to the far tier
 	ChaseHopsStaged  uint64 // path objects delivered and staged for deref
@@ -375,6 +393,8 @@ type Runtime struct {
 	astore AsyncStore // non-nil iff store supports IssueRead
 
 	// Asynchronous write-back pipeline (writeback.go).
+	rwstore   RangeWriteStore // non-nil iff range write-back is on and supported
+	extFree   [][]rdma.Extent // pooled extent slices (dirtyrange.go)
 	awstore   AsyncWriteStore // non-nil iff store supports IssueWrite
 	wbPending map[wbKey]*pendingWB
 	wbOrder   []*pendingWB // issue-order FIFO (entries validated lazily)
@@ -486,6 +506,11 @@ func New(cfg Config) *Runtime {
 	}
 	if aw, ok := store.(AsyncWriteStore); ok {
 		r.awstore = aw
+		if cfg.RangeWriteback {
+			if rw, ok := store.(RangeWriteStore); ok {
+				r.rwstore = rw
+			}
+		}
 		r.wbPending = make(map[wbKey]*pendingWB)
 		r.wbFree = make(map[int][][]byte)
 		r.wbBudget = cfg.WriteBackBudget

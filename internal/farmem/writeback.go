@@ -1,6 +1,10 @@
 package farmem
 
-import "errors"
+import (
+	"errors"
+
+	"cards/internal/rdma"
+)
 
 // Asynchronous batched write-back pipeline.
 //
@@ -60,11 +64,15 @@ type wbKey struct {
 // settles. Like pendingFetch, the store's completion callback fills
 // exactly one slot of done and the single-threaded runtime harvests it.
 type pendingWB struct {
-	key     wbKey
-	d       *DS
-	idx     int
-	buf     []byte // pooled staging snapshot of the dirty payload
-	size    int
+	key  wbKey
+	d    *DS
+	idx  int
+	buf  []byte // pooled staging snapshot of the dirty payload
+	size int
+	// exts, when non-nil, are the modified ranges within buf: the write
+	// was issued as a range write (dirtyrange.go). buf still holds the
+	// FULL object so a synchronous reissue replays the whole image.
+	exts    []rdma.Extent
 	doneAt  uint64 // virtual settle cycle (link.WriteBackAsync)
 	done    chan error
 	err     error
@@ -131,6 +139,8 @@ func (r *Runtime) releaseWB(p *pendingWB) {
 	r.wbBytes -= uint64(p.size)
 	r.putWBBuf(p.buf)
 	p.buf = nil
+	r.putExtBuf(p.exts)
+	p.exts = nil
 }
 
 // settleWB consumes one staged write's completion (blocking if needed).
@@ -235,14 +245,31 @@ func (r *Runtime) tryAsyncWriteBack(d *DS, idx int) bool {
 	obj := &d.objs[idx]
 	buf := r.getWBBuf(sz)
 	copy(buf, r.arena.Bytes(obj.frame, sz))
-	p := &pendingWB{key: key, d: d, idx: idx, buf: buf, size: sz,
+	exts := r.rangeExtents(d, obj)
+	p := &pendingWB{key: key, d: d, idx: idx, buf: buf, size: sz, exts: exts,
 		done: make(chan error, 1)}
-	p.doneAt = r.link.WriteBackAsync(sz)
+	if exts != nil {
+		// Only the extent bytes ride the wire; the virtual link charge
+		// shrinks with them.
+		shipped := 0
+		for _, e := range exts {
+			shipped += int(e.Len)
+		}
+		p.doneAt = r.link.WriteBackAsync(shipped)
+		r.stats.RangeWriteBacks++
+		r.stats.RangeBytesSaved += uint64(sz - shipped)
+	} else {
+		p.doneAt = r.link.WriteBackAsync(sz)
+	}
 	r.wbPending[key] = p
 	r.wbOrder = append(r.wbOrder, p)
 	r.wbBytes += uint64(sz)
 	r.stats.StagedWriteBacks++
-	r.awstore.IssueWrite(d.ID, idx, buf, func(err error) { p.done <- err })
+	if exts != nil {
+		r.rwstore.IssueWriteRanges(d.ID, idx, buf, exts, func(err error) { p.done <- err })
+	} else {
+		r.awstore.IssueWrite(d.ID, idx, buf, func(err error) { p.done <- err })
+	}
 	return true
 }
 
@@ -275,9 +302,11 @@ func (r *Runtime) derefFromStaging(d *DS, idx int) (bool, error) {
 	if q, live := r.wbPending[key]; live && q == p && p.parked {
 		// The parked staging copy was the only durable copy; the frame
 		// takes over that role, so the object re-localizes dirty and the
-		// staging budget is released.
+		// staging budget is released. The remote base predates the parked
+		// write, so the dirty region is unknown: full-object write-back.
 		r.releaseWB(p)
 		obj.dirty = true
+		obj.rect = dirtyRect{full: true}
 	}
 	r.stats.WriteBackStagingHits++
 	r.emit(EvMaterialize, d.ID, idx, false)

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"strconv"
@@ -91,6 +92,12 @@ type Config struct {
 	StallProb float64
 	Stall     time.Duration
 
+	// Bandwidth caps throughput at this many bytes per second, each
+	// direction paced independently by a serialization-delay token
+	// bucket — a fixed-capacity link, where fewer bytes on the wire
+	// translate directly into wall-clock time saved. 0 never throttles.
+	Bandwidth int
+
 	// OnFault, when non-nil, is called once per injected fault (from
 	// the goroutine doing the I/O; must be cheap and concurrency-safe).
 	OnFault func(Kind)
@@ -98,7 +105,7 @@ type Config struct {
 
 func (c Config) active() bool {
 	return c.CutEveryBytes > 0 || c.CorruptProb > 0 || c.TruncateProb > 0 ||
-		c.Latency > 0 || c.StallProb > 0
+		c.Latency > 0 || c.StallProb > 0 || c.Bandwidth > 0
 }
 
 // ParseSpec parses a comma-separated chaos spec, e.g.
@@ -124,17 +131,19 @@ func ParseSpec(spec string) (Config, error) {
 		case "cut":
 			cfg.CutEveryBytes, err = strconv.Atoi(val)
 		case "corrupt":
-			cfg.CorruptProb, err = strconv.ParseFloat(val, 64)
+			cfg.CorruptProb, err = parseProb(val)
 		case "trunc":
-			cfg.TruncateProb, err = strconv.ParseFloat(val, 64)
+			cfg.TruncateProb, err = parseProb(val)
 		case "stallp":
-			cfg.StallProb, err = strconv.ParseFloat(val, 64)
+			cfg.StallProb, err = parseProb(val)
 		case "latency":
 			cfg.Latency, err = time.ParseDuration(val)
 		case "jitter":
 			cfg.Jitter, err = time.ParseDuration(val)
 		case "stall":
 			cfg.Stall, err = time.ParseDuration(val)
+		case "bw":
+			cfg.Bandwidth, err = strconv.Atoi(val)
 		case "seed":
 			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
 		default:
@@ -148,6 +157,20 @@ func ParseSpec(spec string) (Config, error) {
 		cfg.Stall = 50 * time.Millisecond
 	}
 	return cfg, nil
+}
+
+// parseProb parses a probability, rejecting non-finite values: a NaN
+// fault probability compares unequal to itself and would poison every
+// schedule decision made against it.
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return 0, fmt.Errorf("non-finite probability %q", val)
+	}
+	return p, nil
 }
 
 // Conn wraps an io.ReadWriteCloser with the fault schedule. Reads and
@@ -166,6 +189,11 @@ type Conn struct {
 	cutArmed  bool
 	wasCut    atomic.Bool
 	closeOnce sync.Once
+
+	// Per-direction pacing state for the Bandwidth throttle: the virtual
+	// time at which each direction's last byte finishes serializing.
+	readReady  time.Time
+	writeReady time.Time
 }
 
 // Wrap applies the fault schedule to inner. A zero Config passes
@@ -235,6 +263,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 	}
 	n, err := c.inner.Read(p)
 	if n > 0 {
+		c.throttle(&c.readReady, n)
 		c.maybeCorrupt(p[:n])
 		allowed, cutNow := c.consume(n)
 		if cutNow {
@@ -270,6 +299,34 @@ func (c *Conn) readDelay() time.Duration {
 		d += c.cfg.Stall
 	}
 	return d
+}
+
+// bwGranule is the smallest serialization debt the throttle sleeps
+// for: time.Sleep overshoots by tens of microseconds per call, so
+// paying the debt one tiny chunk at a time would throttle far below
+// the configured rate. Debt accumulates until it is worth one sleep,
+// bounding bursts at a few granules.
+const bwGranule = 2 * time.Millisecond
+
+// throttle charges n bytes of serialization delay against one
+// direction's pacing clock and sleeps once the accumulated debt
+// crosses the granule.
+func (c *Conn) throttle(ready *time.Time, n int) {
+	if c.cfg.Bandwidth <= 0 || n <= 0 {
+		return
+	}
+	d := time.Duration(int64(n) * int64(time.Second) / int64(c.cfg.Bandwidth))
+	c.mu.Lock()
+	now := time.Now()
+	if ready.Before(now) {
+		*ready = now
+	}
+	*ready = ready.Add(d)
+	wait := ready.Sub(now)
+	c.mu.Unlock()
+	if wait >= bwGranule {
+		time.Sleep(wait)
+	}
 }
 
 // maybeCorrupt flips one byte of the chunk with CorruptProb.
@@ -337,6 +394,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 			return n, err
 		}
 	}
+	c.throttle(&c.writeReady, len(p))
 	n, err := c.inner.Write(p)
 	if err != nil && c.wasCut.Load() {
 		err = ErrCut

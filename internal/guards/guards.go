@@ -150,6 +150,15 @@ func (res *Result) insertGuards(f *ir.Function, ds *dsa.Result, an *analysis.Res
 				// result, offset by the static delta.
 				res.GuardsElided++
 				delta := off - covered.off
+				if isWrite && coveredBy.write {
+					// The covering write guard now also vouches for this
+					// store: widen its written span to include it.
+					g := covered.guard
+					if g.GHi > g.GLo {
+						g.GLo = min(g.GLo, delta)
+						g.GHi = max(g.GHi, delta+in.Elem.Size())
+					}
+				}
 				var newAddr ir.Value = covered.guard.Dst
 				if delta != 0 {
 					g := ir.NewInstr(ir.OpGEP)
@@ -169,6 +178,12 @@ func (res *Result) insertGuards(f *ir.Function, ds *dsa.Result, an *analysis.Res
 			g := ir.NewInstr(ir.OpGuard)
 			g.Addr = in.Addr
 			g.IsWrite = isWrite
+			if isWrite && in.Elem != nil {
+				// The store's written span relative to the guarded
+				// address: the compiler-aided seed of the runtime's
+				// dirty rectangle (dirty-range write-back).
+				g.GLo, g.GHi = 0, in.Elem.Size()
+			}
 			g.DSRefs = append([]int(nil), ids...)
 			g.Dst = f.NewReg("", ir.Ptr(in.Elem))
 			b.InsertBefore(i, g)

@@ -199,7 +199,7 @@ func (m *Machine) call(f *ir.Function, args []uint64) (uint64, error) {
 			fr.set(in.Dst, base+off+uint64(in.ConstOff))
 
 		case ir.OpGuard:
-			p, err := m.rt.Guard(fr.get(in.Addr), in.IsWrite)
+			p, err := m.rt.GuardSpan(fr.get(in.Addr), in.IsWrite, in.GLo, in.GHi)
 			if err != nil {
 				return 0, fmt.Errorf("interp: @%s %s: %w", f.Name, in, err)
 			}

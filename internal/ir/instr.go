@@ -230,6 +230,12 @@ type Instr struct {
 	// IsWrite distinguishes write guards from read guards.
 	IsWrite bool
 
+	// GLo/GHi bound the byte span [GLo, GHi) relative to Addr that the
+	// stores covered by a write guard may modify (the guard's own store
+	// plus every store elided onto it). GHi <= GLo means unknown; the
+	// runtime then dirties conservatively. Meaningless on read guards.
+	GLo, GHi int
+
 	// DSRefs lists data structure IDs consulted by OpAllLocal.
 	DSRefs []int
 

@@ -95,6 +95,62 @@ func FuzzFrameDecode(f *testing.F) {
 	}); err == nil {
 		seeds = append(seeds, cd)
 	}
+	// Compact-tier verbs (the FeatCompact/FeatCompress extension):
+	// delta-encoded read batches, mixed-scheme data batches, write
+	// batches with full, zero, compressed and range tuples, and the
+	// rejected-bitmap ack.
+	seeds = append(seeds, EncodeReadBatchCPooled(18, []ReadReq{
+		{DS: 2, Idx: 100, Size: 4096}, {DS: 2, Idx: 101, Size: 4096},
+		{DS: 5, Idx: 3, Size: 64}, {DS: 5, Idx: 1, Size: 0},
+	}))
+	{
+		var b DataBatchCBuilder
+		b.Add(make([]byte, 256), true)                              // zero
+		b.Add(bytes.Repeat([]byte("compressible seed "), 32), true) // lz
+		b.Add([]byte{9, 1, 1, 2, 3, 5, 8, 13}, true)                // raw
+		if db, err := b.Frame(19); err == nil {
+			seeds = append(seeds, db)
+		}
+		b.Release()
+	}
+	{
+		body := bytes.Repeat([]byte("write seed body "), 24)
+		comp := make([]byte, CompressBound(len(body)))
+		n, _ := LZCompress(comp, body)
+		reqs := []WriteReqC{
+			{DS: 1, Idx: 40, Epoch: 6, Scheme: SchemeRaw, RawLen: 8, Data: []byte("8 bytes!")},
+			{DS: 1, Idx: 41, Epoch: 7, Scheme: SchemeZero, RawLen: 1024},
+			{DS: 3, Idx: 0, Epoch: 1, Scheme: SchemeLZ, RawLen: uint32(len(body)), Data: comp[:n]},
+			{DS: 3, Idx: 2, Epoch: 8, ObjSize: 4096, Scheme: SchemeRaw, RawLen: 20,
+				Extents: []Extent{{Off: 0, Len: 16}, {Off: 128, Len: 4}},
+				Data:    make([]byte, 20)},
+		}
+		for _, epoch := range []bool{false, true} {
+			if wb, err := EncodeWriteBatchCPooled(20, reqs, epoch); err == nil {
+				seeds = append(seeds, wb)
+			}
+		}
+		// A bogus range (offset+len > objSize): the encoder trusts its
+		// caller, so this seeds the decoder's rejection path.
+		if wb, err := EncodeWriteBatchCPooled(21, []WriteReqC{{
+			DS: 1, Idx: 0, ObjSize: 32, Scheme: SchemeRaw, RawLen: 16,
+			Extents: []Extent{{Off: 24, Len: 16}}, Data: make([]byte, 16),
+		}}, false); err == nil {
+			seeds = append(seeds, wb)
+		}
+	}
+	seeds = append(seeds, EncodeAckBatchC(22, 70, []uint64{1 << 3, 1 << 5}))
+	// Truncated compact bit streams: a write batch cut mid-header and a
+	// read batch cut mid-varint.
+	if wb, err := EncodeWriteBatchCPooled(23, []WriteReqC{
+		{DS: 9, Idx: 9, Scheme: SchemeRaw, RawLen: 64, Data: make([]byte, 64)},
+	}, true); err == nil {
+		seeds = append(seeds, Frame{Op: wb.Op, Tag: wb.Tag, Payload: wb.Payload[:3]})
+	}
+	{
+		rb := EncodeReadBatchCPooled(24, []ReadReq{{DS: 1, Idx: 2, Size: 3}, {DS: 1, Idx: 9, Size: 3}})
+		seeds = append(seeds, Frame{Op: rb.Op, Tag: rb.Tag, Payload: rb.Payload[:len(rb.Payload)-1]})
+	}
 	for _, fr := range seeds {
 		f.Add(frameBytes(f, fr, false))
 		f.Add(frameBytes(f, fr, true))
@@ -255,6 +311,104 @@ func FuzzFrameDecode(f *testing.F) {
 			}
 		case OpPing, OpOK:
 			DecodeFeatures(fr.Payload)
+		case OpReadBatchC:
+			// The compact encodings are non-canonical (a repeated DS may
+			// arrive as either the same-DS bit or an explicit varint), so
+			// the invariant is semantic: decode → encode → decode is an
+			// identity on the decoded form.
+			if reqs, err := DecodeReadBatchCInto(fr.Payload, nil); err == nil {
+				re := EncodeReadBatchCPooled(fr.Tag, reqs)
+				got, err := DecodeReadBatchCInto(re.Payload, nil)
+				if err != nil {
+					t.Fatalf("READBATCH-C re-decode: %v", err)
+				}
+				if len(got) != len(reqs) {
+					t.Fatalf("READBATCH-C count changed: %d != %d", len(got), len(reqs))
+				}
+				for i := range reqs {
+					if got[i] != reqs[i] {
+						t.Fatalf("READBATCH-C tuple %d changed: %+v != %+v", i, got[i], reqs[i])
+					}
+				}
+				PutBuf(re.Payload)
+			}
+		case OpDataBatchC:
+			if segs, err := DecodeDataBatchCInto(fr.Payload, nil); err == nil {
+				for i, s := range segs {
+					if s.Scheme == SchemeLZ {
+						// Accepted compressed segments must decompress to
+						// exactly RawLen bytes or fail cleanly — no panic,
+						// no out-of-bounds write.
+						out := make([]byte, s.RawLen)
+						_ = LZDecompress(out, s.Data)
+						_ = i
+					}
+				}
+			}
+		case OpWriteBatchC, OpWriteEpochBatchC:
+			epoch := fr.Op == OpWriteEpochBatchC
+			if reqs, _, err := DecodeWriteBatchCInto(fr.Payload, nil, nil, epoch); err == nil {
+				for i := range reqs {
+					r := &reqs[i]
+					// Decode-accepted extents must stay inside the object.
+					for _, e := range r.Extents {
+						if uint64(e.Off)+uint64(e.Len) > uint64(r.ObjSize) {
+							t.Fatalf("WRITEBATCH-C accepted extent outside object: %+v objSize=%d", e, r.ObjSize)
+						}
+					}
+					if r.Scheme == SchemeLZ {
+						out := make([]byte, r.RawLen)
+						_ = LZDecompress(out, r.Data)
+					}
+				}
+				re, err := EncodeWriteBatchCPooled(fr.Tag, reqs, epoch)
+				if err != nil {
+					t.Fatalf("WRITEBATCH-C re-encode: %v", err)
+				}
+				got, _, err := DecodeWriteBatchCInto(re.Payload, nil, nil, epoch)
+				if err != nil {
+					t.Fatalf("WRITEBATCH-C re-decode: %v", err)
+				}
+				if len(got) != len(reqs) {
+					t.Fatalf("WRITEBATCH-C count changed: %d != %d", len(got), len(reqs))
+				}
+				for i := range reqs {
+					w, g := &reqs[i], &got[i]
+					if g.DS != w.DS || g.Idx != w.Idx || g.Epoch != w.Epoch ||
+						g.Scheme != w.Scheme || g.RawLen != w.RawLen ||
+						g.ObjSize != w.ObjSize || len(g.Extents) != len(w.Extents) ||
+						!bytes.Equal(g.Data, w.Data) {
+						t.Fatalf("WRITEBATCH-C tuple %d changed", i)
+					}
+					for k := range w.Extents {
+						if g.Extents[k] != w.Extents[k] {
+							t.Fatalf("WRITEBATCH-C tuple %d extent %d changed", i, k)
+						}
+					}
+				}
+				PutBuf(re.Payload)
+			}
+		case OpAckBatchC:
+			if count, rej, any, err := DecodeAckBatchC(fr.Payload, nil); err == nil {
+				var bm []uint64
+				if any {
+					bm = append([]uint64(nil), rej...)
+				}
+				re := EncodeAckBatchC(fr.Tag, count, bm)
+				count2, rej2, any2, err := DecodeAckBatchC(re.Payload, nil)
+				if err != nil || count2 != count || any2 != any {
+					t.Fatalf("ACKBATCH-C changed: count %d->%d any %v->%v err=%v",
+						count, count2, any, any2, err)
+				}
+				if any {
+					for i := range bm {
+						if rej2[i] != bm[i] {
+							t.Fatalf("ACKBATCH-C bitmap word %d changed", i)
+						}
+					}
+				}
+				PutBuf(re.Payload)
+			}
 		}
 	})
 }

@@ -148,6 +148,16 @@ func (o Op) String() string {
 		return "CHASEBATCH"
 	case OpChaseData:
 		return "CHASEDATA"
+	case OpReadBatchC:
+		return "READBATCH-C"
+	case OpDataBatchC:
+		return "DATABATCH-C"
+	case OpWriteBatchC:
+		return "WRITEBATCH-C"
+	case OpWriteEpochBatchC:
+		return "WRITEEPOCHBATCH-C"
+	case OpAckBatchC:
+		return "ACKBATCH-C"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }

@@ -250,6 +250,7 @@ func (s *Server) serveWriteEpochBatch(j batchJob, connID int, send func(rdma.Fra
 	if s.tracer != nil {
 		startUS = s.tracer.Now()
 	}
+	s.metrics.wire.add(f.Op, f.WireSize())
 	reqs, err := rdma.DecodeWriteEpochBatchInto(f.Payload, scratch)
 	if err != nil {
 		s.metrics.errors.Inc()
@@ -263,6 +264,7 @@ func (s *Server) serveWriteEpochBatch(j batchJob, connID int, send func(rdma.Fra
 	}
 	s.observeWriteBatch(connID, len(reqs), start, startUS, reqTrace(f))
 	resp := rdma.EncodeAckBatch(f.Tag, len(reqs))
+	s.metrics.wire.add(resp.Op, resp.WireSize())
 	s.stamp(&resp, trace, j.recv, start)
 	send(resp)
 	return reqs

@@ -113,6 +113,7 @@ type serverMetrics struct {
 	batchReads            *stats.Histogram
 	batchWrites           *stats.Histogram
 	chaseNS               *stats.Histogram
+	wire                  *wireMetrics
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -136,6 +137,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		batchReads:   reg.Histogram(MetricBatchReads),
 		batchWrites:  reg.Histogram(MetricBatchWrites),
 		chaseNS:      reg.Histogram(MetricChaseNS),
+		wire:         newWireMetrics(reg),
 	}
 }
 
@@ -283,6 +285,7 @@ type pipeMetrics struct {
 	timeouts          *stats.Counter
 	uncertainWrites   *stats.Counter
 	replayedReads     *stats.Counter
+	wire              *wireMetrics
 }
 
 // attribCache holds the per-DS attribution series of one pipelined
@@ -370,5 +373,6 @@ func newPipeMetrics(reg *obs.Registry) *pipeMetrics {
 		timeouts:        reg.Counter(MetricClientTimeouts),
 		uncertainWrites: reg.Counter(MetricClientUncertainWrites),
 		replayedReads:   reg.Counter(MetricClientReplayedReads),
+		wire:            newWireMetrics(reg),
 	}
 }

@@ -62,6 +62,19 @@ type PipelineOpts struct {
 	// label.
 	Shard string
 
+	// NoCompact disables the compact wire tier: the client never
+	// requests rdma.FeatCompact and keeps the fixed-width batch frames —
+	// the bench control knob, and an escape hatch. Default (false)
+	// negotiates compact framing whenever the peer offers it.
+	NoCompact bool
+
+	// Compression controls adaptive per-object compression on compact
+	// sessions: "" or "auto" requests rdma.FeatCompress and lets the
+	// per-DS policy decide online which objects to compress; "off"
+	// never requests the feature (objects ship raw inside compact
+	// frames). Ignored when the compact tier is off.
+	Compression string
+
 	// Timeout bounds negotiation and, on deadline-capable connections,
 	// detects a stalled stream: no reply within Timeout while operations
 	// are in flight abandons the connection. 0 disables.
@@ -113,6 +126,7 @@ type pipeOp struct {
 	epoch         uint64           // write: stamp to apply; read: stamp received
 	dst           []byte           // read destination
 	data          []byte           // write payload (valid until completion)
+	exts          []rdma.Extent    // range write-back: dirty extents of data (nil = full object)
 	creq          rdma.ChaseReq    // chase: the traversal program
 	cres          rdma.ChaseResult // chase: decoded path (hop data caller-owned)
 	done          func(error)
@@ -201,6 +215,8 @@ type PipelinedClient struct {
 	epochOK      bool               // peer speaks the epoch-stamped verbs
 	chaseOK      bool               // peer speaks the traversal-offload verbs
 	trace        bool               // session carries the trace extension
+	compact      bool               // session uses the compact bit-packed batch frames
+	compress     bool               // session may ship LZ-compressed segments
 	gen          uint64             // connection generation
 	reconnecting bool               // a reconnect is in progress
 	lastWire     time.Time          // last successful wire activity
@@ -218,10 +234,11 @@ type PipelinedClient struct {
 	wg   sync.WaitGroup
 
 	metrics *pipeMetrics
-	hub     *obs.TraceHub // immutable after construction; nil = no tracing
-	shard   string        // attribution/slow-op shard label
-	featReq uint32        // feature word requested on every negotiation
-	attrib  *attribCache  // reader-goroutine-owned; nil without Obs+Trace
+	hub     *obs.TraceHub  // immutable after construction; nil = no tracing
+	shard   string         // attribution/slow-op shard label
+	featReq uint32         // feature word requested on every negotiation
+	attrib  *attribCache   // reader-goroutine-owned; nil without Obs+Trace
+	cpolicy compressPolicy // per-DS adaptive compression state (compact tier)
 }
 
 // negotiate runs the feature exchange on a fresh connection: request
@@ -278,6 +295,12 @@ func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient,
 	if opts.Trace != nil {
 		req |= rdma.FeatTrace
 	}
+	if !opts.NoCompact {
+		req |= rdma.FeatCompact
+		if opts.Compression != "off" {
+			req |= rdma.FeatCompress
+		}
+	}
 	feats, err := negotiate(conn, opts.Timeout, req)
 	if err != nil {
 		return nil, err
@@ -294,6 +317,8 @@ func NewPipelined(conn io.ReadWriteCloser, opts PipelineOpts) (*PipelinedClient,
 		epochOK:  feats&rdma.FeatEpoch != 0,
 		chaseOK:  feats&rdma.FeatChase != 0,
 		trace:    opts.Trace != nil && feats&rdma.FeatTrace != 0,
+		compact:  req&rdma.FeatCompact != 0 && feats&rdma.FeatCompact != 0,
+		compress: req&rdma.FeatCompress != 0 && feats&rdma.FeatCompact != 0 && feats&rdma.FeatCompress != 0,
 		opts:     opts.withDefaults(),
 		lastWire: time.Now(),
 		pending:  make(map[uint32][]*pipeOp),
@@ -379,6 +404,12 @@ type DialConfig struct {
 	// extension.
 	Trace *obs.TraceHub
 	Shard string
+
+	// NoCompact / Compression pass through to PipelineOpts: the compact
+	// wire tier and its adaptive per-object compression knob. The
+	// serial fallback ignores them (it never speaks the batch verbs).
+	NoCompact   bool
+	Compression string
 }
 
 // faultTolerant reports whether the config asks for any fault handling,
@@ -424,6 +455,7 @@ func dialAutoOnce(addr string, cfg DialConfig) (StoreConn, error) {
 	popts := PipelineOpts{
 		Window: cfg.Window, MaxBatch: cfg.MaxBatch, Obs: cfg.Obs,
 		Trace: cfg.Trace, Shard: cfg.Shard,
+		NoCompact: cfg.NoCompact, Compression: cfg.Compression,
 		Timeout: cfg.Timeout, RetryMax: cfg.RetryMax,
 		RetryBase: cfg.RetryBase, RetryCap: cfg.RetryCap, Seed: cfg.Seed,
 	}
@@ -697,6 +729,8 @@ func (c *PipelinedClient) connFail(gen uint64, cause error) {
 		c.epochOK = feats&rdma.FeatEpoch != 0
 		c.chaseOK = feats&rdma.FeatChase != 0
 		c.trace = c.hub != nil && feats&rdma.FeatTrace != 0
+		c.compact = c.featReq&rdma.FeatCompact != 0 && feats&rdma.FeatCompact != 0
+		c.compress = c.featReq&rdma.FeatCompress != 0 && feats&rdma.FeatCompact != 0 && feats&rdma.FeatCompress != 0
 		c.gen++
 		c.reconnecting = false
 		c.lastWire = time.Now()
@@ -766,6 +800,8 @@ func (c *PipelinedClient) flushLoop() {
 	var wreqs []rdma.WriteReq      // scratch, reused across wakeups
 	var ereqs []rdma.WriteEpochReq // scratch, reused across wakeups
 	var creqs []rdma.ChaseReq      // scratch, reused across wakeups
+	var cwreqs []rdma.WriteReqC    // scratch, reused across wakeups (compact sessions)
+	var cbufs [][]byte             // pooled gather/compress buffers, released after encode
 	var frames []rdma.Frame        // scratch, reused across wakeups
 	var doomed []*pipeOp           // epoch/chase ops against a peer without the verbs
 	for {
@@ -781,6 +817,8 @@ func (c *PipelinedClient) flushLoop() {
 		bw := c.bw
 		crc := c.crc
 		trace := c.trace
+		compact := c.compact
+		compress := c.compress
 		var now time.Time
 		if trace {
 			now = time.Now() // doorbell timestamp shared by this wakeup's ops
@@ -814,6 +852,10 @@ func (c *PipelinedClient) flushLoop() {
 					seg = chaseReplySize(op.creq)
 				case op.wantEp:
 					seg = epochRespHdrSize + int(op.size)
+				case compact:
+					// Compact reply headers are varints: charge their worst
+					// case (compression only shrinks the blob region).
+					seg = 12 + int(op.size)
 				default:
 					seg = 4 + int(op.size)
 				}
@@ -841,6 +883,8 @@ func (c *PipelinedClient) flushLoop() {
 				f = rdma.EncodeChaseBatchPooled(tag, creqs)
 			case ops[0].wantEp:
 				f = rdma.EncodeReadEpochBatchPooled(tag, reqs)
+			case compact:
+				f = rdma.EncodeReadBatchCPooled(tag, reqs)
 			default:
 				f = rdma.EncodeReadBatchPooled(tag, reqs)
 			}
@@ -881,9 +925,14 @@ func (c *PipelinedClient) flushLoop() {
 				continue
 			}
 			// Coalesce writes into one WRITEBATCH (or WRITEEPOCHBATCH —
-			// never mixed), bounded by MaxBatch and the frame limit.
+			// never mixed), bounded by MaxBatch and the frame limit. On a
+			// compact session both families ride the compact tuples
+			// instead, with per-object compression and range sub-encoding;
+			// against any other peer a range op falls back to its full
+			// object image (op.data always carries it).
 			wreqs = wreqs[:0]
 			ereqs = ereqs[:0]
+			cwreqs = cwreqs[:0]
 			var ops []*pipeOp
 			frameSize := 4
 			for wspace > 0 && len(c.wqueue) > 0 && len(ops) < c.opts.MaxBatch {
@@ -893,18 +942,34 @@ func (c *PipelinedClient) flushLoop() {
 					c.wqueue = c.wqueue[1:]
 					continue
 				}
-				tupleHdr := 12
-				if op.wantEp {
-					tupleHdr = epochTupleHdrSize
+				var tupleBound int
+				if compact {
+					dataLen := len(op.data)
+					if op.exts != nil {
+						dataLen = 0
+						for _, e := range op.exts {
+							dataLen += int(e.Len)
+						}
+					}
+					tupleBound = rdma.WriteReqCBound(dataLen, len(op.exts), op.wantEp)
+				} else {
+					tupleHdr := 12
+					if op.wantEp {
+						tupleHdr = epochTupleHdrSize
+					}
+					tupleBound = tupleHdr + len(op.data)
 				}
 				if len(ops) > 0 && (op.wantEp != ops[0].wantEp ||
-					frameSize+tupleHdr+len(op.data) > rdma.MaxFrame) {
+					frameSize+tupleBound > rdma.MaxFrame) {
 					break
 				}
-				frameSize += tupleHdr + len(op.data)
-				if op.wantEp {
+				frameSize += tupleBound
+				switch {
+				case compact:
+					cwreqs = append(cwreqs, c.compactWriteReq(op, compress, &cbufs))
+				case op.wantEp:
 					ereqs = append(ereqs, rdma.WriteEpochReq{DS: op.ds, Idx: op.idx, Epoch: op.epoch, Data: op.data})
-				} else {
+				default:
 					wreqs = append(wreqs, rdma.WriteReq{DS: op.ds, Idx: op.idx, Data: op.data})
 				}
 				ops = append(ops, op)
@@ -917,9 +982,18 @@ func (c *PipelinedClient) flushLoop() {
 			tag := c.tagFor(ops, true)
 			var f rdma.Frame
 			var err error
-			if ops[0].wantEp {
+			switch {
+			case compact:
+				f, err = rdma.EncodeWriteBatchCPooled(tag, cwreqs, ops[0].wantEp)
+				// The encoder copied every blob into the frame payload:
+				// the gather/compress buffers can go home now.
+				for _, b := range cbufs {
+					rdma.PutBuf(b)
+				}
+				cbufs = cbufs[:0]
+			case ops[0].wantEp:
 				f, err = rdma.EncodeWriteEpochBatchPooled(tag, ereqs)
-			} else {
+			default:
 				f, err = rdma.EncodeWriteBatchPooled(tag, wreqs)
 			}
 			if err != nil {
@@ -962,6 +1036,7 @@ func (c *PipelinedClient) flushLoop() {
 			if werr == nil {
 				if m := c.metrics; m != nil {
 					m.bytesOut.Add(f.WireSize())
+					m.wire.add(f.Op, f.WireSize())
 				}
 			}
 			rdma.PutBuf(f.Payload)
@@ -1033,6 +1108,8 @@ func (c *PipelinedClient) readLoop() {
 	var segs [][]byte            // scratch, reused across frames
 	var esegs []rdma.EpochSeg    // scratch, reused across frames
 	var cress []rdma.ChaseResult // scratch, reused across frames
+	var csegs []rdma.DataSegC    // scratch, reused across frames (compact sessions)
+	var ackScratch []uint64      // ACKBATCH-C reject bitmap scratch
 	for {
 		c.mu.Lock()
 		for c.err == nil && c.reconnecting {
@@ -1082,6 +1159,7 @@ func (c *PipelinedClient) readLoop() {
 		c.mu.Unlock()
 		if m := c.metrics; m != nil {
 			m.bytesIn.Add(f.WireSize())
+			m.wire.add(f.Op, f.WireSize())
 		}
 		ops, ok := c.takePending(f.Tag)
 		if !ok {
@@ -1158,6 +1236,87 @@ func (c *PipelinedClient) readLoop() {
 				op.complete(nil)
 			}
 			rdma.PutBuf(f.Payload)
+		case rdma.OpDataBatchC:
+			var derr error
+			csegs, derr = rdma.DecodeDataBatchCInto(f.Payload, csegs[:0])
+			if derr == nil && len(csegs) != len(ops) {
+				derr = fmt.Errorf("remote: DATABATCH-C has %d segments, want %d", len(csegs), len(ops))
+			}
+			if derr == nil {
+				for i := range csegs {
+					if int(csegs[i].RawLen) != len(ops[i].dst) {
+						derr = fmt.Errorf("remote: DATABATCH-C segment %d is %d bytes, want %d",
+							i, csegs[i].RawLen, len(ops[i].dst))
+						break
+					}
+				}
+			}
+			if derr != nil {
+				// Framing is untrustworthy past this point: replay these
+				// reads on a fresh connection.
+				rdma.PutBuf(f.Payload)
+				c.requeueOps(ops, derr)
+				c.connFail(gen, derr)
+				continue
+			}
+			bad := -1
+			for i, op := range ops {
+				seg := &csegs[i]
+				switch seg.Scheme {
+				case rdma.SchemeZero:
+					clear(op.dst)
+				case rdma.SchemeLZ:
+					if lerr := rdma.LZDecompress(op.dst, seg.Data); lerr != nil {
+						// Corrupt compressed block behind a valid checksum:
+						// the remaining reads of this frame replay on a
+						// fresh connection (the completed prefix stands —
+						// reads are idempotent).
+						derr, bad = lerr, i
+					}
+				default:
+					copy(op.dst, seg.Data)
+				}
+				if bad >= 0 {
+					break
+				}
+				c.finishOp(op, stamped, sQueueUS, sServiceUS)
+				op.complete(nil)
+			}
+			rdma.PutBuf(f.Payload)
+			if bad >= 0 {
+				c.requeueOps(ops[bad:], derr)
+				c.connFail(gen, derr)
+				continue
+			}
+		case rdma.OpAckBatchC:
+			n, rejected, any, derr := rdma.DecodeAckBatchC(f.Payload, ackScratch)
+			if rejected != nil {
+				ackScratch = rejected
+			}
+			rdma.PutBuf(f.Payload)
+			if derr == nil && n != len(ops) {
+				derr = fmt.Errorf("remote: ACKBATCH-C acknowledges %d writes, want %d", n, len(ops))
+			}
+			if derr != nil {
+				// A torn ack means the batch outcome is unknowable over this
+				// stream: the writes surface as uncertain for the caller to
+				// reissue.
+				c.requeueOps(ops, derr)
+				c.connFail(gen, derr)
+				continue
+			}
+			for i, op := range ops {
+				if any && rejected[i/64]&(1<<(uint(i)%64)) != 0 {
+					// The peer refused to splice onto a stale base: a
+					// definitive completion, not a transport fault — the
+					// replication layer marks the member divergent and
+					// resyncs it with full objects.
+					op.complete(ErrStaleRangeBase)
+					continue
+				}
+				c.finishOp(op, stamped, sQueueUS, sServiceUS)
+				op.complete(nil)
+			}
 		case rdma.OpAckBatch:
 			n, derr := rdma.DecodeAckBatch(f.Payload)
 			rdma.PutBuf(f.Payload)

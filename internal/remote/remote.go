@@ -160,6 +160,7 @@ type Server struct {
 	reg     *obs.Registry
 	tracer  *obs.Tracer
 	metrics *serverMetrics
+	cpolicy compressPolicy // per-DS adaptive compression state (compact tier)
 	nextCon atomic.Int64
 	epoch   time.Time // base for the RecvUS server stamps
 }
@@ -172,8 +173,10 @@ const DefaultBatchWorkers = 4
 // writes), can switch the session to checksummed frames, can carry
 // the trace extension (span context in, server timestamps out) on every
 // tagged frame, serves the epoch-stamped verbs the replication layer
-// uses, and executes offloaded pointer-chase traversal programs.
-const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatTrace | rdma.FeatEpoch | rdma.FeatChase
+// uses, executes offloaded pointer-chase traversal programs, accepts
+// the compact bit-packed batch frames (including range write-back),
+// and will compress reply segments for sessions that ask for it.
+const ServerFeatures = rdma.FeatBatch | rdma.FeatCRC | rdma.FeatWriteBatch | rdma.FeatTrace | rdma.FeatEpoch | rdma.FeatChase | rdma.FeatCompact | rdma.FeatCompress
 
 // NewServer creates a server with an empty store and a private metric
 // registry.
@@ -311,6 +314,7 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	if workers <= 0 {
 		workers = DefaultBatchWorkers
 	}
+	var compressOut atomic.Bool
 	jobs := make(chan batchJob)
 	var bwg sync.WaitGroup
 	bwg.Add(workers)
@@ -324,6 +328,10 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 			var wscratch []rdma.WriteReq
 			var escratch []rdma.WriteEpochReq
 			var cscratch []rdma.ChaseReq
+			var cb rdma.DataBatchCBuilder
+			defer cb.Release()
+			var cwscratch compactWriteScratch
+			defer cwscratch.release()
 			for j := range jobs {
 				trace := traceOut.Load()
 				switch j.f.Op {
@@ -335,6 +343,12 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 					rscratch = s.serveReadEpochBatch(j, connID, send, trace, rscratch)
 				case rdma.OpChaseBatch:
 					cscratch = s.serveChaseBatch(j, connID, send, trace, cscratch)
+				case rdma.OpReadBatchC:
+					rscratch = s.serveBatchC(j, connID, send, trace, compressOut.Load(), rscratch, &cb)
+				case rdma.OpWriteBatchC:
+					s.serveWriteBatchC(j, connID, send, trace, false, &cwscratch)
+				case rdma.OpWriteEpochBatchC:
+					s.serveWriteBatchC(j, connID, send, trace, true, &cwscratch)
 				default:
 					rscratch = s.serveBatch(j, connID, send, trace, rscratch)
 				}
@@ -354,7 +368,8 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		s.metrics.bytesIn.Add(f.WireSize())
 		if f.Op == rdma.OpReadBatch || f.Op == rdma.OpWriteBatch ||
 			f.Op == rdma.OpReadEpochBatch || f.Op == rdma.OpWriteEpochBatch ||
-			f.Op == rdma.OpChaseBatch {
+			f.Op == rdma.OpChaseBatch || f.Op == rdma.OpReadBatchC ||
+			f.Op == rdma.OpWriteBatchC || f.Op == rdma.OpWriteEpochBatchC {
 			s.metrics.inflight.Add(1)
 			jobs <- batchJob{f: f, recv: time.Now()} // reply sent by a worker, possibly out of order
 			continue
@@ -378,6 +393,11 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 				resp = rdma.Frame{Op: rdma.OpOK, Payload: rdma.EncodeFeatures(ServerFeatures)}
 				enableCRC = feats&rdma.FeatCRC != 0
 				enableTrace = feats&rdma.FeatTrace != 0
+				// Reply segments may be compressed only when the client
+				// asked for both the compact tier and compression — the
+				// flip is ordered like crcOut/traceOut (no compact batch
+				// can be in flight before the feature OK lands).
+				compressOut.Store(feats&rdma.FeatCompact != 0 && feats&rdma.FeatCompress != 0)
 			} else {
 				resp = rdma.Frame{Op: rdma.OpOK}
 			}
@@ -468,6 +488,7 @@ func (s *Server) serveBatch(j batchJob, connID int, send func(rdma.Frame) error,
 	if s.tracer != nil {
 		startUS = s.tracer.Now()
 	}
+	s.metrics.wire.add(f.Op, f.WireSize())
 	reqs, err := rdma.DecodeReadBatchInto(f.Payload, scratch)
 	if err != nil {
 		s.metrics.errors.Inc()
@@ -491,6 +512,7 @@ func (s *Server) serveBatch(j batchJob, connID int, send func(rdma.Frame) error,
 	}
 	s.observeBatch(connID, len(reqs), start, startUS, reqTrace(f))
 	resp := w.Frame(f.Tag)
+	s.metrics.wire.add(resp.Op, resp.WireSize())
 	s.stamp(&resp, trace, j.recv, start)
 	send(resp)
 	rdma.PutBuf(p)
@@ -509,6 +531,7 @@ func (s *Server) serveWriteBatch(j batchJob, connID int, send func(rdma.Frame) e
 	if s.tracer != nil {
 		startUS = s.tracer.Now()
 	}
+	s.metrics.wire.add(f.Op, f.WireSize())
 	reqs, err := rdma.DecodeWriteBatchInto(f.Payload, scratch)
 	if err != nil {
 		s.metrics.errors.Inc()
@@ -522,6 +545,7 @@ func (s *Server) serveWriteBatch(j batchJob, connID int, send func(rdma.Frame) e
 	}
 	s.observeWriteBatch(connID, len(reqs), start, startUS, reqTrace(f))
 	resp := rdma.EncodeAckBatch(f.Tag, len(reqs))
+	s.metrics.wire.add(resp.Op, resp.WireSize())
 	s.stamp(&resp, trace, j.recv, start)
 	send(resp)
 	return reqs

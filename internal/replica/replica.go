@@ -35,6 +35,7 @@ import (
 
 	"cards/internal/farmem"
 	"cards/internal/obs"
+	"cards/internal/rdma"
 	"cards/internal/shardmap"
 	"cards/internal/stats"
 )
@@ -81,6 +82,17 @@ type EpochBackend interface {
 	IssueWriteEpoch(ds, idx int, epoch uint64, src []byte, done func(error))
 }
 
+// RangeEpochBackend is the optional dirty-range surface of a backend:
+// an epoch-stamped write that ships only the modified extents of the
+// full image src. The peer splices them onto its stored copy only when
+// that copy is the immediate predecessor epoch; a missed epoch NAKs
+// with remote.ErrStaleRangeBase, which the fan-out treats like any
+// failed sub-write (mark divergent, resync repairs with full objects).
+// Detected per backend by type assertion.
+type RangeEpochBackend interface {
+	IssueWriteRangesEpoch(ds, idx int, epoch uint64, src []byte, exts []rdma.Extent, done func(error))
+}
+
 // Options configures a replicated Store.
 type Options struct {
 	// Replicas is the group size R (clamped to [1, min(MaxReplicas,
@@ -114,6 +126,7 @@ type Options struct {
 // member misses further writes mid-sweep.
 type member struct {
 	eb     EpochBackend
+	reb    RangeEpochBackend      // non-nil iff the backend supports range-epoch writes
 	chaser farmem.AsyncChaseStore // non-nil iff the backend supports IssueChase
 	pinger farmem.Pinger          // non-nil iff the backend supports Ping
 	label  string
@@ -244,6 +257,9 @@ func New(backends []farmem.Store, opts Options) (*Store, error) {
 		}
 		if cs, ok := b.(farmem.AsyncChaseStore); ok {
 			m.chaser = cs
+		}
+		if rw, ok := b.(RangeEpochBackend); ok {
+			m.reb = rw
 		}
 		if p, ok := b.(farmem.Pinger); ok {
 			m.pinger = p
@@ -506,6 +522,48 @@ func (s *Store) IssueWrite(ds, idx int, src []byte, done func(error)) {
 	j.remaining.Store(int32(n))
 	for i := 0; i < n; i++ {
 		j.slots[i].m.eb.IssueWriteEpoch(ds, idx, epoch, src, j.slots[i].fn)
+	}
+}
+
+// IssueWriteRanges implements farmem.RangeWriteStore: the group write
+// of IssueWrite, but each member that speaks the range-epoch verb
+// receives only the modified extents (the rest get the full image).
+// A member whose base image missed an epoch NAKs the splice with
+// remote.ErrStaleRangeBase; subDone then marks it divergent exactly
+// like a failed full write, and the anti-entropy resync repairs it
+// with whole objects — range writes can therefore never wedge a
+// replica in a silently-diverged state.
+func (s *Store) IssueWriteRanges(ds, idx int, src []byte, exts []rdma.Extent, done func(error)) {
+	j := writeJoinPool.Get().(*writeJoin)
+	j.s = s
+	j.done = done
+	j.acks.Store(0)
+	group := s.groupFor(ds, idx, j.group[:0])
+	epoch := s.stampWrite(ds, idx, len(src))
+	n := 0
+	for _, gi := range group {
+		m := s.members[gi]
+		if !m.gate(s.opts.ProbeEvery) {
+			s.markDivergent(m)
+			continue
+		}
+		j.slots[n].m = m
+		n++
+	}
+	j.issued = int32(n)
+	if n == 0 {
+		j.remaining.Store(1)
+		j.subDoneNone()
+		return
+	}
+	j.remaining.Store(int32(n))
+	for i := 0; i < n; i++ {
+		m := j.slots[i].m
+		if m.reb != nil {
+			m.reb.IssueWriteRangesEpoch(ds, idx, epoch, src, exts, j.slots[i].fn)
+		} else {
+			m.eb.IssueWriteEpoch(ds, idx, epoch, src, j.slots[i].fn)
+		}
 	}
 }
 

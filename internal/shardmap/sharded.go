@@ -51,6 +51,7 @@ type shard struct {
 	store   farmem.Store
 	astore  farmem.AsyncStore      // non-nil iff the backend supports IssueRead
 	awstore farmem.AsyncWriteStore // non-nil iff the backend supports IssueWrite
+	rwstore farmem.RangeWriteStore // non-nil iff the backend supports IssueWriteRanges
 	chaser  farmem.AsyncChaseStore // non-nil iff the backend supports IssueChase
 	pinger  farmem.Pinger          // non-nil iff the backend supports Ping
 
@@ -147,6 +148,9 @@ func NewSharded(backends []farmem.Store, opts Options) (*ShardedStore, error) {
 		}
 		if aw, ok := b.(farmem.AsyncWriteStore); ok {
 			s.awstore = aw
+		}
+		if rw, ok := b.(farmem.RangeWriteStore); ok {
+			s.rwstore = rw
 		}
 		if cs, ok := b.(farmem.AsyncChaseStore); ok {
 			s.chaser = cs
@@ -352,6 +356,40 @@ func (ss *ShardedStore) IssueWrite(ds, idx int, src []byte, done func(error)) {
 		return
 	}
 	finish(s.store.WriteObj(ds, idx, src))
+}
+
+// IssueWriteRanges implements farmem.RangeWriteStore: route the range
+// write to the owning shard. A shard whose backend lacks the range verb
+// — or a degraded one past its gate — transparently falls back to a
+// full-object write (src always carries the whole image).
+func (ss *ShardedStore) IssueWriteRanges(ds, idx int, src []byte, exts []rdma.Extent, done func(error)) {
+	i := ss.ShardOf(ds, idx)
+	s := ss.shards[i]
+	if s.rwstore == nil {
+		ss.IssueWrite(ds, idx, src, done)
+		return
+	}
+	if !s.gate(ss.opts.ProbeEvery) {
+		done(ss.degradedErr(i))
+		return
+	}
+	shipped := 0
+	for _, e := range exts {
+		shipped += int(e.Len)
+	}
+	finish := func(err error) {
+		if err != nil {
+			ss.fail(s)
+			done(fmt.Errorf("shardmap: shard %d range write: %w", i, err))
+			return
+		}
+		ss.ok(s)
+		s.writes.Inc()
+		s.bytesOut.Add(uint64(shipped))
+		s.noteObject(ds, idx)
+		done(nil)
+	}
+	s.rwstore.IssueWriteRanges(ds, idx, src, exts, finish)
 }
 
 // ChaseCapable implements farmem.ChaseStore. A traversal program walks

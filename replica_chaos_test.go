@@ -43,6 +43,145 @@ func waitUntil(t *testing.T, d time.Duration, cond func() bool) bool {
 // run the dead backend is restarted on the same address; anti-entropy
 // must bring every stale object up to the survivors' epochs before the
 // member rejoins the read set.
+// TestReplicaKillBackendRangeWriteback reruns the kill-a-backend chaos
+// scenario with compiler-aided dirty-range write-back on: every group
+// write ships only the modified extents (epoch-stamped WRITERANGE) to
+// the replicas that speak the verb. Killing a backend mid-run leaves
+// range writes in uncertain states; the sub-write failure marks the
+// member divergent and anti-entropy repairs it with full objects, so
+// the checksum must stay exact and the restarted victim must converge
+// to the survivors' epochs — a replica can never be wedged by a splice
+// it may or may not have applied.
+func TestReplicaKillBackendRangeWriteback(t *testing.T) {
+	const nBackends = 3
+	before := runtime.NumGoroutine()
+	build := func() (*ir.Module, error) {
+		return workloads.BuildBFS(workloads.BFSConfig{
+			Vertices: 512, Degree: 6, Trials: 2, Seed: 11}).Module, nil
+	}
+	run := func(store farmem.Store) *core.RunResult {
+		m, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.Compile(m, core.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(core.RunConfig{
+			Policy:          policy.AllRemotable,
+			PinnedBudget:    0,
+			RemotableBudget: 8 * 4096,
+			Store:           store,
+			RetryMax:        8,
+			RangeWriteback:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(nil).MainResult
+
+	srvs := make([]*remote.Server, nBackends)
+	addrs := make([]string, nBackends)
+	backends := make([]farmem.Store, nBackends)
+	for i := range srvs {
+		srvs[i] = remote.NewServer()
+		addr, err := srvs[i].Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+		c, err := remote.DialResilient(addr, remote.DialConfig{
+			Timeout:   250 * time.Millisecond,
+			RetryMax:  1,
+			RetryBase: time.Millisecond,
+			RetryCap:  10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = c
+	}
+	rs, err := replica.New(backends, replica.Options{
+		Replicas:         2,
+		BreakerThreshold: 2,
+		ProbeEvery:       20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const victim = 0
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		srvs[victim].Drain(20 * time.Millisecond)
+	}()
+
+	res := run(rs)
+	if res.MainResult != want {
+		t.Errorf("range-writeback replica checksum %#x != in-process %#x", res.MainResult, want)
+	}
+	if res.Runtime.RangeWriteBacks == 0 {
+		t.Error("no range write-backs during the replicated run: the range path never engaged")
+	}
+	snap := rs.Obs().Snapshot()
+	if qf := snap.Counter(replica.MetricReplicaQuorumFailures); qf != 0 {
+		t.Errorf("%d write quorum failures during a single-backend kill", qf)
+	}
+	t.Logf("range chaos: %d range write-backs, %d bytes saved, %d failovers",
+		res.Runtime.RangeWriteBacks, res.Runtime.RangeBytesSaved,
+		snap.Counter(replica.MetricReplicaFailovers))
+
+	// Restart the victim with its (now stale) store; anti-entropy must
+	// bring every shared object to the survivors' epochs — including
+	// objects whose range writes died uncertain at the kill.
+	srv2 := remote.NewServer()
+	srv2.Store = srvs[victim].Store
+	if _, err := srv2.Listen(addrs[victim]); err != nil {
+		t.Fatal(err)
+	}
+	if !waitUntil(t, 15*time.Second, func() bool {
+		return rs.MemberInSync(victim) && rs.MemberState(victim) == farmem.BreakerClosed
+	}) {
+		t.Fatalf("victim never rejoined: state=%v inSync=%v",
+			rs.MemberState(victim), rs.MemberInSync(victim))
+	}
+	var gbuf [replica.MaxReplicas]int
+	checked := 0
+	for other := 0; other < nBackends; other++ {
+		if other == victim {
+			continue
+		}
+		for _, k := range srvs[other].Store.Keys() {
+			ds, idx := int(k[0]), int(k[1])
+			group := rs.GroupOf(ds, idx, gbuf[:0])
+			inGroup := false
+			for _, gi := range group {
+				inGroup = inGroup || gi == victim
+			}
+			if !inGroup {
+				continue
+			}
+			if vEp, oEp := srv2.Store.Epoch(k[0], k[1]), srvs[other].Store.Epoch(k[0], k[1]); vEp != oEp {
+				t.Errorf("obj (%d,%d): victim epoch %d != survivor epoch %d after resync", ds, idx, vEp, oEp)
+			}
+			checked++
+		}
+	}
+	t.Logf("victim resynced: %d objects epoch-checked", checked)
+
+	rs.Close()
+	srv2.Close()
+	for i, srv := range srvs {
+		if i != victim {
+			srv.Close()
+		}
+	}
+	checkGoroutines(t, before)
+}
+
 func TestReplicaKillAnyBackendMidRun(t *testing.T) {
 	const nBackends = 3
 	cases := map[string]struct {
